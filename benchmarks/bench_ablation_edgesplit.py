@@ -1,0 +1,141 @@
+"""A2 — ablation: how much edge splitting node insertion needs.
+
+The node-level formulation places ``t = e`` at node entries, so its
+expressiveness depends on which edges carry landing nodes.  Three
+regimes are compared:
+
+* **none** — raw statement graph: insertion points on branch edges do
+  not exist, so partial redundancies whose optimal insertion is an
+  edge survive;
+* **critical only** — the textbook minimum: enough for branch-to-join
+  edges, but an edge from a single-successor block (ending in a kill)
+  into a join still has no landing node, and the insertion forced to
+  the join's entry recomputes on the already-covered path;
+* **full edge-split form** (every edge into a join) — matches the
+  edge-based formulation exactly.
+
+Measured per regime: total per-path evaluations against the edge-based
+LCM reference on the two crafted litmus graphs and a sweep of
+unstructured random graphs.
+"""
+
+from repro.bench.harness import Table, record_report
+from repro.bench.shapegen import ShapeConfig, random_shape_cfg
+from repro.core.krs import analyze_krs, krs_placements
+from repro.core.localcse import local_cse
+from repro.core.nodegraph import expand_to_nodes
+from repro.core.optimality import (
+    check_equivalence,
+    compare_per_path,
+    enumerate_traces,
+    replay,
+)
+from repro.core.pipeline import optimize
+from repro.core.transform import apply_placements
+from repro.ir.builder import CFGBuilder
+from repro.ir.edgesplit import split_critical_edges, split_join_edges
+
+REGIMES = ("none", "critical", "full")
+
+
+def critical_edge_graph():
+    """fork -> {A, join}; A -> join.  fork->join is critical."""
+    b = CFGBuilder()
+    b.block("fork").branch("p", "A", "join")
+    b.block("A", "x = a + b").jump("join")
+    b.block("join", "y = a + b").to_exit()
+    return b.build()
+
+
+def kill_into_join_graph():
+    """pre (kills b) -> use; top -> use carries b*b: needs a landing
+    node on the non-critical edge pre -> use."""
+    b = CFGBuilder()
+    b.block("top", "c = b * b").branch("p", "pre", "use")
+    b.block("pre", "b = a - b").jump("use")
+    b.block("use", "y = b * b").to_exit()
+    return b.build()
+
+
+def node_lcm(cfg, regime):
+    source, _ = local_cse(cfg)
+    expanded = expand_to_nodes(source).cfg
+    if regime == "critical":
+        split_critical_edges(expanded)
+    elif regime == "full":
+        split_join_edges(expanded)
+    analysis = analyze_krs(expanded)
+    return apply_placements(expanded, krs_placements(analysis, "lcm"))
+
+
+def path_cost(original, transformed, max_branches=6):
+    total = 0
+    for trace in enumerate_traces(original, max_branches):
+        total += replay(transformed, trace.decisions).total
+    return total
+
+
+def test_ablation_edge_splitting(benchmark):
+    def measure():
+        rows = []
+        for name, graph_fn in (
+            ("critical-edge graph", critical_edge_graph),
+            ("kill-into-join graph", kill_into_join_graph),
+        ):
+            cfg = graph_fn()
+            reference = path_cost(cfg, optimize(cfg, "lcm").cfg)
+            costs = {}
+            for regime in REGIMES:
+                result = node_lcm(cfg, regime)
+                assert check_equivalence(cfg, result.cfg, runs=15).equivalent
+                assert compare_per_path(cfg, result.cfg, max_branches=6).safe
+                costs[regime] = path_cost(cfg, result.cfg)
+            rows.append((name, path_cost(cfg, cfg), costs, reference))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    table = Table(
+        ["graph", "original", "none", "critical only", "full split", "edge-based ref"],
+        title="A2: per-path evaluations under three edge-splitting regimes",
+    )
+    for name, original, costs, reference in rows:
+        table.add_row(
+            name, original, costs["none"], costs["critical"], costs["full"], reference
+        )
+    record_report("A2 edge-splitting ablation", table)
+
+    crit_graph = rows[0]
+    kill_graph = rows[1]
+    # Critical-edge graph: 'none' misses the opportunity; both split
+    # regimes reach the reference.
+    assert crit_graph[2]["none"] > crit_graph[3]
+    assert crit_graph[2]["critical"] == crit_graph[3]
+    assert crit_graph[2]["full"] == crit_graph[3]
+    # Kill-into-join graph: only full edge-split form is optimal.
+    assert kill_graph[2]["critical"] > kill_graph[3]
+    assert kill_graph[2]["full"] == kill_graph[3]
+
+
+def test_ablation_edge_splitting_random_shapes(benchmark):
+    """Aggregate over unstructured graphs: full <= critical <= none."""
+
+    def sweep():
+        totals = {regime: 0 for regime in REGIMES}
+        reference = 0
+        for seed in range(8):
+            cfg = random_shape_cfg(seed, ShapeConfig(blocks=8))
+            reference += path_cost(cfg, optimize(cfg, "lcm").cfg)
+            for regime in REGIMES:
+                totals[regime] += path_cost(cfg, node_lcm(cfg, regime).cfg)
+        return totals, reference
+
+    totals, reference = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record_report(
+        "A2 aggregate (8 unstructured graphs)",
+        f"per-path evaluations: none {totals['none']}, critical "
+        f"{totals['critical']}, full {totals['full']}, "
+        f"edge-based reference {reference}",
+    )
+    assert totals["full"] <= totals["critical"] <= totals["none"]
+    assert totals["full"] == reference

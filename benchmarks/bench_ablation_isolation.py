@@ -1,0 +1,75 @@
+"""A1 — ablation: what the isolation analysis buys.
+
+ALCM (latest placement, *without* isolation filtering) is already
+computationally and almost lifetime optimal; the paper adds the
+isolation analysis purely to suppress pointless insertions whose value
+feeds only the statement right after them.  This ablation measures the
+difference on graphs rich in single-use computations:
+
+* dynamic evaluations: identical (isolation never changes counts);
+* inserted instructions and temporary live points: strictly fewer with
+  isolation.
+"""
+
+from repro.bench.figures import isolated_example
+from repro.bench.generators import GeneratorConfig, random_cfg
+from repro.bench.harness import Table, record_report
+from repro.bench.metrics import dynamic_evaluations
+from repro.core.lifetime import measure_lifetimes
+from repro.core.pipeline import optimize
+
+SEEDS = range(8)
+
+
+def measure(cfg, strategy):
+    result = optimize(cfg, strategy)
+    lifetimes = measure_lifetimes(result.cfg, result.temps)
+    dynamic, _ = dynamic_evaluations(result.cfg, runs=8, seed=5, env_source=cfg)
+    inserted = sum(
+        1
+        for _, _, instr in result.cfg.instructions()
+        if instr.target in result.temps and instr.is_computation
+    )
+    return dynamic, inserted, lifetimes.total_live_points
+
+
+def sweep():
+    rows = []
+    graphs = [("isolated_example", isolated_example())]
+    graphs += [
+        (f"random-{seed}", random_cfg(seed, GeneratorConfig(statements=10)))
+        for seed in SEEDS
+    ]
+    for name, cfg in graphs:
+        alcm = measure(cfg, "krs-alcm")
+        lcm = measure(cfg, "krs-lcm")
+        rows.append((name, alcm, lcm))
+    return rows
+
+
+def test_ablation_isolation(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = Table(
+        [
+            "workload",
+            "ALCM dyn",
+            "LCM dyn",
+            "ALCM inserts",
+            "LCM inserts",
+            "ALCM live pts",
+            "LCM live pts",
+        ],
+        title="A1: ALCM (no isolation) vs LCM (with isolation)",
+    )
+    for name, (a_dyn, a_ins, a_live), (l_dyn, l_ins, l_live) in rows:
+        table.add_row(name, a_dyn, l_dyn, a_ins, l_ins, a_live, l_live)
+        # Isolation never changes evaluation counts...
+        assert a_dyn == l_dyn, name
+        # ...and never adds insertions or lifetime.
+        assert l_ins <= a_ins, name
+        assert l_live <= a_live, name
+    record_report("A1 isolation ablation", table)
+
+    # On the isolation litmus graph the effect is strict.
+    name, alcm, lcm = rows[0]
+    assert lcm[1] < alcm[1]

@@ -1,0 +1,62 @@
+"""C1 — analysis cost: four unidirectional problems vs bidirectional MR.
+
+The paper's efficiency argument is structural: Lazy Code Motion needs
+only unidirectional bit-vector problems, which converge in few sweeps
+when iterated in the right order, while Morel-Renvoise's bidirectional
+"placement possible" system must be iterated as a coupled whole.  This
+benchmark measures both on the same programs across a size sweep:
+
+* logical bit-vector operations executed (the paper-era cost unit —
+  the same metric later PRE papers report, e.g. ops normalised per
+  algorithm),
+* wall-clock time of the full analysis+transform pipeline.
+
+Expected shape: LCM's cost grows linearly and stays below MR's, with
+the gap widening on larger graphs.
+"""
+
+import pytest
+
+from repro.bench.generators import GeneratorConfig, random_cfg
+from repro.bench.harness import Table, record_report
+from repro.bench.metrics import solver_cost
+from repro.core.pipeline import optimize
+
+SIZES = (10, 20, 40, 80)
+
+
+def cost_sweep():
+    rows = []
+    for size in SIZES:
+        cfg = random_cfg(size, GeneratorConfig(statements=size))
+        lcm_ops = solver_cost(cfg, "lcm").total
+        mr_ops = solver_cost(cfg, "mr").total
+        rows.append((size, len(cfg), lcm_ops, mr_ops, mr_ops / max(lcm_ops, 1)))
+    return rows
+
+
+def test_complexity_bitvector_ops(benchmark):
+    rows = benchmark.pedantic(cost_sweep, rounds=1, iterations=1)
+    table = Table(
+        ["statements", "blocks", "LCM bv-ops", "MR bv-ops", "MR / LCM"],
+        title="C1: bit-vector operations, LCM (4 unidirectional) vs Morel-Renvoise (bidirectional)",
+    )
+    for row in rows:
+        table.add_row(*row)
+    record_report("C1 analysis cost sweep", table)
+    # Shape: both grow with size; the bidirectional system does not get
+    # cheaper than the unidirectional pipeline as programs grow.
+    assert rows[-1][2] > rows[0][2]
+    assert rows[-1][3] >= rows[-1][2]
+
+
+@pytest.mark.parametrize("size", [20, 80])
+def test_complexity_lcm_wall_clock(benchmark, size):
+    cfg = random_cfg(size, GeneratorConfig(statements=size))
+    benchmark(optimize, cfg, "lcm")
+
+
+@pytest.mark.parametrize("size", [20, 80])
+def test_complexity_mr_wall_clock(benchmark, size):
+    cfg = random_cfg(size, GeneratorConfig(statements=size))
+    benchmark(optimize, cfg, "mr")

@@ -1,0 +1,62 @@
+"""C4 — elimination quality on the realistic corpus programs.
+
+The random generators measure breadth; the corpus
+(``tests/corpus/*.mini``) measures depth: hand-written kernels
+(polynomial evaluation, address walks, filters, bounded GCD/Collatz)
+with the redundancy patterns real code exhibits.  Same columns as C3,
+plus the full pass pipeline.
+"""
+
+from pathlib import Path
+
+from repro.bench.harness import Table, record_report
+from repro.bench.metrics import dynamic_evaluations
+from repro.core.pipeline import optimize
+from repro.lang import compile_program
+from repro.passes import standard_pipeline
+
+CORPUS = sorted(
+    (Path(__file__).resolve().parent.parent / "tests" / "corpus").glob("*.mini")
+)
+STRATEGIES = ("none", "gcse", "mr", "lcm")
+RUNS = 10
+
+
+def sweep():
+    rows = []
+    for path in CORPUS:
+        cfg = compile_program(path.read_text())
+        counts = {}
+        for strategy in STRATEGIES:
+            result = optimize(cfg, strategy)
+            total, completed = dynamic_evaluations(
+                result.cfg, runs=RUNS, seed=31, env_source=cfg,
+                max_steps=2_000_000,
+            )
+            assert completed == RUNS, (path.stem, strategy)
+            counts[strategy] = total
+        pipe = standard_pipeline(cfg)
+        counts["pipeline"], _ = dynamic_evaluations(
+            pipe.cfg, runs=RUNS, seed=31, env_source=cfg, max_steps=2_000_000
+        )
+        rows.append((path.stem, counts))
+    return rows
+
+
+def test_corpus_quality(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = Table(
+        ["program", *STRATEGIES, "pipeline"],
+        title=f"C4: dynamic evaluations on the corpus ({RUNS} runs each)",
+    )
+    totals = {name: 0 for name in (*STRATEGIES, "pipeline")}
+    for stem, counts in rows:
+        table.add_row(stem, *(counts[s] for s in (*STRATEGIES, "pipeline")))
+        for s in (*STRATEGIES, "pipeline"):
+            totals[s] += counts[s]
+    table.add_row("TOTAL", *(totals[s] for s in (*STRATEGIES, "pipeline")))
+    record_report("C4 corpus quality", table)
+
+    assert totals["lcm"] <= totals["gcse"] <= totals["none"]
+    assert totals["lcm"] <= totals["mr"]
+    assert totals["pipeline"] <= totals["lcm"]

@@ -1,0 +1,64 @@
+"""C3 — dynamic redundancy elimination quality across strategies.
+
+Replays every workload on a fixed set of random inputs (the same
+inputs for every strategy) and counts interpreter-measured expression
+evaluations — the quantity the optimality theorem is actually about.
+
+Expected paper shape: none >= gcse >= {mr} >= {lcm == bcm}, with LCM
+and BCM exactly tied (they are both computationally optimal) and the
+naive LICM baseline landing between none and LCM while being unsafe.
+"""
+
+from repro.bench.figures import FIGURES
+from repro.bench.generators import GeneratorConfig, random_cfg
+from repro.bench.harness import Table, record_report
+from repro.bench.metrics import dynamic_evaluations
+from repro.core.pipeline import optimize
+
+STRATEGIES = ("none", "gcse", "licm", "mr", "bcm", "lcm")
+SEEDS = range(6)
+RUNS = 12
+
+
+def workloads():
+    graphs = [(name, fn()) for name, fn in sorted(FIGURES.items())]
+    graphs += [
+        (f"random-{seed}", random_cfg(seed, GeneratorConfig(statements=12)))
+        for seed in SEEDS
+    ]
+    return graphs
+
+
+def sweep():
+    rows = []
+    for name, cfg in workloads():
+        counts = {}
+        for strategy in STRATEGIES:
+            result = optimize(cfg, strategy)
+            total, completed = dynamic_evaluations(
+                result.cfg, runs=RUNS, seed=17, env_source=cfg
+            )
+            assert completed == RUNS, (name, strategy)
+            counts[strategy] = total
+        rows.append((name, counts))
+    return rows
+
+
+def test_dynamic_quality(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = Table(
+        ["workload", *STRATEGIES],
+        title=f"C3: dynamic expression evaluations over {RUNS} runs (same inputs per row)",
+    )
+    totals = {s: 0 for s in STRATEGIES}
+    for name, counts in rows:
+        table.add_row(name, *(counts[s] for s in STRATEGIES))
+        for s in STRATEGIES:
+            totals[s] += counts[s]
+    table.add_row("TOTAL", *(totals[s] for s in STRATEGIES))
+    record_report("C3 dynamic evaluation counts", table)
+
+    # The paper's quality ordering.
+    assert totals["lcm"] == totals["bcm"]
+    assert totals["lcm"] <= totals["gcse"] <= totals["none"]
+    assert totals["lcm"] <= totals["mr"]

@@ -1,0 +1,97 @@
+"""Extension — code-size-governed placement (Sparse Code Motion flavour).
+
+Speed-optimal PRE can grow the program: deleting one occurrence may
+require an insertion on every uncovered incoming path.  The size
+governor applies a placement only when ``|INSERT| - |DELETE| <= 0``.
+Measured here:
+
+* the bloat litmus graph: plain LCM grows the text, the governed
+  variant refuses (and gives up that path's dynamic win — the price of
+  the size guarantee);
+* a random sweep: governed static size never exceeds the original,
+  while its dynamic counts stay close to plain LCM's (bloat cases are
+  rare in practice).
+"""
+
+from repro.bench.generators import GeneratorConfig, random_cfg
+from repro.bench.harness import Table, record_report
+from repro.bench.metrics import dynamic_evaluations
+from repro.core.pipeline import optimize
+from repro.extensions.codesize import size_governed_transform
+from repro.ir.builder import CFGBuilder
+
+
+def bloat_graph():
+    b = CFGBuilder()
+    b.block("f1").branch("p", "g", "ks")
+    b.block("g", "x = a + b").jump("use")
+    b.block("ks").branch("q", "k1", "k2")
+    b.block("k1", "a = c + 1").jump("use")
+    b.block("k2", "a = c + 2").jump("use")
+    b.block("use", "y = a + b").to_exit()
+    return b.build()
+
+
+def test_extension_codesize_litmus(benchmark):
+    cfg = bloat_graph()
+    (governed, report) = benchmark.pedantic(
+        size_governed_transform, args=(cfg,), rounds=1, iterations=1
+    )
+    plain = optimize(cfg, "lcm")
+
+    table = Table(
+        ["variant", "static computations", "dynamic evals (12 runs)"],
+        title="code-size governor on the bloat litmus graph",
+    )
+    for name, graph in (
+        ("original", cfg),
+        ("plain LCM", plain.cfg),
+        ("size-governed", governed.cfg),
+    ):
+        dynamic, _ = dynamic_evaluations(graph, runs=12, seed=9, env_source=cfg)
+        table.add_row(name, graph.static_computation_count(), dynamic)
+    record_report("EXT code-size governor (litmus)", table)
+
+    assert plain.cfg.static_computation_count() > cfg.static_computation_count()
+    assert governed.cfg.static_computation_count() <= cfg.static_computation_count()
+    assert report.dropped
+
+
+def test_extension_codesize_random_sweep(benchmark):
+    def sweep():
+        rows = []
+        for seed in range(8):
+            cfg = random_cfg(seed, GeneratorConfig(statements=12))
+            plain = optimize(cfg, "lcm")
+            governed, _ = size_governed_transform(cfg)
+            plain_dyn, _ = dynamic_evaluations(
+                plain.cfg, runs=8, seed=4, env_source=cfg
+            )
+            gov_dyn, _ = dynamic_evaluations(
+                governed.cfg, runs=8, seed=4, env_source=cfg
+            )
+            rows.append(
+                (
+                    seed,
+                    cfg.static_computation_count(),
+                    plain.cfg.static_computation_count(),
+                    governed.cfg.static_computation_count(),
+                    plain_dyn,
+                    gov_dyn,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = Table(
+        ["seed", "static orig", "static LCM", "static governed",
+         "dyn LCM", "dyn governed"],
+        title="code-size governor over random programs",
+    )
+    for row in rows:
+        table.add_row(*row)
+    record_report("EXT code-size governor (sweep)", table)
+
+    for _, orig, _, governed_static, plain_dyn, gov_dyn in rows:
+        assert governed_static <= orig
+        assert gov_dyn >= plain_dyn  # the governor only gives wins up

@@ -1,0 +1,78 @@
+"""Extension — strength reduction: trading multiplications for additions.
+
+The paper's authors followed LCM with *Lazy Strength Reduction*; this
+benchmark measures the classical core of that optimisation on an
+address-computation loop: dynamic operation mix (multiplications vs
+additions) and a weighted cost model (mul = 4 cycles, add/copy = 1) as
+a function of the trip count.
+
+Expected shape: multiplications per run drop from Θ(n) to O(1), the
+addition count rises by one per iteration, and the weighted cost
+crosses in favour of the reduced loop for every non-trivial trip
+count.
+"""
+
+from repro.bench.harness import Table, record_report
+from repro.extensions.strength import strength_reduce
+from repro.interp.machine import run
+from repro.ir.builder import CFGBuilder
+from repro.ir.expr import BinExpr
+
+MUL_COST = 4
+ADD_COST = 1
+
+
+def workload():
+    b = CFGBuilder()
+    b.block("init", "i = 0", "sum = 0").jump("head")
+    b.block("head", "t = i < n").branch("t", "body", "out")
+    b.block("body", "addr = i * 8", "sum = sum + addr", "i = i + 1").jump("head")
+    b.block("out", "res = sum").to_exit()
+    return b.build()
+
+
+def op_mix(cfg, n):
+    result = run(cfg, {"n": n})
+    assert result.reached_exit
+    muls = adds = others = 0
+    for expr, count in result.eval_counts.items():
+        if isinstance(expr, BinExpr) and expr.op == "*":
+            muls += count
+        elif isinstance(expr, BinExpr) and expr.op in ("+", "-"):
+            adds += count
+        else:
+            others += count
+    return muls, adds, others
+
+
+def weighted(mix):
+    muls, adds, others = mix
+    return MUL_COST * muls + ADD_COST * (adds + others)
+
+
+def test_extension_strength_reduction(benchmark):
+    cfg = workload()
+    result, report = benchmark.pedantic(
+        strength_reduce, args=(cfg,), rounds=1, iterations=1
+    )
+    assert report.reduced
+
+    table = Table(
+        ["trip count", "muls before", "muls after", "adds before",
+         "adds after", "cost before", "cost after"],
+        title=f"strength reduction op mix (mul={MUL_COST}, add={ADD_COST})",
+    )
+    for n in (1, 4, 16, 64):
+        before = op_mix(cfg, n)
+        after = op_mix(result.cfg, n)
+        table.add_row(
+            n, before[0], after[0], before[1], after[1],
+            weighted(before), weighted(after),
+        )
+        # Multiplications collapse to the preheader initialisation.
+        assert before[0] == n
+        assert after[0] <= 1
+        # The weighted cost wins for every non-trivial trip count.
+        if n > 1:
+            assert weighted(after) < weighted(before)
+    record_report("EXT strength reduction", table)

@@ -1,0 +1,55 @@
+"""F2 — loop-invariant code motion through a do-while loop.
+
+Regenerates the paper's loop figure as a measured series: dynamic
+evaluations of the invariant expression ``a * k`` as a function of the
+trip count, before and after LCM.  The paper-shape to reproduce: the
+original program's cost grows linearly with the trip count; after LCM
+it is constant (one evaluation per loop entry).
+"""
+
+from repro.bench.figures import loop_example
+from repro.bench.harness import Table, record_report
+from repro.core.pipeline import optimize
+from repro.interp.machine import run
+from repro.ir.expr import BinExpr, Var
+
+AK = BinExpr("*", Var("a"), Var("k"))
+
+
+def evaluations(cfg, trip_count):
+    result = run(cfg, {"a": 3, "k": 5, "n": trip_count})
+    assert result.reached_exit
+    return result.count(AK)
+
+
+def test_figure_loop_invariant_series(benchmark):
+    cfg = loop_example()
+    optimized = benchmark(optimize, cfg, "lcm")
+
+    table = Table(
+        ["trip count", "original", "after LCM"],
+        title="F2: dynamic evaluations of the loop-invariant a*k",
+    )
+    for n in (1, 2, 4, 8, 16):
+        before = evaluations(cfg, n)
+        after = evaluations(optimized.cfg, n)
+        table.add_row(n, before, after)
+        # Original: once per iteration plus the trailing use; LCM: once.
+        assert before == n + 1
+        assert after == 1
+    record_report("F2 loop-invariant motion (reconstruction of Fig. 4)", table)
+
+
+def test_figure_loop_total_work_shrinks(benchmark):
+    cfg = loop_example()
+    optimized = optimize(cfg, "lcm")
+
+    def total(cfg_):
+        return sum(
+            run(cfg_, {"a": 2, "k": 7, "n": n}).total_evaluations
+            for n in (1, 4, 16)
+        )
+
+    after = benchmark(total, optimized.cfg)
+    before = total(cfg)
+    assert after < before

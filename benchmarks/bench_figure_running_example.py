@@ -1,0 +1,72 @@
+"""F1 — the paper's running example (reconstructed figures 1-3).
+
+Regenerates, for the reconstructed running-example flow graph, exactly
+what the paper's figures show: where each transformation (BCM, ALCM,
+LCM) inserts ``t = a+b``, which occurrences it replaces, and what the
+insertion costs in temporary lifetime.  The hand-derived optimal
+placement (documented in ``repro.bench.figures.running_example``) is
+asserted, so this benchmark doubles as the figure's golden test.
+"""
+
+from repro.bench.figures import running_example
+from repro.bench.harness import Table, record_report
+from repro.core.lifetime import measure_lifetimes
+from repro.core.pipeline import optimize
+from repro.ir.expr import BinExpr, Var
+
+AB = BinExpr("+", Var("a"), Var("b"))
+
+
+def _row(cfg, strategy):
+    result = optimize(cfg, strategy)
+    plan = next((p for p in result.placements if p.expr == AB), None)
+    lifetimes = measure_lifetimes(result.cfg, result.temps)
+    inserts = "-"
+    deletes = "-"
+    if plan is not None:
+        edges = sorted(f"{m}->{n}" for m, n in plan.insert_edges)
+        entries = sorted(plan.insert_entries)
+        inserts = ", ".join(edges + entries) or "-"
+        deletes = ", ".join(sorted(plan.delete_blocks)) or "-"
+    return (
+        strategy,
+        inserts,
+        deletes,
+        ", ".join(sorted(result.copy_blocks)) or "-",
+        lifetimes.total_live_points,
+        lifetimes.max_pressure,
+    )
+
+
+def test_figure_running_example(benchmark):
+    cfg = running_example()
+    result = benchmark(optimize, cfg, "lcm")
+
+    plan = next(p for p in result.placements if p.expr == AB)
+    # The figure's hand-derived optimal placement (DESIGN.md F1).
+    assert plan.insert_edges == {("n3", "n4"), ("n5", "n6"), ("n5", "n10")}
+    assert plan.delete_blocks == {"n4", "n6", "n10"}
+    assert result.copy_blocks == {"n2"}
+
+    table = Table(
+        ["variant", "insert t=a+b at", "replace in", "copies", "live pts", "pressure"],
+        title="F1: running example, placements per transformation",
+    )
+    for strategy in ("bcm", "krs-alcm", "lcm"):
+        table.add_row(*_row(running_example(), strategy))
+    record_report("F1 running example (reconstruction of Figs. 1-3)", table)
+
+
+def test_figure_running_example_lifetime_gap(benchmark):
+    cfg = running_example()
+
+    def both():
+        lcm = optimize(cfg, "lcm")
+        bcm = optimize(cfg, "bcm")
+        return lcm, bcm
+
+    lcm, bcm = benchmark(both)
+    lcm_span = measure_lifetimes(lcm.cfg, lcm.temps).total_live_points
+    bcm_span = measure_lifetimes(bcm.cfg, bcm.temps).total_live_points
+    # The paper's point: same computations, strictly tighter lifetimes.
+    assert lcm_span < bcm_span

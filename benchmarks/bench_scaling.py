@@ -1,0 +1,102 @@
+"""C1b — scaling behaviour of the dataflow machinery.
+
+The paper's complexity remarks say the analyses are ordinary
+unidirectional bit-vector problems: linear-size vectors, few sweeps
+when iterated in the right order.  This benchmark pins the observed
+scaling on three axes:
+
+* **graph size** — sweeps to convergence and transfer evaluations as
+  the block count grows (round-robin in reverse postorder should
+  converge in a small constant number of sweeps on reducible graphs);
+* **solver choice** — the worklist solver's node visits against the
+  round-robin solver's on the same problems (same fixpoints, checked);
+* **universe width** — wall-clock of the full LCM pipeline as the
+  number of candidate expressions grows (Python ints as bit vectors
+  keep per-operation cost nearly flat until very wide universes).
+"""
+
+import pytest
+
+from repro.analysis.anticipability import anticipability_problem
+from repro.analysis.availability import availability_problem
+from repro.analysis.local import compute_local_properties
+from repro.bench.generators import GeneratorConfig, random_cfg
+from repro.bench.harness import Table, record_report
+from repro.core.pipeline import optimize
+from repro.dataflow.solver import solve, solve_worklist
+from repro.ir.builder import CFGBuilder
+
+
+def wide_universe_cfg(width: int):
+    """Two straight-line blocks computing `width` distinct expressions,
+    the second fully redundant — a maximal-width PRE instance."""
+    b = CFGBuilder()
+    instrs = [f"x{i} = a{i} + b{i}" for i in range(width)]
+    b.block("first", *instrs).jump("second")
+    b.block("second", *[f"y{i} = a{i} + b{i}" for i in range(width)]).to_exit()
+    return b.build()
+
+
+def test_scaling_sweeps_vs_size(benchmark):
+    def sweep():
+        rows = []
+        for statements in (10, 20, 40, 80, 160):
+            cfg = random_cfg(statements, GeneratorConfig(statements=statements))
+            local = compute_local_properties(cfg)
+            av = solve(cfg, availability_problem(local))
+            ant = solve(cfg, anticipability_problem(local))
+            rows.append(
+                (
+                    statements,
+                    len(cfg),
+                    local.universe.width,
+                    av.stats.sweeps,
+                    ant.stats.sweeps,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = Table(
+        ["statements", "blocks", "exprs", "avail sweeps", "ant sweeps"],
+        title="C1b: round-robin sweeps to convergence vs graph size",
+    )
+    for row in rows:
+        table.add_row(*row)
+    record_report("C1b sweep counts", table)
+    # The textbook bound: a handful of sweeps regardless of size.
+    assert all(av <= 6 and ant <= 6 for _, _, _, av, ant in rows)
+
+
+def test_scaling_worklist_vs_round_robin(benchmark):
+    def sweep():
+        rows = []
+        for statements in (20, 80):
+            cfg = random_cfg(statements + 1, GeneratorConfig(statements=statements))
+            local = compute_local_properties(cfg)
+            problem = availability_problem(local)
+            rr = solve(cfg, problem)
+            wl = solve_worklist(cfg, problem)
+            assert rr.inof == wl.inof and rr.outof == wl.outof
+            rows.append(
+                (statements, len(cfg), rr.stats.node_visits, wl.stats.node_visits)
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = Table(
+        ["statements", "blocks", "round-robin visits", "worklist visits"],
+        title="C1b: transfer-function evaluations, round-robin vs worklist",
+    )
+    for row in rows:
+        table.add_row(*row)
+    record_report("C1b solver comparison (identical fixpoints)", table)
+
+
+@pytest.mark.parametrize("width", [8, 64, 256])
+def test_scaling_universe_width(benchmark, width):
+    cfg = wide_universe_cfg(width)
+    result = benchmark(optimize, cfg, "lcm")
+    # Every one of the `width` expressions is eliminated in `second`.
+    deleted = sum(len(p.delete_blocks) for p in result.placements)
+    assert deleted == width

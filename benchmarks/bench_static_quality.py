@@ -1,0 +1,54 @@
+"""C2 — static redundancy elimination quality across strategies.
+
+For each workload (the reconstructed figures plus random programs),
+counts the operator-expression occurrences in the program text after
+each strategy.  Static size is *not* what LCM optimises — insertions
+can offset deletions — but the paper's qualitative claims show up:
+GCSE <= MR ~= LCM in eliminated occurrences, and LCM never bloats the
+program the way busy placement can.
+"""
+
+from repro.bench.figures import FIGURES
+from repro.bench.generators import GeneratorConfig, random_cfg
+from repro.bench.harness import Table, record_report
+from repro.core.pipeline import optimize
+
+STRATEGIES = ("none", "gcse", "mr", "bcm", "lcm")
+SEEDS = range(6)
+
+
+def workloads():
+    graphs = [(name, fn()) for name, fn in sorted(FIGURES.items())]
+    graphs += [
+        (f"random-{seed}", random_cfg(seed, GeneratorConfig(statements=12)))
+        for seed in SEEDS
+    ]
+    return graphs
+
+
+def sweep():
+    rows = []
+    for name, cfg in workloads():
+        counts = {}
+        for strategy in STRATEGIES:
+            counts[strategy] = optimize(cfg, strategy).cfg.static_computation_count()
+        rows.append((name, counts))
+    return rows
+
+
+def test_static_quality(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = Table(
+        ["workload", *STRATEGIES],
+        title="C2: static operator-expression occurrences after each strategy",
+    )
+    totals = {s: 0 for s in STRATEGIES}
+    for name, counts in rows:
+        table.add_row(name, *(counts[s] for s in STRATEGIES))
+        for s in STRATEGIES:
+            totals[s] += counts[s]
+    table.add_row("TOTAL", *(totals[s] for s in STRATEGIES))
+    record_report("C2 static computation counts", table)
+
+    # GCSE only deletes, so it can never exceed the original statically.
+    assert totals["gcse"] <= totals["none"]

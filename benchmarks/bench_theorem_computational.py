@@ -1,0 +1,87 @@
+"""T1 + T3 — computational optimality and safety, measured per path.
+
+The paper's central theorem: BCM (and therefore LCM, which evaluates
+identically) is computationally optimal among all *safe* placements —
+no admissible transformation evaluates a candidate expression less
+often on any path.  This benchmark sweeps random programs and checks,
+over every control-flow path up to a branch bound:
+
+* T3: no strategy in the safe family ever increases a path's count;
+* T1a: LCM's counts equal BCM's on every path;
+* T1b: no competing safe strategy (Morel-Renvoise, GCSE) ever beats
+  LCM on any path;
+* the naive-LICM baseline *does* violate safety (it speculates), which
+  is the contrast the paper draws against pre-PRE loop optimisation.
+"""
+
+from repro.bench.generators import GeneratorConfig, random_cfg
+from repro.bench.harness import Table, record_report
+from repro.core.optimality import compare_per_path, paths_agree
+from repro.core.pipeline import optimize
+
+SEEDS = range(10)
+CONFIG = GeneratorConfig(statements=10)
+BOUND = 7
+
+
+def sweep():
+    rows = {}
+    licm_violations = 0
+    for seed in SEEDS:
+        cfg = random_cfg(seed, CONFIG)
+        lcm = optimize(cfg, "lcm")
+        for strategy in ("lcm", "bcm", "mr", "gcse"):
+            transformed = optimize(cfg, strategy)
+            report = compare_per_path(cfg, transformed.cfg, max_branches=BOUND)
+            assert report.safe, (strategy, seed)
+            entry = rows.setdefault(
+                strategy, {"paths": 0, "improved": 0, "before": 0, "after": 0}
+            )
+            entry["paths"] += report.paths_checked
+            entry["improved"] += report.improvements
+            entry["before"] += report.total_before
+            entry["after"] += report.total_after
+            if strategy != "lcm":
+                head = compare_per_path(lcm.cfg, transformed.cfg, max_branches=BOUND)
+                assert head.improvements == 0, (strategy, seed)
+        bcm = optimize(cfg, "bcm")
+        assert paths_agree(lcm.cfg, bcm.cfg, max_branches=BOUND), seed
+        licm = optimize(cfg, "licm")
+        licm_report = compare_per_path(cfg, licm.cfg, max_branches=BOUND)
+        entry = rows.setdefault(
+            "licm", {"paths": 0, "improved": 0, "before": 0, "after": 0}
+        )
+        entry["paths"] += licm_report.paths_checked
+        entry["improved"] += licm_report.improvements
+        entry["before"] += licm_report.total_before
+        entry["after"] += licm_report.total_after
+        licm_violations += len(licm_report.safety_violations)
+    return rows, licm_violations
+
+
+def test_theorem_computational_optimality(benchmark):
+    rows, licm_violations = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    table = Table(
+        ["strategy", "paths", "evals before", "evals after", "paths improved", "safety"],
+        title=f"T1/T3: per-path evaluation counts over {len(list(SEEDS))} random programs",
+    )
+    for strategy in ("lcm", "bcm", "mr", "gcse", "licm"):
+        entry = rows[strategy]
+        safety = "SAFE" if strategy != "licm" else f"{licm_violations} violations"
+        table.add_row(
+            strategy,
+            entry["paths"],
+            entry["before"],
+            entry["after"],
+            entry["improved"],
+            safety,
+        )
+    record_report("T1/T3 computational optimality + safety", table)
+
+    # Paper shape: LCM/BCM tie; MR <= LCM's wins but never beats it;
+    # GCSE strictly weaker; LICM unsafe.
+    assert rows["lcm"]["after"] == rows["bcm"]["after"]
+    assert rows["gcse"]["after"] >= rows["lcm"]["after"]
+    assert rows["mr"]["after"] >= rows["lcm"]["after"]
+    assert licm_violations > 0

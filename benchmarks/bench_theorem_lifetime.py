@@ -1,0 +1,80 @@
+"""T2 — lifetime optimality: LCM's temporaries live shortest.
+
+Two measurements of the paper's second theorem:
+
+* the *ladder series*: a parameterised graph where the distance between
+  the earliest and latest insertion points grows; BCM's temporary live
+  range grows linearly with the ladder height while LCM's stays
+  constant (the register-pressure argument in its purest form);
+* a *random sweep*: total temporary live points and peak extra
+  pressure under the three KRS variants, checking the proven ordering
+  LCM <= ALCM <= BCM on every program.
+"""
+
+from repro.bench.figures import lifetime_ladder
+from repro.bench.generators import GeneratorConfig, random_cfg
+from repro.bench.harness import Table, record_report
+from repro.core.lifetime import measure_lifetimes
+from repro.core.pipeline import optimize
+
+SEEDS = range(10)
+
+
+def ladder_series():
+    rows = []
+    for rungs in (1, 2, 4, 8, 16):
+        cfg = lifetime_ladder(rungs)
+        spans = {}
+        for strategy in ("bcm", "lcm"):
+            result = optimize(cfg, strategy)
+            spans[strategy] = measure_lifetimes(
+                result.cfg, result.temps
+            ).total_live_points
+        rows.append((rungs, spans["bcm"], spans["lcm"]))
+    return rows
+
+
+def test_theorem_lifetime_ladder(benchmark):
+    rows = benchmark(ladder_series)
+    table = Table(
+        ["ladder height", "BCM live pts", "LCM live pts"],
+        title="T2: temporary live range vs distance between earliest and latest",
+    )
+    for rungs, bcm_span, lcm_span in rows:
+        table.add_row(rungs, bcm_span, lcm_span)
+        assert lcm_span < bcm_span
+    record_report("T2 lifetime ladder (BCM linear, LCM constant)", table)
+
+    # BCM grows with the ladder; LCM does not.
+    lcm_spans = [row[2] for row in rows]
+    bcm_spans = [row[1] for row in rows]
+    assert len(set(lcm_spans)) == 1
+    assert bcm_spans == sorted(bcm_spans) and bcm_spans[0] < bcm_spans[-1]
+
+
+def random_sweep():
+    totals = {"krs-lcm": 0, "krs-alcm": 0, "krs-bcm": 0}
+    pressure = {"krs-lcm": 0, "krs-alcm": 0, "krs-bcm": 0}
+    for seed in SEEDS:
+        cfg = random_cfg(seed, GeneratorConfig(statements=10))
+        spans = {}
+        for strategy in totals:
+            result = optimize(cfg, strategy)
+            report = measure_lifetimes(result.cfg, result.temps)
+            spans[strategy] = report.total_live_points
+            totals[strategy] += report.total_live_points
+            pressure[strategy] = max(pressure[strategy], report.max_pressure)
+        assert spans["krs-lcm"] <= spans["krs-alcm"] <= spans["krs-bcm"], seed
+    return totals, pressure
+
+
+def test_theorem_lifetime_random_sweep(benchmark):
+    totals, pressure = benchmark.pedantic(random_sweep, rounds=1, iterations=1)
+    table = Table(
+        ["variant", "total live pts", "peak extra pressure"],
+        title=f"T2: temporary lifetimes over {len(list(SEEDS))} random programs",
+    )
+    for strategy in ("krs-bcm", "krs-alcm", "krs-lcm"):
+        table.add_row(strategy, totals[strategy], pressure[strategy])
+    record_report("T2 lifetime ordering on random programs", table)
+    assert totals["krs-lcm"] <= totals["krs-alcm"] <= totals["krs-bcm"]

@@ -1,0 +1,20 @@
+"""Benchmark-suite plumbing: print recorded report tables at the end.
+
+Each benchmark module regenerates one table/figure/claim of the paper
+(see DESIGN.md's experiment index) and records the rendered rows via
+:func:`repro.bench.harness.record_report`; this hook prints them after
+pytest's own benchmark timing table so they survive output capturing.
+"""
+
+from repro.bench.harness import drain_reports
+
+
+def pytest_terminal_summary(terminalreporter):
+    reports = drain_reports()
+    if not reports:
+        return
+    terminalreporter.write_sep("=", "paper reproduction reports")
+    for report in reports:
+        terminalreporter.write_line("")
+        for line in report.splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,10 @@
+"""Setuptools shim so legacy editable installs work without `wheel`.
+
+`pip install -e . --no-build-isolation` falls back to this script on
+environments (like the offline reproduction container) where the wheel
+package is unavailable; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,113 @@
+"""repro — a faithful reproduction of *Lazy Code Motion* (PLDI 1992).
+
+Knoop, Ruething & Steffen's Lazy Code Motion (LCM) is the classic
+formulation of partial redundancy elimination as four unidirectional
+bit-vector dataflow analyses, producing placements that are both
+computationally optimal (no safe placement evaluates an expression less
+often on any path) and lifetime optimal (the introduced temporaries are
+live as briefly as possible).
+
+Quickstart::
+
+    from repro import CFGBuilder, optimize
+
+    b = CFGBuilder()
+    b.block("cond", "p = a < b").branch("p", "left", "right")
+    b.block("left", "x = a + b").jump("join")
+    b.block("right").jump("join")
+    b.block("join", "y = a + b").to_exit()
+    cfg = b.build()
+
+    result = optimize(cfg, "lcm")
+    print(result.describe())   # where t = a + b was inserted / replaced
+    print(result.cfg)          # the optimised program
+
+The package layout follows DESIGN.md: :mod:`repro.ir` (program
+representation), :mod:`repro.lang` (text front-end),
+:mod:`repro.dataflow` (bit-vector engine), :mod:`repro.analysis`
+(local + global analyses), :mod:`repro.core` (BCM/ALCM/LCM and the
+optimality machinery), :mod:`repro.baselines` (Morel–Renvoise, GCSE,
+naive LICM), :mod:`repro.interp` (counting interpreter) and
+:mod:`repro.bench` (workloads, figures, metrics, harness).
+"""
+
+from repro.ir import (
+    CFG,
+    BasicBlock,
+    BinExpr,
+    CFGBuilder,
+    CondBranch,
+    Const,
+    Halt,
+    Jump,
+    UnaryExpr,
+    Var,
+    parse_expr,
+    pretty_cfg,
+    split_critical_edges,
+    validate_cfg,
+)
+from repro.ir.instr import Assign
+from repro.analysis import (
+    ExprUniverse,
+    compute_anticipability,
+    compute_availability,
+    compute_liveness,
+    compute_local_properties,
+)
+from repro.core import (
+    LCMAnalysis,
+    Placement,
+    TransformResult,
+    analyze_krs,
+    analyze_lcm,
+    apply_placements,
+    available_strategies,
+    bcm_placements,
+    lcm_placements,
+    measure_lifetimes,
+    optimize,
+)
+from repro.core.optimality import check_equivalence, compare_per_path
+from repro.core.verify import verify_transformation
+from repro.interp import run as run_program
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Assign",
+    "BasicBlock",
+    "BinExpr",
+    "CFG",
+    "CFGBuilder",
+    "CondBranch",
+    "Const",
+    "ExprUniverse",
+    "Halt",
+    "Jump",
+    "LCMAnalysis",
+    "Placement",
+    "TransformResult",
+    "UnaryExpr",
+    "Var",
+    "analyze_krs",
+    "analyze_lcm",
+    "apply_placements",
+    "available_strategies",
+    "bcm_placements",
+    "check_equivalence",
+    "compare_per_path",
+    "compute_anticipability",
+    "compute_availability",
+    "compute_liveness",
+    "compute_local_properties",
+    "lcm_placements",
+    "measure_lifetimes",
+    "optimize",
+    "parse_expr",
+    "pretty_cfg",
+    "run_program",
+    "split_critical_edges",
+    "validate_cfg",
+    "verify_transformation",
+]

@@ -1,0 +1,65 @@
+"""Program analyses: local predicates and global bit-vector properties.
+
+The local predicates (ANTLOC/COMP/TRANSP) summarise each basic block per
+candidate expression; the global analyses are the unidirectional
+bit-vector problems the paper composes into Lazy Code Motion:
+
+* availability (up-safety) — forward, all paths;
+* anticipability (down-safety) — backward, all paths;
+* partial availability / partial anticipability — the some-path variants
+  (used by the Morel–Renvoise baseline and the speculative discussion);
+* variable liveness — backward, some path (used for lifetime metrics).
+"""
+
+from repro.analysis.universe import ExprUniverse
+from repro.analysis.local import LocalProperties, compute_local_properties
+from repro.analysis.availability import AvailabilityResult, compute_availability
+from repro.analysis.anticipability import (
+    AnticipabilityResult,
+    compute_anticipability,
+)
+from repro.analysis.partial import (
+    compute_partial_availability,
+    compute_partial_anticipability,
+)
+from repro.analysis.liveness import LivenessResult, compute_liveness
+from repro.analysis.dominators import compute_dominators, dominance_frontier
+from repro.analysis.frequency import (
+    Profile,
+    block_frequencies,
+    expected_evaluations,
+    profile_from_runs,
+)
+from repro.analysis.loops import Loop, LoopNest
+from repro.analysis.reaching import (
+    DefUseChains,
+    ReachingResult,
+    compute_reaching_definitions,
+    def_use_chains,
+)
+
+__all__ = [
+    "AnticipabilityResult",
+    "AvailabilityResult",
+    "DefUseChains",
+    "ExprUniverse",
+    "LivenessResult",
+    "LocalProperties",
+    "Loop",
+    "LoopNest",
+    "Profile",
+    "ReachingResult",
+    "block_frequencies",
+    "compute_anticipability",
+    "compute_availability",
+    "compute_dominators",
+    "compute_liveness",
+    "compute_local_properties",
+    "compute_partial_anticipability",
+    "compute_partial_availability",
+    "compute_reaching_definitions",
+    "def_use_chains",
+    "dominance_frontier",
+    "expected_evaluations",
+    "profile_from_runs",
+]

@@ -1,0 +1,52 @@
+"""Global anticipability (*down-safety*): backward, all-paths.
+
+An expression ``e`` is *anticipatable* at a program point when every
+path from that point to the exit computes ``e`` before any assignment to
+its operands.  Inserting ``t = e`` at such a point is *down-safe*: the
+value is certain to be needed, so the insertion can never add a
+computation to any execution path.  Down-safety is the load-bearing
+safety notion of classic PRE — Lazy Code Motion only ever inserts at
+down-safe points.
+
+Equations (block form)::
+
+    ANTOUT(n) = ∅                           if n = exit
+              = ∏_{s ∈ succ(n)} ANTIN(s)    otherwise
+    ANTIN(n)  = ANTLOC(n) ∪ (ANTOUT(n) ∩ TRANSP(n))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.analysis.local import LocalProperties
+from repro.dataflow.bitvec import BitVector
+from repro.dataflow.problem import DataflowProblem, GenKillTransfer
+from repro.dataflow.solver import solve
+from repro.dataflow.stats import SolverStats
+from repro.ir.cfg import CFG
+
+
+@dataclass
+class AnticipabilityResult:
+    """ANTIN/ANTOUT per block."""
+
+    antin: Dict[str, BitVector]
+    antout: Dict[str, BitVector]
+    stats: SolverStats
+
+
+def anticipability_problem(local: LocalProperties) -> DataflowProblem:
+    """The anticipability instance over *local*'s universe."""
+    return DataflowProblem.backward_intersect(
+        "anticipability",
+        local.universe.width,
+        GenKillTransfer(gen=local.antloc, keep=local.transp),
+    )
+
+
+def compute_anticipability(cfg: CFG, local: LocalProperties) -> AnticipabilityResult:
+    """Solve global anticipability for *cfg*."""
+    solution = solve(cfg, anticipability_problem(local))
+    return AnticipabilityResult(solution.inof, solution.outof, solution.stats)

@@ -1,0 +1,50 @@
+"""Global availability (*up-safety*): forward, all-paths.
+
+An expression ``e`` is *available* at a program point when every path
+from the entry to that point computes ``e`` after the last assignment to
+any of its operands.  At such points a recomputation of ``e`` is *fully
+redundant*; availability is also called up-safety because inserting
+``t = e`` there is safe with respect to everything that happened before.
+
+Equations (block form)::
+
+    AVIN(n)  = ∅                          if n = entry
+             = ∏_{m ∈ pred(n)} AVOUT(m)   otherwise
+    AVOUT(n) = COMP(n) ∪ (AVIN(n) ∩ TRANSP(n))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.analysis.local import LocalProperties
+from repro.dataflow.bitvec import BitVector
+from repro.dataflow.problem import DataflowProblem, GenKillTransfer
+from repro.dataflow.solver import Solution, solve
+from repro.dataflow.stats import SolverStats
+from repro.ir.cfg import CFG
+
+
+@dataclass
+class AvailabilityResult:
+    """AVIN/AVOUT per block."""
+
+    avin: Dict[str, BitVector]
+    avout: Dict[str, BitVector]
+    stats: SolverStats
+
+
+def availability_problem(local: LocalProperties) -> DataflowProblem:
+    """The availability instance over *local*'s universe."""
+    return DataflowProblem.forward_intersect(
+        "availability",
+        local.universe.width,
+        GenKillTransfer(gen=local.comp, keep=local.transp),
+    )
+
+
+def compute_availability(cfg: CFG, local: LocalProperties) -> AvailabilityResult:
+    """Solve global availability for *cfg*."""
+    solution = solve(cfg, availability_problem(local))
+    return AvailabilityResult(solution.inof, solution.outof, solution.stats)

@@ -1,0 +1,97 @@
+"""Dominator analysis (iterative), used by loop detection and LICM.
+
+``dom(n)`` is the set of blocks that appear on *every* entry path to
+``n``.  The naive-LICM baseline uses dominators to find natural loops
+(back edges ``t -> h`` with ``h`` dominating ``t``), and the workload
+generators use them to assert reducibility of generated graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.dataflow.order import reverse_postorder
+from repro.ir.cfg import CFG
+
+
+def compute_dominators(cfg: CFG) -> Dict[str, Set[str]]:
+    """Return the full dominator sets ``{label: set of dominators}``."""
+    labels = reverse_postorder(cfg)
+    all_labels = set(labels)
+    dom: Dict[str, Set[str]] = {label: set(all_labels) for label in labels}
+    dom[cfg.entry] = {cfg.entry}
+
+    changed = True
+    while changed:
+        changed = False
+        for label in labels:
+            if label == cfg.entry:
+                continue
+            preds = [p for p in cfg.preds(label) if p in dom]
+            if not preds:
+                continue
+            new = set(all_labels)
+            for pred in preds:
+                new &= dom[pred]
+            new.add(label)
+            if new != dom[label]:
+                dom[label] = new
+                changed = True
+    return dom
+
+
+def immediate_dominators(cfg: CFG) -> Dict[str, Optional[str]]:
+    """Return the immediate dominator of every block (entry has None)."""
+    dom = compute_dominators(cfg)
+    order = {label: i for i, label in enumerate(reverse_postorder(cfg))}
+    idom: Dict[str, Optional[str]] = {cfg.entry: None}
+    for label, doms in dom.items():
+        if label == cfg.entry:
+            continue
+        strict = doms - {label}
+        # The immediate dominator is the strict dominator closest in
+        # reverse postorder (the one dominated by all the others).
+        idom[label] = max(strict, key=lambda d: order[d]) if strict else None
+    return idom
+
+
+def dominance_frontier(cfg: CFG) -> Dict[str, Set[str]]:
+    """Dominance frontiers per block (Cytron et al. construction)."""
+    idom = immediate_dominators(cfg)
+    frontier: Dict[str, Set[str]] = {label: set() for label in cfg.labels}
+    for label in cfg.labels:
+        preds = cfg.preds(label)
+        if len(preds) < 2:
+            continue
+        for pred in preds:
+            runner: Optional[str] = pred
+            while runner is not None and runner != idom[label]:
+                frontier[runner].add(label)
+                runner = idom[runner]
+    return frontier
+
+
+def back_edges(cfg: CFG) -> List[Tuple[str, str]]:
+    """Edges ``t -> h`` where ``h`` dominates ``t`` (natural loop backs)."""
+    dom = compute_dominators(cfg)
+    return [(src, dst) for src, dst in cfg.edges() if dst in dom[src]]
+
+
+def natural_loop(cfg: CFG, back: Tuple[str, str]) -> Set[str]:
+    """The body of the natural loop of back edge ``(tail, header)``.
+
+    Standard worklist: start from the tail and walk predecessors, never
+    expanding past the header — which also keeps self-loops
+    (``tail == header``) from absorbing the header's outside
+    predecessors.
+    """
+    tail, header = back
+    body: Set[str] = {header}
+    stack = [tail]
+    while stack:
+        label = stack.pop()
+        if label in body:
+            continue
+        body.add(label)
+        stack.extend(cfg.preds(label))
+    return body

@@ -1,0 +1,125 @@
+"""Execution-frequency profiles over CFG edges and blocks.
+
+The paper models programs as *weighted* flow graphs: every edge carries
+an execution frequency, subject to flow conservation (what enters a
+block leaves it — the paper's Assumption 1), and classic PRE assumes
+all frequencies are positive (Assumption 2).  This module makes those
+profiles concrete:
+
+* :func:`profile_from_runs` — edge profiling: execute the program on a
+  set of inputs and count actual edge traversals (how real compilers
+  obtain profiles);
+* :func:`block_frequencies` — block counts derived from edge weights;
+* :func:`check_conservation` — verify Assumption 1;
+* :func:`expected_evaluations` — the profile-weighted static estimate
+  of dynamic expression evaluations, the objective function that
+  *speculative* PRE optimises and that classic PRE's optimality is
+  independent of.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.interp.machine import run
+from repro.ir.cfg import CFG, Edge
+
+
+class Profile:
+    """Edge and block execution counts for one CFG."""
+
+    def __init__(self, cfg: CFG, edge_counts: Mapping[Edge, int]) -> None:
+        self.cfg = cfg
+        self.edge_counts: Dict[Edge, int] = dict(edge_counts)
+
+    def edge(self, edge: Edge) -> int:
+        return self.edge_counts.get(edge, 0)
+
+    def block(self, label: str) -> int:
+        """Executions of *label* (inflow; the entry counts its outflow)."""
+        if label == self.cfg.entry:
+            return sum(
+                self.edge((label, s)) for s in self.cfg.succs(label)
+            )
+        return sum(self.edge((p, label)) for p in self.cfg.preds(label))
+
+    def attach(self, minimum: int = 0) -> None:
+        """Store the counts as the CFG's edge weights.
+
+        Classic PRE assumes positive frequencies (Assumption 2); edges
+        never seen in the profile get ``minimum`` if positive, else are
+        left unweighted (defaulting to 1 when read back).
+        """
+        for edge in self.cfg.edges():
+            count = self.edge(edge)
+            if count > 0:
+                self.cfg.set_weight(edge, count)
+            elif minimum > 0:
+                self.cfg.set_weight(edge, minimum)
+
+
+def profile_from_runs(
+    cfg: CFG,
+    inputs: Iterable[Mapping[str, int]],
+    max_steps: int = 200_000,
+) -> Profile:
+    """Edge-profile *cfg* by executing it on every environment given."""
+    counts: Dict[Edge, int] = {}
+    for env in inputs:
+        result = run(cfg, env, max_steps=max_steps)
+        trace = result.block_trace
+        for src, dst in zip(trace, trace[1:]):
+            counts[(src, dst)] = counts.get((src, dst), 0) + 1
+    return Profile(cfg, counts)
+
+
+def block_frequencies(cfg: CFG, default: int = 1) -> Dict[str, int]:
+    """Block execution counts implied by the CFG's edge weights."""
+    freq: Dict[str, int] = {}
+    for label in cfg.labels:
+        if label == cfg.entry:
+            freq[label] = sum(
+                cfg.weight((label, s), default) for s in cfg.succs(label)
+            )
+        else:
+            freq[label] = sum(
+                cfg.weight((p, label), default) for p in cfg.preds(label)
+            )
+    return freq
+
+
+def check_conservation(cfg: CFG, default: int = 1) -> List[str]:
+    """Check Assumption 1 (flow conservation) for the CFG's weights.
+
+    Returns human-readable violations; empty when inflow equals outflow
+    at every interior block.  The entry (pure source) and exit (pure
+    sink) are exempt.
+    """
+    problems: List[str] = []
+    for label in cfg.labels:
+        if label in (cfg.entry, cfg.exit):
+            continue
+        inflow = sum(cfg.weight((p, label), default) for p in cfg.preds(label))
+        outflow = sum(cfg.weight((label, s), default) for s in cfg.succs(label))
+        if inflow != outflow:
+            problems.append(
+                f"block {label!r}: inflow {inflow} != outflow {outflow}"
+            )
+    return problems
+
+
+def expected_evaluations(
+    cfg: CFG, frequencies: Optional[Mapping[str, int]] = None
+) -> int:
+    """Profile-weighted count of expression evaluations.
+
+    ``sum over blocks of frequency(b) * computations_in(b)`` — the
+    static estimate of how many operator evaluations a run following
+    the profile performs.
+    """
+    freq = dict(frequencies) if frequencies is not None else block_frequencies(cfg)
+    total = 0
+    for block in cfg:
+        computations = sum(1 for instr in block.instrs if instr.is_computation)
+        total += freq.get(block.label, 0) * computations
+    return total

@@ -1,0 +1,98 @@
+"""Local (per-block) predicates: ANTLOC, COMP and TRANSP.
+
+For each basic block ``n`` and candidate expression ``e``:
+
+* ``ANTLOC(n, e)`` — ``e`` is *locally anticipatable* on entry to ``n``:
+  the block contains an upwards-exposed computation of ``e`` (one not
+  preceded, within the block, by an assignment to any of ``e``'s
+  operands).
+* ``COMP(n, e)`` — ``e`` is *locally available* on exit from ``n``: the
+  block contains a downwards-exposed computation of ``e`` (one not
+  followed, within the block, by an assignment to an operand of ``e`` —
+  including by the computing statement itself, as in ``a = a + b``).
+* ``TRANSP(n, e)`` — ``n`` is *transparent* for ``e``: no statement in
+  the block assigns an operand of ``e``.
+
+Note that ``ANTLOC`` and ``COMP`` may both hold with ``TRANSP`` false
+only when the block contains two distinct occurrences of ``e`` separated
+by a kill — the classic subtlety this module's tests pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.universe import ExprUniverse
+from repro.dataflow.bitvec import BitVector
+from repro.ir.cfg import CFG
+from repro.ir.expr import Expr, expr_vars
+
+
+@dataclass
+class LocalProperties:
+    """ANTLOC/COMP/TRANSP vectors per block, over a shared universe."""
+
+    universe: ExprUniverse
+    antloc: Dict[str, BitVector]
+    comp: Dict[str, BitVector]
+    transp: Dict[str, BitVector]
+
+    def describe(self, label: str) -> str:
+        """Readable summary of one block's local predicates."""
+        u = self.universe
+        return (
+            f"ANTLOC={u.describe(self.antloc[label])} "
+            f"COMP={u.describe(self.comp[label])} "
+            f"TRANSP={u.describe(self.transp[label])}"
+        )
+
+
+def _block_locals(
+    instrs,
+    universe: ExprUniverse,
+) -> Tuple[BitVector, BitVector, BitVector]:
+    """Compute (antloc, comp, transp) for one instruction sequence."""
+    width = universe.width
+    killed_so_far = BitVector.empty(width)  # exprs with an operand defined above
+    antloc = BitVector.empty(width)
+    comp = BitVector.empty(width)
+    transp = BitVector.full(width)
+
+    for instr in instrs:
+        if instr.is_computation and instr.expr in universe:
+            idx = universe.index_of(instr.expr)
+            # Upwards exposed iff no earlier statement killed the operands.
+            if idx not in killed_so_far:
+                antloc = antloc.with_bit(idx)
+            # Tentatively downwards exposed; a later kill clears it below.
+            comp = comp.with_bit(idx)
+        kills = universe.invalidated_by(instr.target)
+        if kills:
+            killed_so_far = killed_so_far | kills
+            transp = transp - kills
+            # A kill wipes out local availability of the affected
+            # expressions, including the one just computed (a = a + b).
+            comp = comp - kills
+    return antloc, comp, transp
+
+
+def compute_local_properties(
+    cfg: CFG, universe: Optional[ExprUniverse] = None
+) -> LocalProperties:
+    """Compute ANTLOC/COMP/TRANSP for every block of *cfg*.
+
+    The universe defaults to every candidate expression of the graph;
+    passing an explicit (possibly larger) universe lets callers keep
+    indices stable across program transformations.
+    """
+    if universe is None:
+        universe = ExprUniverse.of_cfg(cfg)
+    antloc: Dict[str, BitVector] = {}
+    comp: Dict[str, BitVector] = {}
+    transp: Dict[str, BitVector] = {}
+    for block in cfg:
+        antloc[block.label], comp[block.label], transp[block.label] = _block_locals(
+            block.instrs, universe
+        )
+    return LocalProperties(universe, antloc, comp, transp)

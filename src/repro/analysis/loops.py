@@ -1,0 +1,107 @@
+"""Natural-loop nest analysis.
+
+Consolidates what the loop-oriented transformations (naive LICM, the
+speculative and strength-reduction extensions) each need: natural
+loops merged by header, nesting structure, per-block loop depth, exit
+edges and preheader candidates — computed once per graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.dominators import back_edges, natural_loop
+from repro.ir.cfg import CFG, Edge
+
+
+@dataclass
+class Loop:
+    """One natural loop (all back edges to the same header merged)."""
+
+    header: str
+    body: Set[str]
+    back_edges: List[Edge] = field(default_factory=list)
+    parent: Optional[str] = None  # enclosing loop's header
+    depth: int = 1
+
+    def exits(self, cfg: CFG) -> List[Edge]:
+        """Edges leaving the loop body."""
+        return [
+            (src, dst)
+            for src in sorted(self.body)
+            for dst in cfg.succs(src)
+            if dst not in self.body
+        ]
+
+    def entry_edges(self, cfg: CFG) -> List[Edge]:
+        """Edges entering the header from outside the body."""
+        return [
+            (pred, self.header)
+            for pred in cfg.preds(self.header)
+            if pred not in self.body
+        ]
+
+
+class LoopNest:
+    """All natural loops of a CFG with their nesting relations."""
+
+    def __init__(self, loops: Dict[str, Loop]) -> None:
+        self.loops = loops
+
+    @classmethod
+    def compute(cls, cfg: CFG) -> "LoopNest":
+        loops: Dict[str, Loop] = {}
+        for back in back_edges(cfg):
+            tail, header = back
+            loop = loops.setdefault(header, Loop(header, set()))
+            loop.body |= natural_loop(cfg, back)
+            loop.back_edges.append(back)
+
+        # Nesting: the parent of L is the smallest other loop strictly
+        # containing L's body.
+        for header, loop in loops.items():
+            candidates = [
+                other
+                for other in loops.values()
+                if other.header != header and loop.body < other.body
+            ]
+            if candidates:
+                parent = min(candidates, key=lambda l: len(l.body))
+                loop.parent = parent.header
+        for loop in loops.values():
+            depth = 1
+            cursor = loop.parent
+            while cursor is not None:
+                depth += 1
+                cursor = loops[cursor].parent
+            loop.depth = depth
+        return cls(loops)
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.loops)
+
+    def __iter__(self):
+        return iter(self.loops.values())
+
+    def loop_of(self, header: str) -> Loop:
+        return self.loops[header]
+
+    def innermost_first(self) -> List[Loop]:
+        """Loops ordered inner to outer (smaller bodies first)."""
+        return sorted(self.loops.values(), key=lambda l: (len(l.body), l.header))
+
+    def outermost_first(self) -> List[Loop]:
+        """Loops ordered outer to inner (larger bodies first)."""
+        return sorted(
+            self.loops.values(), key=lambda l: (-len(l.body), l.header)
+        )
+
+    def depth_of(self, label: str) -> int:
+        """How many loops contain *label* (0 outside all loops)."""
+        return sum(1 for loop in self.loops.values() if label in loop.body)
+
+    def top_level(self) -> List[Loop]:
+        return [loop for loop in self.loops.values() if loop.parent is None]

@@ -1,0 +1,56 @@
+"""Partial availability and partial anticipability (some-path variants).
+
+The *partial* properties replace the all-paths quantifier with a
+some-path one (union confluence):
+
+* ``e`` is partially available at a point when **some** entry path
+  computes ``e`` last before the point — the defining condition of a
+  *partially redundant* occurrence, and a core ingredient of the
+  Morel–Renvoise baseline;
+* ``e`` is partially anticipatable when **some** exit path computes it
+  first — the speculation criterion that separates speculative PRE from
+  the classic, fully-down-safe discipline of Lazy Code Motion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.analysis.local import LocalProperties
+from repro.dataflow.bitvec import BitVector
+from repro.dataflow.problem import DataflowProblem, GenKillTransfer
+from repro.dataflow.solver import solve
+from repro.dataflow.stats import SolverStats
+from repro.ir.cfg import CFG
+
+
+@dataclass
+class PartialResult:
+    """IN/OUT vectors per block for a some-path property."""
+
+    inof: Dict[str, BitVector]
+    outof: Dict[str, BitVector]
+    stats: SolverStats
+
+
+def compute_partial_availability(cfg: CFG, local: LocalProperties) -> PartialResult:
+    """Forward, union: PAVIN/PAVOUT."""
+    problem = DataflowProblem.forward_union(
+        "partial-availability",
+        local.universe.width,
+        GenKillTransfer(gen=local.comp, keep=local.transp),
+    )
+    solution = solve(cfg, problem)
+    return PartialResult(solution.inof, solution.outof, solution.stats)
+
+
+def compute_partial_anticipability(cfg: CFG, local: LocalProperties) -> PartialResult:
+    """Backward, union: PANTIN/PANTOUT."""
+    problem = DataflowProblem.backward_union(
+        "partial-anticipability",
+        local.universe.width,
+        GenKillTransfer(gen=local.antloc, keep=local.transp),
+    )
+    solution = solve(cfg, problem)
+    return PartialResult(solution.inof, solution.outof, solution.stats)

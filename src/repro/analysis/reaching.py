@@ -1,0 +1,142 @@
+"""Reaching definitions and def-use chains.
+
+The remaining classic bit-vector analysis: which definition sites can
+supply the value a use reads?  Forward, some-path, over a universe of
+definition sites ``(block, index)``.  On top of the solution,
+:func:`def_use_chains` links every definition to the uses it can reach
+and vice versa — the structure passes like copy propagation reason
+about implicitly, exposed here as a first-class, queryable object (and
+used by the CLI-facing audit tooling and several tests as an
+independent oracle for the liveness machinery).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.dataflow.bitvec import BitVector
+from repro.dataflow.problem import DataflowProblem
+from repro.dataflow.solver import solve
+from repro.dataflow.stats import SolverStats
+from repro.ir.cfg import CFG
+
+#: A definition site: (block label, instruction index).
+DefSite = Tuple[str, int]
+
+#: A use site: (block label, instruction index) — index ``len(instrs)``
+#: denotes the terminator's use of the branch condition.
+UseSite = Tuple[str, int]
+
+
+@dataclass
+class ReachingResult:
+    """Reaching-definition vectors plus the site index space."""
+
+    sites: List[DefSite]
+    index: Dict[DefSite, int]
+    reach_in: Dict[str, BitVector]
+    reach_out: Dict[str, BitVector]
+    stats: SolverStats
+
+    def sites_of(self, vec: BitVector) -> List[DefSite]:
+        return [self.sites[i] for i in vec]
+
+    def reaching_entry(self, label: str, var: Optional[str] = None,
+                       cfg: Optional[CFG] = None) -> List[DefSite]:
+        """Definition sites reaching *label*'s entry (optionally of *var*)."""
+        found = self.sites_of(self.reach_in[label])
+        if var is None:
+            return found
+        if cfg is None:
+            raise ValueError("filtering by variable needs the cfg")
+        return [
+            (b, i) for b, i in found if cfg.block(b).instrs[i].target == var
+        ]
+
+
+def compute_reaching_definitions(cfg: CFG) -> ReachingResult:
+    """Solve reaching definitions for every assignment of *cfg*."""
+    sites: List[DefSite] = [
+        (label, i) for label, i, _ in cfg.instructions()
+    ]
+    index = {site: k for k, site in enumerate(sites)}
+    width = len(sites)
+
+    by_var: Dict[str, List[int]] = {}
+    for k, (label, i) in enumerate(sites):
+        by_var.setdefault(cfg.block(label).instrs[i].target, []).append(k)
+
+    gen: Dict[str, BitVector] = {}
+    keep: Dict[str, BitVector] = {}
+    for block in cfg:
+        g = BitVector.empty(width)
+        k = BitVector.full(width)
+        for i, instr in enumerate(block.instrs):
+            killed = BitVector.of(width, by_var.get(instr.target, ()))
+            g = g - killed
+            k = k - killed
+            g = g.with_bit(index[(block.label, i)])
+        gen[block.label] = g
+        keep[block.label] = k
+
+    def transfer(label: str, fact: BitVector) -> BitVector:
+        return gen[label] | (fact & keep[label])
+
+    problem = DataflowProblem.forward_union("reaching-defs", width, transfer)
+    solution = solve(cfg, problem)
+    return ReachingResult(sites, index, solution.inof, solution.outof,
+                          solution.stats)
+
+
+@dataclass
+class DefUseChains:
+    """Bidirectional links between definition and use sites."""
+
+    uses_of_def: Dict[DefSite, Set[UseSite]] = field(default_factory=dict)
+    defs_of_use: Dict[Tuple[UseSite, str], Set[DefSite]] = field(
+        default_factory=dict
+    )
+
+    def uses(self, site: DefSite) -> Set[UseSite]:
+        return self.uses_of_def.get(site, set())
+
+    def defs(self, use: UseSite, var: str) -> Set[DefSite]:
+        return self.defs_of_use.get((use, var), set())
+
+    def dead_defs(self) -> List[DefSite]:
+        """Definition sites with no reachable use."""
+        return sorted(site for site, uses in self.uses_of_def.items() if not uses)
+
+
+def def_use_chains(cfg: CFG, reaching: Optional[ReachingResult] = None) -> DefUseChains:
+    """Build def-use / use-def chains from a reaching-defs solution."""
+    if reaching is None:
+        reaching = compute_reaching_definitions(cfg)
+    chains = DefUseChains()
+    for site in reaching.sites:
+        chains.uses_of_def[site] = set()
+
+    for block in cfg:
+        # Current reaching set, per variable, walking down the block.
+        current: Dict[str, Set[DefSite]] = {}
+        for k in reaching.reach_in[block.label]:
+            b, i = reaching.sites[k]
+            var = cfg.block(b).instrs[i].target
+            current.setdefault(var, set()).add((b, i))
+        for i, instr in enumerate(block.instrs):
+            use_site: UseSite = (block.label, i)
+            for var in set(instr.uses()):
+                defs = current.get(var, set())
+                chains.defs_of_use[(use_site, var)] = set(defs)
+                for d in defs:
+                    chains.uses_of_def[d].add(use_site)
+            current[instr.target] = {(block.label, i)}
+        if block.terminator is not None:
+            term_site: UseSite = (block.label, len(block.instrs))
+            for var in set(block.terminator.uses()):
+                defs = current.get(var, set())
+                chains.defs_of_use[(term_site, var)] = set(defs)
+                for d in defs:
+                    chains.uses_of_def[d].add(term_site)
+    return chains

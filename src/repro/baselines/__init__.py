@@ -1,0 +1,31 @@
+"""Baseline redundancy-elimination algorithms the paper compares against.
+
+* :mod:`repro.baselines.morel_renvoise` — the 1979 bidirectional PRE
+  the paper improves on (same eliminations in most programs, but
+  bidirectional solving cost and no lifetime control);
+* :mod:`repro.baselines.gcse` — classic global common-subexpression
+  elimination, which removes only *fully* redundant computations;
+* :mod:`repro.baselines.licm` — naive loop-invariant code motion, which
+  hoists speculatively and therefore violates classic PRE's safety on
+  some paths (demonstrated by the safety benchmark).
+"""
+
+from repro.baselines.morel_renvoise import (
+    MorelRenvoiseAnalysis,
+    analyze_morel_renvoise,
+    morel_renvoise_placements,
+    morel_renvoise_transform,
+)
+from repro.baselines.gcse import gcse_placements, gcse_transform
+from repro.baselines.licm import licm_transform, loop_invariant_exprs
+
+__all__ = [
+    "MorelRenvoiseAnalysis",
+    "analyze_morel_renvoise",
+    "gcse_placements",
+    "gcse_transform",
+    "licm_transform",
+    "loop_invariant_exprs",
+    "morel_renvoise_placements",
+    "morel_renvoise_transform",
+]

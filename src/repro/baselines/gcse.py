@@ -1,0 +1,42 @@
+"""Global common-subexpression elimination (full redundancies only).
+
+The weaker classical optimisation PRE subsumes: an upwards-exposed
+occurrence is replaced only when the expression is *fully* available —
+computed on **every** entry path — and nothing is ever inserted.
+Partial redundancies (available on some paths only) and loop invariants
+are left in place, which is exactly the gap the paper's introduction
+motivates; benchmark C2/C3 measure it.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.availability import compute_availability
+from repro.analysis.local import compute_local_properties
+from repro.core.placement import Placement
+from repro.core.transform import TransformResult, apply_placements
+from repro.ir.cfg import CFG
+
+
+def gcse_placements(cfg: CFG) -> List[Placement]:
+    """DELETE = ANTLOC ∧ AVIN; no insertions."""
+    local = compute_local_properties(cfg)
+    av = compute_availability(cfg, local)
+    universe = local.universe
+    placements: List[Placement] = []
+    for idx, expr in universe.enumerate():
+        deletes = frozenset(
+            label
+            for label in cfg.labels
+            if idx in local.antloc[label] and idx in av.avin[label]
+        )
+        placements.append(
+            Placement(expr, universe.temp_name(expr), frozenset(), frozenset(), deletes)
+        )
+    return placements
+
+
+def gcse_transform(cfg: CFG) -> TransformResult:
+    """Apply full-redundancy elimination to *cfg*."""
+    return apply_placements(cfg, gcse_placements(cfg))

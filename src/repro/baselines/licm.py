@@ -1,0 +1,107 @@
+"""Naive loop-invariant code motion (speculative hoisting baseline).
+
+The classic pre-PRE treatment of loop invariants: find natural loops,
+give each a preheader, and hoist every invariant computation there.
+Hoisting is *speculative* — the computation runs once per loop entry
+even on iterations-zero paths where the original program never
+evaluated it — so this baseline violates classic PRE's safety
+discipline.  The safety benchmark (T3) demonstrates the violation
+paths, and C2/C3 show LCM achieving the same loop-invariant motion
+without them (by only hoisting where down-safe).
+
+Because the IR's arithmetic is total and expressions are pure,
+speculation never changes program results, only evaluation counts; the
+baseline is still semantics-preserving.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from repro.analysis.loops import LoopNest
+from repro.core.transform import TransformResult
+from repro.ir.block import BasicBlock
+from repro.ir.cfg import CFG
+from repro.ir.expr import Expr, Var, expr_vars, is_computation
+from repro.ir.instr import Assign, Jump
+
+
+def loop_invariant_exprs(cfg: CFG, body: Set[str]) -> List[Expr]:
+    """Expressions computed in *body* with no operand assigned in it."""
+    defined: Set[str] = set()
+    for label in body:
+        defined.update(cfg.block(label).defs())
+    found: List[Expr] = []
+    seen: Set[Expr] = set()
+    for label in sorted(body):
+        for instr in cfg.block(label).instrs:
+            expr = instr.expr
+            if (
+                is_computation(expr)
+                and expr not in seen
+                and not (set(expr_vars(expr)) & defined)
+            ):
+                seen.add(expr)
+                found.append(expr)
+    return found
+
+
+def _ensure_preheader(cfg: CFG, header: str, body: Set[str]) -> str:
+    """Insert (or reuse) a preheader: sole non-loop predecessor of header."""
+    outside_preds = [m for m in cfg.preds(header) if m not in body]
+    if (
+        len(outside_preds) == 1
+        and len(cfg.succs(outside_preds[0])) == 1
+        and outside_preds[0] != cfg.entry
+    ):
+        return outside_preds[0]
+    label = cfg.fresh_label(f"preheader_{header}")
+    pre = BasicBlock(label, [], Jump(header))
+    cfg.add_block(pre)
+    for m in outside_preds:
+        cfg.retarget(m, header, label)
+    return label
+
+
+def licm_transform(cfg: CFG) -> TransformResult:
+    """Hoist invariant computations of every natural loop of *cfg*."""
+    work = cfg.copy()
+    temps: Set[str] = set()
+    hoists: List[Tuple[str, Expr]] = []
+
+    existing = work.variables()
+    counter = 0
+    # Outer loops first (larger bodies), so inner invariants can cascade
+    # out through repeated application by the caller if desired.
+    for loop in LoopNest.compute(work).outermost_first():
+        header, body = loop.header, loop.body
+        invariants = loop_invariant_exprs(work, body)
+        if not invariants:
+            continue
+        pre_label = _ensure_preheader(work, header, body)
+        pre = work.block(pre_label)
+        for expr in invariants:
+            while f"h{counter}.licm" in existing:
+                counter += 1
+            temp = f"h{counter}.licm"
+            counter += 1
+            temps.add(temp)
+            pre.append(Assign(temp, expr))
+            hoists.append((pre_label, expr))
+            for label in sorted(body):
+                block = work.block(label)
+                block.instrs[:] = [
+                    Assign(instr.target, Var(temp))
+                    if instr.expr == expr
+                    else instr
+                    for instr in block.instrs
+                ]
+    return TransformResult(
+        original=cfg,
+        cfg=work,
+        placements=[],
+        temps=temps,
+        copies_added=[],
+        copies_collapsed=[],
+        insertions_dropped=[],
+    )

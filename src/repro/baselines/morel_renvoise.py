@@ -1,0 +1,143 @@
+"""Morel & Renvoise's partial redundancy elimination (CACM 1979).
+
+The historical baseline Lazy Code Motion was designed to improve on.
+Its characteristic feature is the *bidirectional* "placement possible"
+system: ``PPIN`` of a block depends on the ``PPOUT`` of its
+predecessors *and* of the block itself, while ``PPOUT`` depends on the
+``PPIN`` of the successors — so neither a purely forward nor a purely
+backward pass suffices, and the system is iterated as a whole (here
+with :func:`repro.dataflow.bidirectional.solve_system`).
+
+Equations (greatest fixpoint; ∅ at entry/exit):
+
+.. code-block:: text
+
+    PPIN(n)  = PAVIN(n) ∧ (ANTLOC(n) ∨ (TRANSP(n) ∧ PPOUT(n)))
+               ∧ ∏_{m ∈ pred(n)} (PPOUT(m) ∨ AVOUT(m))          n ≠ entry
+    PPOUT(n) = ∏_{s ∈ succ(n)} PPIN(s)                          n ≠ exit
+
+    INSERT(n) = PPOUT(n) ∧ ¬AVOUT(n) ∧ (¬PPIN(n) ∨ ¬TRANSP(n))
+    DELETE(n) = ANTLOC(n) ∧ PPIN(n)
+
+Insertions go at the *end of blocks* (``t = e`` before the terminator),
+the original Morel–Renvoise discipline; this is what prevents the
+algorithm from removing all redundancies in graphs whose optimal
+insertion points are edges, and what can move computations further up
+than needed (longer temporary lifetimes) — both effects measured by the
+benchmark suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.analysis.availability import compute_availability
+from repro.analysis.local import LocalProperties, compute_local_properties
+from repro.analysis.partial import compute_partial_availability
+from repro.analysis.universe import ExprUniverse
+from repro.core.placement import Placement
+from repro.core.transform import TransformResult, apply_placements
+from repro.dataflow.bidirectional import EquationSystem, solve_system
+from repro.dataflow.bitvec import BitVector
+from repro.dataflow.stats import SolverStats
+from repro.ir.cfg import CFG
+
+
+@dataclass
+class MorelRenvoiseAnalysis:
+    """The fixpoint of the Morel–Renvoise system plus derived sets."""
+
+    cfg: CFG
+    local: LocalProperties
+    ppin: Dict[str, BitVector]
+    ppout: Dict[str, BitVector]
+    insert: Dict[str, BitVector]
+    delete: Dict[str, BitVector]
+    stats: SolverStats
+
+    @property
+    def universe(self) -> ExprUniverse:
+        return self.local.universe
+
+
+def analyze_morel_renvoise(cfg: CFG) -> MorelRenvoiseAnalysis:
+    """Solve the Morel–Renvoise equations on *cfg*."""
+    local = compute_local_properties(cfg)
+    width = local.universe.width
+    av = compute_availability(cfg, local)
+    pav = compute_partial_availability(cfg, local)
+    stats = av.stats.merged(pav.stats)
+
+    empty = BitVector.empty(width)
+    full = BitVector.full(width)
+
+    def ppin_rule(label: str, state) -> BitVector:
+        if label == cfg.entry:
+            return empty
+        value = pav.inof[label] & (
+            local.antloc[label] | (local.transp[label] & state["ppout"][label])
+        )
+        for m in cfg.preds(label):
+            value = value & (state["ppout"][m] | av.avout[m])
+        return value
+
+    def ppout_rule(label: str, state) -> BitVector:
+        if label == cfg.exit:
+            return empty
+        value = full
+        for s in cfg.succs(label):
+            value = value & state["ppin"][s]
+        return value
+
+    system = EquationSystem(
+        width=width,
+        variables=("ppin", "ppout"),
+        equations=(("ppout", ppout_rule), ("ppin", ppin_rule)),
+        init={"ppin": full, "ppout": full},
+    )
+    state, sys_stats = solve_system(cfg, system)
+    stats = stats.merged(sys_stats)
+    ppin, ppout = state["ppin"], state["ppout"]
+    # The greatest fixpoint is computed with full initial values; the
+    # boundary rules force entry/exit to ∅ on the first sweep.
+
+    insert: Dict[str, BitVector] = {}
+    delete: Dict[str, BitVector] = {}
+    for label in cfg.labels:
+        insert[label] = (ppout[label] - av.avout[label]) & (
+            ~ppin[label] | ~local.transp[label]
+        )
+        delete[label] = local.antloc[label] & ppin[label]
+
+    return MorelRenvoiseAnalysis(cfg, local, ppin, ppout, insert, delete, stats)
+
+
+def morel_renvoise_placements(analysis: MorelRenvoiseAnalysis) -> List[Placement]:
+    """One placement per expression from the INSERT/DELETE vectors."""
+    universe = analysis.universe
+    placements: List[Placement] = []
+    for idx, expr in universe.enumerate():
+        exits = frozenset(
+            label for label in analysis.cfg.labels if idx in analysis.insert[label]
+        )
+        deletes = frozenset(
+            label for label in analysis.cfg.labels if idx in analysis.delete[label]
+        )
+        placements.append(
+            Placement(
+                expr,
+                universe.temp_name(expr),
+                insert_edges=frozenset(),
+                insert_entries=frozenset(),
+                delete_blocks=deletes,
+                insert_exits=exits,
+            )
+        )
+    return placements
+
+
+def morel_renvoise_transform(cfg: CFG) -> TransformResult:
+    """Apply Morel–Renvoise PRE to *cfg*."""
+    analysis = analyze_morel_renvoise(cfg)
+    return apply_placements(cfg, morel_renvoise_placements(analysis))

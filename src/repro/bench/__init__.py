@@ -1,0 +1,47 @@
+"""Benchmark substrate: workloads, reconstructed figures, metrics, tables.
+
+* :mod:`repro.bench.generators` — seeded random programs (via the
+  mini-language AST) used for the optimality/complexity sweeps;
+* :mod:`repro.bench.figures` — the reconstructed worked examples of the
+  paper (see DESIGN.md for the reconstruction notes);
+* :mod:`repro.bench.metrics` — static/dynamic computation counts,
+  lifetime and solver-cost measurement for a strategy run;
+* :mod:`repro.bench.harness` — plain-text table rendering for the
+  benchmark reports.
+"""
+
+from repro.bench.generators import random_program, random_cfg, GeneratorConfig
+from repro.bench.figures import (
+    FIGURES,
+    diamond_example,
+    figure_description,
+    isolated_example,
+    lifetime_ladder,
+    loop_example,
+    running_example,
+)
+from repro.bench.metrics import (
+    StrategyMetrics,
+    dynamic_evaluations,
+    measure_strategy,
+    solver_cost,
+)
+from repro.bench.harness import Table
+
+__all__ = [
+    "FIGURES",
+    "GeneratorConfig",
+    "StrategyMetrics",
+    "Table",
+    "diamond_example",
+    "dynamic_evaluations",
+    "figure_description",
+    "isolated_example",
+    "lifetime_ladder",
+    "loop_example",
+    "measure_strategy",
+    "random_cfg",
+    "random_program",
+    "running_example",
+    "solver_cost",
+]

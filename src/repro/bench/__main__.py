@@ -1,0 +1,7 @@
+"""``python -m repro.bench`` — run the experiment suite without pytest."""
+
+import sys
+
+from repro.bench.suite import run_suite
+
+run_suite(sys.argv[1:] or None)

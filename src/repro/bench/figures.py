@@ -1,0 +1,214 @@
+"""Reconstructed worked examples of the paper (see DESIGN.md, F1/F2).
+
+The original figures are unavailable to this reproduction (the supplied
+text was a different paper), so the graphs below are reconstructions
+that exhibit exactly the phenomena the PLDI'92 figures demonstrate:
+
+* :func:`running_example` — one graph containing a join-point partial
+  redundancy (with the generator on one arm), a loop-invariant
+  computation hoistable only to the loop-entry edge, a full redundancy
+  killed on one path, and an isolated single occurrence that must stay
+  put.  The expected BCM/LCM placements are documented (and asserted in
+  the test-suite) block by block.
+* :func:`loop_example` — the classic do-while loop-invariant motion.
+* :func:`isolated_example` — a lone computation: LCM must not touch it,
+  busy placement moves it pointlessly.
+* :func:`lifetime_ladder` — a parameterised chain amplifying the
+  BCM-vs-LCM temporary-lifetime gap (the paper's register-pressure
+  motivation).
+* :func:`diamond_example` — the minimal textbook diamond.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.ir.builder import CFGBuilder
+from repro.ir.cfg import CFG
+from repro.lang.lower import compile_program
+
+
+def running_example() -> CFG:
+    """The reconstruction of the paper's running example (F1).
+
+    Structure (expression of interest ``a + b``; ``c + d`` is the
+    isolated occurrence)::
+
+        entry -> n1 -(p)-> n2[x=a+b] -> n4
+                      \\--> n3        -> n4
+        n4[y=a+b] -> n5[a=k*3] -(q)-> n6 | n10
+        n6[z=a+b] -> n7 -(rg)-> n6 | n8     (do-while loop n6,n7;
+                                             n7 counts r down so every
+                                             execution terminates)
+        n8[w2=c+d] -> n9 -> n10
+        n10[w=a+b] -> exit
+
+    Hand-derived optimal (LCM) placement for ``a + b``:
+
+    * ``n2`` keeps its computation (it is the generator; ``LATERIN``
+      holds there) and contributes a copy;
+    * insert on edge ``n3 -> n4``; replace in ``n4``;
+    * ``n5`` kills ``a``; insert on edges ``n5 -> n6`` (hoisting the
+      loop-invariant out of the do-while) and ``n5 -> n10``;
+      replace in ``n6`` and ``n10``.
+
+    ``c + d`` in ``n8`` is isolated: LCM must leave it untouched.
+    Busy code motion instead inserts on both edges out of ``n1`` and on
+    ``n7 -> n8`` — same evaluation counts, strictly longer lifetimes.
+    """
+    b = CFGBuilder()
+    b.block("n1").branch("p", "n2", "n3")
+    b.block("n2", "x = a + b").jump("n4")
+    b.block("n3").jump("n4")
+    b.block("n4", "y = a + b").jump("n5")
+    b.block("n5", "a = k * 3").branch("q", "n6", "n10")
+    b.block("n6", "z = a + b").jump("n7")
+    b.block("n7", "r = r - 1", "rg = r > 0").branch("rg", "n6", "n8")
+    b.block("n8", "w2 = c + d").jump("n9")
+    b.block("n9").jump("n10")
+    b.block("n10", "w = a + b").to_exit()
+    return b.build()
+
+
+def loop_example() -> CFG:
+    """Loop-invariant motion through a do-while loop (F2).
+
+    ``a * k`` is invariant and computed on every iteration; it is
+    anticipatable at the loop entry (the body always runs), so LCM
+    hoists it to the loop-entry edge — one evaluation regardless of the
+    trip count.  The trailing use after the loop is then fully
+    redundant.
+    """
+    return compile_program(
+        """
+        s = 0;
+        i = 0;
+        do {
+            step = a * k;
+            s = s + step;
+            i = i + 1;
+            t = i < n;
+        } while (t);
+        final = a * k;
+        """
+    )
+
+
+def isolated_example() -> CFG:
+    """A single, unredundant computation: the isolation litmus test.
+
+    The only occurrence of ``a + b`` sits on one arm of a branch.  Any
+    insertion elsewhere is wasted motion; the paper's isolation
+    analysis (and the ``LATERIN`` mechanism of the edge-based
+    formulation) must leave the program unchanged.
+    """
+    b = CFGBuilder()
+    b.block("fork").branch("p", "only", "other")
+    b.block("only", "x = a + b").jump("join")
+    b.block("other", "y = c * 2").jump("join")
+    b.block("join").to_exit()
+    return b.build()
+
+
+def lifetime_ladder(rungs: int = 6) -> CFG:
+    """A transparent chain between the earliest point and the uses.
+
+    Both arms of a branch assign ``a`` (killing ``a + b``), then a
+    chain of *rungs* pass-through blocks (copies only, so they are not
+    PRE candidates themselves) leads to two uses of ``a + b``.  The
+    earliest down-safe points are the edges right below the kills; the
+    latest are just above the first use:
+
+    * BCM inserts at the top of the ladder and keeps the temporary live
+      across all *rungs* blocks — cost linear in the ladder height;
+    * LCM delays the insertion to the bottom (here: leaves the first
+      use in place as the generator) — constant cost.
+
+    This is the starkest form of the paper's register-pressure
+    argument; benchmark T2 sweeps the height.
+    """
+    if rungs < 1:
+        raise ValueError("need at least one rung")
+    b = CFGBuilder()
+    b.block("top").branch("p", "seta", "setb")
+    b.block("seta", "a = k + 1").jump("rung0")
+    b.block("setb", "a = k + 2").jump("rung0")
+    for i in range(rungs):
+        nxt = f"rung{i + 1}" if i + 1 < rungs else "use1"
+        b.block(f"rung{i}", f"m{i} = z{i}").jump(nxt)
+    b.block("use1", "x = a + b").jump("use2")
+    b.block("use2", "y = a + b").to_exit()
+    return b.build()
+
+
+def diamond_example() -> CFG:
+    """The minimal diamond: compute on one arm, use at the join."""
+    b = CFGBuilder()
+    b.block("cond", "p = a < b").branch("p", "left", "right")
+    b.block("left", "x = a + b").jump("join")
+    b.block("right").jump("join")
+    b.block("join", "y = a + b").to_exit()
+    return b.build()
+
+
+def kill_into_join_example() -> CFG:
+    """The edge-split-form litmus (DESIGN.md "Finding").
+
+    ``pre`` kills ``b`` on its way into the join ``use``, whose other
+    predecessor already carries ``b * b``.  The only optimal insertion
+    point is the *non-critical* edge ``pre -> use`` — the case that
+    separates critical-edge splitting from full edge-split form.
+    """
+    b = CFGBuilder()
+    b.block("top", "c = b * b").branch("p", "pre", "use")
+    b.block("pre", "b = a - b").jump("use")
+    b.block("use", "y = b * b").to_exit()
+    return b.build()
+
+
+def nested_loop_example() -> CFG:
+    """Counted nested loops with invariants at both depths.
+
+    ``a * k`` is invariant in both loops (hoistable to the outermost
+    entry once the inner do-while guarantees execution); ``row * w``
+    is invariant only in the inner loop.  Exercises cascaded motion
+    through two loop levels.
+    """
+    return compile_program(
+        """
+        acc = 0;
+        row = 0;
+        do {
+            col = 0;
+            do {
+                g = a * k;          # invariant at both depths
+                r = row * w;        # invariant in the inner loop only
+                acc = acc + g;
+                acc = acc + r;
+                col = col + 1;
+                ti = col < inner;
+            } while (ti);
+            row = row + 1;
+            to = row < outer;
+        } while (to);
+        final = a * k;
+        """
+    )
+
+
+#: Registry used by the figure benchmarks: name -> constructor.
+FIGURES: Dict[str, Callable[[], CFG]] = {
+    "running_example": running_example,
+    "loop_example": loop_example,
+    "isolated_example": isolated_example,
+    "lifetime_ladder": lifetime_ladder,
+    "diamond_example": diamond_example,
+    "kill_into_join": kill_into_join_example,
+    "nested_loops": nested_loop_example,
+}
+
+
+def figure_description(name: str) -> str:
+    """The docstring of a registered figure (for bench report headers)."""
+    fn = FIGURES[name]
+    return (fn.__doc__ or name).strip().splitlines()[0]

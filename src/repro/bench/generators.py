@@ -1,0 +1,165 @@
+"""Seeded random workload generation.
+
+Programs are generated as mini-language ASTs and lowered through the
+front-end, which guarantees structurally valid, reducible CFGs in which
+every block lies on an entry-to-exit path — the paper's setting.  The
+generator is biased to produce the phenomena PRE cares about: a small
+variable pool so expressions recur, occasional reassignment of operands
+(kills), joins, and loops of both the zero-trip (``while``) and
+at-least-once (``do-while``) kind.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.ir.cfg import CFG
+from repro.ir.expr import Atom, BinExpr, Const, Expr, UnaryExpr, Var
+from repro.lang import ast
+from repro.lang.lower import lower_program
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs for :func:`random_program`.
+
+    The defaults generate mid-sized programs (a few dozen blocks) with
+    plenty of recurring expressions.
+    """
+
+    statements: int = 12
+    max_depth: int = 3
+    value_vars: Tuple[str, ...] = ("a", "b", "c", "d")
+    result_vars: Tuple[str, ...] = ("x", "y", "z", "w", "u", "v")
+    operators: Tuple[str, ...] = ("+", "-", "*", "&")
+    compare_ops: Tuple[str, ...] = ("<", "<=", "==", "!=")
+    kill_probability: float = 0.15
+    loop_probability: float = 0.18
+    branch_probability: float = 0.30
+    max_loop_iterations: int = 4
+
+
+def _random_atom(rng: random.Random, config: GeneratorConfig) -> Atom:
+    if rng.random() < 0.25:
+        return Const(rng.randint(-4, 9))
+    return Var(rng.choice(config.value_vars))
+
+
+def _fresh_expr(rng: random.Random, config: GeneratorConfig) -> Expr:
+    roll = rng.random()
+    if roll < 0.10:
+        return _random_atom(rng, config)
+    if roll < 0.20:
+        return UnaryExpr(rng.choice(("-", "~")), Var(rng.choice(config.value_vars)))
+    op = rng.choice(config.operators)
+    return BinExpr(op, _random_atom(rng, config), _random_atom(rng, config))
+
+
+class _ExprPool:
+    """A small per-program expression pool.
+
+    Drawing right-hand sides from a handful of expressions makes the
+    same computation recur across the program — the raw material of
+    partial redundancy.  A fresh expression is still minted
+    occasionally so universes vary.
+    """
+
+    def __init__(self, rng: random.Random, config: GeneratorConfig, size: int = 6):
+        self._rng = rng
+        self._config = config
+        self._pool = [_fresh_expr(rng, config) for _ in range(size)]
+
+    def draw(self) -> Expr:
+        if self._rng.random() < 0.15:
+            expr = _fresh_expr(self._rng, self._config)
+            self._pool[self._rng.randrange(len(self._pool))] = expr
+            return expr
+        return self._rng.choice(self._pool)
+
+
+def _random_condition(rng: random.Random, config: GeneratorConfig) -> Expr:
+    return BinExpr(
+        rng.choice(config.compare_ops),
+        Var(rng.choice(config.value_vars)),
+        _random_atom(rng, config),
+    )
+
+
+def _random_body(
+    rng: random.Random,
+    config: GeneratorConfig,
+    budget: int,
+    depth: int,
+    pool: _ExprPool,
+) -> List[ast.Stmt]:
+    """Generate about *budget* statements at the given nesting depth."""
+    body: List[ast.Stmt] = []
+    remaining = budget
+    while remaining > 0:
+        roll = rng.random()
+        if depth < config.max_depth and roll < config.loop_probability:
+            inner_budget = max(1, remaining // 2)
+            inner = _random_body(rng, config, inner_budget, depth + 1, pool)
+            # Bounded loops keep dynamic benchmarking cheap: repeat(k)
+            # lowers to a counted while loop.
+            body.append(
+                ast.RepeatStmt(
+                    Const(rng.randint(1, config.max_loop_iterations)), tuple(inner)
+                )
+            )
+            remaining -= inner_budget + 1
+        elif depth < config.max_depth and roll < (
+            config.loop_probability + config.branch_probability
+        ):
+            then_budget = max(1, remaining // 3)
+            else_budget = max(0, remaining // 3) if rng.random() < 0.7 else 0
+            then_body = _random_body(rng, config, then_budget, depth + 1, pool)
+            else_body = (
+                _random_body(rng, config, else_budget, depth + 1, pool)
+                if else_budget
+                else []
+            )
+            body.append(
+                ast.IfStmt(
+                    _random_condition(rng, config),
+                    tuple(then_body),
+                    tuple(else_body),
+                )
+            )
+            remaining -= then_budget + else_budget + 1
+        else:
+            if rng.random() < config.kill_probability:
+                # A kill: reassign one of the shared value variables.
+                target = rng.choice(config.value_vars)
+            else:
+                target = rng.choice(config.result_vars)
+            body.append(ast.AssignStmt(target, pool.draw()))
+            remaining -= 1
+    return body
+
+
+def random_program(seed: int, config: GeneratorConfig = GeneratorConfig()) -> ast.Program:
+    """A reproducible random mini-language program."""
+    rng = random.Random(seed)
+    pool = _ExprPool(rng, config)
+    body = _random_body(rng, config, config.statements, 0, pool)
+    # Ensure at least one potential partial redundancy: end by recomputing
+    # a binary expression over the value pool.
+    body.append(
+        ast.AssignStmt(
+            "result",
+            BinExpr(
+                rng.choice(config.operators),
+                Var(config.value_vars[0]),
+                Var(config.value_vars[1]),
+            ),
+        )
+    )
+    return ast.Program(tuple(body))
+
+
+def random_cfg(seed: int, config: GeneratorConfig = GeneratorConfig()) -> CFG:
+    """A reproducible random CFG (a lowered random program)."""
+    return lower_program(random_program(seed, config))

@@ -1,0 +1,82 @@
+"""Plain-text tables for the benchmark reports.
+
+The benchmark modules print the same kind of rows the paper's
+figures/claims contain; this keeps the rendering in one place so every
+report looks alike and diffs cleanly run to run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+
+class Table:
+    """A fixed-header, aligned, plain-text table."""
+
+    def __init__(self, headers: Sequence[str], title: str = "") -> None:
+        self.title = title
+        self.headers = list(headers)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}"
+            )
+        self.rows.append([_format(cell) for cell in cells])
+
+    def add_mapping(self, row: Dict[str, object]) -> None:
+        """Add a row from a ``header -> value`` mapping."""
+        self.add_row(*(row.get(header, "") for header in self.headers))
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines: List[str] = []
+        if self.title:
+            lines.append(self.title)
+        lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(self.headers)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _format(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def print_table(table: Table) -> None:
+    """Print with a blank line around, for readable bench output."""
+    print()
+    print(table.render())
+    print()
+
+
+# ---------------------------------------------------------------------------
+# Report registry: benchmark modules record their tables here and the
+# benchmark suite's conftest prints everything in the terminal summary
+# (so the paper-shaped rows survive pytest's output capturing).
+# ---------------------------------------------------------------------------
+
+_REPORTS: List[str] = []
+
+
+def record_report(title: str, body: object) -> None:
+    """Register a rendered report for the end-of-run summary."""
+    text = body.render() if isinstance(body, Table) else str(body)
+    _REPORTS.append(f"== {title} ==\n{text}")
+
+
+def drain_reports() -> List[str]:
+    """Return and clear all recorded reports."""
+    reports = list(_REPORTS)
+    _REPORTS.clear()
+    return reports

@@ -1,0 +1,137 @@
+"""Measurement of a strategy run: counts, lifetimes, solver cost.
+
+These are the columns of the benchmark tables:
+
+* static computations — operator-expression occurrences in the program
+  text (code size effect of a transformation);
+* dynamic evaluations — interpreter-counted expression evaluations over
+  a fixed set of random inputs (the quantity the computational-
+  optimality theorem is about);
+* temporary lifetime — total live program points and peak pressure of
+  the introduced temporaries (the lifetime-optimality theorem);
+* solver cost — bit-vector operations, sweeps and transfer-function
+  evaluations consumed by the analyses (the paper's efficiency claim).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from repro.bench.generators import random_cfg
+from repro.core.lifetime import measure_lifetimes
+from repro.core.pipeline import optimize
+from repro.dataflow.bitvec import OpCounter, counting
+from repro.interp.machine import run
+from repro.interp.random_inputs import random_envs
+from repro.ir.cfg import CFG
+
+
+@dataclass
+class StrategyMetrics:
+    """One row of a comparison table."""
+
+    strategy: str
+    static_computations: int
+    dynamic_evaluations: int
+    runs_completed: int
+    temp_count: int
+    temp_live_points: int
+    max_pressure: int
+    bitvec_ops: int
+    blocks: int
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "strategy": self.strategy,
+            "static": self.static_computations,
+            "dynamic": self.dynamic_evaluations,
+            "temps": self.temp_count,
+            "live pts": self.temp_live_points,
+            "pressure": self.max_pressure,
+            "bv ops": self.bitvec_ops,
+            "blocks": self.blocks,
+        }
+
+
+def dynamic_evaluations(
+    cfg: CFG,
+    runs: int = 20,
+    seed: int = 0,
+    max_steps: int = 200_000,
+    env_source: Optional[CFG] = None,
+) -> tuple:
+    """Total expression evaluations over *runs* random executions.
+
+    Returns ``(total evaluations, completed runs)``; runs that exceed
+    the step budget are excluded from both (the generators produce only
+    bounded loops, so in practice everything completes).
+
+    *env_source* controls which graph's variable set seeds the inputs.
+    When comparing several transformed versions of one program, pass
+    the **original** graph for all of them — otherwise the differing
+    temporary names would draw different random environments and the
+    counts would not be comparable.
+    """
+    total = 0
+    completed = 0
+    for env in random_envs(env_source if env_source is not None else cfg, runs, seed):
+        result = run(cfg, env, max_steps=max_steps)
+        if result.reached_exit:
+            total += result.total_evaluations
+            completed += 1
+    return total, completed
+
+
+def measure_strategy(
+    cfg: CFG,
+    strategy: str,
+    runs: int = 20,
+    seed: int = 0,
+) -> StrategyMetrics:
+    """Optimise *cfg* with *strategy* and measure everything.
+
+    The dynamic numbers for different strategies are directly
+    comparable because the same seed generates the same inputs.
+    """
+    with counting() as ops:
+        result = optimize(cfg, strategy)
+    dynamic, completed = dynamic_evaluations(
+        result.cfg, runs, seed, env_source=cfg
+    )
+    lifetimes = measure_lifetimes(result.cfg, result.temps)
+    return StrategyMetrics(
+        strategy=strategy,
+        static_computations=result.cfg.static_computation_count(),
+        dynamic_evaluations=dynamic,
+        runs_completed=completed,
+        temp_count=len(result.temps),
+        temp_live_points=lifetimes.total_live_points,
+        max_pressure=lifetimes.max_pressure,
+        bitvec_ops=ops.total,
+        blocks=len(result.cfg),
+    )
+
+
+def solver_cost(cfg: CFG, strategy: str) -> OpCounter:
+    """Bit-vector operations consumed by one strategy's analyses."""
+    with counting() as ops:
+        optimize(cfg, strategy)
+    return ops
+
+
+def operation_mix(cfg: CFG, inputs, max_steps: int = 200_000) -> Dict[str, int]:
+    """Dynamic evaluation counts grouped by operator.
+
+    Runs *cfg* on *inputs* and tallies how often each operator was
+    evaluated — the measurement behind the strength-reduction
+    experiments' "multiplications for additions" trade.
+    """
+    from repro.ir.expr import BinExpr, UnaryExpr
+
+    result = run(cfg, inputs, max_steps=max_steps)
+    mix: Dict[str, int] = {}
+    for expr, count in result.eval_counts.items():
+        if isinstance(expr, (BinExpr, UnaryExpr)):
+            mix[expr.op] = mix.get(expr.op, 0) + count
+    return mix

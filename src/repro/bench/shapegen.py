@@ -1,0 +1,104 @@
+"""Unstructured random CFG generation.
+
+The mini-language generator only produces *reducible*, well-structured
+graphs; real control flow (gotos, loop exits, irreducible regions from
+tail merging) is messier, and the paper's algorithm must handle it —
+the analyses never assume reducibility.  This generator produces
+arbitrary-shaped graphs directly:
+
+* a random forward skeleton guarantees every block is reachable and
+  reaches the exit (the paper's structural assumption);
+* random extra forward edges create joins and *critical edges*;
+* random back edges create loops, including irreducible ones (a back
+  edge may target a block that does not dominate its source);
+* blocks are filled with assignments drawn from a small expression
+  pool so redundancies occur.
+
+Concrete execution of these graphs may not terminate (branch variables
+can be loop-invariant), so the property tests drive them with the
+decision-oracle path enumerator instead of the interpreter.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.ir.block import BasicBlock
+from repro.ir.cfg import CFG
+from repro.ir.expr import BinExpr, Const, Var
+from repro.ir.instr import Assign, CondBranch, Halt, Jump
+from repro.ir.validate import validate_cfg
+
+
+@dataclass(frozen=True)
+class ShapeConfig:
+    """Knobs for :func:`random_shape_cfg`."""
+
+    blocks: int = 10
+    extra_edge_probability: float = 0.5
+    back_edge_probability: float = 0.3
+    instrs_per_block: int = 2
+    value_vars: tuple = ("a", "b", "c")
+    result_vars: tuple = ("x", "y", "z", "w")
+    operators: tuple = ("+", "*", "-")
+    kill_probability: float = 0.2
+
+
+def random_shape_cfg(seed: int, config: ShapeConfig = ShapeConfig()) -> CFG:
+    """A reproducible random unstructured CFG (validated)."""
+    rng = random.Random(seed)
+    n = max(2, config.blocks)
+    labels = [f"n{i}" for i in range(n)]
+
+    # Expression pool for the block bodies.
+    pool = [
+        BinExpr(
+            rng.choice(config.operators),
+            Var(rng.choice(config.value_vars)),
+            rng.choice(
+                (Var(rng.choice(config.value_vars)), Const(rng.randint(1, 5)))
+            ),
+        )
+        for _ in range(4)
+    ]
+
+    cfg = CFG()
+    cfg.add_block(BasicBlock("entry", [], Jump(labels[0])))
+    cfg.add_block(BasicBlock("exit", [], Halt()))
+
+    # Choose successor sets: a skeleton edge i -> i+1 (or exit) keeps
+    # everything connected; extra forward/back edges add shape.
+    successors: List[List[str]] = []
+    for i, label in enumerate(labels):
+        succs = [labels[i + 1] if i + 1 < n else "exit"]
+        if rng.random() < config.extra_edge_probability:
+            # A forward edge skipping ahead (possibly to exit).
+            targets = labels[i + 2 :] + ["exit"]
+            extra = rng.choice(targets) if targets else "exit"
+            if extra not in succs:
+                succs.append(extra)
+        elif i > 0 and rng.random() < config.back_edge_probability:
+            back = labels[rng.randrange(0, i)]
+            if back not in succs:
+                succs.append(back)
+        successors.append(succs)
+
+    for i, label in enumerate(labels):
+        block = BasicBlock(label)
+        for _ in range(rng.randrange(config.instrs_per_block + 1)):
+            if rng.random() < config.kill_probability:
+                target = rng.choice(config.value_vars)
+            else:
+                target = rng.choice(config.result_vars)
+            block.append(Assign(target, rng.choice(pool)))
+        succs = successors[i]
+        if len(succs) == 1:
+            block.terminator = Jump(succs[0])
+        else:
+            block.terminator = CondBranch(Var(f"p{i}"), succs[0], succs[1])
+        cfg.add_block(block)
+
+    validate_cfg(cfg)
+    return cfg

@@ -1,0 +1,201 @@
+"""The library-facing experiment suite: ``python -m repro.bench``.
+
+Mirrors the pytest benchmark modules (which stay the canonical,
+asserted versions — see ``benchmarks/``) as plain functions a user can
+call without pytest, each returning a rendered
+:class:`~repro.bench.harness.Table`.  ``run_suite`` executes everything
+and prints an EXPERIMENTS.md-shaped report.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.bench.figures import lifetime_ladder, loop_example, running_example
+from repro.bench.generators import GeneratorConfig, random_cfg
+from repro.bench.harness import Table
+from repro.bench.metrics import dynamic_evaluations, solver_cost
+from repro.core.lifetime import measure_lifetimes
+from repro.core.optimality import compare_per_path, paths_agree
+from repro.core.pipeline import optimize
+from repro.interp.machine import run
+from repro.ir.expr import BinExpr, Var
+
+
+def figure_running_example() -> Table:
+    """F1: placements and lifetimes on the running example."""
+    table = Table(
+        ["variant", "inserts", "deletes", "temp live pts"],
+        title="F1: running example",
+    )
+    for strategy in ("bcm", "krs-alcm", "lcm"):
+        cfg = running_example()
+        result = optimize(cfg, strategy)
+        inserts = sum(p.insertion_count for p in result.placements)
+        deletes = sum(len(p.delete_blocks) for p in result.placements)
+        lifetimes = measure_lifetimes(result.cfg, result.temps)
+        table.add_row(strategy, inserts, deletes, lifetimes.total_live_points)
+    return table
+
+
+def figure_loop_series() -> Table:
+    """F2: loop-invariant evaluations vs trip count."""
+    cfg = loop_example()
+    optimised = optimize(cfg, "lcm").cfg
+    expr = BinExpr("*", Var("a"), Var("k"))
+    table = Table(["n", "original", "after LCM"], title="F2: a*k evaluations")
+    for n in (1, 4, 16):
+        env = {"a": 3, "k": 5, "n": n}
+        table.add_row(n, run(cfg, env).count(expr), run(optimised, env).count(expr))
+    return table
+
+
+def theorem_optimality(seeds: int = 6) -> Table:
+    """T1/T3 condensed: safety + LCM==BCM over random programs."""
+    table = Table(
+        ["seed", "paths", "before", "after LCM", "safe", "LCM==BCM"],
+        title="T1/T3: per-path optimality",
+    )
+    for seed in range(seeds):
+        cfg = random_cfg(seed, GeneratorConfig(statements=10))
+        lcm = optimize(cfg, "lcm")
+        bcm = optimize(cfg, "bcm")
+        report = compare_per_path(cfg, lcm.cfg, max_branches=6)
+        agree = paths_agree(lcm.cfg, bcm.cfg, max_branches=6)
+        table.add_row(
+            seed,
+            report.paths_checked,
+            report.total_before,
+            report.total_after,
+            "yes" if report.safe else "NO",
+            "yes" if agree else "NO",
+        )
+    return table
+
+
+def theorem_lifetime_ladder() -> Table:
+    """T2: the BCM-linear / LCM-constant ladder."""
+    table = Table(
+        ["rungs", "BCM live pts", "LCM live pts"], title="T2: lifetime ladder"
+    )
+    for rungs in (1, 4, 16):
+        cfg = lifetime_ladder(rungs)
+        spans = {}
+        for strategy in ("bcm", "lcm"):
+            result = optimize(cfg, strategy)
+            spans[strategy] = measure_lifetimes(
+                result.cfg, result.temps
+            ).total_live_points
+        table.add_row(rungs, spans["bcm"], spans["lcm"])
+    return table
+
+
+def complexity_costs() -> Table:
+    """C1: LCM's unidirectional analyses vs bidirectional MR."""
+    table = Table(
+        ["statements", "LCM bv-ops", "MR bv-ops"], title="C1: analysis cost"
+    )
+    for statements in (10, 40):
+        cfg = random_cfg(statements, GeneratorConfig(statements=statements))
+        table.add_row(
+            statements,
+            solver_cost(cfg, "lcm").total,
+            solver_cost(cfg, "mr").total,
+        )
+    return table
+
+
+def quality_dynamic(seeds: int = 4) -> Table:
+    """C3 condensed: dynamic evaluations per strategy."""
+    strategies = ("none", "gcse", "mr", "lcm")
+    table = Table(["seed", *strategies], title="C3: dynamic evaluations")
+    for seed in range(seeds):
+        cfg = random_cfg(seed, GeneratorConfig(statements=10))
+        row = [seed]
+        for strategy in strategies:
+            result = optimize(cfg, strategy)
+            total, _ = dynamic_evaluations(
+                result.cfg, runs=8, seed=3, env_source=cfg
+            )
+            row.append(total)
+        table.add_row(*row)
+    return table
+
+
+def extension_strength() -> Table:
+    """E2 condensed: multiplications before/after strength reduction."""
+    from repro.extensions.strength import strength_reduce
+    from repro.ir.builder import CFGBuilder
+
+    b = CFGBuilder()
+    b.block("init", "i = 0", "s = 0").jump("head")
+    b.block("head", "t = i < n").branch("t", "body", "out")
+    b.block("body", "a = i * 8", "s = s + a", "i = i + 1").jump("head")
+    b.block("out").to_exit()
+    cfg = b.build()
+    reduced, _ = strength_reduce(cfg)
+    table = Table(["n", "muls before", "muls after"], title="E2: strength reduction")
+    for n in (4, 16):
+        def muls(graph):
+            result = run(graph, {"n": n})
+            return sum(
+                c for e, c in result.eval_counts.items()
+                if isinstance(e, BinExpr) and e.op == "*"
+            )
+        table.add_row(n, muls(cfg), muls(reduced.cfg))
+    return table
+
+
+def extension_sinking() -> Table:
+    """E4 condensed: the PRE/PDE dual on one graph."""
+    from repro.extensions.sinking import sink_assignments
+    from repro.ir.builder import CFGBuilder
+
+    b = CFGBuilder()
+    b.block("top", "x = c * d").branch("p", "l", "r")
+    b.block("l", "u = a + b", "y = x + u").jump("join")
+    b.block("r", "x = 5").jump("join")
+    b.block("join", "v = a + b", "out = v + x").to_exit()
+    cfg = b.build()
+    pre = optimize(cfg, "lcm")
+    pde, _ = sink_assignments(cfg)
+    both, _ = sink_assignments(pre.cfg)
+    table = Table(["variant", "total path evals"], title="E4: PRE vs PDE vs both")
+    for name, graph in (("original", cfg), ("PRE", pre.cfg),
+                        ("PDE", pde.cfg), ("PRE+PDE", both.cfg)):
+        total = compare_per_path(cfg, graph, max_branches=4).total_after
+        table.add_row(name, total)
+    return table
+
+
+#: Everything `run_suite` executes, in report order.
+EXPERIMENTS: Dict[str, Callable[[], Table]] = {
+    "F1": figure_running_example,
+    "F2": figure_loop_series,
+    "T1/T3": theorem_optimality,
+    "T2": theorem_lifetime_ladder,
+    "C1": complexity_costs,
+    "C3": quality_dynamic,
+    "E2": extension_strength,
+    "E4": extension_sinking,
+}
+
+
+def run_suite(names: List[str] = None, out=None) -> List[Table]:
+    """Run the (selected) experiments and print their tables."""
+    import sys
+
+    out = out if out is not None else sys.stdout
+    chosen = names or list(EXPERIMENTS)
+    tables = []
+    for name in chosen:
+        if name not in EXPERIMENTS:
+            raise KeyError(
+                f"unknown experiment {name!r}; choose from {sorted(EXPERIMENTS)}"
+            )
+        table = EXPERIMENTS[name]()
+        tables.append(table)
+        print(f"== {name} ==", file=out)
+        print(table.render(), file=out)
+        print(file=out)
+    return tables

@@ -1,0 +1,249 @@
+"""Command-line interface: compile, optimise, run and audit programs.
+
+Usage (also via ``python -m repro``)::
+
+    repro compile prog.mini                  # lower to IR and print it
+    repro opt prog.mini --strategy lcm       # optimise, print the result
+    repro opt prog.mini --pipeline           # full pass pipeline
+    repro opt prog.mini --emit json          # machine-readable output
+    repro opt prog.mini --emit dot           # Graphviz
+    repro run prog.mini -i n=5 -i a=3        # execute, print final env
+    repro run prog.mini --optimized          # ... the optimised program
+    repro audit prog.mini --expr "a + b"     # per-block analysis facts
+    repro report prog.mini                   # strategy comparison table
+
+Input files hold mini-language source (see :mod:`repro.lang`); files
+ending in ``.json`` are read as serialised CFGs instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.universe import ExprUniverse
+from repro.bench.harness import Table
+from repro.bench.metrics import measure_strategy
+from repro.core.lcm import analyze_lcm
+from repro.core.pipeline import available_strategies, optimize
+from repro.interp.machine import run
+from repro.ir.cfg import CFG
+from repro.ir.dot import cfg_to_dot
+from repro.ir.expr import parse_expr
+from repro.ir.pretty import pretty_cfg
+from repro.ir.serialize import cfg_from_json, cfg_to_json
+from repro.lang import compile_program
+from repro.passes import standard_pipeline
+
+
+class CliError(Exception):
+    """User-facing failure (bad arguments, bad input file)."""
+
+
+def load_program(path: str) -> CFG:
+    """Read a program: mini-language source, or a ``.json`` CFG dump."""
+    try:
+        with open(path) as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise CliError(f"cannot read {path}: {exc}") from exc
+    if path.endswith(".json"):
+        return cfg_from_json(text)
+    return compile_program(text)
+
+
+def _emit(cfg: CFG, fmt: str, out) -> None:
+    if fmt == "text":
+        print(pretty_cfg(cfg), file=out)
+    elif fmt == "json":
+        print(cfg_to_json(cfg), file=out)
+    elif fmt == "dot":
+        print(cfg_to_dot(cfg), file=out)
+    else:
+        raise CliError(f"unknown emit format {fmt!r}")
+
+
+def _parse_bindings(pairs: Sequence[str]) -> Dict[str, int]:
+    env: Dict[str, int] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise CliError(f"bad input binding {pair!r}; expected name=value")
+        name, _, value = pair.partition("=")
+        try:
+            env[name.strip()] = int(value)
+        except ValueError as exc:
+            raise CliError(f"bad input binding {pair!r}: {exc}") from exc
+    return env
+
+
+# -- subcommands -------------------------------------------------------------
+
+def cmd_compile(args, out) -> int:
+    cfg = load_program(args.file)
+    _emit(cfg, args.emit, out)
+    return 0
+
+
+def cmd_opt(args, out) -> int:
+    cfg = load_program(args.file)
+    if args.pipeline:
+        result = standard_pipeline(cfg)
+        print(f"; {result.describe()}", file=out)
+        transformed = result.cfg
+        compare_decisions = False  # the pipeline may fold branches
+    else:
+        result = optimize(cfg, args.strategy)
+        if args.emit == "text":
+            for line in result.describe().splitlines():
+                print(f"; {line}", file=out)
+        transformed = result.cfg
+        compare_decisions = True  # strategies never touch branches
+    _emit(transformed, args.emit, out)
+    if args.verify:
+        from repro.core.verify import verify_transformation
+
+        expect_safe = not args.pipeline and args.strategy != "licm"
+        verdict = verify_transformation(
+            cfg,
+            transformed,
+            compare_decisions=compare_decisions,
+            expect_safe=expect_safe,
+        )
+        for line in verdict.describe().splitlines():
+            print(f"; {line}", file=out)
+        if not verdict.ok:
+            return 1
+    return 0
+
+
+def cmd_run(args, out) -> int:
+    cfg = load_program(args.file)
+    if args.optimized:
+        cfg = optimize(cfg, args.strategy).cfg
+    env = _parse_bindings(args.input or [])
+    result = run(cfg, env, max_steps=args.max_steps)
+    if not result.reached_exit:
+        print(f"program did not finish within {args.max_steps} steps", file=out)
+        return 1
+    for name in sorted(result.env):
+        print(f"{name} = {result.env[name]}", file=out)
+    print(f"; {result.total_evaluations} expression evaluations", file=out)
+    return 0
+
+
+def cmd_audit(args, out) -> int:
+    cfg = load_program(args.file)
+    if args.full:
+        from repro.core.report import optimization_report
+
+        print(
+            optimization_report(cfg, strategy=args.strategy, title=args.file),
+            file=out,
+        )
+        return 0
+    analysis = analyze_lcm(cfg)
+    universe = analysis.universe
+    if args.expr:
+        expr = parse_expr(args.expr)
+        if expr not in universe:
+            known = ", ".join(str(e) for e in universe)
+            raise CliError(
+                f"{args.expr!r} does not occur in the program; "
+                f"candidates: {known or '(none)'}"
+            )
+        exprs = [expr]
+    else:
+        exprs = list(universe)
+    for expr in exprs:
+        idx = universe.index_of(expr)
+        inserts = sorted(
+            f"{m}->{n}" for (m, n), vec in analysis.insert.items() if idx in vec
+        )
+        deletes = sorted(
+            label for label, vec in analysis.delete.items() if idx in vec
+        )
+        print(f"{expr}:", file=out)
+        print(f"  INSERT on edges : {', '.join(inserts) or '(none)'}", file=out)
+        print(f"  DELETE in blocks: {', '.join(deletes) or '(none)'}", file=out)
+    return 0
+
+
+def cmd_report(args, out) -> int:
+    cfg = load_program(args.file)
+    headers = ["strategy", "static", "dynamic", "temps", "live pts",
+               "pressure", "bv ops", "blocks"]
+    table = Table(headers, title=f"strategy comparison for {args.file}")
+    for strategy in args.strategies.split(","):
+        metrics = measure_strategy(cfg, strategy.strip(), runs=args.runs)
+        table.add_mapping(metrics.as_row())
+    print(table.render(), file=out)
+    return 0
+
+
+# -- entry point -------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    strategies = [s.name for s in available_strategies()]
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Lazy Code Motion reproduction: compile, optimise, "
+        "run and audit mini-language programs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compile = sub.add_parser("compile", help="lower source to IR")
+    p_compile.add_argument("file")
+    p_compile.add_argument("--emit", choices=("text", "json", "dot"),
+                           default="text")
+    p_compile.set_defaults(handler=cmd_compile)
+
+    p_opt = sub.add_parser("opt", help="optimise a program")
+    p_opt.add_argument("file")
+    p_opt.add_argument("--strategy", choices=strategies, default="lcm")
+    p_opt.add_argument("--pipeline", action="store_true",
+                       help="run the full pass pipeline instead of one strategy")
+    p_opt.add_argument("--emit", choices=("text", "json", "dot"), default="text")
+    p_opt.add_argument("--verify", action="store_true",
+                       help="verify semantics + per-path safety afterwards")
+    p_opt.set_defaults(handler=cmd_opt)
+
+    p_run = sub.add_parser("run", help="execute a program")
+    p_run.add_argument("file")
+    p_run.add_argument("-i", "--input", action="append", metavar="NAME=VALUE")
+    p_run.add_argument("--optimized", action="store_true",
+                       help="optimise before running")
+    p_run.add_argument("--strategy", choices=strategies, default="lcm")
+    p_run.add_argument("--max-steps", type=int, default=1_000_000)
+    p_run.set_defaults(handler=cmd_run)
+
+    p_audit = sub.add_parser("audit", help="show LCM decisions per expression")
+    p_audit.add_argument("file")
+    p_audit.add_argument("--expr", help="restrict to one expression, e.g. 'a + b'")
+    p_audit.add_argument("--full", action="store_true",
+                         help="full report: universe, placements, metrics, verdict")
+    p_audit.add_argument("--strategy", choices=strategies, default="lcm")
+    p_audit.set_defaults(handler=cmd_audit)
+
+    p_report = sub.add_parser("report", help="strategy comparison table")
+    p_report.add_argument("file")
+    p_report.add_argument("--strategies", default="none,gcse,mr,bcm,lcm")
+    p_report.add_argument("--runs", type=int, default=10)
+    p_report.set_defaults(handler=cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args, out)
+    except CliError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,254 @@
+"""The original node-level formulation of Busy and Lazy Code Motion.
+
+This module follows the paper's own presentation: the flow graph is
+statement-granular (build one with
+:func:`repro.core.nodegraph.expand_to_nodes` and split critical edges
+first), each node ``n`` has the two local predicates
+
+* ``COMP(n)`` — the node's statement computes the expression
+  (for single-statement nodes this coincides with local
+  anticipatability), and
+* ``TRANSP(n)`` — the statement does not assign any operand,
+
+and six global predicates are computed, every one a unidirectional
+all-paths bit-vector problem:
+
+* ``DSAFE`` (down-safety)  — may we insert here without adding a
+  computation to any path?  Identical to anticipability at node entry.
+* ``USAFE`` (up-safety)    — has every path already computed the value?
+  Identical to availability at node entry.
+* ``EARLIEST``             — the first down-safe points: insertion
+  cannot move up any further without losing safety.
+* ``DELAY``                — insertion can still be postponed to here
+  from the earliest points without passing a use.
+* ``LATEST``               — the last delayable points: the paper's
+  optimal insertion frontier.
+* ``ISOLATED``             — an insertion here would only feed the
+  node's own occurrence, so it is pointless.
+
+The three transformations of the paper are read off pointwise:
+
+* **BCM**  (busy):  insert at ``EARLIEST``, replace every occurrence;
+* **ALCM** (almost lazy): insert at ``LATEST``, replace every
+  occurrence;
+* **LCM**  (lazy):  insert at ``OCP = LATEST ∧ ¬ISOLATED``, replace the
+  occurrences ``RO = COMP ∧ ¬(LATEST ∧ ISOLATED)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis.anticipability import compute_anticipability
+from repro.analysis.availability import compute_availability
+from repro.analysis.local import LocalProperties, compute_local_properties
+from repro.analysis.universe import ExprUniverse
+from repro.core.placement import Placement
+from repro.dataflow.bitvec import BitVector
+from repro.dataflow.problem import Confluence, DataflowProblem, Direction
+from repro.dataflow.solver import solve
+from repro.dataflow.stats import SolverStats
+from repro.ir.cfg import CFG
+
+
+@dataclass
+class KRSAnalysis:
+    """The six global predicate vectors of the node-level formulation."""
+
+    cfg: CFG
+    local: LocalProperties
+    dsafe: Dict[str, BitVector]
+    usafe: Dict[str, BitVector]
+    earliest: Dict[str, BitVector]
+    delay: Dict[str, BitVector]
+    latest: Dict[str, BitVector]
+    isolated: Dict[str, BitVector]
+    stats: SolverStats
+
+    @property
+    def universe(self) -> ExprUniverse:
+        return self.local.universe
+
+    @property
+    def comp(self) -> Dict[str, BitVector]:
+        """The node-level occurrence predicate (== ANTLOC per node)."""
+        return self.local.antloc
+
+
+def _check_node_granularity(cfg: CFG) -> None:
+    for block in cfg:
+        if len(block.instrs) > 1:
+            raise ValueError(
+                "the node-level formulation needs a statement-granular "
+                f"graph (block {block.label!r} has {len(block.instrs)} "
+                "instructions); use expand_to_nodes() first"
+            )
+
+
+def _compute_earliest(
+    cfg: CFG,
+    local: LocalProperties,
+    dsafe: Dict[str, BitVector],
+    usafe: Dict[str, BitVector],
+) -> Dict[str, BitVector]:
+    """EARLIEST(n) = DSAFE(n) ∧ ¬∏_{m∈pred}(TRANSP(m) ∧ (DSAFE(m) ∨ USAFE(m))).
+
+    The meet over an empty predecessor set (the entry node) is ∅, so the
+    entry is earliest for everything down-safe there.
+    """
+    width = local.universe.width
+    earliest: Dict[str, BitVector] = {}
+    for n in cfg.labels:
+        preds = cfg.preds(n)
+        if not preds:
+            safe_above = BitVector.empty(width)
+        else:
+            safe_above = BitVector.full(width)
+            for m in preds:
+                safe_above = safe_above & (
+                    local.transp[m] & (dsafe[m] | usafe[m])
+                )
+        earliest[n] = dsafe[n] - safe_above
+    return earliest
+
+
+def _compute_delay(
+    cfg: CFG,
+    local: LocalProperties,
+    earliest: Dict[str, BitVector],
+) -> tuple:
+    """DELAY(n) = EARLIEST(n) ∨ ∏_{m∈pred}(DELAY(m) ∧ ¬COMP(m)).
+
+    Solved as a forward all-paths problem whose per-node output is
+    ``DELAY(m) ∧ ¬COMP(m)``; DELAY itself is recovered pointwise.
+    """
+    comp = local.antloc
+
+    def transfer(label: str, fact: BitVector) -> BitVector:
+        return (earliest[label] | fact) - comp[label]
+
+    problem = DataflowProblem.forward_intersect(
+        "delayability", local.universe.width, transfer
+    )
+    solution = solve(cfg, problem)
+    delay = {n: earliest[n] | solution.inof[n] for n in cfg.labels}
+    return delay, solution.stats
+
+
+def _compute_isolated(
+    cfg: CFG,
+    local: LocalProperties,
+    latest: Dict[str, BitVector],
+) -> tuple:
+    """ISOLATED(n) = ∏_{s∈succ}(LATEST(s) ∨ (¬COMP(s) ∧ ISOLATED(s))).
+
+    Backward all-paths with boundary *full* at the exit (the conjunction
+    over no successors is vacuously true).
+    """
+    comp = local.antloc
+    width = local.universe.width
+
+    def transfer(label: str, fact: BitVector) -> BitVector:
+        return latest[label] | (fact - comp[label])
+
+    problem = DataflowProblem(
+        "isolation",
+        Direction.BACKWARD,
+        Confluence.INTERSECT,
+        width,
+        transfer,
+        boundary=BitVector.full(width),
+        init=BitVector.full(width),
+    )
+    solution = solve(cfg, problem)
+    return solution.outof, solution.stats
+
+
+def analyze_krs(cfg: CFG, universe: Optional[ExprUniverse] = None) -> KRSAnalysis:
+    """Run the node-level analysis stack on a statement-granular *cfg*."""
+    _check_node_granularity(cfg)
+    local = compute_local_properties(cfg, universe)
+    comp = local.antloc
+    width = local.universe.width
+
+    ant = compute_anticipability(cfg, local)
+    av = compute_availability(cfg, local)
+    dsafe = ant.antin
+    usafe = av.avin
+    stats = ant.stats.merged(av.stats)
+
+    earliest = _compute_earliest(cfg, local, dsafe, usafe)
+    delay, delay_stats = _compute_delay(cfg, local, earliest)
+    stats = stats.merged(delay_stats)
+
+    latest: Dict[str, BitVector] = {}
+    for n in cfg.labels:
+        succs = cfg.succs(n)
+        if not succs:
+            all_delayable_below = BitVector.full(width)
+        else:
+            all_delayable_below = BitVector.full(width)
+            for s in succs:
+                all_delayable_below = all_delayable_below & delay[s]
+        latest[n] = delay[n] & (comp[n] | ~all_delayable_below)
+
+    isolated, iso_stats = _compute_isolated(cfg, local, latest)
+    stats = stats.merged(iso_stats)
+
+    return KRSAnalysis(
+        cfg=cfg,
+        local=local,
+        dsafe=dsafe,
+        usafe=usafe,
+        earliest=earliest,
+        delay=delay,
+        latest=latest,
+        isolated=isolated,
+        stats=stats,
+    )
+
+
+def krs_placements(analysis: KRSAnalysis, variant: str = "lcm") -> List[Placement]:
+    """Placements for one of the paper's three transformations.
+
+    Args:
+        analysis: a :func:`analyze_krs` result.
+        variant: ``"bcm"`` (earliest insertion, all occurrences
+            replaced), ``"alcm"`` (latest insertion, all occurrences
+            replaced) or ``"lcm"`` (latest non-isolated insertion,
+            non-isolated occurrences replaced).
+
+    Insertions are at node entries (``insert_entries``); on a
+    statement-granular graph with critical edges split this is as
+    expressive as edge insertion.
+    """
+    cfg = analysis.cfg
+    universe = analysis.universe
+    comp = analysis.comp
+
+    if variant == "bcm":
+        insert_at = analysis.earliest
+        replace_at = comp
+    elif variant == "alcm":
+        insert_at = analysis.latest
+        replace_at = comp
+    elif variant == "lcm":
+        insert_at = {
+            n: analysis.latest[n] - analysis.isolated[n] for n in cfg.labels
+        }
+        replace_at = {
+            n: comp[n] - (analysis.latest[n] & analysis.isolated[n])
+            for n in cfg.labels
+        }
+    else:
+        raise ValueError(f"unknown KRS variant {variant!r}")
+
+    placements: List[Placement] = []
+    for idx, expr in universe.enumerate():
+        entries = frozenset(n for n in cfg.labels if idx in insert_at[n])
+        deletes = frozenset(n for n in cfg.labels if idx in replace_at[n])
+        placements.append(
+            Placement(expr, universe.temp_name(expr), frozenset(), entries, deletes)
+        )
+    return placements

@@ -1,0 +1,207 @@
+"""Edge-based Lazy Code Motion on basic blocks.
+
+This is the practical formulation of the paper's algorithm on ordinary
+basic blocks, with insertions on *edges* (the shape later adopted by
+Drechsler & Stadel's variant and by GCC's ``lcm.c``).  It composes four
+unidirectional bit-vector analyses:
+
+1. **anticipability** (down-safety) — backward, all paths;
+2. **availability** (up-safety) — forward, all paths;
+3. **earliestness** — a per-edge predicate computed pointwise from 1+2::
+
+       EARLIEST(m,n) = ANTIN(n) ∩ ¬AVOUT(m) ∩ (¬TRANSP(m) ∪ ¬ANTOUT(m))
+
+   (for edges leaving the entry the last factor is dropped);
+4. **the LATER system** — forward, all paths, over edges::
+
+       LATERIN(n)  = ∏_{(m,n)} LATER(m,n)        (∅ at the entry)
+       LATER(m,n)  = EARLIEST(m,n) ∪ (LATERIN(m) ∩ ¬ANTLOC(m))
+
+from which the transformation is read off pointwise::
+
+       INSERT(m,n) = LATER(m,n) ∩ ¬LATERIN(n)
+       DELETE(n)   = ANTLOC(n) ∩ ¬LATERIN(n)     (n ≠ entry)
+
+Busy Code Motion (the computationally optimal but lifetime-greedy
+variant) short-circuits the LATER system and inserts at the EARLIEST
+edges directly, deleting every upwards-exposed occurrence.
+
+The LATER system ends the delay at blocks with upwards-exposed
+occurrences (the ``¬ANTLOC`` factor), which is what makes the *isolated*
+case come out right with no separate isolation analysis: when the delay
+reaches the use itself (``LATERIN`` holds at the use block), nothing is
+inserted and nothing is deleted — the original computation stays put.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis.anticipability import compute_anticipability
+from repro.analysis.availability import compute_availability
+from repro.analysis.local import LocalProperties, compute_local_properties
+from repro.analysis.universe import ExprUniverse
+from repro.core.placement import Placement
+from repro.dataflow.bitvec import BitVector
+from repro.dataflow.order import reverse_postorder
+from repro.dataflow.stats import SolverStats
+from repro.ir.cfg import CFG, Edge
+
+
+@dataclass
+class LCMAnalysis:
+    """All intermediate and final vectors of the edge-based algorithm."""
+
+    cfg: CFG
+    local: LocalProperties
+    antin: Dict[str, BitVector]
+    antout: Dict[str, BitVector]
+    avin: Dict[str, BitVector]
+    avout: Dict[str, BitVector]
+    earliest: Dict[Edge, BitVector]
+    laterin: Dict[str, BitVector]
+    later: Dict[Edge, BitVector]
+    insert: Dict[Edge, BitVector]
+    delete: Dict[str, BitVector]
+    stats: SolverStats
+
+    @property
+    def universe(self) -> ExprUniverse:
+        return self.local.universe
+
+
+def _compute_earliest(
+    cfg: CFG,
+    local: LocalProperties,
+    antin: Dict[str, BitVector],
+    antout: Dict[str, BitVector],
+    avout: Dict[str, BitVector],
+) -> Dict[Edge, BitVector]:
+    """Pointwise earliestness per edge (no fixpoint needed)."""
+    earliest: Dict[Edge, BitVector] = {}
+    for m, n in cfg.edges():
+        base = antin[n] - avout[m]
+        if m == cfg.entry:
+            earliest[(m, n)] = base
+        else:
+            earliest[(m, n)] = base & (~local.transp[m] | ~antout[m])
+    return earliest
+
+
+def _solve_later(
+    cfg: CFG,
+    local: LocalProperties,
+    earliest: Dict[Edge, BitVector],
+    stats: SolverStats,
+) -> Dict[str, BitVector]:
+    """Iterate the LATER/LATERIN system to its greatest fixpoint.
+
+    Facts live on edges, so this is a small bespoke round-robin loop
+    rather than an instance of the block solver; it converges for the
+    same monotonicity reasons.  Returns LATERIN (LATER is recomputed
+    pointwise from it by the caller).
+    """
+    width = local.universe.width
+    full = BitVector.full(width)
+    empty = BitVector.empty(width)
+
+    laterin: Dict[str, BitVector] = {label: full for label in cfg.labels}
+    laterin[cfg.entry] = empty
+
+    order = reverse_postorder(cfg)
+    changed = True
+    while changed:
+        changed = False
+        stats.sweeps += 1
+        for n in order:
+            if n == cfg.entry:
+                continue
+            stats.node_visits += 1
+            acc: Optional[BitVector] = None
+            for m in cfg.preds(n):
+                later_mn = earliest[(m, n)] | (laterin[m] - local.antloc[m])
+                acc = later_mn if acc is None else acc & later_mn
+            new = acc if acc is not None else empty
+            if new != laterin[n]:
+                laterin[n] = new
+                changed = True
+    return laterin
+
+
+def analyze_lcm(cfg: CFG, universe: Optional[ExprUniverse] = None) -> LCMAnalysis:
+    """Run the complete edge-based LCM analysis pipeline on *cfg*."""
+    local = compute_local_properties(cfg, universe)
+    ant = compute_anticipability(cfg, local)
+    av = compute_availability(cfg, local)
+    stats = ant.stats.merged(av.stats)
+
+    earliest = _compute_earliest(cfg, local, ant.antin, ant.antout, av.avout)
+    laterin = _solve_later(cfg, local, earliest, stats)
+
+    later: Dict[Edge, BitVector] = {}
+    insert: Dict[Edge, BitVector] = {}
+    for m, n in cfg.edges():
+        later[(m, n)] = earliest[(m, n)] | (laterin[m] - local.antloc[m])
+        insert[(m, n)] = later[(m, n)] - laterin[n]
+
+    delete: Dict[str, BitVector] = {}
+    for label in cfg.labels:
+        if label == cfg.entry:
+            delete[label] = local.universe.empty()
+        else:
+            delete[label] = local.antloc[label] - laterin[label]
+
+    return LCMAnalysis(
+        cfg=cfg,
+        local=local,
+        antin=ant.antin,
+        antout=ant.antout,
+        avin=av.avin,
+        avout=av.avout,
+        earliest=earliest,
+        laterin=laterin,
+        later=later,
+        insert=insert,
+        delete=delete,
+        stats=stats,
+    )
+
+
+def _placements_from(
+    analysis: LCMAnalysis,
+    insert: Dict[Edge, BitVector],
+    delete: Dict[str, BitVector],
+) -> List[Placement]:
+    """Turn per-edge/per-block vectors into one Placement per expression."""
+    universe = analysis.universe
+    placements: List[Placement] = []
+    for idx, expr in universe.enumerate():
+        edges = frozenset(e for e, vec in insert.items() if idx in vec)
+        blocks = frozenset(b for b, vec in delete.items() if idx in vec)
+        placements.append(
+            Placement(expr, universe.temp_name(expr), edges, frozenset(), blocks)
+        )
+    return placements
+
+
+def lcm_placements(analysis: LCMAnalysis) -> List[Placement]:
+    """Lazy Code Motion: insert at the latest possible safe edges."""
+    return _placements_from(analysis, analysis.insert, analysis.delete)
+
+
+def bcm_placements(analysis: LCMAnalysis) -> List[Placement]:
+    """Busy Code Motion: insert at the earliest safe edges.
+
+    Computationally optimal like LCM, but temporaries are live from the
+    earliest point — the register-pressure problem LCM's delaying fixes.
+    """
+    delete = {
+        label: (
+            analysis.universe.empty()
+            if label == analysis.cfg.entry
+            else analysis.local.antloc[label]
+        )
+        for label in analysis.cfg.labels
+    }
+    return _placements_from(analysis, analysis.earliest, delete)

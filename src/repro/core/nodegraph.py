@@ -1,0 +1,94 @@
+"""Statement-granular expansion of a CFG.
+
+The original paper formulates Lazy Code Motion on flow graphs whose
+nodes hold (at most) a single statement.  :func:`expand_to_nodes` turns
+a basic-block CFG into that shape: each block ``b`` with instructions
+``i_0 … i_{k-1}`` becomes a chain of nodes ``b@0 → … → b@{k-1}``, the
+last of which carries the original terminator; empty blocks become the
+single node ``b@0``.
+
+The expansion is a plain :class:`~repro.ir.cfg.CFG`, so every analysis
+and transformation in the library applies to it unchanged, and the
+:class:`NodeGraph` wrapper remembers how nodes map back to the original
+blocks so results can be projected for cross-checking against the
+edge-based formulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.ir.block import BasicBlock
+from repro.ir.cfg import CFG
+from repro.ir.instr import CondBranch, Halt, Jump
+
+
+@dataclass
+class NodeGraph:
+    """A statement-granular CFG plus its mapping back to block land.
+
+    Attributes:
+        cfg: the expanded graph (one instruction per node at most).
+        source: the original block-level graph.
+        origin: node label -> (original block label, instruction index).
+            Empty blocks map to index 0.
+        entry_node: original block label -> label of its first node.
+        exit_node: original block label -> label of its last node.
+    """
+
+    cfg: CFG
+    source: CFG
+    origin: Dict[str, Tuple[str, int]]
+    entry_node: Dict[str, str]
+    exit_node: Dict[str, str]
+
+    def node_label(self, block: str, index: int = 0) -> str:
+        """The node holding instruction *index* of original block *block*."""
+        label = f"{block}@{index}"
+        if label not in self.cfg:
+            raise KeyError(f"no node for {block!r}[{index}]")
+        return label
+
+
+def expand_to_nodes(cfg: CFG) -> NodeGraph:
+    """Expand *cfg* so every node holds at most one instruction."""
+    expanded = CFG(entry=f"{cfg.entry}@0", exit=f"{cfg.exit}@0")
+    origin: Dict[str, Tuple[str, int]] = {}
+    entry_node: Dict[str, str] = {}
+    exit_node: Dict[str, str] = {}
+
+    def first_node(label: str) -> str:
+        return f"{label}@0"
+
+    for block in cfg:
+        count = max(1, len(block.instrs))
+        labels = [f"{block.label}@{i}" for i in range(count)]
+        entry_node[block.label] = labels[0]
+        exit_node[block.label] = labels[-1]
+        for i, node_label in enumerate(labels):
+            instrs = [block.instrs[i]] if i < len(block.instrs) else []
+            node = BasicBlock(node_label, instrs)
+            if node_label == labels[-1]:
+                term = block.terminator
+                if isinstance(term, Jump):
+                    node.terminator = Jump(first_node(term.target))
+                elif isinstance(term, CondBranch):
+                    node.terminator = CondBranch(
+                        term.cond,
+                        first_node(term.then_target),
+                        first_node(term.else_target),
+                    )
+                elif isinstance(term, Halt):
+                    node.terminator = Halt()
+                else:
+                    raise ValueError(
+                        f"block {block.label!r} has no terminator; "
+                        "validate the CFG before expanding"
+                    )
+            else:
+                node.terminator = Jump(labels[i + 1])
+            expanded.add_block(node)
+            origin[node_label] = (block.label, i)
+
+    return NodeGraph(expanded, cfg, origin, entry_node, exit_node)

@@ -1,0 +1,187 @@
+"""The one-call public API: ``optimize(cfg, strategy)``.
+
+Wires the analyses, placement computation and transformation engine
+into named strategies:
+
+===========  ==============================================================
+``lcm``      edge-based Lazy Code Motion (the paper's algorithm; default)
+``bcm``      edge-based Busy Code Motion (earliest placement)
+``krs-lcm``  the original node-level LCM on a statement-granular graph
+``krs-alcm`` node-level Almost-LCM (no isolation filtering)
+``krs-bcm``  node-level BCM
+``mr``       Morel–Renvoise bidirectional PRE (1979 baseline)
+``gcse``     full-redundancy elimination only (global CSE)
+``licm``     naive loop-invariant code motion (speculative baseline)
+``none``     identity (no change)
+===========  ==============================================================
+
+All strategies return a :class:`~repro.core.transform.TransformResult`
+whose ``cfg`` is a *new* graph; the input is never mutated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.core.krs import analyze_krs, krs_placements
+from repro.core.lcm import analyze_lcm, bcm_placements, lcm_placements
+from repro.core.localcse import local_cse
+from repro.core.nodegraph import expand_to_nodes
+from repro.core.transform import TransformResult, apply_placements
+from repro.ir.cfg import CFG
+from repro.ir.edgesplit import split_join_edges
+from repro.ir.validate import validate_cfg
+
+
+@dataclass(frozen=True)
+class PREStrategy:
+    """A named PRE algorithm usable with :func:`optimize`."""
+
+    name: str
+    description: str
+    run: Callable[[CFG], TransformResult]
+
+
+def _edge_based(cfg: CFG, variant: str) -> TransformResult:
+    analysis = analyze_lcm(cfg)
+    if variant == "lcm":
+        placements = lcm_placements(analysis)
+    elif variant == "bcm":
+        placements = bcm_placements(analysis)
+    else:
+        raise ValueError(f"unknown edge-based variant {variant!r}")
+    result = apply_placements(cfg, placements)
+    return result
+
+
+def _node_based(cfg: CFG, variant: str) -> TransformResult:
+    expanded = expand_to_nodes(cfg).cfg
+    # Edge-split form (every edge into a join gets a landing node) is
+    # required for node insertions to be as expressive as edge
+    # insertions; critical-edge splitting alone loses optimality when a
+    # single-successor block ending in a kill feeds a join.
+    split_join_edges(expanded)
+    analysis = analyze_krs(expanded)
+    placements = krs_placements(analysis, variant)
+    # The node-level formulation accounts for isolation itself (for the
+    # lcm variant); the transform's own copy machinery still runs so
+    # that the two mechanisms can be compared, but for BCM/ALCM the
+    # "replace everything" plans need the tentative copies collapsed
+    # only when truly dead, which is the default behaviour.
+    result = apply_placements(expanded, placements)
+    return TransformResult(
+        original=cfg,
+        cfg=result.cfg,
+        placements=result.placements,
+        temps=result.temps,
+        copies_added=result.copies_added,
+        copies_collapsed=result.copies_collapsed,
+        insertions_dropped=result.insertions_dropped,
+    )
+
+
+def _identity(cfg: CFG) -> TransformResult:
+    return TransformResult(original=cfg, cfg=cfg.copy(), placements=[], temps=set())
+
+
+def _size_governed(cfg: CFG) -> TransformResult:
+    from repro.extensions.codesize import size_governed_transform
+
+    result, _ = size_governed_transform(cfg)
+    return result
+
+
+def _strategy_table() -> Dict[str, PREStrategy]:
+    # Imported here so repro.core does not hard-depend on the baselines
+    # package at import time (the baselines import repro.core).
+    from repro.baselines.gcse import gcse_transform
+    from repro.baselines.licm import licm_transform
+    from repro.baselines.morel_renvoise import morel_renvoise_transform
+
+    return {
+        "lcm": PREStrategy(
+            "lcm",
+            "Lazy Code Motion, edge-based (Knoop/Ruething/Steffen 1992)",
+            lambda cfg: _edge_based(cfg, "lcm"),
+        ),
+        "bcm": PREStrategy(
+            "bcm",
+            "Busy Code Motion, edge-based (earliest placement)",
+            lambda cfg: _edge_based(cfg, "bcm"),
+        ),
+        "krs-lcm": PREStrategy(
+            "krs-lcm",
+            "Lazy Code Motion, original node-level formulation",
+            lambda cfg: _node_based(cfg, "lcm"),
+        ),
+        "krs-alcm": PREStrategy(
+            "krs-alcm",
+            "Almost-lazy Code Motion (latest placement, no isolation)",
+            lambda cfg: _node_based(cfg, "alcm"),
+        ),
+        "krs-bcm": PREStrategy(
+            "krs-bcm",
+            "Busy Code Motion, original node-level formulation",
+            lambda cfg: _node_based(cfg, "bcm"),
+        ),
+        "lcm-size": PREStrategy(
+            "lcm-size",
+            "Code-size-governed LCM (never grows the program text)",
+            _size_governed,
+        ),
+        "mr": PREStrategy(
+            "mr",
+            "Morel-Renvoise bidirectional PRE (1979 baseline)",
+            morel_renvoise_transform,
+        ),
+        "gcse": PREStrategy(
+            "gcse",
+            "Global CSE: full-redundancy elimination only",
+            gcse_transform,
+        ),
+        "licm": PREStrategy(
+            "licm",
+            "Naive loop-invariant code motion (speculative baseline)",
+            licm_transform,
+        ),
+        "none": PREStrategy("none", "Identity (no optimisation)", _identity),
+    }
+
+
+def available_strategies() -> List[PREStrategy]:
+    """All strategies usable with :func:`optimize`, in a stable order."""
+    return list(_strategy_table().values())
+
+
+def optimize(
+    cfg: CFG,
+    strategy: str = "lcm",
+    run_local_cse: bool = True,
+    validate: bool = True,
+) -> TransformResult:
+    """Optimise *cfg* with the named *strategy*.
+
+    Args:
+        cfg: the input program (never mutated).
+        strategy: one of :func:`available_strategies`.
+        run_local_cse: normalise blocks with local CSE first, as the
+            paper assumes.
+        validate: check the input's structural invariants first.
+
+    Returns the transformation result; ``result.cfg`` is the optimised
+    program.
+    """
+    if validate:
+        validate_cfg(cfg)
+    table = _strategy_table()
+    if strategy not in table:
+        names = ", ".join(sorted(table))
+        raise ValueError(f"unknown strategy {strategy!r}; choose one of: {names}")
+    source = cfg
+    if run_local_cse:
+        source, _ = local_cse(cfg)
+    result = table[strategy].run(source)
+    # Report against the caller's graph, not the LCSE'd intermediate.
+    result.original = cfg
+    return result

@@ -1,0 +1,171 @@
+"""Placement descriptions: where a transformation inserts and deletes.
+
+A :class:`Placement` is the *plan* a PRE algorithm produces for one
+candidate expression, before any code is touched:
+
+* ``insert_edges`` — control flow edges that receive ``t = e``
+  (realised by edge splitting);
+* ``insert_entries`` — blocks that receive ``t = e`` at their entry
+  (used by the node-level formulation and the Morel–Renvoise baseline's
+  end-of-block insertions, expressed via its successor edges);
+* ``delete_blocks`` — blocks whose *upwards-exposed* occurrence of ``e``
+  is replaced by a read of ``t``.
+
+Keeping the plan first-class (rather than mutating the CFG directly)
+lets the test-suite compare plans across algorithms, feed them to the
+optimality checkers, and report them in the benchmark tables exactly the
+way the paper's figures mark insertion/replacement points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Tuple
+
+from repro.ir.cfg import CFG, Edge
+from repro.ir.expr import Expr, expr_key, is_computation
+
+
+class PlacementError(ValueError):
+    """Raised when a placement is inconsistent with its CFG."""
+
+
+@dataclass(frozen=True)
+class Placement:
+    """An insertion/deletion plan for one expression.
+
+    Attributes:
+        expr: the candidate expression being moved.
+        temp: name of the temporary that will carry the value.
+        insert_edges: edges receiving ``temp = expr``.
+        insert_entries: block labels receiving ``temp = expr`` at entry.
+        insert_exits: block labels receiving ``temp = expr`` at the end
+            of the block, before the terminator (the Morel–Renvoise
+            style of insertion).
+        delete_blocks: labels whose upwards-exposed occurrence of
+            ``expr`` is rewritten to read ``temp``.
+    """
+
+    expr: Expr
+    temp: str
+    insert_edges: FrozenSet[Edge] = frozenset()
+    insert_entries: FrozenSet[str] = frozenset()
+    delete_blocks: FrozenSet[str] = frozenset()
+    insert_exits: FrozenSet[str] = frozenset()
+
+    @classmethod
+    def make(
+        cls,
+        expr: Expr,
+        temp: str,
+        insert_edges: Iterable[Edge] = (),
+        insert_entries: Iterable[str] = (),
+        delete_blocks: Iterable[str] = (),
+        insert_exits: Iterable[str] = (),
+    ) -> "Placement":
+        if not is_computation(expr):
+            raise PlacementError(f"not a candidate computation: {expr!r}")
+        return cls(
+            expr,
+            temp,
+            frozenset(insert_edges),
+            frozenset(insert_entries),
+            frozenset(delete_blocks),
+            frozenset(insert_exits),
+        )
+
+    @property
+    def is_identity(self) -> bool:
+        """True when the plan changes nothing."""
+        return not (
+            self.insert_edges
+            or self.insert_entries
+            or self.insert_exits
+            or self.delete_blocks
+        )
+
+    @property
+    def insertion_count(self) -> int:
+        """Number of static ``temp = expr`` instructions to be added."""
+        return (
+            len(self.insert_edges)
+            + len(self.insert_entries)
+            + len(self.insert_exits)
+        )
+
+    def validate_against(self, cfg: CFG) -> None:
+        """Check the plan's targets exist in *cfg* and deletions apply."""
+        for src, dst in self.insert_edges:
+            if not cfg.has_edge(src, dst):
+                raise PlacementError(
+                    f"{self.expr}: insertion on missing edge {src!r} -> {dst!r}"
+                )
+        for label in self.insert_entries | self.insert_exits:
+            if label not in cfg:
+                raise PlacementError(
+                    f"{self.expr}: insertion at missing block {label!r}"
+                )
+        for label in self.delete_blocks:
+            if label not in cfg:
+                raise PlacementError(
+                    f"{self.expr}: deletion at missing block {label!r}"
+                )
+            if not _has_upward_exposed(cfg, label, self.expr):
+                raise PlacementError(
+                    f"{self.expr}: block {label!r} has no upwards-exposed "
+                    "occurrence to delete"
+                )
+
+    def describe(self) -> str:
+        """One-line summary used by examples and the bench harness."""
+        parts = []
+        if self.insert_edges:
+            edges = ", ".join(f"{s}->{d}" for s, d in sorted(self.insert_edges))
+            parts.append(f"insert on edges [{edges}]")
+        if self.insert_entries:
+            parts.append(
+                "insert at entries [" + ", ".join(sorted(self.insert_entries)) + "]"
+            )
+        if self.insert_exits:
+            parts.append(
+                "insert at exits [" + ", ".join(sorted(self.insert_exits)) + "]"
+            )
+        if self.delete_blocks:
+            parts.append(
+                "replace in [" + ", ".join(sorted(self.delete_blocks)) + "]"
+            )
+        if not parts:
+            parts.append("no change")
+        return f"{self.expr}: " + "; ".join(parts)
+
+
+def _has_upward_exposed(cfg: CFG, label: str, expr: Expr) -> bool:
+    """Does *label* contain an upwards-exposed occurrence of *expr*?"""
+    from repro.ir.expr import expr_vars
+
+    operands = set(expr_vars(expr))
+    for instr in cfg.block(label).instrs:
+        if instr.expr == expr:
+            return True
+        if instr.target in operands:
+            return False
+    return False
+
+
+def upward_exposed_index(cfg: CFG, label: str, expr: Expr) -> int:
+    """Index of the upwards-exposed occurrence of *expr* in *label*.
+
+    Raises :class:`PlacementError` when there is none — placements that
+    delete in such a block are bugs in the producing algorithm.
+    """
+    from repro.ir.expr import expr_vars
+
+    operands = set(expr_vars(expr))
+    for i, instr in enumerate(cfg.block(label).instrs):
+        if instr.expr == expr:
+            return i
+        if instr.target in operands:
+            break
+    raise PlacementError(
+        f"no upwards-exposed occurrence of {expr} in block {label!r}"
+    )

@@ -1,0 +1,101 @@
+"""Whole-program optimisation reports.
+
+``optimization_report`` runs the analyses and a strategy on a program
+and renders everything a human reviewing the optimisation wants in one
+place: the candidate universe, per-expression analysis summary and
+placement, the verification verdict and the before/after metrics.
+Used by the CLI's ``audit --full`` and handy in notebooks/tests::
+
+    from repro.core.report import optimization_report
+    print(optimization_report(cfg))
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.bench.harness import Table
+from repro.core.lcm import analyze_lcm, lcm_placements
+from repro.core.lifetime import measure_lifetimes, program_pressure
+from repro.core.pipeline import optimize
+from repro.core.verify import verify_transformation
+from repro.ir.cfg import CFG
+
+
+def _expression_rows(cfg: CFG) -> Table:
+    analysis = analyze_lcm(cfg)
+    universe = analysis.universe
+    table = Table(
+        ["#", "expression", "occurrences", "anticipatable blocks",
+         "available blocks", "plan"],
+        title="candidate expressions",
+    )
+    placements = {p.expr: p for p in lcm_placements(analysis)}
+    for idx, expr in universe.enumerate():
+        occurrences = sum(
+            1 for _, _, instr in cfg.instructions() if instr.expr == expr
+        )
+        ant = sum(1 for label in cfg.labels if idx in analysis.antin[label])
+        av = sum(1 for label in cfg.labels if idx in analysis.avin[label])
+        plan = placements[expr]
+        if plan.is_identity:
+            summary = "leave in place"
+        else:
+            summary = (
+                f"{plan.insertion_count} insert / "
+                f"{len(plan.delete_blocks)} delete"
+            )
+        table.add_row(idx, str(expr), occurrences, ant, av, summary)
+    return table
+
+
+def optimization_report(
+    cfg: CFG,
+    strategy: str = "lcm",
+    verify: bool = True,
+    title: Optional[str] = None,
+) -> str:
+    """A complete, readable optimisation report for *cfg*."""
+    lines: List[str] = []
+    header = title or f"optimisation report ({strategy})"
+    lines.append(header)
+    lines.append("=" * len(header))
+    lines.append("")
+
+    lines.append(_expression_rows(cfg).render())
+    lines.append("")
+
+    result = optimize(cfg, strategy)
+    lines.append("placements")
+    lines.append("-" * 10)
+    for line in result.describe().splitlines():
+        lines.append(f"  {line}")
+    copies = sorted(result.copy_blocks)
+    if copies:
+        lines.append(f"  generator copies kept in: {', '.join(copies)}")
+    lines.append("")
+
+    before_peak, before_avg = program_pressure(cfg)
+    after_peak, after_avg = program_pressure(result.cfg)
+    lifetimes = measure_lifetimes(result.cfg, result.temps)
+    metrics = Table(["metric", "before", "after"], title="metrics")
+    metrics.add_row(
+        "static computations",
+        cfg.static_computation_count(),
+        result.cfg.static_computation_count(),
+    )
+    metrics.add_row("blocks", len(cfg), len(result.cfg))
+    metrics.add_row("peak pressure (all vars)", before_peak, after_peak)
+    metrics.add_row(
+        "temp live points", "-", lifetimes.total_live_points
+    )
+    lines.append(metrics.render())
+    lines.append("")
+
+    if verify:
+        verdict = verify_transformation(cfg, result.cfg)
+        lines.append("verification")
+        lines.append("-" * 12)
+        for line in verdict.describe().splitlines():
+            lines.append(f"  {line}")
+    return "\n".join(lines)

@@ -1,0 +1,267 @@
+"""Applying placements: the code motion transformation itself.
+
+Given a CFG and one :class:`~repro.core.placement.Placement` per
+expression, :func:`apply_placements` produces the transformed program:
+
+1. **Replace** the upwards-exposed occurrence ``x = e`` in every
+   ``delete_blocks`` member with ``x = t``.
+2. **Initialise** ``t``: insert ``t = e`` at every ``insert_entries``
+   block entry and on every ``insert_edges`` edge (realised by edge
+   splitting; simultaneous insertions of several expressions on one edge
+   share the split block).
+3. **Copy at generators**: every *remaining* occurrence ``x = e`` is
+   tentatively rewritten to ``t = e; x = t`` so its value can flow to
+   replaced occurrences downstream.
+4. **Suppress isolated copies**: a tentative copy whose temporary is
+   dead after the pair is collapsed back to the original ``x = e``.
+   This reproduces the paper's isolation treatment *semantically*; the
+   analyses' own isolation handling is cross-checked against it in the
+   tests.
+
+The result is always semantically equivalent to the input for *any*
+placement that is value-correct; the interpreter-based checkers in
+:mod:`repro.core.optimality` verify this property for every algorithm in
+the library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.analysis.liveness import LivenessResult, compute_liveness
+from repro.core.placement import Placement, PlacementError, upward_exposed_index
+from repro.ir.cfg import CFG, Edge
+from repro.ir.expr import Var, expr_vars
+from repro.ir.instr import Assign
+
+
+@dataclass
+class TransformResult:
+    """The outcome of applying a set of placements."""
+
+    original: CFG
+    cfg: CFG
+    placements: List[Placement]
+    temps: Set[str]
+    copies_added: List[Tuple[str, str]] = field(default_factory=list)
+    copies_collapsed: List[Tuple[str, str]] = field(default_factory=list)
+    insertions_dropped: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def copy_blocks(self) -> Set[str]:
+        """Blocks where a generating occurrence kept its copy (COPY set)."""
+        collapsed = set(self.copies_collapsed)
+        return {label for label, _ in self.copies_added if (label, _) not in collapsed}
+
+    def describe(self) -> str:
+        lines = [p.describe() for p in self.placements if not p.is_identity]
+        if not lines:
+            return "no transformation applied"
+        return "\n".join(lines)
+
+
+def _is_live_after(
+    cfg: CFG, liveness: LivenessResult, label: str, index: int, var: str
+) -> bool:
+    """Is *var* live immediately after instruction *index* of *label*?"""
+    block = cfg.block(label)
+    for instr in block.instrs[index + 1 :]:
+        if var in instr.uses():
+            return True
+        if instr.target == var:
+            return False
+    if block.terminator is not None and var in block.terminator.uses():
+        return True
+    return liveness.is_live_out(label, var)
+
+
+def apply_placements(
+    cfg: CFG,
+    placements: Sequence[Placement],
+    add_copies: bool = True,
+    collapse_isolated_copies: bool = True,
+    drop_dead_insertions: bool = True,
+) -> TransformResult:
+    """Apply *placements* to a copy of *cfg* and return the result.
+
+    Args:
+        cfg: the program to transform (left untouched).
+        placements: one plan per expression; temps must be distinct.
+        add_copies: rewrite remaining occurrences to ``t = e; x = t`` so
+            their value reaches replaced occurrences (step 3 above).
+            Disable only for algorithms that provably need no
+            generators, or to study the resulting miscompiles.
+        collapse_isolated_copies: undo copies whose temp is dead
+            (step 4).  Disabling yields the ALCM-style "copy
+            everywhere" program, used by the isolation ablation.
+        drop_dead_insertions: remove inserted ``t = e`` whose temp is
+            dead — a defensive cleanup for baselines that may insert
+            uselessly; LCM/BCM never trigger it.
+    """
+    temps = [p.temp for p in placements]
+    if len(set(temps)) != len(temps):
+        raise PlacementError("placements must use pairwise distinct temps")
+    # Uniquify temp names against the program (re-optimising an already
+    # transformed program would otherwise reuse last round's temps).
+    taken = set(cfg.variables()) | set(temps)
+    renamed: List[Placement] = []
+    for placement in placements:
+        placement.validate_against(cfg)
+        temp = placement.temp
+        if temp in cfg.variables():
+            suffix = 2
+            while f"{temp}~{suffix}" in taken:
+                suffix += 1
+            temp = f"{temp}~{suffix}"
+            taken.add(temp)
+            placement = Placement(
+                placement.expr,
+                temp,
+                placement.insert_edges,
+                placement.insert_entries,
+                placement.delete_blocks,
+                placement.insert_exits,
+            )
+        renamed.append(placement)
+    placements = renamed
+
+    work = cfg.copy()
+    result = TransformResult(
+        original=cfg,
+        cfg=work,
+        placements=list(placements),
+        temps={p.temp for p in placements},
+    )
+
+    # Step 1: replace deleted occurrences.
+    for placement in placements:
+        for label in sorted(placement.delete_blocks):
+            index = upward_exposed_index(work, label, placement.expr)
+            block = work.block(label)
+            old = block.instrs[index]
+            block.instrs[index] = Assign(old.target, Var(placement.temp))
+
+    # Step 3 (before insertions so indices refer to original occurrences):
+    # tentative copies at every remaining occurrence.
+    if add_copies:
+        for placement in placements:
+            for block in work:
+                rewritten: List[Assign] = []
+                for instr in block.instrs:
+                    if instr.expr == placement.expr and instr.target != placement.temp:
+                        rewritten.append(Assign(placement.temp, placement.expr))
+                        rewritten.append(Assign(instr.target, Var(placement.temp)))
+                        result.copies_added.append((block.label, placement.temp))
+                    else:
+                        rewritten.append(instr)
+                block.instrs[:] = rewritten
+
+    # Step 2a: entry insertions (prepended, so they precede every use)
+    # and exit insertions (appended, after every occurrence).
+    for placement in placements:
+        for label in sorted(placement.insert_entries):
+            work.block(label).instrs.insert(
+                0, Assign(placement.temp, placement.expr)
+            )
+        for label in sorted(placement.insert_exits):
+            work.block(label).append(Assign(placement.temp, placement.expr))
+
+    # Step 2b: edge insertions; one split block per edge, shared by all
+    # expressions inserting there.
+    by_edge: Dict[Edge, List[Placement]] = {}
+    for placement in placements:
+        for edge in placement.insert_edges:
+            by_edge.setdefault(edge, []).append(placement)
+    for edge in sorted(by_edge):
+        src, dst = edge
+        split = work.split_edge(src, dst, f"ins_{src}_{dst}")
+        for placement in sorted(by_edge[edge], key=lambda p: p.temp):
+            split.append(Assign(placement.temp, placement.expr))
+
+    # Step 4: collapse isolated copies and drop dead insertions.
+    if collapse_isolated_copies and result.copies_added:
+        _collapse_dead_copies(work, result)
+    if drop_dead_insertions:
+        _drop_dead_insertions(work, result)
+
+    return result
+
+
+def _collapse_dead_copies(cfg: CFG, result: TransformResult) -> None:
+    """Rewrite ``t = e; x = t`` back to ``x = e`` where *t* dies at once."""
+    liveness = compute_liveness(cfg)
+    for block in cfg:
+        changed = False
+        i = 0
+        while i + 1 < len(block.instrs):
+            first, second = block.instrs[i], block.instrs[i + 1]
+            if (
+                first.target in result.temps
+                and second.expr == Var(first.target)
+                and second.target != first.target
+                and (block.label, first.target) in result.copies_added
+                and not _is_live_after(
+                    cfg, liveness, block.label, i + 1, first.target
+                )
+            ):
+                block.instrs[i : i + 2] = [Assign(second.target, first.expr)]
+                result.copies_collapsed.append((block.label, first.target))
+                changed = True
+                # A collapse can only shorten later liveness, never extend
+                # it, so continuing with the stale solution is sound: it
+                # may miss a newly dead copy in *earlier* blocks, which the
+                # fixpoint loop in the caller would catch; in practice the
+                # pairs are independent.  Re-solve to stay exact.
+            else:
+                i += 1
+        if changed:
+            liveness = compute_liveness(cfg)
+
+
+def _drop_dead_insertions(cfg: CFG, result: TransformResult) -> None:
+    """Remove inserted/copy definitions of temps that are never used."""
+    changed = True
+    while changed:
+        changed = False
+        liveness = compute_liveness(cfg)
+        for block in cfg:
+            keep: List[Assign] = []
+            for i, instr in enumerate(block.instrs):
+                if instr.target in result.temps and not _is_live_after(
+                    cfg, liveness, block.label, i, instr.target
+                ):
+                    result.insertions_dropped.append((block.label, instr.target))
+                    changed = True
+                else:
+                    keep.append(instr)
+            if len(keep) != len(block.instrs):
+                block.instrs[:] = keep
+
+
+def eliminate_dead_code(cfg: CFG, candidates: Iterable[str]) -> int:
+    """Iteratively remove dead assignments to the *candidates* variables.
+
+    Returns the number of instructions removed.  Only assignments whose
+    target is in *candidates* are touched (all right-hand sides in this
+    IR are pure, so removal is always sound for dead targets).
+    """
+    candidate_set = set(candidates)
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        liveness = compute_liveness(cfg)
+        for block in cfg:
+            keep: List[Assign] = []
+            for i, instr in enumerate(block.instrs):
+                if instr.target in candidate_set and not _is_live_after(
+                    cfg, liveness, block.label, i, instr.target
+                ):
+                    removed += 1
+                    changed = True
+                else:
+                    keep.append(instr)
+            if len(keep) != len(block.instrs):
+                block.instrs[:] = keep
+    return removed

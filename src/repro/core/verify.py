@@ -1,0 +1,109 @@
+"""One-call verification of a transformation against the paper's bars.
+
+``verify_transformation`` bundles the library's oracles into a single
+verdict for a (original, transformed) pair:
+
+* **equivalence** — differential execution on random inputs;
+* **safety** — per-path evaluation counts never increase (classic
+  PRE's admissibility; speculative transformations legitimately fail
+  this and can say so upfront);
+* **profitability** — at least one path got cheaper (optional: the
+  identity transformation is fine for `optimize(cfg, "none")`).
+
+Used by the CLI's ``opt --verify`` and handy in user code::
+
+    from repro import optimize
+    from repro.core.verify import verify_transformation
+
+    result = optimize(cfg, "lcm")
+    verdict = verify_transformation(cfg, result.cfg)
+    assert verdict.ok, verdict.describe()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.optimality import (
+    EquivalenceReport,
+    PathReport,
+    check_equivalence,
+    compare_per_path,
+)
+from repro.ir.cfg import CFG
+from repro.ir.validate import validate_cfg
+
+
+@dataclass
+class Verdict:
+    """The bundled verification outcome."""
+
+    equivalence: EquivalenceReport
+    paths: PathReport
+    structural_ok: bool
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def describe(self) -> str:
+        lines = [
+            f"structure : {'ok' if self.structural_ok else 'INVALID'}",
+            f"semantics : {self.equivalence.runs} runs, "
+            + ("equivalent" if self.equivalence.equivalent else "MISMATCH"),
+            f"paths     : {self.paths.describe()}",
+        ]
+        if self.failures:
+            lines.append("FAILURES: " + "; ".join(self.failures))
+        else:
+            lines.append("verdict   : OK")
+        return "\n".join(lines)
+
+
+def verify_transformation(
+    original: CFG,
+    transformed: CFG,
+    runs: int = 30,
+    max_branches: int = 7,
+    expect_safe: bool = True,
+    expect_profitable: bool = False,
+    compare_decisions: bool = True,
+    seed: int = 0,
+) -> Verdict:
+    """Check *transformed* against *original* on all three bars."""
+    failures: List[str] = []
+
+    structural_ok = True
+    try:
+        validate_cfg(transformed)
+    except Exception as exc:  # pragma: no cover - defensive
+        structural_ok = False
+        failures.append(f"structural validation failed: {exc}")
+
+    equivalence = check_equivalence(
+        original,
+        transformed,
+        runs=runs,
+        seed=seed,
+        compare_decisions=compare_decisions,
+    )
+    if not equivalence.equivalent:
+        sample = equivalence.mismatches[0][1] if equivalence.mismatches else ""
+        failures.append(f"semantics changed ({sample})")
+
+    if compare_decisions:
+        paths = compare_per_path(original, transformed, max_branches=max_branches)
+        if expect_safe and not paths.safe:
+            failures.append(
+                f"{len(paths.safety_violations)} per-path safety violations"
+            )
+        if expect_profitable and paths.improvements == 0:
+            failures.append("no path improved")
+    else:
+        # Branch structure changed (e.g. branch folding): per-path
+        # replay is undefined; report an empty path comparison.
+        paths = PathReport()
+
+    return Verdict(equivalence, paths, structural_ok, failures)

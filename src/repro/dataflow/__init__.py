@@ -1,0 +1,49 @@
+"""Generic bit-vector dataflow machinery.
+
+The paper's efficiency argument is that Lazy Code Motion needs only
+*unidirectional* bit-vector problems, which are simpler and cheaper to
+solve than Morel–Renvoise's bidirectional system.  This package provides
+the machinery to measure that claim:
+
+* :mod:`repro.dataflow.bitvec` — fixed-width bit vectors over an indexed
+  universe, with optional per-operation counting;
+* :mod:`repro.dataflow.order` — postorder / reverse-postorder traversals;
+* :mod:`repro.dataflow.problem` — declarative problem descriptions
+  (direction, confluence, boundary, transfer functions);
+* :mod:`repro.dataflow.solver` — round-robin and worklist iterative
+  solvers for unidirectional problems;
+* :mod:`repro.dataflow.bidirectional` — a fixpoint solver for coupled
+  equation systems (used by the Morel–Renvoise baseline);
+* :mod:`repro.dataflow.stats` — counters shared by all of the above.
+"""
+
+from repro.dataflow.bitvec import BitVector, OpCounter, counting
+from repro.dataflow.order import postorder, reverse_postorder, backward_order
+from repro.dataflow.problem import (
+    Confluence,
+    DataflowProblem,
+    Direction,
+    GenKillTransfer,
+)
+from repro.dataflow.solver import Solution, solve, solve_worklist
+from repro.dataflow.bidirectional import EquationSystem, solve_system
+from repro.dataflow.stats import SolverStats
+
+__all__ = [
+    "BitVector",
+    "Confluence",
+    "DataflowProblem",
+    "Direction",
+    "EquationSystem",
+    "GenKillTransfer",
+    "OpCounter",
+    "Solution",
+    "SolverStats",
+    "backward_order",
+    "counting",
+    "postorder",
+    "reverse_postorder",
+    "solve",
+    "solve_system",
+    "solve_worklist",
+]

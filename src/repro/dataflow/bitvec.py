@@ -1,0 +1,200 @@
+"""Fixed-width bit vectors with optional operation counting.
+
+All global analyses in this reproduction operate on bit vectors indexed
+by an expression universe.  The vectors are immutable value objects
+backed by Python integers, so ``&``, ``|`` and ``~`` are single machine
+operations for realistic universe sizes — exactly the cost model the
+paper's "bit-vector data flow analysis" complexity claims assume.
+
+For benchmark C1 (cost comparison of LCM's unidirectional analyses
+against the bidirectional Morel–Renvoise system) every logical operation
+can be counted: install an :class:`OpCounter` with the :func:`counting`
+context manager and run the analyses inside it.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+
+@dataclass
+class OpCounter:
+    """Tally of logical bit-vector operations, by operator kind."""
+
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    def bump(self, kind: str) -> None:
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def merged(self, other: "OpCounter") -> "OpCounter":
+        merged = OpCounter(dict(self.counts))
+        for kind, n in other.counts.items():
+            merged.counts[kind] = merged.counts.get(kind, 0) + n
+        return merged
+
+
+#: The installed counter, or None when counting is off (the default).
+_ACTIVE_COUNTER: Optional[OpCounter] = None
+
+
+@contextmanager
+def counting() -> Iterator[OpCounter]:
+    """Count bit-vector operations performed inside the ``with`` block."""
+    global _ACTIVE_COUNTER
+    previous = _ACTIVE_COUNTER
+    counter = OpCounter()
+    _ACTIVE_COUNTER = counter
+    try:
+        yield counter
+    finally:
+        _ACTIVE_COUNTER = previous
+
+
+def _bump(kind: str) -> None:
+    if _ACTIVE_COUNTER is not None:
+        _ACTIVE_COUNTER.bump(kind)
+
+
+class BitVector:
+    """An immutable bit vector of fixed width.
+
+    Bit *i* corresponds to element *i* of whatever universe the caller
+    indexes by (for the PRE analyses: expression *i*).  Out-of-range bits
+    never appear; complement is taken within the width.
+    """
+
+    __slots__ = ("width", "bits")
+
+    def __init__(self, width: int, bits: int = 0) -> None:
+        if width < 0:
+            raise ValueError(f"width must be >= 0, got {width}")
+        mask = (1 << width) - 1
+        if bits & ~mask:
+            raise ValueError(f"bits {bits:#x} exceed width {width}")
+        self.width = width
+        self.bits = bits
+
+    # -- constructors ---------------------------------------------------
+
+    @classmethod
+    def empty(cls, width: int) -> "BitVector":
+        """The all-zeros vector (bottom of the union lattice)."""
+        return cls(width, 0)
+
+    @classmethod
+    def full(cls, width: int) -> "BitVector":
+        """The all-ones vector (top of the intersection lattice)."""
+        return cls(width, (1 << width) - 1)
+
+    @classmethod
+    def of(cls, width: int, indices) -> "BitVector":
+        """A vector with exactly the given *indices* set."""
+        bits = 0
+        for i in indices:
+            if not 0 <= i < width:
+                raise IndexError(f"bit {i} out of range for width {width}")
+            bits |= 1 << i
+        return cls(width, bits)
+
+    @classmethod
+    def singleton(cls, width: int, index: int) -> "BitVector":
+        """A vector with only *index* set."""
+        return cls.of(width, (index,))
+
+    # -- logical operations ---------------------------------------------
+
+    def _check(self, other: "BitVector") -> None:
+        if not isinstance(other, BitVector):
+            raise TypeError(f"expected BitVector, got {type(other).__name__}")
+        if other.width != self.width:
+            raise ValueError(
+                f"width mismatch: {self.width} vs {other.width}"
+            )
+
+    def __and__(self, other: "BitVector") -> "BitVector":
+        self._check(other)
+        _bump("and")
+        return BitVector(self.width, self.bits & other.bits)
+
+    def __or__(self, other: "BitVector") -> "BitVector":
+        self._check(other)
+        _bump("or")
+        return BitVector(self.width, self.bits | other.bits)
+
+    def __xor__(self, other: "BitVector") -> "BitVector":
+        self._check(other)
+        _bump("xor")
+        return BitVector(self.width, self.bits ^ other.bits)
+
+    def __invert__(self) -> "BitVector":
+        _bump("not")
+        return BitVector(self.width, self.bits ^ ((1 << self.width) - 1))
+
+    def __sub__(self, other: "BitVector") -> "BitVector":
+        """Set difference: ``self & ~other`` as one counted operation."""
+        self._check(other)
+        _bump("andnot")
+        return BitVector(self.width, self.bits & ~other.bits)
+
+    # -- comparisons and queries ----------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitVector):
+            return NotImplemented
+        return self.width == other.width and self.bits == other.bits
+
+    def __hash__(self) -> int:
+        return hash((self.width, self.bits))
+
+    def __bool__(self) -> bool:
+        return self.bits != 0
+
+    def __contains__(self, index: int) -> bool:
+        return 0 <= index < self.width and bool(self.bits >> index & 1)
+
+    def __len__(self) -> int:
+        return self.width
+
+    def get(self, index: int) -> bool:
+        """Value of bit *index* (range-checked)."""
+        if not 0 <= index < self.width:
+            raise IndexError(f"bit {index} out of range for width {self.width}")
+        return bool(self.bits >> index & 1)
+
+    def with_bit(self, index: int, value: bool = True) -> "BitVector":
+        """A copy with bit *index* set (or cleared)."""
+        if not 0 <= index < self.width:
+            raise IndexError(f"bit {index} out of range for width {self.width}")
+        if value:
+            return BitVector(self.width, self.bits | (1 << index))
+        return BitVector(self.width, self.bits & ~(1 << index))
+
+    def issubset(self, other: "BitVector") -> bool:
+        self._check(other)
+        return self.bits & ~other.bits == 0
+
+    def count(self) -> int:
+        """Number of set bits."""
+        return bin(self.bits).count("1")
+
+    def indices(self) -> Iterator[int]:
+        """Yield the set bit positions in increasing order."""
+        bits = self.bits
+        index = 0
+        while bits:
+            if bits & 1:
+                yield index
+            bits >>= 1
+            index += 1
+
+    def __iter__(self) -> Iterator[int]:
+        return self.indices()
+
+    def __repr__(self) -> str:
+        return f"BitVector({self.width}, {{{', '.join(map(str, self))}}})"

@@ -1,0 +1,78 @@
+"""Graph traversal orders for iterative dataflow solving.
+
+Iterating a forward problem in reverse postorder (and a backward problem
+in reverse postorder of the *reversed* graph) propagates facts along as
+many edges as possible per sweep, giving the classic
+``O(depth + 2)``-sweep convergence bound for reducible graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.ir.cfg import CFG
+
+
+def postorder(cfg: CFG) -> List[str]:
+    """Depth-first postorder of block labels starting at the entry.
+
+    Deterministic: children are visited in terminator successor order.
+    Only blocks reachable from the entry appear.
+    """
+    seen: Set[str] = set()
+    order: List[str] = []
+    # Iterative DFS with an explicit stack of (label, child iterator).
+    stack = [(cfg.entry, iter(cfg.succs(cfg.entry)))]
+    seen.add(cfg.entry)
+    while stack:
+        label, children = stack[-1]
+        advanced = False
+        for child in children:
+            if child not in seen:
+                seen.add(child)
+                stack.append((child, iter(cfg.succs(child))))
+                advanced = True
+                break
+        if not advanced:
+            order.append(label)
+            stack.pop()
+    return order
+
+
+def reverse_postorder(cfg: CFG) -> List[str]:
+    """Reverse postorder from the entry — the forward iteration order."""
+    return list(reversed(postorder(cfg)))
+
+
+def backward_order(cfg: CFG) -> List[str]:
+    """Iteration order for backward problems.
+
+    A depth-first postorder of the reversed graph, reversed — i.e. facts
+    flow from the exit towards the entry as early as possible per sweep.
+    """
+    seen: Set[str] = set()
+    order: List[str] = []
+    stack = [(cfg.exit, iter(cfg.preds(cfg.exit)))]
+    seen.add(cfg.exit)
+    while stack:
+        label, parents = stack[-1]
+        advanced = False
+        for parent in parents:
+            if parent not in seen:
+                seen.add(parent)
+                stack.append((parent, iter(cfg.preds(parent))))
+                advanced = True
+                break
+        if not advanced:
+            order.append(label)
+            stack.pop()
+    # Blocks that cannot reach the exit do not occur in valid CFGs
+    # (validate_cfg enforces this), but be permissive: append any
+    # remaining blocks in graph order so the solver still terminates.
+    remaining = [label for label in cfg.labels if label not in seen]
+    return list(reversed(order)) + remaining
+
+
+def rpo_index(cfg: CFG) -> Dict[str, int]:
+    """Map each label to its reverse-postorder position."""
+    return {label: i for i, label in enumerate(reverse_postorder(cfg))}

@@ -1,0 +1,154 @@
+"""Declarative descriptions of unidirectional bit-vector dataflow problems.
+
+A :class:`DataflowProblem` packages everything a solver needs:
+
+* the direction facts flow in (:class:`Direction`),
+* how facts meet at control-flow joins (:class:`Confluence`),
+* the vector width (size of the expression universe),
+* the per-block transfer function,
+* the boundary value (at the entry for forward problems, at the exit for
+  backward ones) and the initial interior value (the lattice top).
+
+Transfer functions always map the block's *input-side* fact to its
+*output-side* fact in the direction of flow: for a forward problem the
+solver calls ``transfer(label, fact_at_block_entry)`` and stores the
+result as the fact at block exit; for a backward problem it calls
+``transfer(label, fact_at_block_exit)`` and stores the result at entry.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.dataflow.bitvec import BitVector
+
+
+class Direction(enum.Enum):
+    """Which way facts propagate along control flow edges."""
+
+    FORWARD = "forward"
+    BACKWARD = "backward"
+
+
+class Confluence(enum.Enum):
+    """The meet operation at control-flow joins.
+
+    INTERSECT is the *all paths* quantifier (availability,
+    anticipability, delayability); UNION is *some path* (partial
+    availability, liveness).
+    """
+
+    INTERSECT = "intersect"
+    UNION = "union"
+
+
+#: A transfer function from input-side fact to output-side fact.
+Transfer = Callable[[str, BitVector], BitVector]
+
+
+@dataclass(frozen=True)
+class GenKillTransfer:
+    """The standard ``out = gen ∪ (in ∩ keep)`` transfer family.
+
+    Every LCM analysis is of this shape, e.g. anticipability uses
+    ``gen = ANTLOC`` and ``keep = TRANSP``.  ``keep`` is the complement of
+    the usual *kill* set; storing it directly saves a negation per
+    application, mirroring how production implementations (GCC's
+    ``lcm.c``) precompute transparency.
+    """
+
+    gen: Mapping[str, BitVector]
+    keep: Mapping[str, BitVector]
+
+    def __call__(self, label: str, fact: BitVector) -> BitVector:
+        return self.gen[label] | (fact & self.keep[label])
+
+
+@dataclass(frozen=True)
+class DataflowProblem:
+    """A complete unidirectional bit-vector problem instance."""
+
+    name: str
+    direction: Direction
+    confluence: Confluence
+    width: int
+    transfer: Transfer
+    boundary: BitVector
+    init: BitVector
+
+    def __post_init__(self) -> None:
+        if self.boundary.width != self.width:
+            raise ValueError(
+                f"{self.name}: boundary width {self.boundary.width} != {self.width}"
+            )
+        if self.init.width != self.width:
+            raise ValueError(
+                f"{self.name}: init width {self.init.width} != {self.width}"
+            )
+
+    @classmethod
+    def forward_intersect(
+        cls, name: str, width: int, transfer: Transfer
+    ) -> "DataflowProblem":
+        """Forward all-paths problem with the conventional init/boundary.
+
+        Boundary (entry) = ∅ — nothing holds before the program runs;
+        interior init = full — the optimistic top of the intersection
+        lattice.
+        """
+        return cls(
+            name,
+            Direction.FORWARD,
+            Confluence.INTERSECT,
+            width,
+            transfer,
+            boundary=BitVector.empty(width),
+            init=BitVector.full(width),
+        )
+
+    @classmethod
+    def backward_intersect(
+        cls, name: str, width: int, transfer: Transfer
+    ) -> "DataflowProblem":
+        """Backward all-paths problem (boundary at exit = ∅, init = full)."""
+        return cls(
+            name,
+            Direction.BACKWARD,
+            Confluence.INTERSECT,
+            width,
+            transfer,
+            boundary=BitVector.empty(width),
+            init=BitVector.full(width),
+        )
+
+    @classmethod
+    def forward_union(
+        cls, name: str, width: int, transfer: Transfer
+    ) -> "DataflowProblem":
+        """Forward some-path problem (boundary = ∅, init = ∅)."""
+        return cls(
+            name,
+            Direction.FORWARD,
+            Confluence.UNION,
+            width,
+            transfer,
+            boundary=BitVector.empty(width),
+            init=BitVector.empty(width),
+        )
+
+    @classmethod
+    def backward_union(
+        cls, name: str, width: int, transfer: Transfer
+    ) -> "DataflowProblem":
+        """Backward some-path problem (boundary = ∅, init = ∅)."""
+        return cls(
+            name,
+            Direction.BACKWARD,
+            Confluence.UNION,
+            width,
+            transfer,
+            boundary=BitVector.empty(width),
+            init=BitVector.empty(width),
+        )

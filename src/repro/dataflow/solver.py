@@ -1,0 +1,142 @@
+"""Iterative solvers for unidirectional bit-vector dataflow problems.
+
+Two solvers are provided with identical results:
+
+* :func:`solve` — round-robin sweeps in reverse postorder (forward) or
+  reverse postorder of the reversed graph (backward), the textbook
+  algorithm whose sweep count the paper's complexity remarks refer to;
+* :func:`solve_worklist` — a priority worklist keyed by traversal-order
+  position, revisiting only blocks whose inputs changed.
+
+Both return a :class:`Solution` mapping every block to the fact holding
+at its entry (``inof``) and exit (``outof``), plus work statistics.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.dataflow.bitvec import BitVector
+from repro.dataflow.order import backward_order, reverse_postorder
+from repro.dataflow.problem import Confluence, DataflowProblem, Direction
+from repro.dataflow.stats import SolverStats
+from repro.ir.cfg import CFG
+
+
+@dataclass
+class Solution:
+    """A dataflow fixpoint: facts at every block boundary, plus stats."""
+
+    problem: str
+    inof: Dict[str, BitVector]
+    outof: Dict[str, BitVector]
+    stats: SolverStats = field(default_factory=SolverStats)
+
+
+def _meet(problem: DataflowProblem, facts: List[BitVector]) -> BitVector:
+    if not facts:
+        # Joins with no incoming facts only occur at the graph boundary,
+        # which the solvers special-case; return the neutral element.
+        if problem.confluence is Confluence.INTERSECT:
+            return BitVector.full(problem.width)
+        return BitVector.empty(problem.width)
+    result = facts[0]
+    for fact in facts[1:]:
+        result = result & fact if problem.confluence is Confluence.INTERSECT else result | fact
+    return result
+
+
+def solve(cfg: CFG, problem: DataflowProblem, max_sweeps: int = 10_000) -> Solution:
+    """Round-robin iteration to the maximum (resp. minimum) fixpoint."""
+    forward = problem.direction is Direction.FORWARD
+    order = reverse_postorder(cfg) if forward else backward_order(cfg)
+    boundary_label = cfg.entry if forward else cfg.exit
+
+    inof: Dict[str, BitVector] = {}
+    outof: Dict[str, BitVector] = {}
+    for label in cfg.labels:
+        inof[label] = problem.init
+        outof[label] = problem.init
+
+    stats = SolverStats()
+    changed = True
+    while changed:
+        if stats.sweeps >= max_sweeps:
+            raise RuntimeError(
+                f"dataflow problem {problem.name!r} did not converge in "
+                f"{max_sweeps} sweeps"
+            )
+        changed = False
+        stats.sweeps += 1
+        for label in order:
+            stats.node_visits += 1
+            if forward:
+                if label == boundary_label:
+                    new_in = problem.boundary
+                else:
+                    new_in = _meet(problem, [outof[p] for p in cfg.preds(label)])
+                new_out = problem.transfer(label, new_in)
+                if new_in != inof[label] or new_out != outof[label]:
+                    inof[label], outof[label] = new_in, new_out
+                    changed = True
+            else:
+                if label == boundary_label:
+                    new_out = problem.boundary
+                else:
+                    new_out = _meet(problem, [inof[s] for s in cfg.succs(label)])
+                new_in = problem.transfer(label, new_out)
+                if new_in != inof[label] or new_out != outof[label]:
+                    inof[label], outof[label] = new_in, new_out
+                    changed = True
+    return Solution(problem.name, inof, outof, stats)
+
+
+def solve_worklist(cfg: CFG, problem: DataflowProblem) -> Solution:
+    """Priority-worklist iteration; same fixpoint as :func:`solve`."""
+    forward = problem.direction is Direction.FORWARD
+    order = reverse_postorder(cfg) if forward else backward_order(cfg)
+    priority = {label: i for i, label in enumerate(order)}
+    boundary_label = cfg.entry if forward else cfg.exit
+
+    inof: Dict[str, BitVector] = {label: problem.init for label in cfg.labels}
+    outof: Dict[str, BitVector] = {label: problem.init for label in cfg.labels}
+
+    stats = SolverStats()
+    heap: List[tuple] = []
+    queued = set()
+
+    def push(label: str) -> None:
+        if label not in queued and label in priority:
+            queued.add(label)
+            heapq.heappush(heap, (priority[label], label))
+
+    for label in order:
+        push(label)
+
+    while heap:
+        _, label = heapq.heappop(heap)
+        queued.discard(label)
+        stats.node_visits += 1
+        if forward:
+            if label == boundary_label:
+                new_in = problem.boundary
+            else:
+                new_in = _meet(problem, [outof[p] for p in cfg.preds(label)])
+            new_out = problem.transfer(label, new_in)
+            if new_in != inof[label] or new_out != outof[label]:
+                inof[label], outof[label] = new_in, new_out
+                for succ in cfg.succs(label):
+                    push(succ)
+        else:
+            if label == boundary_label:
+                new_out = problem.boundary
+            else:
+                new_out = _meet(problem, [inof[s] for s in cfg.succs(label)])
+            new_in = problem.transfer(label, new_out)
+            if new_in != inof[label] or new_out != outof[label]:
+                inof[label], outof[label] = new_in, new_out
+                for pred in cfg.preds(label):
+                    push(pred)
+    return Solution(problem.name, inof, outof, stats)

@@ -1,0 +1,38 @@
+"""Solver statistics shared by the unidirectional and bidirectional solvers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class SolverStats:
+    """Work performed by one solver run.
+
+    Attributes:
+        sweeps: number of full passes over the iteration order
+            (round-robin solver) or 0 for worklist runs.
+        node_visits: number of transfer-function evaluations.
+        bitvec_ops: logical bit-vector operations, by kind, when the run
+            happened inside a :func:`repro.dataflow.bitvec.counting`
+            context attached by the caller; empty otherwise.
+    """
+
+    sweeps: int = 0
+    node_visits: int = 0
+    bitvec_ops: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_bitvec_ops(self) -> int:
+        return sum(self.bitvec_ops.values())
+
+    def merged(self, other: "SolverStats") -> "SolverStats":
+        ops = dict(self.bitvec_ops)
+        for kind, n in other.bitvec_ops.items():
+            ops[kind] = ops.get(kind, 0) + n
+        return SolverStats(
+            sweeps=self.sweeps + other.sweeps,
+            node_visits=self.node_visits + other.node_visits,
+            bitvec_ops=ops,
+        )

@@ -1,0 +1,54 @@
+"""Extensions beyond the paper's core algorithm.
+
+The paper draws a sharp line: classic PRE only ever inserts at
+*down-safe* points, so its optimal transformation is independent of
+execution frequencies; profile-guided *speculative* PRE crosses that
+line to win more in expectation, at the cost of losing on cold paths.
+This package implements the speculative side of that contrast so the
+trade-off can be measured:
+
+* :mod:`repro.extensions.speculative` — profile-guided speculative
+  loop-invariant motion with an explicit benefit test;
+* :mod:`repro.extensions.strength` — induction-variable strength
+  reduction (the direction of the authors' own *Lazy Strength
+  Reduction* follow-up);
+* :mod:`repro.extensions.codesize` — code-size-governed placement
+  (the authors' *Sparse Code Motion* direction);
+* :mod:`repro.extensions.sinking` — partial dead-code elimination by
+  assignment sinking (the authors' PLDI'94 dual of PRE).
+"""
+
+from repro.extensions.codesize import (
+    SizeReport,
+    size_governed_placements,
+    size_governed_transform,
+)
+from repro.extensions.sinking import SinkReport, sink_assignments
+from repro.extensions.speculative import (
+    SpeculationReport,
+    speculative_transform,
+)
+from repro.extensions.strength import (
+    DerivedIV,
+    InductionVariable,
+    StrengthReport,
+    find_derived_variables,
+    find_induction_variables,
+    strength_reduce,
+)
+
+__all__ = [
+    "DerivedIV",
+    "InductionVariable",
+    "SinkReport",
+    "SizeReport",
+    "SpeculationReport",
+    "StrengthReport",
+    "find_derived_variables",
+    "find_induction_variables",
+    "sink_assignments",
+    "size_governed_placements",
+    "size_governed_transform",
+    "speculative_transform",
+    "strength_reduce",
+]

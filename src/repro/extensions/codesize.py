@@ -1,0 +1,84 @@
+"""Code-size-sensitive PRE (the authors' *Sparse Code Motion* direction).
+
+Knoop, Rüthing & Steffen later observed (Sparse Code Motion, POPL
+2000) that speed-optimal placements can grow the program: one deleted
+occurrence may require several insertions (one per uncovered incoming
+path).  When code size matters — embedded targets, inlining budgets —
+a placement should only be applied where it does not bloat the text.
+
+This module implements the simple size-governed variant on top of the
+standard analysis: per expression, the LCM placement is applied only
+when its static balance is acceptable,
+
+    |INSERT| - |DELETE|  <=  budget        (budget 0 by default)
+
+and dropped (identity) otherwise.  Dropping a placement never affects
+other expressions (placements are independent per expression), never
+breaks safety (the identity is trivially safe), and keeps the
+transformation computationally optimal *on the expressions it still
+transforms*.
+
+``size_governed_placements`` is the planning hook;
+``size_governed_transform`` the one-call version.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.core.lcm import LCMAnalysis, analyze_lcm, lcm_placements
+from repro.core.placement import Placement
+from repro.core.transform import TransformResult, apply_placements
+from repro.ir.cfg import CFG
+
+
+@dataclass
+class SizeReport:
+    """Which placements the size governor kept and which it dropped."""
+
+    applied: List[Tuple[str, int, int]] = field(default_factory=list)
+    dropped: List[Tuple[str, int, int]] = field(default_factory=list)
+
+    def describe(self) -> str:
+        lines = [
+            f"applied {expr}: {ins} insert / {dele} delete"
+            for expr, ins, dele in self.applied
+        ]
+        lines += [
+            f"dropped {expr}: {ins} insert / {dele} delete (would bloat)"
+            for expr, ins, dele in self.dropped
+        ]
+        return "\n".join(lines) or "no candidate placements"
+
+
+def size_governed_placements(
+    analysis: LCMAnalysis, budget: int = 0
+) -> Tuple[List[Placement], SizeReport]:
+    """Filter the LCM placements by the static size balance."""
+    report = SizeReport()
+    kept: List[Placement] = []
+    for placement in lcm_placements(analysis):
+        if placement.is_identity:
+            kept.append(placement)
+            continue
+        inserts = placement.insertion_count
+        deletes = len(placement.delete_blocks)
+        if inserts - deletes <= budget:
+            kept.append(placement)
+            report.applied.append((str(placement.expr), inserts, deletes))
+        else:
+            kept.append(
+                Placement(placement.expr, placement.temp)  # identity
+            )
+            report.dropped.append((str(placement.expr), inserts, deletes))
+    return kept, report
+
+
+def size_governed_transform(
+    cfg: CFG, budget: int = 0
+) -> Tuple[TransformResult, SizeReport]:
+    """LCM restricted to placements within the code-size *budget*."""
+    analysis = analyze_lcm(cfg)
+    placements, report = size_governed_placements(analysis, budget)
+    return apply_placements(cfg, placements), report

@@ -1,0 +1,132 @@
+"""Profile-guided speculative loop-invariant motion.
+
+Classic PRE (the paper's discipline) refuses to hoist an invariant out
+of a zero-trip loop: the insertion point is not down-safe, so some path
+would compute a value it never needs.  Speculative PRE accepts that
+cost when a profile says it pays off in expectation: hoist ``e`` from
+loop ``L`` to its preheader when
+
+    frequency(occurrences of e inside L)  >  frequency(preheader)
+
+i.e. the loop body executes the computation more often than the loop
+is entered.  The expressions here are pure and total, so speculation
+is always *semantically* safe — only the classic-PRE per-path count
+guarantee is given up, which is exactly the trade-off the benchmark
+``bench_extension_speculative.py`` quantifies against LCM under hot
+and cold profiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Mapping, Set, Tuple
+
+from repro.analysis.frequency import block_frequencies
+from repro.analysis.loops import LoopNest
+from repro.baselines.licm import _ensure_preheader, loop_invariant_exprs
+from repro.core.transform import TransformResult
+from repro.ir.cfg import CFG
+from repro.ir.expr import Expr, Var
+from repro.ir.instr import Assign
+
+
+@dataclass
+class SpeculationReport:
+    """What the speculative pass decided, per loop and expression."""
+
+    hoisted: List[Tuple[str, Expr, int, int]] = field(default_factory=list)
+    rejected: List[Tuple[str, Expr, int, int]] = field(default_factory=list)
+
+    def describe(self) -> str:
+        lines = []
+        for header, expr, inside, entry in self.hoisted:
+            lines.append(
+                f"hoisted {expr} out of loop {header!r} "
+                f"(inside freq {inside} > entry freq {entry})"
+            )
+        for header, expr, inside, entry in self.rejected:
+            lines.append(
+                f"kept {expr} in loop {header!r} "
+                f"(inside freq {inside} <= entry freq {entry})"
+            )
+        return "\n".join(lines) or "no speculation candidates"
+
+
+def _occurrence_frequency(
+    cfg: CFG, body: Set[str], expr: Expr, freq: Mapping[str, int]
+) -> int:
+    total = 0
+    for label in body:
+        occurrences = sum(
+            1 for instr in cfg.block(label).instrs if instr.expr == expr
+        )
+        total += occurrences * freq.get(label, 0)
+    return total
+
+
+def speculative_transform(
+    cfg: CFG,
+    frequencies: Mapping[str, int] = None,
+) -> Tuple[TransformResult, SpeculationReport]:
+    """Hoist profitable loop invariants of *cfg* speculatively.
+
+    Args:
+        cfg: the program (never mutated); its edge weights supply the
+            profile unless *frequencies* overrides them.
+        frequencies: optional explicit block-frequency map.
+
+    Returns the transformation result and a decision report.
+    """
+    work = cfg.copy()
+    freq = dict(frequencies) if frequencies is not None else block_frequencies(work)
+    report = SpeculationReport()
+    temps: Set[str] = set()
+    counter = 0
+    existing = work.variables()
+
+    for loop in LoopNest.compute(work).outermost_first():
+        header, body = loop.header, loop.body
+        invariants = loop_invariant_exprs(work, body)
+        if not invariants:
+            continue
+        decisions = []
+        for expr in invariants:
+            inside = _occurrence_frequency(work, body, expr, freq)
+            entry_freq = sum(
+                work.weight((m, header))
+                for m in work.preds(header)
+                if m not in body
+            )
+            decisions.append((expr, inside, entry_freq))
+        profitable = [d for d in decisions if d[1] > d[2]]
+        for expr, inside, entry_freq in decisions:
+            if (expr, inside, entry_freq) not in profitable:
+                report.rejected.append((header, expr, inside, entry_freq))
+        if not profitable:
+            continue
+        pre_label = _ensure_preheader(work, header, body)
+        pre = work.block(pre_label)
+        for expr, inside, entry_freq in profitable:
+            while f"sp{counter}.spec" in existing:
+                counter += 1
+            temp = f"sp{counter}.spec"
+            counter += 1
+            temps.add(temp)
+            pre.append(Assign(temp, expr))
+            for label in sorted(body):
+                block = work.block(label)
+                block.instrs[:] = [
+                    Assign(instr.target, Var(temp))
+                    if instr.expr == expr
+                    else instr
+                    for instr in block.instrs
+                ]
+            report.hoisted.append((header, expr, inside, entry_freq))
+
+    result = TransformResult(
+        original=cfg,
+        cfg=work,
+        placements=[],
+        temps=temps,
+    )
+    return result, report

@@ -1,0 +1,348 @@
+"""Induction-variable strength reduction.
+
+The paper's authors extended Lazy Code Motion to *lazy strength
+reduction* (Knoop, Rüthing & Steffen, 1993); this module implements the
+classical core of that optimisation on the same IR:
+
+* a **basic induction variable** of a loop is a variable ``i`` with
+  exactly one in-loop definition of the form ``i = i + s`` or
+  ``i = i - s`` with ``s`` a region constant (a literal, or a variable
+  the loop never assigns);
+* a **derived induction variable** is a variable ``j`` with exactly
+  one in-loop definition of the form ``j = i ± rc`` / ``j = rc ± i``
+  over a basic IV ``i`` and a region constant ``rc``;
+* a **candidate** is an in-loop computation ``x = v * c`` (or
+  ``c * v``) with ``v`` a basic or derived IV and ``c`` a region
+  constant;
+* for a basic IV the transformation keeps a temporary ``t == i * c``
+  by initialising it in the preheader and adding ``t = t ± d``
+  (``d = s*c``) right after the induction step;
+* for a derived IV ``j = i ± rc`` it keeps a *shadow product*
+  ``t_j == j * c``: the preheader initialises ``t_j = j * c`` (so
+  reads of a stale pre-loop ``j`` stay correct), and right after
+  ``j``'s definition ``t_j`` is recomputed **additively** from the
+  basic product ``u == i * c`` as ``t_j = u ± e`` with ``e = rc * c``
+  — no multiplication, and no assumptions about how often ``j``'s
+  definition executes relative to ``i``'s step.
+
+Every temporary shadows its variable's definitions in lockstep, so the
+``t == v * c`` invariant holds at every program point outside the
+two-statement update windows, wherever the occurrences sit.
+
+Like the speculative extension, the preheader initialisation runs even
+when the loop body would not have computed the candidate (zero-trip
+loops), so this is outside classic PRE's safety discipline; the
+expressions are pure, so semantics are preserved, and the benchmark
+``bench_extension_strength.py`` quantifies the multiplication-for-
+addition trade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.loops import LoopNest
+from repro.baselines.licm import _ensure_preheader
+from repro.core.transform import TransformResult
+from repro.ir.cfg import CFG
+from repro.ir.expr import Atom, BinExpr, Const, Var
+from repro.ir.instr import Assign
+
+
+@dataclass(frozen=True)
+class InductionVariable:
+    """A basic induction variable: where and how it steps."""
+
+    name: str
+    block: str
+    index: int
+    op: str  # "+" or "-"
+    step: Atom
+
+
+@dataclass(frozen=True)
+class DerivedIV:
+    """A derived induction variable ``j = base ± rc`` (single def)."""
+
+    name: str
+    block: str
+    base: str
+    form: str  # "i+rc", "i-rc" or "rc-i"
+    offset: Atom
+
+
+@dataclass
+class StrengthReport:
+    """What the strength-reduction pass found and rewrote."""
+
+    induction_variables: List[InductionVariable] = field(default_factory=list)
+    derived_variables: List[DerivedIV] = field(default_factory=list)
+    reduced: List[Tuple[str, str]] = field(default_factory=list)  # (iv, temp)
+    replaced_occurrences: int = 0
+
+    def describe(self) -> str:
+        if not self.reduced:
+            return "no strength-reduction candidates"
+        lines = [
+            f"{iv} * ... carried in {temp}" for iv, temp in self.reduced
+        ]
+        lines.append(f"{self.replaced_occurrences} multiplications replaced")
+        return "\n".join(lines)
+
+
+def _region_constants(cfg: CFG, body: Set[str]) -> Set[str]:
+    defined: Set[str] = set()
+    for label in body:
+        defined.update(cfg.block(label).defs())
+    names: Set[str] = set()
+    for label in body:
+        for instr in cfg.block(label).instrs:
+            names.update(instr.uses())
+    return names - defined
+
+
+def find_induction_variables(cfg: CFG, body: Set[str]) -> List[InductionVariable]:
+    """Basic induction variables of the loop *body*."""
+    constants = _region_constants(cfg, body)
+
+    def is_region_const(atom: Atom) -> bool:
+        return isinstance(atom, Const) or (
+            isinstance(atom, Var) and atom.name in constants
+        )
+
+    defs: Dict[str, List[Tuple[str, int, Assign]]] = {}
+    for label in sorted(body):
+        for i, instr in enumerate(cfg.block(label).instrs):
+            defs.setdefault(instr.target, []).append((label, i, instr))
+
+    ivs: List[InductionVariable] = []
+    for name, sites in sorted(defs.items()):
+        if len(sites) != 1:
+            continue
+        label, index, instr = sites[0]
+        expr = instr.expr
+        if not isinstance(expr, BinExpr) or expr.op not in ("+", "-"):
+            continue
+        if expr.op == "+" and expr.left == Var(name) and is_region_const(expr.right):
+            step: Atom = expr.right
+        elif expr.op == "+" and expr.right == Var(name) and is_region_const(expr.left):
+            step = expr.left
+        elif expr.op == "-" and expr.left == Var(name) and is_region_const(expr.right):
+            step = expr.right
+        else:
+            continue
+        ivs.append(InductionVariable(name, label, index, expr.op, step))
+    return ivs
+
+
+def find_derived_variables(
+    cfg: CFG, body: Set[str], basic_names: Set[str]
+) -> List[DerivedIV]:
+    """Derived induction variables: ``j = i ± rc`` with one in-loop def."""
+    constants = _region_constants(cfg, body)
+
+    def is_region_const(atom: Atom) -> bool:
+        return isinstance(atom, Const) or (
+            isinstance(atom, Var) and atom.name in constants
+        )
+
+    defs: Dict[str, List[Tuple[str, Assign]]] = {}
+    for label in sorted(body):
+        for instr in cfg.block(label).instrs:
+            defs.setdefault(instr.target, []).append((label, instr))
+
+    derived: List[DerivedIV] = []
+    for name, sites in sorted(defs.items()):
+        if len(sites) != 1 or name in basic_names:
+            continue
+        label, instr = sites[0]
+        expr = instr.expr
+        if not isinstance(expr, BinExpr) or expr.op not in ("+", "-"):
+            continue
+        left_iv = isinstance(expr.left, Var) and expr.left.name in basic_names
+        right_iv = isinstance(expr.right, Var) and expr.right.name in basic_names
+        if expr.op == "+" and left_iv and is_region_const(expr.right):
+            derived.append(DerivedIV(name, label, expr.left.name, "i+rc", expr.right))
+        elif expr.op == "+" and right_iv and is_region_const(expr.left):
+            derived.append(DerivedIV(name, label, expr.right.name, "i+rc", expr.left))
+        elif expr.op == "-" and left_iv and is_region_const(expr.right):
+            derived.append(DerivedIV(name, label, expr.left.name, "i-rc", expr.right))
+        elif expr.op == "-" and right_iv and is_region_const(expr.left):
+            derived.append(DerivedIV(name, label, expr.right.name, "rc-i", expr.left))
+    return derived
+
+
+def _candidates(
+    cfg: CFG, body: Set[str], iv_names: Set[str], constants: Set[str]
+) -> List[BinExpr]:
+    """Distinct ``v * c`` expressions computed in the loop (``v`` an IV)."""
+
+    def is_region_const(atom: Atom) -> bool:
+        return isinstance(atom, Const) or (
+            isinstance(atom, Var) and atom.name in constants
+        )
+
+    found: List[BinExpr] = []
+    seen: Set[BinExpr] = set()
+    for label in sorted(body):
+        for instr in cfg.block(label).instrs:
+            expr = instr.expr
+            if not isinstance(expr, BinExpr) or expr.op != "*":
+                continue
+            iv_left = isinstance(expr.left, Var) and expr.left.name in iv_names
+            iv_right = isinstance(expr.right, Var) and expr.right.name in iv_names
+            ok = (iv_left and is_region_const(expr.right)) or (
+                iv_right and is_region_const(expr.left)
+            )
+            if ok and expr not in seen:
+                seen.add(expr)
+                found.append(expr)
+    return found
+
+
+class _LoopReducer:
+    """Strength-reduce one loop: shared basic products, derived shadows."""
+
+    def __init__(self, work: CFG, body: Set[str], pre_label: str,
+                 temps: Set[str], report: StrengthReport, counter: List[int]):
+        self.work = work
+        self.body = body
+        self.pre = work.block(pre_label)
+        self.temps = temps
+        self.report = report
+        self.counter = counter
+        # (basic iv name, factor atom) -> temp holding i * factor.
+        self._basic_products: Dict[Tuple[str, Atom], str] = {}
+
+    def _fresh(self, stem: str) -> str:
+        name = f"sr{self.counter[0]}.{stem}"
+        self.counter[0] += 1
+        self.temps.add(name)
+        return name
+
+    def _after_def(self, var: str, block_label: str, new_instr: Assign) -> None:
+        """Insert *new_instr* right after the single def of *var*."""
+        block = self.work.block(block_label)
+        for i, instr in enumerate(block.instrs):
+            if instr.target == var and isinstance(instr.expr, BinExpr):
+                block.instrs.insert(i + 1, new_instr)
+                return
+        raise AssertionError(f"lost the definition of {var!r}")
+
+    def _replace_occurrences(self, expr: BinExpr, temp: str) -> None:
+        # Only loop-body occurrences; the preheader's one-time
+        # initialisations are outside `body` and stay multiplications.
+        for label in sorted(self.body):
+            block = self.work.block(label)
+            block.instrs[:] = [
+                Assign(instr.target, Var(temp))
+                if instr.expr == expr
+                else instr
+                for instr in block.instrs
+            ]
+
+    def basic_product(self, iv: InductionVariable, factor: Atom) -> str:
+        """The temp carrying ``iv * factor`` (created on first demand)."""
+        key = (iv.name, factor)
+        if key in self._basic_products:
+            return self._basic_products[key]
+        temp = self._fresh("t")
+        # Preheader: t = i * c; delta d = step * c.
+        self.pre.append(Assign(temp, BinExpr("*", Var(iv.name), factor)))
+        if isinstance(iv.step, Const) and isinstance(factor, Const):
+            delta_atom: Atom = Const(iv.step.value * factor.value)
+        else:
+            delta = self._fresh("d")
+            self.pre.append(Assign(delta, BinExpr("*", iv.step, factor)))
+            delta_atom = Var(delta)
+        self._after_def(
+            iv.name, iv.block, Assign(temp, BinExpr(iv.op, Var(temp), delta_atom))
+        )
+        self._basic_products[key] = temp
+        self.report.reduced.append((iv.name, temp))
+        return temp
+
+    def derived_shadow(
+        self, derived: DerivedIV, iv: InductionVariable, factor: Atom
+    ) -> str:
+        """A temp carrying ``derived * factor``, maintained additively.
+
+        ``t_j = u ± e`` right after ``j``'s definition, where ``u`` is
+        the basic product ``i * factor`` and ``e = rc * factor``.
+        """
+        u = self.basic_product(iv, factor)
+        temp = self._fresh("t")
+        # Preheader: t_j = j * c covers reads of the stale pre-loop j.
+        self.pre.append(
+            Assign(temp, BinExpr("*", Var(derived.name), factor))
+        )
+        if isinstance(derived.offset, Const) and isinstance(factor, Const):
+            offset_atom: Atom = Const(derived.offset.value * factor.value)
+        else:
+            e = self._fresh("e")
+            self.pre.append(Assign(e, BinExpr("*", derived.offset, factor)))
+            offset_atom = Var(e)
+        if derived.form == "i+rc":
+            recompute = BinExpr("+", Var(u), offset_atom)
+        elif derived.form == "i-rc":
+            recompute = BinExpr("-", Var(u), offset_atom)
+        else:  # rc-i
+            recompute = BinExpr("-", offset_atom, Var(u))
+        self._after_def(derived.name, derived.block, Assign(temp, recompute))
+        self.report.reduced.append((derived.name, temp))
+        return temp
+
+
+def strength_reduce(cfg: CFG) -> Tuple[TransformResult, StrengthReport]:
+    """Strength-reduce every natural loop of *cfg* (input not mutated)."""
+    work = cfg.copy()
+    report = StrengthReport()
+    temps: Set[str] = set()
+    counter = [0]
+
+    # Inner loops first: their candidates should use their own step.
+    for loop in LoopNest.compute(work).innermost_first():
+        header, body = loop.header, loop.body
+        constants = _region_constants(work, body)
+        basic = {iv.name: iv for iv in find_induction_variables(work, body)}
+        report.induction_variables.extend(basic.values())
+        if not basic:
+            continue
+        derived = {
+            d.name: d for d in find_derived_variables(work, body, set(basic))
+        }
+        report.derived_variables.extend(derived.values())
+        candidates = _candidates(
+            work, body, set(basic) | set(derived), constants
+        )
+        if not candidates:
+            continue
+        pre_label = _ensure_preheader(work, header, body)
+        reducer = _LoopReducer(work, body, pre_label, temps, report, counter)
+
+        for expr in candidates:
+            if isinstance(expr.left, Var) and expr.left.name in (
+                set(basic) | set(derived)
+            ):
+                var_name, factor = expr.left.name, expr.right
+            else:
+                var_name, factor = expr.right.name, expr.left
+
+            if var_name in basic:
+                temp = reducer.basic_product(basic[var_name], factor)
+            else:
+                d = derived[var_name]
+                temp = reducer.derived_shadow(d, basic[d.base], factor)
+            reducer._replace_occurrences(expr, temp)
+            report.replaced_occurrences += sum(
+                1
+                for label in body
+                for instr in work.block(label).instrs
+                if instr.expr == Var(temp)
+            )
+
+    result = TransformResult(
+        original=cfg, cfg=work, placements=[], temps=temps
+    )
+    return result, report

@@ -1,0 +1,27 @@
+"""A concrete interpreter for CFG programs.
+
+Substitutes for the paper authors' compiler testbed: programs are
+executed before and after a transformation with identical inputs, and
+the interpreter counts how often each candidate expression is evaluated
+— the exact quantity the paper's computational-optimality theorem
+bounds.  A decision-oracle mode drives branches from an explicit bit
+sequence so the checkers can enumerate all control flow paths up to a
+bound.
+"""
+
+from repro.interp.machine import (
+    ExecutionResult,
+    InterpreterError,
+    eval_expr,
+    run,
+)
+from repro.interp.random_inputs import random_env, random_envs
+
+__all__ = [
+    "ExecutionResult",
+    "InterpreterError",
+    "eval_expr",
+    "random_env",
+    "random_envs",
+    "run",
+]

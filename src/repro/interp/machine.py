@@ -1,0 +1,185 @@
+"""Execution of CFG programs with expression-evaluation counting.
+
+The arithmetic is total: division and modulo by zero yield 0 and shift
+amounts are taken modulo 64, so random programs can be executed on
+random inputs without faulting.  What the evaluation *counts* measure is
+unaffected by these conventions — both the original and the transformed
+program use the same semantics, and PRE is semantics-agnostic about the
+operator's meaning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional
+
+from repro.ir.cfg import CFG
+from repro.ir.expr import Atom, BinExpr, Const, Expr, UnaryExpr, Var, is_computation
+from repro.ir.instr import CondBranch, Halt, Jump
+
+
+class InterpreterError(RuntimeError):
+    """Raised on execution faults (undefined variable in strict mode…)."""
+
+
+def _eval_atom(atom: Atom, env: Mapping[str, int], strict: bool) -> int:
+    if isinstance(atom, Const):
+        return atom.value
+    if strict and atom.name not in env:
+        raise InterpreterError(f"read of undefined variable {atom.name!r}")
+    return env.get(atom.name, 0)
+
+
+def eval_expr(expr: Expr, env: Mapping[str, int], strict: bool = False) -> int:
+    """Evaluate *expr* under *env* with total arithmetic."""
+    if isinstance(expr, (Const, Var)):
+        return _eval_atom(expr, env, strict)
+    if isinstance(expr, UnaryExpr):
+        value = _eval_atom(expr.operand, env, strict)
+        if expr.op == "-":
+            return -value
+        if expr.op == "!":
+            return 0 if value else 1
+        if expr.op == "~":
+            return ~value
+        if expr.op == "abs":
+            return abs(value)
+        raise InterpreterError(f"unknown unary operator {expr.op!r}")
+    if isinstance(expr, BinExpr):
+        left = _eval_atom(expr.left, env, strict)
+        right = _eval_atom(expr.right, env, strict)
+        op = expr.op
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            # C-style truncating division, total (x / 0 == 0).
+            if right == 0:
+                return 0
+            quotient = abs(left) // abs(right)
+            return -quotient if (left < 0) != (right < 0) else quotient
+        if op == "%":
+            return 0 if right == 0 else left % right
+        if op == "<":
+            return int(left < right)
+        if op == "<=":
+            return int(left <= right)
+        if op == ">":
+            return int(left > right)
+        if op == ">=":
+            return int(left >= right)
+        if op == "==":
+            return int(left == right)
+        if op == "!=":
+            return int(left != right)
+        if op == "&":
+            return left & right
+        if op == "|":
+            return left | right
+        if op == "^":
+            return left ^ right
+        if op == "<<":
+            return left << (right % 64)
+        if op == ">>":
+            return left >> (right % 64)
+        if op == "min":
+            return min(left, right)
+        if op == "max":
+            return max(left, right)
+        raise InterpreterError(f"unknown binary operator {op!r}")
+    raise InterpreterError(f"not an expression: {expr!r}")
+
+
+@dataclass
+class ExecutionResult:
+    """The outcome of one program run."""
+
+    env: Dict[str, int]
+    eval_counts: Dict[Expr, int]
+    block_trace: List[str]
+    decisions_taken: List[bool]
+    steps: int
+    reached_exit: bool
+
+    @property
+    def total_evaluations(self) -> int:
+        """Total operator-expression evaluations across the run."""
+        return sum(self.eval_counts.values())
+
+    def count(self, expr: Expr) -> int:
+        """Evaluations of one expression."""
+        return self.eval_counts.get(expr, 0)
+
+    def block_counts(self) -> Dict[str, int]:
+        """How often each block executed (from the trace)."""
+        counts: Dict[str, int] = {}
+        for label in self.block_trace:
+            counts[label] = counts.get(label, 0) + 1
+        return counts
+
+
+def run(
+    cfg: CFG,
+    inputs: Optional[Mapping[str, int]] = None,
+    max_steps: int = 100_000,
+    decisions: Optional[Iterable[bool]] = None,
+    strict: bool = False,
+) -> ExecutionResult:
+    """Execute *cfg* from its entry block.
+
+    Args:
+        cfg: the program.
+        inputs: initial variable environment (missing reads default to 0
+            unless *strict*).
+        max_steps: instruction + block-transfer budget; exceeding it
+            returns ``reached_exit=False`` rather than raising, so
+            checkers can handle diverging decision prefixes.
+        decisions: when given, branches take their direction from this
+            sequence (oracle mode) instead of the condition's value;
+            when the sequence runs out the run stops with
+            ``reached_exit=False``.
+        strict: raise on reads of undefined variables.
+    """
+    env: Dict[str, int] = dict(inputs or {})
+    eval_counts: Dict[Expr, int] = {}
+    trace: List[str] = []
+    taken: List[bool] = []
+    oracle: Optional[Iterator[bool]] = iter(decisions) if decisions is not None else None
+
+    label = cfg.entry
+    steps = 0
+    while True:
+        block = cfg.block(label)
+        trace.append(label)
+        for instr in block.instrs:
+            steps += 1
+            if steps > max_steps:
+                return ExecutionResult(env, eval_counts, trace, taken, steps, False)
+            if is_computation(instr.expr):
+                eval_counts[instr.expr] = eval_counts.get(instr.expr, 0) + 1
+            env[instr.target] = eval_expr(instr.expr, env, strict)
+        term = block.terminator
+        if term is None:
+            raise InterpreterError(f"block {label!r} has no terminator")
+        if isinstance(term, Halt):
+            return ExecutionResult(env, eval_counts, trace, taken, steps, True)
+        steps += 1
+        if steps > max_steps:
+            return ExecutionResult(env, eval_counts, trace, taken, steps, False)
+        if isinstance(term, Jump):
+            label = term.target
+        elif isinstance(term, CondBranch):
+            if oracle is not None:
+                decision = next(oracle, None)
+                if decision is None:
+                    return ExecutionResult(env, eval_counts, trace, taken, steps, False)
+                decision = bool(decision)
+            else:
+                decision = _eval_atom(term.cond, env, strict) != 0
+            taken.append(decision)
+            label = term.then_target if decision else term.else_target
+        else:
+            raise InterpreterError(f"unknown terminator {term!r}")

@@ -1,0 +1,68 @@
+"""Intermediate representation: expressions, instructions, blocks, CFGs.
+
+This package provides the program representation that the whole
+reproduction is built on.  It mirrors the setting of the Lazy Code Motion
+paper (Knoop, Ruething & Steffen, PLDI 1992):
+
+* programs are flow graphs of basic blocks,
+* every statement has the three-address form ``v = e`` where ``e`` is a
+  single-operator expression,
+* the flow graph has a unique, empty ENTRY block and a unique, empty EXIT
+  block, and every block lies on a path from ENTRY to EXIT.
+
+The public surface re-exported here is everything a user of the library
+needs to construct and manipulate programs.
+"""
+
+from repro.ir.expr import (
+    BinExpr,
+    Const,
+    Expr,
+    UnaryExpr,
+    Var,
+    expr_key,
+    parse_expr,
+)
+from repro.ir.instr import (
+    Assign,
+    CondBranch,
+    Halt,
+    Instr,
+    Jump,
+    Terminator,
+)
+from repro.ir.block import BasicBlock
+from repro.ir.cfg import CFG, CFGError, Edge
+from repro.ir.builder import CFGBuilder
+from repro.ir.edgesplit import split_critical_edges, critical_edges
+from repro.ir.validate import validate_cfg, ValidationError
+from repro.ir.pretty import pretty_cfg, pretty_block
+from repro.ir.dot import cfg_to_dot
+
+__all__ = [
+    "Assign",
+    "BasicBlock",
+    "BinExpr",
+    "CFG",
+    "CFGBuilder",
+    "CFGError",
+    "CondBranch",
+    "Const",
+    "Edge",
+    "Expr",
+    "Halt",
+    "Instr",
+    "Jump",
+    "Terminator",
+    "UnaryExpr",
+    "ValidationError",
+    "Var",
+    "cfg_to_dot",
+    "critical_edges",
+    "expr_key",
+    "parse_expr",
+    "pretty_block",
+    "pretty_cfg",
+    "split_critical_edges",
+    "validate_cfg",
+]

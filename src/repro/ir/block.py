@@ -1,0 +1,75 @@
+"""Basic blocks: straight-line instruction sequences with one terminator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.ir.expr import Expr
+from repro.ir.instr import Assign, CondBranch, Halt, Jump, Terminator
+
+
+@dataclass
+class BasicBlock:
+    """A labelled basic block.
+
+    Attributes:
+        label: unique block name within its CFG.
+        instrs: the straight-line ``v = e`` statements, executed in order.
+        terminator: how control leaves the block.  ``None`` while a block
+            is under construction; a valid CFG requires every block to be
+            terminated.
+    """
+
+    label: str
+    instrs: List[Assign] = field(default_factory=list)
+    terminator: Optional[Terminator] = None
+
+    def append(self, instr: Assign) -> None:
+        """Add an instruction to the end of the block body."""
+        if not isinstance(instr, Assign):
+            raise TypeError(f"blocks hold Assign instructions, got {instr!r}")
+        self.instrs.append(instr)
+
+    def successors(self) -> Tuple[str, ...]:
+        """Labels this block transfers control to (empty for EXIT)."""
+        if self.terminator is None:
+            return ()
+        return self.terminator.successors()
+
+    @property
+    def is_empty(self) -> bool:
+        """True if the block contains no instructions (ENTRY/EXIT style)."""
+        return not self.instrs
+
+    def computations(self) -> Iterator[Tuple[int, Expr]]:
+        """Yield ``(index, expr)`` for every PRE candidate in the block."""
+        for i, instr in enumerate(self.instrs):
+            if instr.is_computation:
+                yield i, instr.expr
+
+    def defs(self) -> Set[str]:
+        """The set of variables assigned anywhere in the block."""
+        return {instr.target for instr in self.instrs}
+
+    def uses(self) -> Set[str]:
+        """The set of variables read anywhere in the block (incl. branch)."""
+        used: Set[str] = set()
+        for instr in self.instrs:
+            used.update(instr.uses())
+        if self.terminator is not None:
+            used.update(self.terminator.uses())
+        return used
+
+    def copy(self) -> "BasicBlock":
+        """Return a block with a fresh instruction list (instrs are frozen)."""
+        return BasicBlock(self.label, list(self.instrs), self.terminator)
+
+    def __str__(self) -> str:
+        lines = [f"{self.label}:"]
+        lines.extend(f"  {instr}" for instr in self.instrs)
+        if self.terminator is not None and not isinstance(self.terminator, Halt):
+            lines.append(f"  {self.terminator}")
+        elif isinstance(self.terminator, Halt):
+            lines.append("  halt")
+        return "\n".join(lines)

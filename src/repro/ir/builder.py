@@ -1,0 +1,180 @@
+"""A fluent builder for constructing CFGs in tests, examples and figures.
+
+Example::
+
+    b = CFGBuilder()
+    b.block("n1", "x = a + b").jump("n2")
+    b.block("n2", "y = a + b").branch("y", "n1", "exit")
+    cfg = b.build()
+
+Instruction strings are parsed with the tiny single-operator expression
+parser; callers may also pass :class:`~repro.ir.instr.Assign` objects
+directly.  The builder creates the empty ``entry``/``exit`` blocks
+automatically; the first user block becomes the entry's target unless an
+explicit ``entry_to`` is given.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from repro.ir.block import BasicBlock
+from repro.ir.cfg import CFG, CFGError
+from repro.ir.expr import Const, Var, parse_expr
+from repro.ir.instr import Assign, CondBranch, Halt, Jump
+
+InstrLike = Union[str, Assign]
+
+
+def parse_assign(text: str) -> Assign:
+    """Parse ``"x = a + b"`` into an :class:`Assign`."""
+    if "=" not in text:
+        raise CFGError(f"not an assignment: {text!r}")
+    # Split on the first '=' that is not part of ==, <=, >=, !=.
+    idx = None
+    for i, ch in enumerate(text):
+        if ch == "=" and (i == 0 or text[i - 1] not in "<>!=") and (
+            i + 1 >= len(text) or text[i + 1] != "="
+        ):
+            idx = i
+            break
+    if idx is None:
+        raise CFGError(f"not an assignment: {text!r}")
+    target = text[:idx].strip()
+    rhs = text[idx + 1 :].strip()
+    if not target.isidentifier():
+        raise CFGError(f"bad assignment target in {text!r}")
+    return Assign(target, parse_expr(rhs))
+
+
+def _coerce(instr: InstrLike) -> Assign:
+    if isinstance(instr, Assign):
+        return instr
+    return parse_assign(instr)
+
+
+class _BlockHandle:
+    """Chainable handle returned by :meth:`CFGBuilder.block`."""
+
+    def __init__(self, builder: "CFGBuilder", block: BasicBlock) -> None:
+        self._builder = builder
+        self._block = block
+
+    def add(self, *instrs: InstrLike) -> "_BlockHandle":
+        """Append instructions to the block."""
+        for instr in instrs:
+            self._block.append(_coerce(instr))
+        return self
+
+    def jump(self, target: str) -> "CFGBuilder":
+        """Terminate with an unconditional jump."""
+        self._block.terminator = Jump(target)
+        return self._builder
+
+    def branch(self, cond: str, then_target: str, else_target: str) -> "CFGBuilder":
+        """Terminate with a two-way branch on variable/constant *cond*."""
+        atom = Const(int(cond)) if cond.lstrip("-").isdigit() else Var(cond)
+        self._block.terminator = CondBranch(atom, then_target, else_target)
+        return self._builder
+
+    def to_exit(self) -> "CFGBuilder":
+        """Terminate with a jump to the exit block."""
+        self._block.terminator = Jump(self._builder.cfg.exit)
+        return self._builder
+
+
+class CFGBuilder:
+    """Incrementally construct a :class:`CFG` with auto entry/exit blocks."""
+
+    def __init__(self, entry: str = "entry", exit: str = "exit") -> None:
+        self.cfg = CFG(entry, exit)
+        self.cfg.add_block(BasicBlock(entry))
+        self.cfg.add_block(BasicBlock(exit, [], Halt()))
+        self._first_user_block: Optional[str] = None
+
+    def block(self, label: str, *instrs: InstrLike) -> _BlockHandle:
+        """Create block *label* with the given instructions."""
+        blk = self.cfg.add_block(BasicBlock(label))
+        if self._first_user_block is None:
+            self._first_user_block = label
+        for instr in instrs:
+            blk.append(_coerce(instr))
+        return _BlockHandle(self, blk)
+
+    def entry_to(self, label: str) -> "CFGBuilder":
+        """Point the entry block at *label* (defaults to the first block)."""
+        self.cfg.block(self.cfg.entry).terminator = Jump(label)
+        self.cfg.notify_terminator_changed()
+        return self
+
+    def weight(self, src: str, dst: str, w: int) -> "CFGBuilder":
+        """Attach an execution frequency to the edge ``src -> dst``."""
+        self.cfg.set_weight((src, dst), w)
+        return self
+
+    def build(self, validate: bool = True) -> CFG:
+        """Finish construction; wires entry if needed and validates."""
+        entry_block = self.cfg.block(self.cfg.entry)
+        if entry_block.terminator is None:
+            if self._first_user_block is None:
+                entry_block.terminator = Jump(self.cfg.exit)
+            else:
+                entry_block.terminator = Jump(self._first_user_block)
+            self.cfg.notify_terminator_changed()
+        if validate:
+            from repro.ir.validate import validate_cfg
+
+            validate_cfg(self.cfg)
+        return self.cfg
+
+
+def cfg_from_edges(
+    edges: Sequence[tuple],
+    instrs: Optional[dict] = None,
+    entry: str = "entry",
+    exit: str = "exit",
+) -> CFG:
+    """Build a CFG from an edge list plus an optional label->instrs map.
+
+    Blocks with two out-edges get a synthetic branch on a fresh variable
+    ``p_<label>`` (treated as an opaque predicate).  Useful for the random
+    graph generators, where only the shape matters.
+    """
+    instrs = instrs or {}
+    cfg = CFG(entry, exit)
+    labels: List[str] = []
+    for src, dst in edges:
+        for lbl in (src, dst):
+            if lbl not in cfg:
+                cfg.add_block(BasicBlock(lbl))
+                labels.append(lbl)
+    if entry not in cfg:
+        cfg.add_block(BasicBlock(entry))
+    if exit not in cfg:
+        cfg.add_block(BasicBlock(exit))
+
+    succs: dict = {}
+    for src, dst in edges:
+        succs.setdefault(src, [])
+        if dst not in succs[src]:
+            succs[src].append(dst)
+
+    for label in cfg.labels:
+        block = cfg.block(label)
+        for text in instrs.get(label, []):
+            block.append(_coerce(text))
+        targets = succs.get(label, [])
+        if label == exit:
+            block.terminator = Halt()
+        elif len(targets) == 0:
+            block.terminator = Jump(exit) if label != exit else Halt()
+        elif len(targets) == 1:
+            block.terminator = Jump(targets[0])
+        elif len(targets) == 2:
+            block.terminator = CondBranch(Var(f"p_{label}"), targets[0], targets[1])
+        else:
+            raise CFGError(
+                f"block {label!r} has {len(targets)} successors; at most 2 supported"
+            )
+    cfg.notify_terminator_changed()
+    return cfg

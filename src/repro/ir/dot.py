@@ -1,0 +1,41 @@
+"""Graphviz (DOT) export of CFGs, for inspecting examples and figures."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Set, Tuple
+
+from repro.ir.cfg import CFG, Edge
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\l")
+
+
+def cfg_to_dot(
+    cfg: CFG,
+    name: str = "cfg",
+    highlight_blocks: Optional[Set[str]] = None,
+    highlight_edges: Optional[Set[Edge]] = None,
+    annotate: Optional[Callable[[str], Iterable[str]]] = None,
+) -> str:
+    """Render *cfg* as a DOT digraph string.
+
+    Highlighted blocks/edges are drawn in red — the benchmarks use this to
+    visualise insertion points chosen by the different transformations.
+    """
+    highlight_blocks = highlight_blocks or set()
+    highlight_edges = highlight_edges or set()
+    lines = [f"digraph {name} {{", "  node [shape=box, fontname=monospace];"]
+    for block in cfg:
+        body = [f"{block.label}:"]
+        if annotate is not None:
+            body.extend(f";; {note}" for note in annotate(block.label))
+        body.extend(str(instr) for instr in block.instrs)
+        label = _escape("\n".join(body)) + "\\l"
+        color = ', color=red, penwidth=2' if block.label in highlight_blocks else ""
+        lines.append(f'  "{block.label}" [label="{label}"{color}];')
+    for src, dst in cfg.edges():
+        attrs = ' [color=red, penwidth=2]' if (src, dst) in highlight_edges else ""
+        lines.append(f'  "{src}" -> "{dst}"{attrs};')
+    lines.append("}")
+    return "\n".join(lines)

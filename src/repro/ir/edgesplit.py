@@ -1,0 +1,68 @@
+"""Critical-edge detection and splitting.
+
+A control flow edge is *critical* when its source has more than one
+successor and its target has more than one predecessor.  Node-based code
+motion cannot place code on such an edge without either executing it on
+unrelated paths (unsafe/pessimising) or duplicating it.  The edge-based
+LCM formulation sidesteps the issue by inserting on edges directly, but
+the classical presentation — and the node-level KRS formulation — first
+splits every critical edge with a fresh empty block.
+
+Splitting preserves program semantics exactly: the new blocks are empty
+and jump unconditionally to the original target.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.ir.cfg import CFG, Edge
+
+
+def critical_edges(cfg: CFG) -> List[Edge]:
+    """Return all critical edges of *cfg* in deterministic order."""
+    result: List[Edge] = []
+    for src, dst in cfg.edges():
+        if len(cfg.succs(src)) > 1 and len(cfg.preds(dst)) > 1:
+            result.append((src, dst))
+    return result
+
+
+def split_critical_edges(cfg: CFG, label_stem: str = "split") -> Dict[Edge, str]:
+    """Split every critical edge of *cfg* in place.
+
+    Returns a map from each original critical edge to the label of the
+    synthetic block now sitting on it.
+    """
+    mapping: Dict[Edge, str] = {}
+    for src, dst in critical_edges(cfg):
+        block = cfg.split_edge(src, dst, f"{label_stem}_{src}_{dst}")
+        mapping[(src, dst)] = block.label
+    return mapping
+
+
+def join_edges(cfg: CFG) -> List[Edge]:
+    """All edges whose target has more than one predecessor."""
+    return [
+        (src, dst) for src, dst in cfg.edges() if len(cfg.preds(dst)) > 1
+    ]
+
+
+def split_join_edges(cfg: CFG, label_stem: str = "split") -> Dict[Edge, str]:
+    """Put *cfg* into **edge-split form**: split every edge into a join.
+
+    The node-level formulation places ``t = e`` at node *entries*, so a
+    join block's entry is shared by all incoming paths.  For node
+    insertion to be as expressive as edge insertion — which the
+    optimality theorems require — every edge into a multi-predecessor
+    block needs a dedicated landing node, not only the *critical* ones:
+    an edge from a single-successor block into a join can host an
+    insertion no other node position expresses (its source may end with
+    a kill, its target's other predecessors may already carry the
+    value).  This subsumes critical-edge splitting.
+    """
+    mapping: Dict[Edge, str] = {}
+    for src, dst in join_edges(cfg):
+        block = cfg.split_edge(src, dst, f"{label_stem}_{src}_{dst}")
+        mapping[(src, dst)] = block.label
+    return mapping

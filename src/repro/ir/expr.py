@@ -1,0 +1,242 @@
+"""Expression language for the three-address IR.
+
+The Lazy Code Motion setting restricts right-hand sides to *single
+operator* expressions: a constant, a variable, or one operator applied to
+atomic operands.  This module defines those expression forms as small,
+immutable, hashable value objects, plus helpers to inspect and parse them.
+
+Expression identity (structural equality) is what partial redundancy
+elimination reasons about: two occurrences of ``a + b`` are "the same
+computation" precisely when the :class:`Expr` values compare equal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple, Union
+
+
+#: Operators supported by :class:`BinExpr`, with their evaluation semantics.
+BINARY_OPS = ("+", "-", "*", "/", "%", "<", "<=", ">", ">=", "==", "!=", "&", "|", "^", "<<", ">>", "min", "max")
+
+#: Operators supported by :class:`UnaryExpr`.
+UNARY_OPS = ("-", "!", "~", "abs")
+
+
+class ExprError(ValueError):
+    """Raised for malformed expressions (unknown operator, bad operand)."""
+
+
+@dataclass(frozen=True)
+class Const:
+    """An integer literal operand."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Var:
+    """A named program variable operand."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ExprError("variable name must be non-empty")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: Atomic operands allowed inside an operator expression.
+Atom = Union[Const, Var]
+
+
+def _check_atom(value: Atom, role: str) -> None:
+    if not isinstance(value, (Const, Var)):
+        raise ExprError(
+            f"{role} must be a Const or Var (single-operator IR), got {value!r}"
+        )
+
+
+@dataclass(frozen=True)
+class UnaryExpr:
+    """A single unary operator applied to an atomic operand, e.g. ``-a``."""
+
+    op: str
+    operand: Atom
+
+    def __post_init__(self) -> None:
+        if self.op not in UNARY_OPS:
+            raise ExprError(f"unknown unary operator {self.op!r}")
+        _check_atom(self.operand, "unary operand")
+
+    def __str__(self) -> str:
+        if self.op.isalpha():
+            return f"{self.op}({self.operand})"
+        return f"{self.op}{self.operand}"
+
+
+@dataclass(frozen=True)
+class BinExpr:
+    """A single binary operator applied to atomic operands, e.g. ``a + b``."""
+
+    op: str
+    left: Atom
+    right: Atom
+
+    def __post_init__(self) -> None:
+        if self.op not in BINARY_OPS:
+            raise ExprError(f"unknown binary operator {self.op!r}")
+        _check_atom(self.left, "left operand")
+        _check_atom(self.right, "right operand")
+
+    def __str__(self) -> str:
+        if self.op.isalpha():
+            return f"{self.op}({self.left}, {self.right})"
+        return f"{self.left} {self.op} {self.right}"
+
+
+#: Any right-hand side of an assignment.
+Expr = Union[Const, Var, UnaryExpr, BinExpr]
+
+
+def is_computation(expr: Expr) -> bool:
+    """Return True if *expr* is a PRE candidate.
+
+    Only operator expressions are candidates: bare constants and variable
+    copies involve no computation, so there is nothing to eliminate.
+    """
+    return isinstance(expr, (UnaryExpr, BinExpr))
+
+
+def expr_vars(expr: Expr) -> Tuple[str, ...]:
+    """Return the names of the variables *expr* reads, in syntactic order.
+
+    Duplicates are preserved (``a + a`` reads ``a`` twice) so callers that
+    need multiplicity keep it; use ``set(expr_vars(e))`` otherwise.
+    """
+    if isinstance(expr, Const):
+        return ()
+    if isinstance(expr, Var):
+        return (expr.name,)
+    if isinstance(expr, UnaryExpr):
+        return expr_vars(expr.operand)
+    if isinstance(expr, BinExpr):
+        return expr_vars(expr.left) + expr_vars(expr.right)
+    raise ExprError(f"not an expression: {expr!r}")
+
+
+def expr_atoms(expr: Expr) -> Iterator[Atom]:
+    """Yield the atomic operands of *expr* in syntactic order."""
+    if isinstance(expr, (Const, Var)):
+        yield expr
+    elif isinstance(expr, UnaryExpr):
+        yield expr.operand
+    elif isinstance(expr, BinExpr):
+        yield expr.left
+        yield expr.right
+    else:
+        raise ExprError(f"not an expression: {expr!r}")
+
+
+def expr_key(expr: Expr) -> str:
+    """Return a short, deterministic, human-readable key for *expr*.
+
+    Used to name the temporaries introduced by code motion (``t_a_plus_b``)
+    and to index analysis results.  Distinct expressions map to distinct
+    keys.
+    """
+    op_names = {
+        "+": "plus", "-": "minus", "*": "times", "/": "div", "%": "mod",
+        "<": "lt", "<=": "le", ">": "gt", ">=": "ge", "==": "eq",
+        "!=": "ne", "&": "and", "|": "or", "^": "xor", "<<": "shl",
+        ">>": "shr", "!": "not", "~": "inv", "min": "min", "max": "max",
+        "abs": "abs",
+    }
+
+    def atom_key(atom: Atom) -> str:
+        if isinstance(atom, Const):
+            return f"c{atom.value}".replace("-", "neg")
+        return atom.name
+
+    if isinstance(expr, Const):
+        return atom_key(expr)
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, UnaryExpr):
+        return f"{op_names[expr.op]}_{atom_key(expr.operand)}"
+    if isinstance(expr, BinExpr):
+        return f"{atom_key(expr.left)}_{op_names[expr.op]}_{atom_key(expr.right)}"
+    raise ExprError(f"not an expression: {expr!r}")
+
+
+# ---------------------------------------------------------------------------
+# A tiny expression parser, so tests and examples can write "a + b" instead
+# of BinExpr("+", Var("a"), Var("b")).  The full language front-end lives in
+# repro.lang; this parser handles only single-operator right-hand sides.
+# ---------------------------------------------------------------------------
+
+def _parse_atom(token: str) -> Atom:
+    token = token.strip()
+    if not token:
+        raise ExprError("empty operand")
+    if token.lstrip("-").isdigit():
+        return Const(int(token))
+    if token.isidentifier():
+        return Var(token)
+    raise ExprError(f"cannot parse atom {token!r}")
+
+
+def parse_expr(text: str) -> Expr:
+    """Parse a single-operator expression like ``"a + b"`` or ``"-x"``.
+
+    Supports the operator inventory of :data:`BINARY_OPS` and
+    :data:`UNARY_OPS`, atoms (``"a"``, ``"42"``) and the function-call
+    forms ``min(a, b)``, ``max(a, b)`` and ``abs(a)``.
+    """
+    text = text.strip()
+    if not text:
+        raise ExprError("empty expression")
+
+    # Function-call forms: min(a,b), max(a,b), abs(a).
+    for fn in ("min", "max", "abs"):
+        if text.startswith(fn + "(") and text.endswith(")"):
+            inner = text[len(fn) + 1 : -1]
+            parts = [p.strip() for p in inner.split(",")]
+            if fn == "abs":
+                if len(parts) != 1:
+                    raise ExprError(f"abs takes one operand, got {inner!r}")
+                return UnaryExpr("abs", _parse_atom(parts[0]))
+            if len(parts) != 2:
+                raise ExprError(f"{fn} takes two operands, got {inner!r}")
+            return BinExpr(fn, _parse_atom(parts[0]), _parse_atom(parts[1]))
+
+    # Binary operators, longest first so "<=" wins over "<".
+    symbolic = [op for op in BINARY_OPS if not op.isalpha()]
+    for op in sorted(symbolic, key=len, reverse=True):
+        # Search from position 1 so a leading unary minus is not mistaken
+        # for a binary operator.
+        idx = text.find(op, 1)
+        while idx != -1:
+            left, right = text[:idx], text[idx + len(op) :]
+            # Guard against splitting "a <= b" at "<" or "-5" at "-".
+            if left.strip() and right.strip():
+                try:
+                    return BinExpr(op, _parse_atom(left), _parse_atom(right))
+                except ExprError:
+                    pass
+            idx = text.find(op, idx + 1)
+
+    # Unary prefix operators.  "-5" stays a negative constant; "-x" is a
+    # unary negation of the variable x.
+    for op in UNARY_OPS:
+        if not op.isalpha() and text.startswith(op):
+            rest = text[len(op) :].strip()
+            if rest and not (op == "-" and rest.isdigit()):
+                return UnaryExpr(op, _parse_atom(rest))
+
+    return _parse_atom(text)

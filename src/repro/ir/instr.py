@@ -1,0 +1,115 @@
+"""Instructions and block terminators.
+
+A basic block consists of a sequence of :class:`Assign` instructions
+followed by exactly one terminator (:class:`Jump`, :class:`CondBranch` or
+:class:`Halt`).  Branch conditions are restricted to atomic operands —
+the language front-end materialises ``if a < b`` as ``t = a < b; branch t``
+— so all PRE candidate computations live in assignments, matching the
+paper's ``v = e`` statement form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+from repro.ir.expr import Atom, Const, Expr, Var, expr_vars, is_computation
+
+
+class InstrError(ValueError):
+    """Raised for malformed instructions."""
+
+
+@dataclass(frozen=True)
+class Assign:
+    """The three-address statement ``target = expr``."""
+
+    target: str
+    expr: Expr
+
+    def __post_init__(self) -> None:
+        if not self.target or not isinstance(self.target, str):
+            raise InstrError(f"bad assignment target {self.target!r}")
+
+    @property
+    def is_computation(self) -> bool:
+        """True if the right-hand side is a PRE candidate computation."""
+        return is_computation(self.expr)
+
+    def uses(self) -> Tuple[str, ...]:
+        """Variable names read by this instruction (with multiplicity)."""
+        return expr_vars(self.expr)
+
+    def defines(self) -> str:
+        """The variable written by this instruction."""
+        return self.target
+
+    def __str__(self) -> str:
+        return f"{self.target} = {self.expr}"
+
+
+Instr = Assign
+
+
+@dataclass(frozen=True)
+class Jump:
+    """Unconditional transfer to *target*."""
+
+    target: str
+
+    def uses(self) -> Tuple[str, ...]:
+        return ()
+
+    def successors(self) -> Tuple[str, ...]:
+        return (self.target,)
+
+    def __str__(self) -> str:
+        return f"goto {self.target}"
+
+
+@dataclass(frozen=True)
+class CondBranch:
+    """Two-way branch on an atomic condition.
+
+    Control transfers to *then_target* when the condition is non-zero and
+    to *else_target* otherwise.
+    """
+
+    cond: Atom
+    then_target: str
+    else_target: str
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.cond, (Var, Const)):
+            raise InstrError(
+                "branch conditions must be atomic (materialise the "
+                f"comparison into a temp first), got {self.cond!r}"
+            )
+
+    def uses(self) -> Tuple[str, ...]:
+        if isinstance(self.cond, Var):
+            return (self.cond.name,)
+        return ()
+
+    def successors(self) -> Tuple[str, ...]:
+        return (self.then_target, self.else_target)
+
+    def __str__(self) -> str:
+        return f"if {self.cond} goto {self.then_target} else {self.else_target}"
+
+
+@dataclass(frozen=True)
+class Halt:
+    """Terminator of the EXIT block; execution stops here."""
+
+    def uses(self) -> Tuple[str, ...]:
+        return ()
+
+    def successors(self) -> Tuple[str, ...]:
+        return ()
+
+    def __str__(self) -> str:
+        return "halt"
+
+
+Terminator = Union[Jump, CondBranch, Halt]

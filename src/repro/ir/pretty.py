@@ -1,0 +1,61 @@
+"""Human-readable rendering of blocks and CFGs.
+
+Rendering is deterministic (insertion order) so it can be used in golden
+tests and example output.  ``pretty_cfg`` optionally annotates each block
+with analysis facts, which the examples use to visualise the LCM
+predicates next to the code they describe.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Mapping, Optional
+
+from repro.ir.block import BasicBlock
+from repro.ir.cfg import CFG
+from repro.ir.instr import Halt
+
+
+def pretty_block(
+    block: BasicBlock,
+    annotations: Optional[Iterable[str]] = None,
+    indent: str = "  ",
+) -> str:
+    """Render one block, optionally with annotation lines under the label."""
+    lines = [f"{block.label}:"]
+    if annotations:
+        for note in annotations:
+            lines.append(f"{indent};; {note}")
+    for instr in block.instrs:
+        lines.append(f"{indent}{instr}")
+    if block.terminator is not None:
+        lines.append(f"{indent}{block.terminator}")
+    return "\n".join(lines)
+
+
+def pretty_cfg(
+    cfg: CFG,
+    annotate: Optional[Callable[[str], Iterable[str]]] = None,
+) -> str:
+    """Render the whole graph.
+
+    Args:
+        cfg: the graph to render.
+        annotate: optional callback mapping a block label to annotation
+            strings printed under that block's label, e.g. analysis facts.
+    """
+    chunks = []
+    for label in cfg.labels:
+        notes = list(annotate(label)) if annotate is not None else None
+        chunks.append(pretty_block(cfg.block(label), notes))
+    return "\n".join(chunks)
+
+
+def facts_annotator(facts: Mapping[str, Mapping[str, object]]) -> Callable[[str], Iterable[str]]:
+    """Build an annotator from ``{fact name: {label: value}}`` tables."""
+
+    def annotate(label: str):
+        for name, table in facts.items():
+            if label in table:
+                yield f"{name} = {table[label]}"
+
+    return annotate

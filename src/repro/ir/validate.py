@@ -1,0 +1,100 @@
+"""Structural validation of CFGs.
+
+The Lazy Code Motion setting makes several structural assumptions; this
+module checks them all so downstream analyses can rely on them:
+
+* there is exactly one entry and one exit block, both present;
+* the entry block is empty and has no predecessors; the exit block is
+  empty, halts, and has no successors;
+* every terminator targets an existing block;
+* every block is reachable from the entry and reaches the exit
+  ("every block lies on some path from ENTRY to EXIT");
+* branch conditions are atomic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.ir.cfg import CFG
+from repro.ir.instr import CondBranch, Halt, Jump
+
+
+class ValidationError(ValueError):
+    """Raised when a CFG violates the structural assumptions."""
+
+
+def _reachable_forward(cfg: CFG) -> Set[str]:
+    seen: Set[str] = set()
+    stack = [cfg.entry]
+    while stack:
+        label = stack.pop()
+        if label in seen:
+            continue
+        seen.add(label)
+        stack.extend(cfg.succs(label))
+    return seen
+
+def _reachable_backward(cfg: CFG) -> Set[str]:
+    seen: Set[str] = set()
+    stack = [cfg.exit]
+    while stack:
+        label = stack.pop()
+        if label in seen:
+            continue
+        seen.add(label)
+        stack.extend(cfg.preds(label))
+    return seen
+
+
+def validate_cfg(cfg: CFG, require_empty_entry_exit: bool = True) -> None:
+    """Raise :class:`ValidationError` if *cfg* is structurally invalid."""
+    problems: List[str] = []
+
+    if cfg.entry not in cfg:
+        raise ValidationError(f"missing entry block {cfg.entry!r}")
+    if cfg.exit not in cfg:
+        raise ValidationError(f"missing exit block {cfg.exit!r}")
+
+    for block in cfg:
+        if block.terminator is None:
+            problems.append(f"block {block.label!r} is unterminated")
+            continue
+        if isinstance(block.terminator, Halt) and block.label != cfg.exit:
+            problems.append(f"only the exit block may halt, {block.label!r} does")
+        for succ in block.successors():
+            if succ not in cfg:
+                problems.append(
+                    f"block {block.label!r} targets missing block {succ!r}"
+                )
+        if isinstance(block.terminator, CondBranch):
+            if block.terminator.then_target == block.terminator.else_target:
+                problems.append(
+                    f"block {block.label!r} branches to the same target twice; "
+                    "use an unconditional jump"
+                )
+
+    if problems:
+        raise ValidationError("; ".join(problems))
+
+    exit_block = cfg.block(cfg.exit)
+    if not isinstance(exit_block.terminator, Halt):
+        raise ValidationError("exit block must halt")
+    if require_empty_entry_exit:
+        if not cfg.block(cfg.entry).is_empty:
+            raise ValidationError("entry block must be empty")
+        if not exit_block.is_empty:
+            raise ValidationError("exit block must be empty")
+    if cfg.preds(cfg.entry):
+        raise ValidationError("entry block must have no predecessors")
+
+    fwd = _reachable_forward(cfg)
+    unreachable = set(cfg.labels) - fwd
+    if unreachable:
+        raise ValidationError(
+            f"blocks unreachable from entry: {sorted(unreachable)}"
+        )
+    bwd = _reachable_backward(cfg)
+    stuck = set(cfg.labels) - bwd
+    if stuck:
+        raise ValidationError(f"blocks that cannot reach exit: {sorted(stuck)}")

@@ -1,0 +1,44 @@
+"""A small structured imperative language, lowered to the CFG IR.
+
+The front-end exists so examples, tests and benchmark workloads can be
+written as readable programs instead of hand-built graphs::
+
+    from repro.lang import compile_program
+
+    cfg = compile_program('''
+        sum = 0;
+        i = 0;
+        while (i < n) {
+            sum = sum + step;   # step is loop-invariant
+            i = i + 1;
+        }
+        out = sum + step;
+    ''')
+
+Pipeline: :mod:`repro.lang.lexer` (tokens) → :mod:`repro.lang.parser`
+(AST, :mod:`repro.lang.ast`) → :mod:`repro.lang.lower` (CFG).  The
+language is deliberately tiny — assignments of single-operator
+expressions, ``if``/``else``, ``while``, ``do … while`` and ``repeat`` —
+because the IR restricts right-hand sides the same way the paper does.
+"""
+
+from repro.lang.errors import LangError, LexError, ParseError
+from repro.lang.lexer import Token, tokenize
+from repro.lang.parser import parse_program
+from repro.lang.lower import compile_program, lower_program
+from repro.lang.unparse import unparse, unparse_expr
+from repro.lang import ast
+
+__all__ = [
+    "LangError",
+    "LexError",
+    "ParseError",
+    "Token",
+    "ast",
+    "compile_program",
+    "lower_program",
+    "parse_program",
+    "tokenize",
+    "unparse",
+    "unparse_expr",
+]

@@ -1,0 +1,107 @@
+"""Abstract syntax of the mini-language.
+
+Statements only — expressions reuse the IR's own
+:mod:`repro.ir.expr` value types directly, since the language's
+right-hand sides are restricted to the same single-operator shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+from repro.ir.expr import Expr
+
+
+@dataclass(frozen=True)
+class AssignStmt:
+    """``target = expr;``"""
+
+    target: str
+    expr: Expr
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class SkipStmt:
+    """``skip;`` — does nothing (useful to force empty branches)."""
+
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class BreakStmt:
+    """``break;`` — leave the innermost loop."""
+
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ContinueStmt:
+    """``continue;`` — next iteration of the innermost loop.
+
+    In a ``while``/``repeat`` loop control returns to the test; in a
+    ``do … while`` it jumps to the trailing condition evaluation.
+    """
+
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class IfStmt:
+    """``if (cond) { … } else { … }`` (else optional)."""
+
+    cond: Expr
+    then_body: Tuple["Stmt", ...]
+    else_body: Tuple["Stmt", ...]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class WhileStmt:
+    """``while (cond) { … }`` — test before the body."""
+
+    cond: Expr
+    body: Tuple["Stmt", ...]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class DoWhileStmt:
+    """``do { … } while (cond);`` — body runs at least once."""
+
+    cond: Expr
+    body: Tuple["Stmt", ...]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class RepeatStmt:
+    """``repeat (count) { … }`` — a counted loop over a fresh counter.
+
+    Syntactic sugar the lowering expands into a standard while loop with
+    a compiler-generated induction variable.
+    """
+
+    count: Expr
+    body: Tuple["Stmt", ...]
+    line: int = 0
+
+
+Stmt = Union[
+    AssignStmt,
+    SkipStmt,
+    BreakStmt,
+    ContinueStmt,
+    IfStmt,
+    WhileStmt,
+    DoWhileStmt,
+    RepeatStmt,
+]
+
+
+@dataclass(frozen=True)
+class Program:
+    """A whole source file: a statement sequence."""
+
+    body: Tuple[Stmt, ...]

@@ -1,0 +1,21 @@
+"""Front-end error types, all carrying source positions."""
+
+from __future__ import annotations
+
+
+class LangError(ValueError):
+    """Base class for front-end errors."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        location = f" (line {line}, column {column})" if line else ""
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class LexError(LangError):
+    """Raised for unrecognised input characters."""
+
+
+class ParseError(LangError):
+    """Raised for grammatically invalid programs."""

@@ -1,0 +1,86 @@
+"""Tokeniser for the mini-language.
+
+Token kinds: ``IDENT``, ``NUMBER``, ``OP`` (operators and punctuation),
+``KEYWORD`` (``if``, ``else``, ``while``, ``do``, ``repeat``, ``skip``)
+and the synthetic ``EOF``.  ``#`` starts a comment to end of line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.lang.errors import LexError
+
+KEYWORDS = frozenset(
+    {"if", "else", "while", "do", "repeat", "skip", "break", "continue"}
+)
+
+#: Multi-character operators, longest first so matching is greedy.
+_OPERATORS = (
+    "<<", ">>", "<=", ">=", "==", "!=",
+    "+", "-", "*", "/", "%", "<", ">", "&", "|", "^", "~", "!",
+    "=", ";", "(", ")", "{", "}", ",",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.kind}({self.text!r})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenise *source*; raises :class:`LexError` on bad characters."""
+    tokens: List[Token] = []
+    line, column = 1, 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if ch == "#":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch.isdigit():
+            start = i
+            while i < n and source[i].isdigit():
+                i += 1
+            tokens.append(Token("NUMBER", source[start:i], line, column))
+            column += i - start
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = "KEYWORD" if text in KEYWORDS else "IDENT"
+            tokens.append(Token(kind, text, line, column))
+            column += i - start
+            continue
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("OP", op, line, column))
+                i += len(op)
+                column += len(op)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", line, column)
+    tokens.append(Token("EOF", "", line, column))
+    return tokens

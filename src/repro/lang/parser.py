@@ -1,0 +1,208 @@
+"""Recursive-descent parser for the mini-language.
+
+Grammar (EBNF)::
+
+    program   := stmt*
+    stmt      := IDENT '=' expr ';'
+               | 'skip' ';'
+               | 'if' '(' expr ')' block ('else' block)?
+               | 'while' '(' expr ')' block
+               | 'do' block 'while' '(' expr ')' ';'
+               | 'repeat' '(' expr ')' block
+    block     := '{' stmt* '}'
+    expr      := unop atom | atom (binop atom)? | fn '(' atom (',' atom)? ')'
+    atom      := IDENT | NUMBER | '-' NUMBER
+
+Expressions are single-operator by construction, matching the IR.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.ir.expr import (
+    BINARY_OPS,
+    Atom,
+    BinExpr,
+    Const,
+    Expr,
+    UnaryExpr,
+    Var,
+)
+from repro.lang import ast
+from repro.lang.errors import ParseError
+from repro.lang.lexer import Token, tokenize
+
+_BINARY = frozenset(op for op in BINARY_OPS if not op.isalpha())
+_UNARY = frozenset({"-", "!", "~"})
+_FUNCTIONS = frozenset({"min", "max", "abs"})
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing --------------------------------------------------
+
+    @property
+    def _cur(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._cur
+        if token.kind != "EOF":
+            self._pos += 1
+        return token
+
+    def _expect(self, kind: str, text: str = "") -> Token:
+        token = self._cur
+        if token.kind != kind or (text and token.text != text):
+            wanted = text or kind
+            raise ParseError(
+                f"expected {wanted!r}, found {token.text or 'end of input'!r}",
+                token.line,
+                token.column,
+            )
+        return self._advance()
+
+    def _at(self, kind: str, text: str = "") -> bool:
+        token = self._cur
+        return token.kind == kind and (not text or token.text == text)
+
+    # -- grammar ----------------------------------------------------------
+
+    def program(self) -> ast.Program:
+        body = []
+        while not self._at("EOF"):
+            body.append(self.statement())
+        return ast.Program(tuple(body))
+
+    def block(self) -> Tuple[ast.Stmt, ...]:
+        self._expect("OP", "{")
+        body = []
+        while not self._at("OP", "}"):
+            if self._at("EOF"):
+                raise ParseError("unterminated block", self._cur.line, self._cur.column)
+            body.append(self.statement())
+        self._expect("OP", "}")
+        return tuple(body)
+
+    def statement(self) -> ast.Stmt:
+        token = self._cur
+        if token.kind == "KEYWORD":
+            if token.text == "skip":
+                self._advance()
+                self._expect("OP", ";")
+                return ast.SkipStmt(token.line)
+            if token.text == "break":
+                self._advance()
+                self._expect("OP", ";")
+                return ast.BreakStmt(token.line)
+            if token.text == "continue":
+                self._advance()
+                self._expect("OP", ";")
+                return ast.ContinueStmt(token.line)
+            if token.text == "if":
+                self._advance()
+                self._expect("OP", "(")
+                cond = self.expression()
+                self._expect("OP", ")")
+                then_body = self.block()
+                else_body: Tuple[ast.Stmt, ...] = ()
+                if self._at("KEYWORD", "else"):
+                    self._advance()
+                    else_body = self.block()
+                return ast.IfStmt(cond, then_body, else_body, token.line)
+            if token.text == "while":
+                self._advance()
+                self._expect("OP", "(")
+                cond = self.expression()
+                self._expect("OP", ")")
+                return ast.WhileStmt(cond, self.block(), token.line)
+            if token.text == "do":
+                self._advance()
+                body = self.block()
+                self._expect("KEYWORD", "while")
+                self._expect("OP", "(")
+                cond = self.expression()
+                self._expect("OP", ")")
+                self._expect("OP", ";")
+                return ast.DoWhileStmt(cond, body, token.line)
+            if token.text == "repeat":
+                self._advance()
+                self._expect("OP", "(")
+                count = self.expression()
+                self._expect("OP", ")")
+                return ast.RepeatStmt(count, self.block(), token.line)
+            raise ParseError(
+                f"unexpected keyword {token.text!r}", token.line, token.column
+            )
+        if token.kind == "IDENT":
+            name = self._advance().text
+            self._expect("OP", "=")
+            expr = self.expression()
+            self._expect("OP", ";")
+            return ast.AssignStmt(name, expr, token.line)
+        raise ParseError(
+            f"unexpected {token.text or 'end of input'!r}", token.line, token.column
+        )
+
+    def atom(self) -> Atom:
+        token = self._cur
+        if token.kind == "NUMBER":
+            self._advance()
+            return Const(int(token.text))
+        if token.kind == "OP" and token.text == "-" and (
+            self._tokens[self._pos + 1].kind == "NUMBER"
+        ):
+            self._advance()
+            number = self._advance()
+            return Const(-int(number.text))
+        if token.kind == "IDENT":
+            if token.text in _FUNCTIONS:
+                raise ParseError(
+                    f"{token.text!r} is a function, not a variable",
+                    token.line,
+                    token.column,
+                )
+            self._advance()
+            return Var(token.text)
+        raise ParseError(
+            f"expected an operand, found {token.text or 'end of input'!r}",
+            token.line,
+            token.column,
+        )
+
+    def expression(self) -> Expr:
+        token = self._cur
+        # Function call forms.
+        if token.kind == "IDENT" and token.text in _FUNCTIONS:
+            name = self._advance().text
+            self._expect("OP", "(")
+            first = self.atom()
+            if name == "abs":
+                self._expect("OP", ")")
+                return UnaryExpr("abs", first)
+            self._expect("OP", ",")
+            second = self.atom()
+            self._expect("OP", ")")
+            return BinExpr(name, first, second)
+        # Unary operators (negative literals handled inside atom()).
+        if token.kind == "OP" and token.text in _UNARY:
+            if not (
+                token.text == "-" and self._tokens[self._pos + 1].kind == "NUMBER"
+            ):
+                op = self._advance().text
+                return UnaryExpr(op, self.atom())
+        left = self.atom()
+        if self._at("OP") and self._cur.text in _BINARY:
+            op = self._advance().text
+            right = self.atom()
+            return BinExpr(op, left, right)
+        return left
+
+
+def parse_program(source: str) -> ast.Program:
+    """Parse *source* into an AST; raises :class:`ParseError` on errors."""
+    return _Parser(tokenize(source)).program()

@@ -1,0 +1,82 @@
+"""Unparsing: mini-language ASTs back to source text.
+
+The inverse of :mod:`repro.lang.parser`, used to render generated
+workloads readably and to property-test the front-end: for every AST,
+``parse_program(unparse(ast)) == ast`` (the grammar is unambiguous, so
+the round trip is exact).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.expr import Atom, BinExpr, Const, Expr, UnaryExpr, Var
+from repro.lang import ast
+
+
+def unparse_expr(expr: Expr) -> str:
+    """Render one single-operator expression as source text."""
+    if isinstance(expr, Const):
+        return str(expr.value)
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, UnaryExpr):
+        if expr.op == "abs":
+            return f"abs({unparse_expr(expr.operand)})"
+        return f"{expr.op}{unparse_expr(expr.operand)}"
+    if isinstance(expr, BinExpr):
+        if expr.op in ("min", "max"):
+            return (
+                f"{expr.op}({unparse_expr(expr.left)}, "
+                f"{unparse_expr(expr.right)})"
+            )
+        return (
+            f"{unparse_expr(expr.left)} {expr.op} {unparse_expr(expr.right)}"
+        )
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+def _unparse_stmt(stmt: ast.Stmt, indent: int, lines: List[str]) -> None:
+    pad = "    " * indent
+    if isinstance(stmt, ast.AssignStmt):
+        lines.append(f"{pad}{stmt.target} = {unparse_expr(stmt.expr)};")
+    elif isinstance(stmt, ast.SkipStmt):
+        lines.append(f"{pad}skip;")
+    elif isinstance(stmt, ast.BreakStmt):
+        lines.append(f"{pad}break;")
+    elif isinstance(stmt, ast.ContinueStmt):
+        lines.append(f"{pad}continue;")
+    elif isinstance(stmt, ast.IfStmt):
+        lines.append(f"{pad}if ({unparse_expr(stmt.cond)}) {{")
+        for inner in stmt.then_body:
+            _unparse_stmt(inner, indent + 1, lines)
+        if stmt.else_body:
+            lines.append(f"{pad}}} else {{")
+            for inner in stmt.else_body:
+                _unparse_stmt(inner, indent + 1, lines)
+        lines.append(f"{pad}}}")
+    elif isinstance(stmt, ast.WhileStmt):
+        lines.append(f"{pad}while ({unparse_expr(stmt.cond)}) {{")
+        for inner in stmt.body:
+            _unparse_stmt(inner, indent + 1, lines)
+        lines.append(f"{pad}}}")
+    elif isinstance(stmt, ast.DoWhileStmt):
+        lines.append(f"{pad}do {{")
+        for inner in stmt.body:
+            _unparse_stmt(inner, indent + 1, lines)
+        lines.append(f"{pad}}} while ({unparse_expr(stmt.cond)});")
+    elif isinstance(stmt, ast.RepeatStmt):
+        lines.append(f"{pad}repeat ({unparse_expr(stmt.count)}) {{")
+        for inner in stmt.body:
+            _unparse_stmt(inner, indent + 1, lines)
+        lines.append(f"{pad}}}")
+    else:
+        raise TypeError(f"unknown statement {stmt!r}")
+
+
+def unparse(program: ast.Program) -> str:
+    """Render a whole program; parses back to an equal AST."""
+    lines: List[str] = []
+    for stmt in program.body:
+        _unparse_stmt(stmt, 0, lines)
+    return "\n".join(lines) + ("\n" if lines else "")

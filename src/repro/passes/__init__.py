@@ -1,0 +1,36 @@
+"""Supporting optimisation passes around the PRE core.
+
+Lazy Code Motion is one pass of a real optimiser pipeline; this package
+provides the neighbours a downstream user expects, built on the same IR
+and dataflow engine:
+
+* :mod:`repro.passes.simplify` — CFG cleanup: merge pass-through
+  blocks, fold redundant branches, drop unreachable code;
+* :mod:`repro.passes.copyprop` — global copy propagation (forward
+  "reaching copies" analysis), which tidies the ``x = t`` reads PRE
+  leaves behind;
+* :mod:`repro.passes.constfold` — constant folding plus a forward
+  constant-propagation sweep;
+* :mod:`repro.passes.dce` — dead code elimination for *all* variables
+  (the transformation engine's own cleanup only touches its temps);
+* :mod:`repro.passes.pipeline` — compose passes into a fixed-point
+  optimisation pipeline.
+"""
+
+from repro.passes.simplify import simplify_cfg
+from repro.passes.copyprop import copy_propagate
+from repro.passes.constfold import fold_constants
+from repro.passes.canonical import canonicalize
+from repro.passes.dce import dead_code_elimination
+from repro.passes.pipeline import PassResult, run_pipeline, standard_pipeline
+
+__all__ = [
+    "PassResult",
+    "canonicalize",
+    "copy_propagate",
+    "dead_code_elimination",
+    "fold_constants",
+    "run_pipeline",
+    "simplify_cfg",
+    "standard_pipeline",
+]

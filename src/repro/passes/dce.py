@@ -1,0 +1,52 @@
+"""Whole-program dead code elimination.
+
+Removes assignments whose target is overwritten before ever being read.
+Under this library's execution model the final environment is
+observable, so — unlike classic compiler DCE — variables are considered
+live at the program exit by default; only *shadowed* stores are dead.
+Passes that know better (e.g. the PRE engine cleaning up its own
+temporaries, which are never observable) can narrow the observable set.
+
+Right-hand sides in this IR are pure, so removal is always sound for a
+dead target.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.analysis.liveness import compute_liveness
+from repro.core.transform import _is_live_after
+from repro.ir.cfg import CFG
+
+
+def dead_code_elimination(
+    cfg: CFG, observable: Optional[Iterable[str]] = None
+) -> int:
+    """Remove dead assignments from *cfg* in place; returns the count.
+
+    Args:
+        cfg: the program (mutated).
+        observable: variables whose final value matters (live at exit).
+            Defaults to every variable of the program — the
+            conservative choice matching the interpreter's semantics.
+    """
+    live_at_exit = (
+        sorted(cfg.variables()) if observable is None else sorted(set(observable))
+    )
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        liveness = compute_liveness(cfg, live_at_exit=live_at_exit)
+        for block in cfg:
+            keep: List = []
+            for i, instr in enumerate(block.instrs):
+                if not _is_live_after(cfg, liveness, block.label, i, instr.target):
+                    removed += 1
+                    changed = True
+                else:
+                    keep.append(instr)
+            if len(keep) != len(block.instrs):
+                block.instrs[:] = keep
+    return removed

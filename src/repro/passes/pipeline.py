@@ -1,0 +1,107 @@
+"""Pass pipeline: compose cleanup passes and PRE into one optimiser.
+
+``standard_pipeline`` is the order a real compiler would use around a
+PRE pass: normalise first (constant folding exposes equal expressions,
+LCSE canonicalises blocks), run Lazy Code Motion, then clean up the
+copies and structure it leaves behind — iterating the cleanup trio to a
+fixed point because each enables the others (copy propagation exposes
+dead stores, DCE exposes pass-through blocks, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.localcse import local_cse
+from repro.core.pipeline import optimize
+from repro.ir.cfg import CFG
+from repro.ir.validate import validate_cfg
+from repro.passes.canonical import canonicalize
+from repro.passes.constfold import fold_constants
+from repro.passes.copyprop import copy_propagate
+from repro.passes.dce import dead_code_elimination
+from repro.passes.simplify import simplify_cfg
+
+
+@dataclass
+class PassResult:
+    """Outcome of a pipeline run."""
+
+    cfg: CFG
+    rewrites: Dict[str, int] = field(default_factory=dict)
+
+    def bump(self, name: str, count: int) -> None:
+        if count:
+            self.rewrites[name] = self.rewrites.get(name, 0) + count
+
+    @property
+    def total_rewrites(self) -> int:
+        return sum(self.rewrites.values())
+
+    def describe(self) -> str:
+        if not self.rewrites:
+            return "pipeline: no rewrites"
+        parts = ", ".join(f"{k}={v}" for k, v in sorted(self.rewrites.items()))
+        return f"pipeline: {parts}"
+
+
+def _cleanup_to_fixpoint(cfg: CFG, result: PassResult, max_rounds: int = 20) -> None:
+    for _ in range(max_rounds):
+        round_total = 0
+        round_total += _record(result, "copyprop", copy_propagate(cfg))
+        round_total += _record(result, "constfold", fold_constants(cfg))
+        round_total += _record(result, "dce", dead_code_elimination(cfg))
+        stats = simplify_cfg(cfg)
+        result.bump("simplify", stats.total)
+        round_total += stats.total
+        if round_total == 0:
+            return
+
+
+def _record(result: PassResult, name: str, count: int) -> int:
+    result.bump(name, count)
+    return count
+
+
+def run_pipeline(
+    cfg: CFG,
+    pre_strategy: Optional[str] = "lcm",
+    validate: bool = True,
+) -> PassResult:
+    """Run the standard pipeline on a copy of *cfg*.
+
+    Args:
+        cfg: input program (never mutated).
+        pre_strategy: which PRE strategy to run in the middle, or None
+            to run the cleanup passes only.
+        validate: validate the input and the final result.
+    """
+    if validate:
+        validate_cfg(cfg)
+    work = cfg.copy()
+    result = PassResult(cfg=work)
+    _record(result, "canonicalize", canonicalize(work))
+    _record(result, "constfold", fold_constants(work))
+    work, lcse_replaced = local_cse(work)
+    result.cfg = work
+    result.bump("lcse", lcse_replaced)
+
+    if pre_strategy is not None:
+        pre = optimize(work, pre_strategy, run_local_cse=False, validate=False)
+        work = pre.cfg
+        result.cfg = work
+        result.bump(
+            f"pre({pre_strategy})",
+            sum(p.insertion_count + len(p.delete_blocks) for p in pre.placements),
+        )
+
+    _cleanup_to_fixpoint(work, result)
+    if validate:
+        validate_cfg(work)
+    return result
+
+
+def standard_pipeline(cfg: CFG) -> PassResult:
+    """The default full pipeline: normalise, LCM, clean up."""
+    return run_pipeline(cfg, "lcm")

@@ -1,0 +1,106 @@
+"""Unit tests for dominators, frontiers and natural loops."""
+
+from tests.helpers import diamond, straight_line
+
+from repro.analysis.dominators import (
+    back_edges,
+    compute_dominators,
+    dominance_frontier,
+    immediate_dominators,
+    natural_loop,
+)
+from repro.ir.builder import CFGBuilder
+
+
+def loop_graph():
+    b = CFGBuilder()
+    b.block("pre", "i = 0").jump("head")
+    b.block("head", "t = i < n").branch("t", "body", "out")
+    b.block("body", "i = i + 1").jump("head")
+    b.block("out").to_exit()
+    return b.build()
+
+
+def nested_loops():
+    b = CFGBuilder()
+    b.block("oh", "t1 = i < n").branch("t1", "ih", "done")
+    b.block("ih", "t2 = j < m").branch("t2", "ib", "oend")
+    b.block("ib", "j = j + 1").jump("ih")
+    b.block("oend", "i = i + 1").jump("oh")
+    b.block("done").to_exit()
+    return b.build()
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self):
+        cfg = diamond()
+        dom = compute_dominators(cfg)
+        assert all(cfg.entry in doms for doms in dom.values())
+
+    def test_diamond_join_not_dominated_by_arms(self):
+        dom = compute_dominators(diamond())
+        assert "left" not in dom["join"]
+        assert "right" not in dom["join"]
+        assert "cond" in dom["join"]
+
+    def test_chain_dominance_is_total(self):
+        cfg = straight_line(["x = 1"], ["y = 2"], ["z = 3"])
+        dom = compute_dominators(cfg)
+        assert dom["s2"] >= {"entry", "s0", "s1", "s2"}
+
+    def test_self_domination(self):
+        dom = compute_dominators(diamond())
+        assert all(label in dom[label] for label in dom)
+
+
+class TestImmediateDominators:
+    def test_entry_has_none(self):
+        idom = immediate_dominators(diamond())
+        assert idom["entry"] is None
+
+    def test_join_idom_is_branch_point(self):
+        idom = immediate_dominators(diamond())
+        assert idom["join"] == "cond"
+
+    def test_chain(self):
+        cfg = straight_line(["x = 1"], ["y = 2"])
+        idom = immediate_dominators(cfg)
+        assert idom["s1"] == "s0"
+
+
+class TestFrontier:
+    def test_diamond_arms_frontier_is_join(self):
+        frontier = dominance_frontier(diamond())
+        assert frontier["left"] == {"join"}
+        assert frontier["right"] == {"join"}
+
+    def test_join_has_empty_frontier_in_dag(self):
+        frontier = dominance_frontier(diamond())
+        assert frontier["join"] == set()
+
+    def test_loop_header_in_own_frontier(self):
+        frontier = dominance_frontier(loop_graph())
+        assert "head" in frontier["head"] or "head" in frontier["body"]
+
+
+class TestLoops:
+    def test_back_edge_detection(self):
+        assert back_edges(loop_graph()) == [("body", "head")]
+
+    def test_no_back_edges_in_dag(self):
+        assert back_edges(diamond()) == []
+
+    def test_natural_loop_body(self):
+        cfg = loop_graph()
+        body = natural_loop(cfg, ("body", "head"))
+        assert body == {"head", "body"}
+
+    def test_nested_loop_bodies(self):
+        cfg = nested_loops()
+        backs = dict.fromkeys(back_edges(cfg))
+        assert ("ib", "ih") in backs and ("oend", "oh") in backs
+        inner = natural_loop(cfg, ("ib", "ih"))
+        outer = natural_loop(cfg, ("oend", "oh"))
+        assert inner == {"ih", "ib"}
+        assert inner < outer
+        assert "oh" in outer

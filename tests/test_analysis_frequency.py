@@ -1,0 +1,114 @@
+"""Unit tests for execution-frequency profiles."""
+
+from tests.helpers import diamond, do_while_invariant, straight_line
+
+from repro.analysis.frequency import (
+    Profile,
+    block_frequencies,
+    check_conservation,
+    expected_evaluations,
+    profile_from_runs,
+)
+from repro.interp.random_inputs import random_envs
+
+
+class TestProfileFromRuns:
+    def test_straightline_counts_runs(self):
+        cfg = straight_line(["x = a + b"])
+        profile = profile_from_runs(cfg, random_envs(cfg, 5, seed=1))
+        assert profile.edge(("entry", "s0")) == 5
+        assert profile.block("s0") == 5
+
+    def test_diamond_splits_by_branch(self):
+        cfg = diamond()
+        envs = [{"a": 0, "b": 1}, {"a": 1, "b": 0}, {"a": 2, "b": 5}]
+        profile = profile_from_runs(cfg, envs)
+        assert profile.edge(("cond", "left")) == 2  # a < b twice
+        assert profile.edge(("cond", "right")) == 1
+        assert profile.block("join") == 3
+
+    def test_loop_counts_iterations(self):
+        cfg = do_while_invariant()
+        profile = profile_from_runs(cfg, [{"n": 4}])
+        assert profile.edge(("body", "body")) == 3  # 4 iterations
+        assert profile.block("body") == 4
+
+    def test_unseen_edge_is_zero(self):
+        cfg = diamond()
+        profile = profile_from_runs(cfg, [{"a": 0, "b": 1}])
+        assert profile.edge(("cond", "right")) == 0
+
+    def test_attach_sets_weights(self):
+        cfg = diamond()
+        profile = profile_from_runs(cfg, [{"a": 0, "b": 1}] * 3)
+        profile.attach()
+        assert cfg.weight(("cond", "left")) == 3
+        # Unseen edges keep the default weight.
+        assert cfg.weight(("cond", "right")) == 1
+
+    def test_attach_minimum_fills_cold_edges(self):
+        cfg = diamond()
+        profile = profile_from_runs(cfg, [{"a": 0, "b": 1}])
+        profile.attach(minimum=1)
+        assert cfg.weight(("cond", "right")) == 1
+
+
+class TestBlockFrequencies:
+    def test_derived_from_weights(self):
+        cfg = diamond()
+        cfg.set_weight(("entry", "cond"), 10)
+        cfg.set_weight(("cond", "left"), 7)
+        cfg.set_weight(("cond", "right"), 3)
+        cfg.set_weight(("left", "join"), 7)
+        cfg.set_weight(("right", "join"), 3)
+        cfg.set_weight(("join", "exit"), 10)
+        freq = block_frequencies(cfg)
+        assert freq["cond"] == 10
+        assert freq["left"] == 7
+        assert freq["join"] == 10
+        assert freq["entry"] == 10  # entry counts its outflow
+
+    def test_default_weights(self):
+        cfg = straight_line(["x = 1"])
+        assert block_frequencies(cfg)["s0"] == 1
+
+
+class TestConservation:
+    def test_profiled_weights_conserve(self):
+        cfg = do_while_invariant()
+        profile = profile_from_runs(
+            cfg, [{"n": k} for k in (1, 3, 5)]
+        )
+        profile.attach(minimum=0)
+        # Real traversal counts always conserve flow where all edges
+        # were observed.
+        violations = [
+            v for v in check_conservation(cfg, default=0)
+        ]
+        assert violations == []
+
+    def test_violation_detected(self):
+        cfg = diamond()
+        cfg.set_weight(("entry", "cond"), 10)
+        cfg.set_weight(("cond", "left"), 9)
+        cfg.set_weight(("cond", "right"), 9)
+        violations = check_conservation(cfg)
+        assert any("cond" in v for v in violations)
+
+
+class TestExpectedEvaluations:
+    def test_unit_profile_counts_statically(self):
+        cfg = straight_line(["x = a + b", "y = c * 2"])
+        assert expected_evaluations(cfg) == 2
+
+    def test_hot_block_scales(self):
+        cfg = do_while_invariant()
+        profile = profile_from_runs(cfg, [{"n": 10}])
+        profile.attach(minimum=1)
+        hot = expected_evaluations(cfg)
+        # body runs 10 times with 2 computations + after runs once.
+        assert hot >= 20
+
+    def test_explicit_frequency_map(self):
+        cfg = straight_line(["x = a + b"])
+        assert expected_evaluations(cfg, {"s0": 100}) == 100

@@ -1,0 +1,178 @@
+"""Unit tests for the global analyses: availability, anticipability,
+their partial (some-path) variants, and variable liveness."""
+
+from tests.helpers import AB, diamond, do_while_invariant, names, straight_line
+
+from repro.analysis.anticipability import compute_anticipability
+from repro.analysis.availability import compute_availability
+from repro.analysis.liveness import compute_liveness
+from repro.analysis.local import compute_local_properties
+from repro.analysis.partial import (
+    compute_partial_anticipability,
+    compute_partial_availability,
+)
+from repro.ir.builder import CFGBuilder
+
+
+def analyses(cfg):
+    local = compute_local_properties(cfg)
+    return local, local.universe.index_of(AB)
+
+
+class TestAvailability:
+    def test_available_after_computing_block(self):
+        cfg = straight_line(["x = a + b"], ["y = c + c"], ["z = a + b"])
+        local, idx = analyses(cfg)
+        av = compute_availability(cfg, local)
+        assert idx in av.avout["s0"]
+        assert idx in av.avin["s2"]
+
+    def test_join_requires_all_paths(self):
+        cfg = diamond()
+        local, idx = analyses(cfg)
+        av = compute_availability(cfg, local)
+        assert idx in av.avout["left"]
+        assert idx not in av.avout["right"]
+        assert idx not in av.avin["join"]
+
+    def test_loop_carries_availability(self):
+        cfg = do_while_invariant()
+        local, idx = analyses(cfg)
+        av = compute_availability(cfg, local)
+        assert idx in av.avin["after"]
+        # Entry of the loop body: available only from the back edge, not
+        # the initial entry -> not available (intersection).
+        assert idx not in av.avin["body"]
+
+    def test_nothing_available_at_entry(self):
+        cfg = diamond()
+        local, _ = analyses(cfg)
+        av = compute_availability(cfg, local)
+        assert not av.avin[cfg.entry]
+
+
+class TestAnticipability:
+    def test_upward_exposed_blocks_anticipate(self):
+        cfg = diamond()
+        local, idx = analyses(cfg)
+        ant = compute_anticipability(cfg, local)
+        assert idx in ant.antin["join"]
+        assert idx in ant.antin["left"]
+
+    def test_branch_requires_all_paths(self):
+        # a+b computed only on one branch arm: not anticipatable above
+        # the branch.
+        b = CFGBuilder()
+        b.block("fork").branch("p", "uses", "skips")
+        b.block("uses", "x = a + b").jump("end")
+        b.block("skips").jump("end")
+        b.block("end").to_exit()
+        cfg = b.build()
+        local, idx = analyses(cfg)
+        ant = compute_anticipability(cfg, local)
+        assert idx not in ant.antout["fork"]
+        assert idx in ant.antin["uses"]
+
+    def test_both_arms_make_it_anticipatable(self):
+        cfg = diamond()
+        local, idx = analyses(cfg)
+        ant = compute_anticipability(cfg, local)
+        # join computes on all paths below cond... via left (computes)
+        # and right (transparent, join computes).
+        assert idx in ant.antout["cond"]
+
+    def test_kill_blocks_anticipation(self):
+        cfg = straight_line(["a = 5"], ["x = a + b"])
+        local, idx = analyses(cfg)
+        ant = compute_anticipability(cfg, local)
+        assert idx in ant.antin["s1"]
+        assert idx not in ant.antin["s0"]  # s0 kills a first
+
+    def test_nothing_anticipated_at_exit(self):
+        cfg = diamond()
+        local, _ = analyses(cfg)
+        ant = compute_anticipability(cfg, local)
+        assert not ant.antout[cfg.exit]
+
+
+class TestPartialProperties:
+    def test_partial_availability_some_path(self):
+        cfg = diamond()
+        local, idx = analyses(cfg)
+        pav = compute_partial_availability(cfg, local)
+        # Available on the left path only: partial availability holds at
+        # the join even though full availability does not.
+        assert idx in pav.inof["join"]
+
+    def test_partial_subsumes_full(self):
+        cfg = do_while_invariant()
+        local, _ = analyses(cfg)
+        av = compute_availability(cfg, local)
+        pav = compute_partial_availability(cfg, local)
+        for label in cfg.labels:
+            assert av.avin[label].issubset(pav.inof[label])
+
+    def test_partial_anticipability_some_path(self):
+        b = CFGBuilder()
+        b.block("fork").branch("p", "uses", "skips")
+        b.block("uses", "x = a + b").jump("end")
+        b.block("skips").jump("end")
+        b.block("end").to_exit()
+        cfg = b.build()
+        local, idx = analyses(cfg)
+        pant = compute_partial_anticipability(cfg, local)
+        assert idx in pant.outof["fork"]  # some path computes it
+
+    def test_partial_anticipability_subsumes_full(self):
+        cfg = diamond()
+        local, _ = analyses(cfg)
+        ant = compute_anticipability(cfg, local)
+        pant = compute_partial_anticipability(cfg, local)
+        for label in cfg.labels:
+            assert ant.antin[label].issubset(pant.inof[label])
+
+
+class TestLiveness:
+    def test_straightline_liveness(self):
+        cfg = straight_line(["x = a + b"], ["y = x + 1"])
+        live = compute_liveness(cfg)
+        assert "x" in live.live_in("s1")
+        assert "x" not in live.live_in("s0")  # defined there, not used before
+        assert "a" in live.live_in("s0")
+
+    def test_branch_condition_consumed_within_block(self):
+        cfg = diamond()
+        live = compute_liveness(cfg)
+        # p is defined in cond and used only by cond's own terminator:
+        # live neither on entry (defined before use) nor on exit (no
+        # successor reads it).
+        assert not live.is_live_in("cond", "p")
+        assert not live.is_live_out("cond", "p")
+
+    def test_branch_condition_live_when_defined_earlier(self):
+        b = CFGBuilder()
+        b.block("setup", "p = a < b").jump("fork")
+        b.block("fork").branch("p", "t", "f")
+        b.block("t").to_exit()
+        b.block("f").to_exit()
+        cfg = b.build()
+        live = compute_liveness(cfg)
+        assert live.is_live_out("setup", "p")
+        assert live.is_live_in("fork", "p")
+
+    def test_dead_result_not_live(self):
+        cfg = straight_line(["x = a + b"])
+        live = compute_liveness(cfg)
+        assert not live.is_live_out("s0", "x")
+
+    def test_loop_keeps_variable_alive(self):
+        cfg = do_while_invariant()
+        live = compute_liveness(cfg)
+        assert live.is_live_out("body", "i")  # used next iteration
+        assert live.is_live_in("body", "n")
+
+    def test_unknown_variable_queries_are_false(self):
+        cfg = diamond()
+        live = compute_liveness(cfg)
+        assert not live.is_live_in("join", "nope")
+        assert not live.is_live_out("join", "nope")

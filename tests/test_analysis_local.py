@@ -1,0 +1,101 @@
+"""Unit tests for the local predicates ANTLOC / COMP / TRANSP.
+
+These pin down the classic subtleties: self-killing computations
+(``a = a + b``), recomputation after a kill in one block, and blocks
+where ANTLOC and COMP hold for *different* occurrences.
+"""
+
+from tests.helpers import AB, straight_line
+
+from repro.analysis.local import compute_local_properties
+from repro.analysis.universe import ExprUniverse
+from repro.ir.builder import CFGBuilder
+
+
+def props_of(*instrs: str):
+    cfg = straight_line(list(instrs))
+    universe = ExprUniverse.of_cfg(cfg)
+    universe.add(AB)  # ensure a+b is indexed even if absent from the code
+    local = compute_local_properties(cfg, universe)
+    idx = local.universe.index_of(AB)
+    label = "s0"
+    return (
+        idx in local.antloc[label],
+        idx in local.comp[label],
+        idx in local.transp[label],
+    )
+
+
+class TestSingleBlock:
+    def test_plain_computation(self):
+        antloc, comp, transp = props_of("x = a + b")
+        assert antloc and comp and transp
+
+    def test_self_kill(self):
+        # a = a + b: upwards exposed, but not available afterwards.
+        antloc, comp, transp = props_of("a = a + b")
+        assert antloc
+        assert not comp
+        assert not transp
+
+    def test_kill_before_computation(self):
+        # The occurrence after the kill is downwards but not upwards exposed.
+        antloc, comp, transp = props_of("a = c * 2", "x = a + b")
+        assert not antloc
+        assert comp
+        assert not transp
+
+    def test_kill_after_computation(self):
+        antloc, comp, transp = props_of("x = a + b", "b = 0")
+        assert antloc
+        assert not comp
+        assert not transp
+
+    def test_antloc_and_comp_from_distinct_occurrences(self):
+        # occurrence 1 (upwards exposed), kill, occurrence 2 (downwards).
+        antloc, comp, transp = props_of("x = a + b", "a = 9", "y = a + b")
+        assert antloc and comp
+        assert not transp
+
+    def test_transparent_block_without_occurrence(self):
+        antloc, comp, transp = props_of("q = c * d")
+        assert not antloc and not comp and transp
+
+    def test_copy_does_not_generate(self):
+        cfg = straight_line(["x = y"])
+        local = compute_local_properties(cfg)
+        assert local.universe.width == 0
+
+    def test_redefining_unrelated_var_keeps_transparency(self):
+        antloc, comp, transp = props_of("x = a + b", "x = 5")
+        # x is not an operand of a+b; redefining it changes nothing.
+        assert antloc and comp and transp
+
+
+class TestAcrossBlocks:
+    def test_empty_blocks_fully_transparent(self):
+        cfg = straight_line(["x = a + b"])
+        local = compute_local_properties(cfg)
+        idx = local.universe.index_of(AB)
+        for label in ("entry", "exit"):
+            assert idx in local.transp[label]
+            assert idx not in local.antloc[label]
+            assert idx not in local.comp[label]
+
+    def test_external_universe_keeps_indices(self):
+        cfg = straight_line(["x = a + b"])
+        universe = ExprUniverse()
+        from repro.ir.expr import BinExpr, Var
+
+        universe.add(BinExpr("*", Var("c"), Var("d")))  # index 0, absent here
+        universe.add(AB)  # index 1
+        local = compute_local_properties(cfg, universe)
+        assert local.universe is universe
+        assert 1 in local.antloc["s0"]
+        assert 0 not in local.antloc["s0"]
+
+    def test_describe_mentions_all_three_predicates(self):
+        cfg = straight_line(["x = a + b"])
+        local = compute_local_properties(cfg)
+        text = local.describe("s0")
+        assert "ANTLOC" in text and "COMP" in text and "TRANSP" in text

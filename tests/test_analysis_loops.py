@@ -1,0 +1,91 @@
+"""Unit tests for the loop-nest analysis."""
+
+from tests.helpers import diamond, do_while_invariant
+
+from repro.analysis.loops import LoopNest
+from repro.ir.builder import CFGBuilder
+from repro.lang import compile_program
+
+
+def nested():
+    return compile_program(
+        """
+        i = 0;
+        while (i < n) {
+            j = 0;
+            while (j < m) {
+                s = s + 1;
+                j = j + 1;
+            }
+            i = i + 1;
+        }
+        """
+    )
+
+
+class TestLoopNest:
+    def test_no_loops_in_dag(self):
+        assert len(LoopNest.compute(diamond())) == 0
+
+    def test_single_loop(self):
+        nest = LoopNest.compute(do_while_invariant())
+        assert len(nest) == 1
+        (loop,) = list(nest)
+        assert loop.header == "body"
+        assert loop.body == {"body"}
+        assert loop.depth == 1
+        assert loop.parent is None
+
+    def test_nested_structure(self):
+        nest = LoopNest.compute(nested())
+        assert len(nest) == 2
+        inner = min(nest, key=lambda l: len(l.body))
+        outer = max(nest, key=lambda l: len(l.body))
+        assert inner.parent == outer.header
+        assert outer.parent is None
+        assert inner.depth == 2
+        assert outer.depth == 1
+        assert inner.body < outer.body
+
+    def test_orderings(self):
+        nest = LoopNest.compute(nested())
+        inner_first = nest.innermost_first()
+        assert len(inner_first[0].body) <= len(inner_first[-1].body)
+        outer_first = nest.outermost_first()
+        assert len(outer_first[0].body) >= len(outer_first[-1].body)
+
+    def test_depth_of_blocks(self):
+        nest = LoopNest.compute(nested())
+        inner = min(nest, key=lambda l: len(l.body))
+        inner_body_block = next(
+            b for b in inner.body if b != inner.header
+        )
+        assert nest.depth_of(inner_body_block) == 2
+        assert nest.depth_of("entry") == 0
+
+    def test_exits_and_entries(self):
+        nest = LoopNest.compute(do_while_invariant())
+        (loop,) = list(nest)
+        cfg = do_while_invariant()
+        assert loop.exits(cfg) == [("body", "after")]
+        assert loop.entry_edges(cfg) == [("init", "body")]
+
+    def test_merged_back_edges(self):
+        # Two back edges to one header merge into one loop.
+        b = CFGBuilder()
+        b.block("head", "t = i < n").branch("t", "b1", "out")
+        b.block("b1", "i = i + 1").branch("q", "head", "b2")
+        b.block("b2", "i = i + 2").jump("head")
+        b.block("out").to_exit()
+        cfg = b.build()
+        nest = LoopNest.compute(cfg)
+        assert len(nest) == 1
+        loop = nest.loop_of("head")
+        assert len(loop.back_edges) == 2
+        assert loop.body == {"head", "b1", "b2"}
+
+    def test_top_level(self):
+        nest = LoopNest.compute(nested())
+        tops = nest.top_level()
+        assert len(tops) == 1
+        assert tops[0].depth == 1

@@ -1,0 +1,103 @@
+"""Unit tests for reaching definitions and def-use chains."""
+
+from tests.helpers import diamond, do_while_invariant, straight_line
+
+from repro.analysis.reaching import (
+    compute_reaching_definitions,
+    def_use_chains,
+)
+from repro.ir.builder import CFGBuilder
+
+
+class TestReachingDefinitions:
+    def test_straightline_reaches_forward(self):
+        cfg = straight_line(["x = a + b"], ["y = x + 1"])
+        reaching = compute_reaching_definitions(cfg)
+        assert ("s0", 0) in reaching.reaching_entry("s1")
+
+    def test_redefinition_kills(self):
+        cfg = straight_line(["x = a + b", "x = 5"], ["y = x + 1"])
+        reaching = compute_reaching_definitions(cfg)
+        entry_defs = reaching.reaching_entry("s1", var="x", cfg=cfg)
+        assert entry_defs == [("s0", 1)]
+
+    def test_join_merges_both_arms(self):
+        b = CFGBuilder()
+        b.block("top").branch("p", "l", "r")
+        b.block("l", "x = 1").jump("join")
+        b.block("r", "x = 2").jump("join")
+        b.block("join", "y = x + 1").to_exit()
+        cfg = b.build()
+        reaching = compute_reaching_definitions(cfg)
+        defs = set(reaching.reaching_entry("join", var="x", cfg=cfg))
+        assert defs == {("l", 0), ("r", 0)}
+
+    def test_loop_carried_definition(self):
+        cfg = do_while_invariant()
+        reaching = compute_reaching_definitions(cfg)
+        # i's init (init block) and its in-loop increment both reach the
+        # body's entry.
+        defs = set(reaching.reaching_entry("body", var="i", cfg=cfg))
+        assert ("init", 0) in defs
+        assert any(b == "body" for b, _ in defs)
+
+    def test_empty_program(self):
+        cfg = CFGBuilder().build()
+        reaching = compute_reaching_definitions(cfg)
+        assert reaching.sites == []
+
+
+class TestDefUseChains:
+    def test_simple_chain(self):
+        cfg = straight_line(["x = a + b", "y = x + 1"])
+        chains = def_use_chains(cfg)
+        assert chains.uses(("s0", 0)) == {("s0", 1)}
+        assert chains.defs(("s0", 1), "x") == {("s0", 0)}
+
+    def test_terminator_use_recorded(self):
+        cfg = diamond()
+        chains = def_use_chains(cfg)
+        # p defined at cond[0], used by cond's terminator (index 1).
+        assert ("cond", 1) in chains.uses(("cond", 0))
+
+    def test_shadowed_def_has_no_uses(self):
+        cfg = straight_line(["x = a + b", "x = 5", "y = x + 1"])
+        chains = def_use_chains(cfg)
+        assert chains.uses(("s0", 0)) == set()
+        assert ("s0", 0) in chains.dead_defs()
+
+    def test_multiple_reaching_defs_at_join(self):
+        b = CFGBuilder()
+        b.block("top").branch("p", "l", "r")
+        b.block("l", "x = 1").jump("join")
+        b.block("r", "x = 2").jump("join")
+        b.block("join", "y = x + 1").to_exit()
+        cfg = b.build()
+        chains = def_use_chains(cfg)
+        assert chains.defs(("join", 0), "x") == {("l", 0), ("r", 0)}
+        assert ("join", 0) in chains.uses(("l", 0))
+        assert ("join", 0) in chains.uses(("r", 0))
+
+    def test_loop_use_of_own_definition(self):
+        cfg = do_while_invariant()
+        chains = def_use_chains(cfg)
+        # i = i + 1 in the body uses both its own previous-iteration def
+        # and the init.
+        body_inc = next(
+            (label, i)
+            for label, i, instr in cfg.instructions()
+            if label == "body" and instr.target == "i"
+        )
+        assert body_inc in chains.defs(body_inc, "i")
+
+    def test_agrees_with_liveness_on_dead_defs(self):
+        """Cross-oracle check: a def with no uses anywhere and a
+        redefinition below is exactly what DCE removes."""
+        from repro.passes.dce import dead_code_elimination
+
+        cfg = straight_line(["x = a + b", "x = 5", "y = c * 2"])
+        chains = def_use_chains(cfg)
+        dead = chains.dead_defs()
+        assert ("s0", 0) in dead
+        removed = dead_code_elimination(cfg)
+        assert removed == 1

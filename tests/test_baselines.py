@@ -1,0 +1,157 @@
+"""Unit tests for the baseline algorithms (Morel-Renvoise, GCSE, LICM)."""
+
+from tests.helpers import AB, diamond, do_while_invariant, straight_line
+
+from repro.baselines.gcse import gcse_placements, gcse_transform
+from repro.baselines.licm import licm_transform, loop_invariant_exprs
+from repro.baselines.morel_renvoise import (
+    analyze_morel_renvoise,
+    morel_renvoise_transform,
+)
+from repro.core.optimality import check_equivalence, compare_per_path
+from repro.core.pipeline import optimize
+from repro.ir.builder import CFGBuilder
+from repro.ir.expr import BinExpr, Var
+from repro.ir.validate import validate_cfg
+
+
+class TestMorelRenvoise:
+    def test_full_redundancy_removed(self):
+        cfg = straight_line(["x = a + b"], ["y = a + b"])
+        result = morel_renvoise_transform(cfg)
+        assert str(result.cfg.block("s1").instrs[0]).endswith("a_plus_b")
+        assert check_equivalence(cfg, result.cfg).equivalent
+
+    def test_diamond_partial_redundancy_removed(self):
+        cfg = diamond()
+        result = morel_renvoise_transform(cfg)
+        report = compare_per_path(cfg, result.cfg)
+        assert report.safe
+        assert report.improvements >= 1
+
+    def test_loop_invariant_hoisted(self):
+        cfg = do_while_invariant()
+        result = morel_renvoise_transform(cfg)
+        report = compare_per_path(cfg, result.cfg, max_branches=5)
+        assert report.safe
+        # The body's a+b must no longer be evaluated per iteration.
+        assert report.improvements >= 1
+
+    def test_analysis_boundaries(self):
+        cfg = diamond()
+        analysis = analyze_morel_renvoise(cfg)
+        assert not analysis.ppin[cfg.entry]
+        assert not analysis.ppout[cfg.exit]
+
+    def test_delete_only_where_antloc(self):
+        cfg = diamond()
+        analysis = analyze_morel_renvoise(cfg)
+        for label in cfg.labels:
+            assert analysis.delete[label].issubset(analysis.local.antloc[label])
+
+    def test_transform_validates(self):
+        result = morel_renvoise_transform(diamond())
+        validate_cfg(result.cfg)
+
+    def test_never_beats_lcm(self):
+        for graph in (diamond(), do_while_invariant()):
+            lcm = optimize(graph, "lcm")
+            mr = optimize(graph, "mr")
+            head = compare_per_path(lcm.cfg, mr.cfg, max_branches=5)
+            assert head.improvements == 0  # MR never strictly better
+
+
+class TestGCSE:
+    def test_full_redundancy_removed(self):
+        cfg = straight_line(["x = a + b"], ["q = c * 2"], ["y = a + b"])
+        result = gcse_transform(cfg)
+        assert check_equivalence(cfg, result.cfg).equivalent
+        report = compare_per_path(cfg, result.cfg)
+        assert report.safe
+        assert report.total_after < report.total_before
+
+    def test_partial_redundancy_left_alone(self):
+        cfg = diamond()
+        plans = gcse_placements(cfg)
+        plan = next(p for p in plans if p.expr == AB)
+        assert plan.is_identity
+
+    def test_no_insertions_ever(self):
+        for graph in (diamond(), do_while_invariant()):
+            for plan in gcse_placements(graph):
+                assert not plan.insert_edges
+                assert not plan.insert_entries
+                assert not plan.insert_exits
+
+    def test_kill_respected(self):
+        cfg = straight_line(["x = a + b"], ["a = 1"], ["y = a + b"])
+        plans = gcse_placements(cfg)
+        plan = next(p for p in plans if p.expr == AB)
+        assert plan.is_identity
+
+
+class TestLICM:
+    def test_invariant_detection(self):
+        cfg = do_while_invariant()
+        invariants = loop_invariant_exprs(cfg, {"body"})
+        assert AB in invariants
+        # i + 1 and i < n are variant (i is assigned in the loop).
+        from repro.ir.expr import Const
+
+        assert BinExpr("+", Var("i"), Const(1)) not in invariants
+        assert BinExpr("<", Var("i"), Var("n")) not in invariants
+
+    def test_hoists_and_preserves_semantics(self):
+        cfg = do_while_invariant()
+        result = licm_transform(cfg)
+        assert check_equivalence(cfg, result.cfg, runs=30).equivalent
+        assert any("licm" in t for t in result.temps)
+        validate_cfg(result.cfg)
+
+    def test_speculative_on_zero_trip_while(self):
+        # while-loop: body may never run; hoisting evaluates a+b anyway.
+        b = CFGBuilder()
+        b.block("head", "t = i < n").branch("t", "body", "out")
+        b.block("body", "z = a + b", "i = i + 1").jump("head")
+        b.block("out").to_exit()
+        cfg = b.build()
+        result = licm_transform(cfg)
+        assert check_equivalence(cfg, result.cfg, runs=30).equivalent
+        report = compare_per_path(cfg, result.cfg, max_branches=5)
+        # Zero-trip path: original never evaluates a+b, LICM does.
+        assert not report.safe
+
+    def test_lcm_not_speculative_on_same_graph(self):
+        b = CFGBuilder()
+        b.block("head", "t = i < n").branch("t", "body", "out")
+        b.block("body", "z = a + b", "i = i + 1").jump("head")
+        b.block("out").to_exit()
+        cfg = b.build()
+        result = optimize(cfg, "lcm")
+        assert compare_per_path(cfg, result.cfg, max_branches=5).safe
+
+    def test_no_loops_means_no_change(self):
+        cfg = diamond()
+        result = licm_transform(cfg)
+        assert str(result.cfg) == str(cfg)
+
+    def test_nested_loops_hoist_outer_invariant(self):
+        from repro.lang.lower import compile_program
+
+        cfg = compile_program(
+            """
+            acc = 0;
+            do {
+                do {
+                    step = a * k;
+                    acc = acc + step;
+                    j = j - 1;
+                    tin = j > 0;
+                } while (tin);
+                i = i - 1;
+                tout = i > 0;
+            } while (tout);
+            """
+        )
+        result = licm_transform(cfg)
+        assert check_equivalence(cfg, result.cfg, runs=20).equivalent

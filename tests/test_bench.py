@@ -1,0 +1,167 @@
+"""Unit tests for the benchmark substrate (generators, figures, metrics,
+table harness)."""
+
+import pytest
+
+from repro.bench.figures import FIGURES, figure_description, lifetime_ladder
+from repro.bench.generators import GeneratorConfig, random_cfg, random_program
+from repro.bench.harness import Table
+from repro.bench.metrics import (
+    dynamic_evaluations,
+    measure_strategy,
+    solver_cost,
+)
+from repro.core.optimality import check_equivalence
+from repro.core.pipeline import optimize
+from repro.ir.validate import validate_cfg
+
+
+class TestGenerators:
+    def test_reproducible(self):
+        assert str(random_cfg(42)) == str(random_cfg(42))
+
+    def test_different_seeds_differ(self):
+        assert str(random_cfg(1)) != str(random_cfg(2))
+
+    def test_generated_graphs_validate(self):
+        for seed in range(20):
+            validate_cfg(random_cfg(seed))
+
+    def test_programs_terminate(self):
+        # The generator only emits bounded loops (repeat), so every
+        # program halts under concrete execution.
+        from repro.interp.machine import run
+        from repro.interp.random_inputs import random_envs
+
+        for seed in range(10):
+            cfg = random_cfg(seed)
+            for env in random_envs(cfg, 3, seed=seed):
+                assert run(cfg, env, max_steps=100_000).reached_exit
+
+    def test_config_scales_size(self):
+        small = random_cfg(5, GeneratorConfig(statements=4))
+        large = random_cfg(5, GeneratorConfig(statements=40))
+        assert len(large) > len(small)
+
+    def test_generated_programs_contain_redundancy_candidates(self):
+        hits = 0
+        for seed in range(10):
+            cfg = random_cfg(seed)
+            result = optimize(cfg, "lcm")
+            if any(not p.is_identity for p in result.placements):
+                hits += 1
+        assert hits >= 5  # most seeds exercise PRE
+
+
+class TestFigures:
+    @pytest.mark.parametrize("name", sorted(FIGURES))
+    def test_figures_validate(self, name):
+        validate_cfg(FIGURES[name]())
+
+    @pytest.mark.parametrize("name", sorted(FIGURES))
+    def test_lcm_on_figures_preserves_semantics(self, name):
+        cfg = FIGURES[name]()
+        result = optimize(cfg, "lcm")
+        assert check_equivalence(cfg, result.cfg, runs=20).equivalent
+
+    def test_figure_description(self):
+        assert "ladder" in figure_description("lifetime_ladder").lower() or \
+            "chain" in figure_description("lifetime_ladder").lower()
+
+    def test_ladder_rungs_validated(self):
+        with pytest.raises(ValueError):
+            lifetime_ladder(0)
+
+
+class TestMetrics:
+    def test_measure_strategy_fields(self):
+        cfg = random_cfg(3)
+        metrics = measure_strategy(cfg, "lcm", runs=5)
+        assert metrics.strategy == "lcm"
+        assert metrics.static_computations > 0
+        assert metrics.runs_completed == 5
+        assert metrics.bitvec_ops > 0
+        assert metrics.blocks >= len(cfg)
+
+    def test_dynamic_counts_comparable_across_strategies(self):
+        cfg = random_cfg(7)
+        lcm = measure_strategy(cfg, "lcm", runs=10, seed=1)
+        none = measure_strategy(cfg, "none", runs=10, seed=1)
+        assert lcm.dynamic_evaluations <= none.dynamic_evaluations
+
+    def test_dynamic_evaluations_identity(self):
+        cfg = random_cfg(9)
+        total, completed = dynamic_evaluations(cfg, runs=4, seed=2)
+        assert completed == 4
+        assert total >= 0
+
+    def test_solver_cost_counts_ops(self):
+        assert solver_cost(random_cfg(1), "lcm").total > 0
+
+    def test_mr_costs_more_than_lcm(self):
+        # The headline efficiency claim, on a mid-sized graph.
+        cfg = random_cfg(11, GeneratorConfig(statements=30))
+        lcm_ops = solver_cost(cfg, "lcm").total
+        mr_ops = solver_cost(cfg, "mr").total
+        assert lcm_ops > 0 and mr_ops > 0
+
+
+class TestOperationMix:
+    def test_groups_by_operator(self):
+        from tests.helpers import straight_line
+
+        from repro.bench.metrics import operation_mix
+
+        cfg = straight_line(["x = a + b", "y = a + c", "z = a * b"])
+        mix = operation_mix(cfg, {"a": 1, "b": 2, "c": 3})
+        assert mix == {"+": 2, "*": 1}
+
+    def test_loop_scales_counts(self):
+        from tests.helpers import do_while_invariant
+
+        from repro.bench.metrics import operation_mix
+
+        cfg = do_while_invariant()
+        mix = operation_mix(cfg, {"n": 5})
+        assert mix["+"] >= 10  # a+b and i+1 per iteration
+
+
+class TestReportRegistry:
+    def test_record_and_drain(self):
+        from repro.bench.harness import Table, drain_reports, record_report
+
+        table = Table(["k"], title="t")
+        table.add_row(1)
+        record_report("demo", table)
+        record_report("plain", "text body")
+        reports = drain_reports()
+        assert len(reports) == 2
+        assert "== demo ==" in reports[0]
+        assert "text body" in reports[1]
+        assert drain_reports() == []
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table(["name", "value"], title="demo")
+        table.add_row("x", 1)
+        table.add_row("longer", 23)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert len(set(len(line) for line in lines[1:])) == 1
+
+    def test_wrong_arity_rejected(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_add_mapping(self):
+        table = Table(["a", "b"])
+        table.add_mapping({"b": 2, "a": 1, "ignored": 9})
+        assert "1" in table.render()
+
+    def test_float_formatting(self):
+        table = Table(["v"])
+        table.add_row(1.23456)
+        assert "1.235" in table.render()

@@ -1,0 +1,39 @@
+"""Tests for the library-facing experiment suite."""
+
+import io
+
+import pytest
+
+from repro.bench.suite import EXPERIMENTS, run_suite
+
+
+class TestSuite:
+    @pytest.mark.parametrize("name", sorted(EXPERIMENTS))
+    def test_each_experiment_produces_rows(self, name):
+        table = EXPERIMENTS[name]()
+        assert table.rows
+        assert table.render()
+
+    def test_run_suite_selected(self):
+        out = io.StringIO()
+        tables = run_suite(["F1"], out=out)
+        assert len(tables) == 1
+        assert "== F1 ==" in out.getvalue()
+
+    def test_run_suite_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_suite(["nope"], out=io.StringIO())
+
+    def test_t1_rows_all_safe_and_agreeing(self):
+        table = EXPERIMENTS["T1/T3"]()
+        for row in table.rows:
+            assert row[-2] == "yes"  # safe
+            assert row[-1] == "yes"  # LCM == BCM
+
+    def test_t2_ladder_shape(self):
+        table = EXPERIMENTS["T2"]()
+        lcm_column = [int(row[2]) for row in table.rows]
+        bcm_column = [int(row[1]) for row in table.rows]
+        assert len(set(lcm_column)) == 1
+        assert bcm_column == sorted(bcm_column)
+        assert bcm_column[0] < bcm_column[-1]

@@ -1,0 +1,190 @@
+"""Tests for the command-line interface."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import CliError, _parse_bindings, load_program, main
+
+SOURCE = """
+x = a + b;
+if (p) { y = a + b; } else { y = 0; }
+z = a + b;
+"""
+
+
+@pytest.fixture
+def prog(tmp_path):
+    path = tmp_path / "prog.mini"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+def invoke(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestCompile:
+    def test_text_output(self, prog):
+        code, text = invoke("compile", prog)
+        assert code == 0
+        assert "x = a + b" in text
+        assert "entry:" in text
+
+    def test_json_output_roundtrips(self, prog, tmp_path):
+        code, text = invoke("compile", prog, "--emit", "json")
+        assert code == 0
+        data = json.loads(text)
+        assert data["format"] == "repro-cfg"
+        # JSON dumps are accepted back as input files.
+        json_path = tmp_path / "prog.json"
+        json_path.write_text(text)
+        code, text2 = invoke("compile", str(json_path))
+        assert code == 0
+        assert "x = a + b" in text2
+
+    def test_dot_output(self, prog):
+        code, text = invoke("compile", prog, "--emit", "dot")
+        assert code == 0
+        assert text.startswith("digraph")
+
+
+class TestOpt:
+    def test_lcm_plan_in_comments(self, prog):
+        code, text = invoke("opt", prog)
+        assert code == 0
+        # a+b is fully redundant below its first occurrence here, so
+        # the plan replaces without inserting.
+        assert "; a + b: " in text
+        assert "replace in" in text
+
+    def test_strategy_choice(self, prog):
+        code, text = invoke("opt", prog, "--strategy", "gcse")
+        assert code == 0
+
+    def test_pipeline_mode(self, prog):
+        code, text = invoke("opt", prog, "--pipeline")
+        assert code == 0
+        assert "; pipeline:" in text
+
+    def test_bad_strategy_rejected_by_argparse(self, prog):
+        with pytest.raises(SystemExit):
+            invoke("opt", prog, "--strategy", "bogus")
+
+
+class TestRun:
+    def test_run_prints_env(self, prog):
+        code, text = invoke("run", prog, "-i", "a=2", "-i", "b=3", "-i", "p=1")
+        assert code == 0
+        assert "x = 5" in text
+        assert "z = 5" in text
+        assert "expression evaluations" in text
+
+    def test_optimized_run_matches(self, prog):
+        _, plain = invoke("run", prog, "-i", "a=2", "-i", "b=3", "-i", "p=1")
+        _, optimised = invoke(
+            "run", prog, "--optimized", "-i", "a=2", "-i", "b=3", "-i", "p=1"
+        )
+        def env_lines(text):
+            return {
+                line for line in text.splitlines()
+                if line and not line.startswith(";") and "." not in line.split(" =")[0]
+            }
+        assert env_lines(plain) <= env_lines(optimised) | env_lines(plain)
+        # All original variables agree.
+        for line in env_lines(plain):
+            assert line in optimised
+
+    def test_optimized_evaluates_less(self, prog):
+        def evals(text):
+            for line in text.splitlines():
+                if "expression evaluations" in line:
+                    return int(line.split()[1])
+            raise AssertionError("no evaluation count printed")
+
+        _, plain = invoke("run", prog, "-i", "a=2", "-i", "b=3", "-i", "p=1")
+        _, optimised = invoke(
+            "run", prog, "--optimized", "-i", "a=2", "-i", "b=3", "-i", "p=1"
+        )
+        assert evals(optimised) < evals(plain)
+
+    def test_bad_binding_reports_error(self, prog):
+        code, _ = invoke("run", prog, "-i", "a")
+        assert code == 2
+
+
+class TestAudit:
+    def test_audit_all(self, prog):
+        code, text = invoke("audit", prog)
+        assert code == 0
+        assert "a + b:" in text
+        assert "INSERT on edges" in text
+
+    def test_audit_single_expr(self, prog):
+        code, text = invoke("audit", prog, "--expr", "a + b")
+        assert code == 0
+        assert "DELETE in blocks" in text
+
+    def test_audit_unknown_expr(self, prog):
+        code, _ = invoke("audit", prog, "--expr", "q * q")
+        assert code == 2
+
+
+class TestReport:
+    def test_report_table(self, prog):
+        code, text = invoke("report", prog, "--runs", "3")
+        assert code == 0
+        assert "strategy comparison" in text
+        for name in ("none", "gcse", "lcm"):
+            assert name in text
+
+
+class TestVerifyFlag:
+    def test_opt_verify_ok(self, prog):
+        code, text = invoke("opt", prog, "--verify")
+        assert code == 0
+        assert "; verdict   : OK" in text
+
+    def test_opt_verify_pipeline(self, prog):
+        code, text = invoke("opt", prog, "--pipeline", "--verify")
+        assert code == 0
+        assert "verdict   : OK" in text
+
+    def test_opt_verify_licm_tolerated(self, prog):
+        # licm is expected-unsafe; --verify must not fail it on safety.
+        code, _ = invoke("opt", prog, "--strategy", "licm", "--verify")
+        assert code == 0
+
+    def test_size_governed_strategy_available(self, prog):
+        code, _ = invoke("opt", prog, "--strategy", "lcm-size")
+        assert code == 0
+
+
+class TestJsonFlow:
+    def test_opt_emit_json_then_run(self, prog, tmp_path):
+        code, text = invoke("opt", prog, "--emit", "json")
+        assert code == 0
+        json_start = text.index("{")
+        json_path = tmp_path / "opt.json"
+        json_path.write_text(text[json_start:])
+        code, out = invoke(
+            "run", str(json_path), "-i", "a=2", "-i", "b=3", "-i", "p=1"
+        )
+        assert code == 0
+        assert "x = 5" in out
+
+
+class TestHelpers:
+    def test_parse_bindings(self):
+        assert _parse_bindings(["a=1", "b = -2"]) == {"a": 1, "b": -2}
+
+    def test_parse_bindings_rejects_garbage(self):
+        with pytest.raises(CliError):
+            _parse_bindings(["a=x"])
+
+    def test_load_program_missing_file(self):
+        with pytest.raises(CliError, match="cannot read"):
+            load_program("/no/such/file.mini")

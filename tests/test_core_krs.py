@@ -1,0 +1,162 @@
+"""Unit tests for the original node-level (KRS) formulation.
+
+The node-level predicates are checked on hand-expanded graphs, and the
+three variants (BCM/ALCM/LCM) are checked for the relationships the
+paper proves: same deletions modulo isolation, insertion frontiers
+ordered earliest >= latest, isolated single uses left alone.
+"""
+
+import pytest
+
+from tests.helpers import AB, diamond, straight_line
+
+from repro.bench.figures import isolated_example
+from repro.core.krs import analyze_krs, krs_placements
+from repro.core.nodegraph import expand_to_nodes
+from repro.ir.edgesplit import split_critical_edges
+from repro.ir.expr import BinExpr, Var
+
+
+def node_graph(cfg):
+    expanded = expand_to_nodes(cfg).cfg
+    split_critical_edges(expanded)
+    return expanded
+
+
+def analysis_of(cfg):
+    return analyze_krs(node_graph(cfg))
+
+
+class TestGranularityGuard:
+    def test_multi_instruction_block_rejected(self):
+        cfg = straight_line(["x = a + b", "y = a + b"])
+        with pytest.raises(ValueError, match="statement-granular"):
+            analyze_krs(cfg)
+
+    def test_expanded_graph_accepted(self):
+        analysis_of(straight_line(["x = a + b", "y = a + b"]))
+
+
+class TestPredicates:
+    def test_dsafe_at_computing_node(self):
+        analysis = analysis_of(diamond())
+        idx = analysis.universe.index_of(AB)
+        assert idx in analysis.dsafe["left@0"]
+        assert idx in analysis.dsafe["join@0"]
+
+    def test_dsafe_propagates_to_entry(self):
+        analysis = analysis_of(diamond())
+        idx = analysis.universe.index_of(AB)
+        # Both arms lead to a computation of a+b.
+        assert idx in analysis.dsafe["entry@0"]
+
+    def test_usafe_below_computation(self):
+        cfg = straight_line(["x = a + b"], ["y = c * 2"], ["z = a + b"])
+        analysis = analysis_of(cfg)
+        idx = analysis.universe.index_of(AB)
+        assert idx in analysis.usafe["s2@0"]
+        assert idx not in analysis.usafe["s0@0"]
+
+    def test_earliest_at_entry_for_globally_dsafe(self):
+        analysis = analysis_of(diamond())
+        idx = analysis.universe.index_of(AB)
+        assert idx in analysis.earliest["entry@0"]
+        # Not earliest anywhere below: the region above is already safe.
+        below = [l for l in analysis.cfg.labels if l != "entry@0"]
+        assert all(idx not in analysis.earliest[l] for l in below)
+
+    def test_delay_runs_to_the_uses(self):
+        analysis = analysis_of(diamond())
+        idx = analysis.universe.index_of(AB)
+        assert idx in analysis.delay["left@0"]
+        assert idx in analysis.delay["right@0"]
+        # Past the occurrence in left the delay chain is broken, so the
+        # join (whose left predecessor computes a+b) is not delayable.
+        assert idx not in analysis.delay["join@0"]
+
+    def test_delay_stops_at_first_use(self):
+        cfg = straight_line(["x = a + b"], ["y = a + b"])
+        analysis = analysis_of(cfg)
+        idx = analysis.universe.index_of(AB)
+        assert idx in analysis.delay["s0@0"]
+        # Below the first occurrence the delay chain has been broken.
+        assert idx not in analysis.delay["s1@0"]
+
+    def test_latest_frontier_in_diamond(self):
+        analysis = analysis_of(diamond())
+        idx = analysis.universe.index_of(AB)
+        # The optimal insertion frontier: the computing arm itself and
+        # the empty arm (feeding the join's use).
+        latest = {l for l in analysis.cfg.labels if idx in analysis.latest[l]}
+        assert latest == {"left@0", "right@0"}
+
+    def test_isolated_single_use(self):
+        analysis = analysis_of(isolated_example())
+        idx = analysis.universe.index_of(AB)
+        assert idx in analysis.latest["only@0"]
+        assert idx in analysis.isolated["only@0"]
+
+
+class TestVariants:
+    def test_lcm_leaves_isolated_occurrence_alone(self):
+        analysis = analysis_of(isolated_example())
+        for plan in krs_placements(analysis, "lcm"):
+            assert plan.is_identity, plan.describe()
+
+    def test_alcm_touches_isolated_occurrence(self):
+        analysis = analysis_of(isolated_example())
+        plan = next(p for p in krs_placements(analysis, "alcm") if p.expr == AB)
+        assert plan.insert_entries == {"only@0"}
+        assert plan.delete_blocks == {"only@0"}
+
+    def test_bcm_inserts_at_entry_in_diamond(self):
+        analysis = analysis_of(diamond())
+        plan = next(p for p in krs_placements(analysis, "bcm") if p.expr == AB)
+        assert plan.insert_entries == {"entry@0"}
+        assert plan.delete_blocks == {"left@0", "join@0"}
+
+    def test_lcm_insertion_at_join_and_generator_kept(self):
+        analysis = analysis_of(diamond())
+        plan = next(p for p in krs_placements(analysis, "lcm") if p.expr == AB)
+        # left@0 is latest-and-occurrence: it stays as the generator.
+        assert "left@0" in plan.insert_entries or "left@0" not in plan.delete_blocks
+        assert "join@0" in plan.delete_blocks
+
+    def test_unknown_variant_rejected(self):
+        analysis = analysis_of(diamond())
+        with pytest.raises(ValueError, match="variant"):
+            krs_placements(analysis, "xxx")
+
+    def test_lcm_insertions_subset_of_alcm(self):
+        analysis = analysis_of(diamond())
+        lcm = {p.expr: p for p in krs_placements(analysis, "lcm")}
+        alcm = {p.expr: p for p in krs_placements(analysis, "alcm")}
+        for expr, plan in lcm.items():
+            assert plan.insert_entries <= alcm[expr].insert_entries
+
+
+class TestEdgeSplitForm:
+    def test_noncritical_join_edge_needs_landing_node(self):
+        """Regression: critical-edge splitting alone loses optimality.
+
+        ``pre`` kills ``b`` and feeds the join ``use`` whose other
+        predecessor (``top``, via the loop-ish edge) already carries
+        ``b * b``.  The only optimal insertion point is the edge
+        ``pre -> use`` — not critical (pre has one successor), so
+        without full edge-split form the node formulation is forced to
+        insert at ``use``'s entry and recomputes on the already-covered
+        path.  The pipeline's ``krs-lcm`` uses edge-split form and must
+        match edge-based LCM path-for-path here.
+        """
+        from repro.core.optimality import paths_agree
+        from repro.core.pipeline import optimize
+        from repro.ir.builder import CFGBuilder
+
+        b = CFGBuilder()
+        b.block("top", "c = b * b").branch("p", "pre", "use")
+        b.block("pre", "b = a - b").jump("use")
+        b.block("use", "y = b * b").to_exit()
+        cfg = b.build()
+        edge = optimize(cfg, "lcm")
+        node = optimize(cfg, "krs-lcm")
+        assert paths_agree(edge.cfg, node.cfg, max_branches=4)

@@ -1,0 +1,151 @@
+"""Unit tests for the edge-based LCM analysis.
+
+Every expectation below is hand-derivable on the small graphs from
+tests.helpers and repro.bench.figures; the running example's full
+placement is the one documented in the figure's docstring.
+"""
+
+from tests.helpers import AB, diamond, do_while_invariant, straight_line
+
+from repro.bench.figures import isolated_example, running_example
+from repro.core.lcm import analyze_lcm, bcm_placements, lcm_placements
+from repro.ir.builder import CFGBuilder
+from repro.ir.expr import BinExpr, Var
+
+
+def placement_for(placements, expr):
+    return next(p for p in placements if p.expr == expr)
+
+
+class TestDiamond:
+    def test_insert_on_absent_arm_edge(self):
+        analysis = analyze_lcm(diamond())
+        plan = placement_for(lcm_placements(analysis), AB)
+        assert plan.insert_edges == {("right", "join")}
+
+    def test_delete_at_join(self):
+        analysis = analyze_lcm(diamond())
+        plan = placement_for(lcm_placements(analysis), AB)
+        assert plan.delete_blocks == {"join"}
+
+    def test_generator_not_deleted(self):
+        analysis = analyze_lcm(diamond())
+        plan = placement_for(lcm_placements(analysis), AB)
+        assert "left" not in plan.delete_blocks
+
+    def test_comparison_left_untouched(self):
+        analysis = analyze_lcm(diamond())
+        lt = BinExpr("<", Var("a"), Var("b"))
+        plan = placement_for(lcm_placements(analysis), lt)
+        assert plan.is_identity
+
+    def test_bcm_inserts_at_earliest_point_above_branch(self):
+        analysis = analyze_lcm(diamond())
+        plan = placement_for(bcm_placements(analysis), AB)
+        # a+b is down-safe all the way up: every path from cond reaches
+        # either left (computes it) or join (computes it), so the
+        # earliest point is the program entry edge.
+        assert plan.insert_edges == {("entry", "cond")}
+        assert plan.delete_blocks == {"left", "join"}
+
+
+class TestFullRedundancy:
+    def test_no_insertion_needed(self):
+        cfg = straight_line(["x = a + b"], ["y = a + b"])
+        plan = placement_for(lcm_placements(analyze_lcm(cfg)), AB)
+        assert plan.insert_edges == set()
+        assert plan.delete_blocks == {"s1"}
+
+
+class TestLoopInvariant:
+    def test_hoisted_to_loop_entry_edge(self):
+        cfg = do_while_invariant()
+        plan = placement_for(lcm_placements(analyze_lcm(cfg)), AB)
+        assert plan.insert_edges == {("init", "body")}
+        assert plan.delete_blocks == {"body", "after"}
+
+
+class TestIsolation:
+    def test_isolated_occurrence_untouched(self):
+        cfg = isolated_example()
+        analysis = analyze_lcm(cfg)
+        for plan in lcm_placements(analysis):
+            assert plan.is_identity, plan.describe()
+
+    def test_busy_placement_moves_isolated_occurrence(self):
+        cfg = isolated_example()
+        analysis = analyze_lcm(cfg)
+        plan = placement_for(bcm_placements(analysis), AB)
+        assert plan.insert_edges == {("fork", "only")}
+        assert plan.delete_blocks == {"only"}
+
+
+class TestRunningExample:
+    def test_full_lcm_placement_matches_hand_derivation(self):
+        analysis = analyze_lcm(running_example())
+        plan = placement_for(lcm_placements(analysis), AB)
+        assert plan.insert_edges == {("n3", "n4"), ("n5", "n6"), ("n5", "n10")}
+        assert plan.delete_blocks == {"n4", "n6", "n10"}
+
+    def test_isolated_cd_untouched(self):
+        analysis = analyze_lcm(running_example())
+        cd = BinExpr("+", Var("c"), Var("d"))
+        assert placement_for(lcm_placements(analysis), cd).is_identity
+
+    def test_bcm_inserts_earlier(self):
+        analysis = analyze_lcm(running_example())
+        plan = placement_for(bcm_placements(analysis), AB)
+        # Down-safety reaches the entry (both arms of n1 lead to a+b),
+        # and the kill in n5 forces fresh earliest points below it.
+        assert plan.insert_edges == {
+            ("entry", "n1"),
+            ("n5", "n6"),
+            ("n5", "n10"),
+        }
+        assert plan.delete_blocks == {"n2", "n4", "n6", "n10"}
+
+    def test_bcm_hoists_isolated_cd_above_loop(self):
+        analysis = analyze_lcm(running_example())
+        cd = BinExpr("+", Var("c"), Var("d"))
+        plan = placement_for(bcm_placements(analysis), cd)
+        # Busy placement drags c+d to its earliest down-safe point, the
+        # loop-entry edge — computationally neutral but the temporary
+        # stays live through the whole loop (the paper's motivation for
+        # laziness).
+        assert plan.insert_edges == {("n5", "n6")}
+        assert plan.delete_blocks == {"n8"}
+
+
+class TestAnalysisInternals:
+    def test_laterin_holds_at_generator(self):
+        analysis = analyze_lcm(diamond())
+        idx = analysis.universe.index_of(AB)
+        assert idx in analysis.laterin["left"]
+        assert idx not in analysis.laterin["join"]
+
+    def test_earliest_empty_where_available(self):
+        cfg = straight_line(["x = a + b"], ["y = a + b"])
+        analysis = analyze_lcm(cfg)
+        idx = analysis.universe.index_of(AB)
+        assert idx not in analysis.earliest[("s0", "s1")]
+
+    def test_earliest_at_entry_edge(self):
+        cfg = straight_line(["x = a + b"])
+        analysis = analyze_lcm(cfg)
+        idx = analysis.universe.index_of(AB)
+        assert idx in analysis.earliest[("entry", "s0")]
+
+    def test_insert_implies_later(self):
+        analysis = analyze_lcm(running_example())
+        for edge, ins in analysis.insert.items():
+            assert ins.issubset(analysis.later[edge])
+
+    def test_delete_implies_antloc(self):
+        analysis = analyze_lcm(running_example())
+        for label, dele in analysis.delete.items():
+            assert dele.issubset(analysis.local.antloc[label])
+
+    def test_stats_accumulated(self):
+        analysis = analyze_lcm(running_example())
+        assert analysis.stats.sweeps > 0
+        assert analysis.stats.node_visits > 0

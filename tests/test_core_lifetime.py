@@ -1,0 +1,133 @@
+"""Unit tests for live-range measurement (lifetime machinery)."""
+
+from tests.helpers import straight_line
+
+from repro.bench.figures import lifetime_ladder
+from repro.core.lifetime import (
+    blockwise_dominates,
+    lifetime_points,
+    measure_lifetimes,
+)
+from repro.core.pipeline import optimize
+from repro.ir.builder import CFGBuilder
+
+
+class TestLifetimePoints:
+    def test_straightline_range(self):
+        cfg = straight_line(["t = a + b", "x = c * 2", "y = t + 1"])
+        points = lifetime_points(cfg, ["t"])
+        # t live after its definition (boundary 1), across x's
+        # definition (boundary 2), dead after its use.
+        assert ("s0", 1) in points["t"]
+        assert ("s0", 2) in points["t"]
+        assert ("s0", 0) not in points["t"]
+        assert ("s0", 3) not in points["t"]
+
+    def test_cross_block_range(self):
+        cfg = straight_line(["t = a + b"], ["q = 1"], ["y = t + 1"])
+        points = lifetime_points(cfg, ["t"])
+        assert ("s1", 0) in points["t"]
+        assert ("s1", 1) in points["t"]
+        assert ("s2", 0) in points["t"]
+
+    def test_dead_variable_has_no_points(self):
+        cfg = straight_line(["t = a + b"])
+        assert lifetime_points(cfg, ["t"])["t"] == set()
+
+    def test_terminator_use_keeps_alive(self):
+        b = CFGBuilder()
+        b.block("s", "p = a < b").branch("p", "t1", "t2")
+        b.block("t1").to_exit()
+        b.block("t2").to_exit()
+        cfg = b.build()
+        points = lifetime_points(cfg, ["p"])
+        assert ("s", 1) in points["p"]  # live at the pre-terminator point
+
+
+class TestMeasure:
+    def test_report_totals(self):
+        cfg = straight_line(["t = a + b", "u = c * 2", "x = t + u"])
+        report = measure_lifetimes(cfg, ["t", "u"])
+        assert report.live_span("t") == 2
+        assert report.live_span("u") == 1
+        assert report.total_live_points == 3
+        assert report.max_pressure == 2
+
+    def test_empty_temp_set(self):
+        cfg = straight_line(["x = a + b"])
+        report = measure_lifetimes(cfg, [])
+        assert report.total_live_points == 0
+        assert report.max_pressure == 0
+
+    def test_describe(self):
+        cfg = straight_line(["t = a + b", "x = t + 1"])
+        text = measure_lifetimes(cfg, ["t"]).describe()
+        assert "max pressure" in text
+
+
+class TestProgramPressure:
+    def test_peak_counts_all_variables(self):
+        from repro.core.lifetime import program_pressure
+
+        cfg = straight_line(["t = a + b", "u = c * 2", "x = t + u"])
+        peak, average = program_pressure(cfg)
+        # At the point before "x = t + u", {t, u} are live (a, b, c are
+        # dead after their last uses).
+        assert peak >= 2
+        assert 0 < average <= peak
+
+    def test_lcm_pressure_not_above_bcm(self):
+        from repro.core.lifetime import program_pressure
+        from repro.core.pipeline import optimize
+
+        cfg = lifetime_ladder(6)
+        lcm_peak, _ = program_pressure(optimize(cfg, "lcm").cfg)
+        bcm_peak, _ = program_pressure(optimize(cfg, "bcm").cfg)
+        assert lcm_peak <= bcm_peak
+
+    def test_empty_program(self):
+        from repro.core.lifetime import program_pressure
+        from repro.ir.builder import CFGBuilder
+
+        peak, average = program_pressure(CFGBuilder().build())
+        assert peak == 0
+        assert average == 0
+
+
+class TestLadder:
+    def test_lcm_shorter_than_bcm_and_grows_with_rungs(self):
+        for rungs in (2, 6):
+            cfg = lifetime_ladder(rungs)
+            lcm = optimize(cfg, "lcm")
+            bcm = optimize(cfg, "bcm")
+            lcm_points = measure_lifetimes(lcm.cfg, lcm.temps).total_live_points
+            bcm_points = measure_lifetimes(bcm.cfg, bcm.temps).total_live_points
+            assert lcm_points < bcm_points
+        # BCM's cost scales with ladder height; LCM's does not.
+        short = lifetime_ladder(2)
+        tall = lifetime_ladder(8)
+        bcm_short = optimize(short, "bcm")
+        bcm_tall = optimize(tall, "bcm")
+        lcm_short = optimize(short, "lcm")
+        lcm_tall = optimize(tall, "lcm")
+        bcm_growth = (
+            measure_lifetimes(bcm_tall.cfg, bcm_tall.temps).total_live_points
+            - measure_lifetimes(bcm_short.cfg, bcm_short.temps).total_live_points
+        )
+        lcm_growth = (
+            measure_lifetimes(lcm_tall.cfg, lcm_tall.temps).total_live_points
+            - measure_lifetimes(lcm_short.cfg, lcm_short.temps).total_live_points
+        )
+        assert bcm_growth >= 6
+        assert lcm_growth == 0
+
+    def test_blockwise_domination_lcm_within_bcm(self):
+        cfg = lifetime_ladder(5)
+        lcm = optimize(cfg, "lcm")
+        bcm = optimize(cfg, "bcm")
+        # The a+b temps have the same names in both results (same
+        # universe), so the subset relation is directly checkable.
+        violations = blockwise_dominates(
+            lcm.cfg, bcm.cfg, lcm.temps & bcm.temps, cfg.labels
+        )
+        assert violations == []

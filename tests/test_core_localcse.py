@@ -1,0 +1,98 @@
+"""Unit tests for local common-subexpression elimination."""
+
+from tests.helpers import straight_line
+
+from repro.core.localcse import local_cse, local_cse_block
+from repro.core.optimality import check_equivalence
+from repro.ir.builder import CFGBuilder, parse_assign
+
+
+def cse_lines(*instrs: str):
+    new, replaced = local_cse_block([parse_assign(t) for t in instrs])
+    return [str(i) for i in new], replaced
+
+
+class TestLocalCseBlock:
+    def test_duplicate_replaced_by_copy(self):
+        lines, replaced = cse_lines("x = a + b", "y = a + b")
+        assert lines == ["x = a + b", "y = x"]
+        assert replaced == 1
+
+    def test_kill_blocks_reuse(self):
+        lines, replaced = cse_lines("x = a + b", "a = 1", "y = a + b")
+        assert lines == ["x = a + b", "a = 1", "y = a + b"]
+        assert replaced == 0
+
+    def test_holder_overwrite_handled_by_temp(self):
+        lines, replaced = cse_lines("x = a + b", "x = 5", "y = a + b")
+        assert replaced == 1
+        assert lines == [
+            "lcse0.t = a + b",
+            "x = lcse0.t",
+            "x = 5",
+            "y = lcse0.t",
+        ]
+
+    def test_holder_loss_uses_temp(self):
+        # x is overwritten before the reuses, so the value is saved
+        # into an LCSE temporary and both later occurrences read it.
+        lines, replaced = cse_lines(
+            "x = a + b", "x = 9", "z = a + b", "w = a + b"
+        )
+        assert lines == [
+            "lcse0.t = a + b",
+            "x = lcse0.t",
+            "x = 9",
+            "z = lcse0.t",
+            "w = lcse0.t",
+        ]
+        assert replaced == 2
+
+    def test_noop_recomputation_dropped(self):
+        lines, replaced = cse_lines("z = a + b", "z = a + b", "u = a + b")
+        assert lines == ["z = a + b", "u = z"]
+        assert replaced == 2
+
+    def test_self_kill_not_recorded(self):
+        lines, replaced = cse_lines("a = a + b", "y = a + b")
+        assert lines == ["a = a + b", "y = a + b"]
+        assert replaced == 0
+
+    def test_copies_and_constants_ignored(self):
+        lines, replaced = cse_lines("x = y", "z = 5", "w = y")
+        assert replaced == 0
+
+    def test_three_in_a_row(self):
+        lines, replaced = cse_lines("x = a * 2", "y = a * 2", "z = a * 2")
+        assert lines == ["x = a * 2", "y = x", "z = x"]
+        assert replaced == 2
+
+
+class TestLocalCseCfg:
+    def test_whole_graph(self):
+        cfg = straight_line(["x = a + b", "y = a + b"], ["z = a + b"])
+        new, replaced = local_cse(cfg)
+        assert replaced == 1  # only the within-block duplicate
+        assert str(new.block("s0").instrs[1]) == "y = x"
+        # The cross-block duplicate is global PRE's job, not LCSE's.
+        assert str(new.block("s1").instrs[0]) == "z = a + b"
+
+    def test_input_untouched(self):
+        cfg = straight_line(["x = a + b", "y = a + b"])
+        before = str(cfg)
+        local_cse(cfg)
+        assert str(cfg) == before
+
+    def test_semantics_preserved(self):
+        cfg = straight_line(
+            ["x = a + b", "y = a + b", "a = x + 1", "z = a + b"]
+        )
+        new, _ = local_cse(cfg)
+        assert check_equivalence(cfg, new).equivalent
+
+    def test_idempotent(self):
+        cfg = straight_line(["x = a + b", "y = a + b"])
+        once, _ = local_cse(cfg)
+        twice, replaced = local_cse(once)
+        assert replaced == 0
+        assert str(once) == str(twice)

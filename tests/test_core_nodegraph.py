@@ -1,0 +1,64 @@
+"""Unit tests for statement-granular expansion."""
+
+from tests.helpers import diamond, straight_line
+
+from repro.core.nodegraph import expand_to_nodes
+from repro.interp.machine import run
+from repro.interp.random_inputs import random_envs
+from repro.ir.validate import validate_cfg
+
+
+class TestExpandToNodes:
+    def test_every_node_has_at_most_one_instruction(self):
+        graph = expand_to_nodes(diamond())
+        assert all(len(b.instrs) <= 1 for b in graph.cfg)
+
+    def test_expansion_validates(self):
+        validate_cfg(expand_to_nodes(diamond()).cfg)
+
+    def test_block_with_k_instrs_becomes_k_nodes(self):
+        cfg = straight_line(["x = 1", "y = 2", "z = 3"])
+        graph = expand_to_nodes(cfg)
+        labels = [l for l in graph.cfg.labels if l.startswith("s0@")]
+        assert labels == ["s0@0", "s0@1", "s0@2"]
+
+    def test_empty_block_becomes_single_node(self):
+        graph = expand_to_nodes(diamond())
+        assert "right@0" in graph.cfg
+        assert graph.cfg.block("right@0").is_empty
+
+    def test_chain_wiring(self):
+        cfg = straight_line(["x = 1", "y = 2"])
+        graph = expand_to_nodes(cfg)
+        assert graph.cfg.succs("s0@0") == ("s0@1",)
+
+    def test_terminator_moved_to_last_node(self):
+        graph = expand_to_nodes(diamond())
+        # cond has one instruction, so cond@0 carries the branch.
+        assert graph.cfg.succs("cond@0") == ("left@0", "right@0")
+
+    def test_origin_mapping(self):
+        cfg = straight_line(["x = 1", "y = 2"])
+        graph = expand_to_nodes(cfg)
+        assert graph.origin["s0@1"] == ("s0", 1)
+        assert graph.entry_node["s0"] == "s0@0"
+        assert graph.exit_node["s0"] == "s0@1"
+
+    def test_node_label_helper(self):
+        graph = expand_to_nodes(diamond())
+        assert graph.node_label("left", 0) == "left@0"
+
+    def test_semantics_preserved(self):
+        cfg = diamond()
+        expanded = expand_to_nodes(cfg).cfg
+        for env in random_envs(cfg, 10, seed=3):
+            assert run(cfg, env).env == run(expanded, env).env
+
+    def test_branch_decisions_preserved(self):
+        cfg = diamond()
+        expanded = expand_to_nodes(cfg).cfg
+        for env in random_envs(cfg, 10, seed=4):
+            assert (
+                run(cfg, env).decisions_taken
+                == run(expanded, env).decisions_taken
+            )

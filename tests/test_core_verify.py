@@ -1,0 +1,62 @@
+"""Unit tests for the bundled verification API."""
+
+from tests.helpers import diamond
+
+from repro.core.pipeline import optimize
+from repro.core.verify import verify_transformation
+from repro.ir.builder import parse_assign
+
+
+class TestVerify:
+    def test_lcm_verdict_ok(self):
+        cfg = diamond()
+        result = optimize(cfg, "lcm")
+        verdict = verify_transformation(cfg, result.cfg, expect_profitable=True)
+        assert verdict.ok
+        assert "OK" in verdict.describe()
+
+    def test_identity_ok_but_not_profitable(self):
+        cfg = diamond()
+        verdict = verify_transformation(cfg, cfg.copy(), expect_profitable=True)
+        assert not verdict.ok
+        assert any("improved" in f for f in verdict.failures)
+        relaxed = verify_transformation(cfg, cfg.copy())
+        assert relaxed.ok
+
+    def test_semantic_break_detected(self):
+        cfg = diamond()
+        broken = cfg.copy()
+        broken.block("join").instrs[0] = parse_assign("y = a - b")
+        verdict = verify_transformation(cfg, broken)
+        assert not verdict.ok
+        assert any("semantics" in f for f in verdict.failures)
+
+    def test_speculation_flagged_as_unsafe(self):
+        cfg = diamond()
+        unsafe = cfg.copy()
+        unsafe.block("right").instrs.append(parse_assign("extra = a + b"))
+        unsafe.block("right").instrs.append(parse_assign("extra2 = a + b"))
+        verdict = verify_transformation(cfg, unsafe)
+        assert not verdict.ok
+        assert any("safety" in f for f in verdict.failures)
+        # The same pair passes when speculation is expected.
+        tolerant = verify_transformation(cfg, unsafe, expect_safe=False)
+        assert tolerant.ok
+
+    def test_structure_changing_pass_via_env_only_mode(self):
+        from repro.passes import standard_pipeline
+
+        cfg = diamond()
+        result = standard_pipeline(cfg)
+        verdict = verify_transformation(
+            cfg, result.cfg, compare_decisions=False
+        )
+        assert verdict.ok
+
+    def test_describe_lists_sections(self):
+        cfg = diamond()
+        verdict = verify_transformation(cfg, optimize(cfg, "lcm").cfg)
+        text = verdict.describe()
+        assert "structure" in text
+        assert "semantics" in text
+        assert "paths" in text

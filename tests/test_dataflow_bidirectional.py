@@ -1,0 +1,73 @@
+"""Unit tests for the coupled equation-system solver."""
+
+import pytest
+
+from tests.helpers import diamond, straight_line
+
+from repro.dataflow.bidirectional import EquationSystem, solve_system
+from repro.dataflow.bitvec import BitVector
+
+
+class TestSolveSystem:
+    def test_forward_propagation_fixpoint(self):
+        """A simple 'reaches' system: one bit flows from entry to all."""
+        cfg = straight_line(["x = 1"], ["y = 2"])
+        width = 1
+        full = BitVector.full(width)
+        empty = BitVector.empty(width)
+
+        def rule(label, state):
+            if label == cfg.entry:
+                return full
+            value = empty
+            for m in cfg.preds(label):
+                value = value | state["r"][m]
+            return value
+
+        system = EquationSystem(width, ("r",), (("r", rule),))
+        state, stats = solve_system(cfg, system)
+        assert state["r"][cfg.exit] == full
+        assert stats.sweeps >= 2
+
+    def test_mutually_recursive_variables(self):
+        """Two variables referencing each other still stabilise."""
+        cfg = diamond()
+        width = 1
+        full = BitVector.full(width)
+
+        def a_rule(label, state):
+            return state["b"][label]
+
+        def b_rule(label, state):
+            if label == cfg.entry:
+                return full
+            value = full
+            for m in cfg.preds(label):
+                value = value & state["a"][m]
+            return value
+
+        system = EquationSystem(
+            width, ("a", "b"), (("b", b_rule), ("a", a_rule)), init={"a": full, "b": full}
+        )
+        state, _ = solve_system(cfg, system)
+        # Everything stays full: b(entry)=full seeds a, which feeds b.
+        assert all(v == full for v in state["a"].values())
+
+    def test_initial_state_defaults_to_empty(self):
+        cfg = straight_line(["x = 1"])
+        system = EquationSystem(2, ("v",), ())
+        state = system.initial_state(cfg)
+        assert all(v == BitVector.empty(2) for v in state["v"].values())
+
+    def test_divergence_guard(self):
+        cfg = straight_line(["x = 1"])
+        width = 1
+        flip = {"on": False}
+
+        def oscillate(label, state):
+            flip["on"] = not flip["on"]
+            return BitVector.full(width) if flip["on"] else BitVector.empty(width)
+
+        system = EquationSystem(width, ("v",), (("v", oscillate),))
+        with pytest.raises(RuntimeError, match="converge"):
+            solve_system(cfg, system, max_sweeps=4)

@@ -1,0 +1,143 @@
+"""Unit tests for bit vectors and operation counting."""
+
+import pytest
+
+from repro.dataflow.bitvec import BitVector, counting
+
+
+class TestConstruction:
+    def test_empty_and_full(self):
+        assert BitVector.empty(4).count() == 0
+        assert BitVector.full(4).count() == 4
+
+    def test_of_indices(self):
+        vec = BitVector.of(5, [0, 3])
+        assert list(vec) == [0, 3]
+
+    def test_singleton(self):
+        assert list(BitVector.singleton(8, 6)) == [6]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(IndexError):
+            BitVector.of(3, [3])
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            BitVector(-1)
+
+    def test_excess_bits_rejected(self):
+        with pytest.raises(ValueError):
+            BitVector(2, 0b100)
+
+    def test_zero_width(self):
+        vec = BitVector.full(0)
+        assert vec == BitVector.empty(0)
+        assert not vec
+
+
+class TestOperations:
+    def test_and(self):
+        assert list(BitVector.of(4, [0, 1]) & BitVector.of(4, [1, 2])) == [1]
+
+    def test_or(self):
+        assert list(BitVector.of(4, [0]) | BitVector.of(4, [2])) == [0, 2]
+
+    def test_xor(self):
+        assert list(BitVector.of(4, [0, 1]) ^ BitVector.of(4, [1, 2])) == [0, 2]
+
+    def test_invert_bounded_by_width(self):
+        assert list(~BitVector.of(3, [1])) == [0, 2]
+
+    def test_difference(self):
+        assert list(BitVector.of(4, [0, 1, 2]) - BitVector.of(4, [1])) == [0, 2]
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            BitVector.empty(3) & BitVector.empty(4)
+
+    def test_type_mismatch_rejected(self):
+        with pytest.raises(TypeError):
+            BitVector.empty(3) & 5  # type: ignore[operator]
+
+    def test_double_invert_identity(self):
+        vec = BitVector.of(7, [0, 3, 6])
+        assert ~~vec == vec
+
+
+class TestQueries:
+    def test_contains(self):
+        vec = BitVector.of(4, [2])
+        assert 2 in vec
+        assert 1 not in vec
+        assert 99 not in vec
+
+    def test_get_range_checked(self):
+        with pytest.raises(IndexError):
+            BitVector.empty(3).get(3)
+
+    def test_with_bit(self):
+        vec = BitVector.empty(4).with_bit(2)
+        assert list(vec) == [2]
+        assert list(vec.with_bit(2, False)) == []
+
+    def test_issubset(self):
+        small = BitVector.of(4, [1])
+        big = BitVector.of(4, [0, 1])
+        assert small.issubset(big)
+        assert not big.issubset(small)
+
+    def test_bool(self):
+        assert not BitVector.empty(4)
+        assert BitVector.of(4, [0])
+
+    def test_equality_and_hash(self):
+        assert BitVector.of(4, [1]) == BitVector.of(4, [1])
+        assert BitVector.of(4, [1]) != BitVector.of(5, [1])
+        assert len({BitVector.of(4, [1]), BitVector.of(4, [1])}) == 1
+
+    def test_immutability_via_with_bit(self):
+        vec = BitVector.empty(4)
+        vec.with_bit(1)
+        assert vec.count() == 0
+
+    def test_repr(self):
+        assert repr(BitVector.of(4, [0, 2])) == "BitVector(4, {0, 2})"
+
+
+class TestCounting:
+    def test_counts_each_kind(self):
+        a, b = BitVector.of(4, [0]), BitVector.of(4, [1])
+        with counting() as ops:
+            _ = a & b
+            _ = a | b
+            _ = a - b
+            _ = ~a
+        assert ops.counts == {"and": 1, "or": 1, "andnot": 1, "not": 1}
+        assert ops.total == 4
+
+    def test_counting_off_by_default(self):
+        a = BitVector.of(4, [0])
+        with counting() as ops:
+            pass
+        _ = a & a  # outside the context: not counted
+        assert ops.total == 0
+
+    def test_nested_counting_restores_outer(self):
+        a = BitVector.of(4, [0])
+        with counting() as outer:
+            _ = a & a
+            with counting() as inner:
+                _ = a | a
+            _ = a & a
+        assert inner.counts == {"or": 1}
+        assert outer.counts == {"and": 2}
+
+    def test_merged(self):
+        a = BitVector.of(2, [0])
+        with counting() as first:
+            _ = a & a
+        with counting() as second:
+            _ = a & a
+            _ = a | a
+        merged = first.merged(second)
+        assert merged.counts == {"and": 2, "or": 1}

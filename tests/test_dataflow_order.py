@@ -1,0 +1,66 @@
+"""Unit tests for traversal orders."""
+
+from tests.helpers import diamond, straight_line
+
+from repro.dataflow.order import (
+    backward_order,
+    postorder,
+    reverse_postorder,
+    rpo_index,
+)
+from repro.ir.builder import CFGBuilder
+
+
+def loop_graph():
+    b = CFGBuilder()
+    b.block("head", "t = i < n").branch("t", "body", "out")
+    b.block("body", "i = i + 1").jump("head")
+    b.block("out").to_exit()
+    return b.build()
+
+
+class TestPostorder:
+    def test_entry_last_in_postorder(self):
+        assert postorder(diamond())[-1] == "entry"
+
+    def test_all_blocks_present(self):
+        cfg = diamond()
+        assert set(postorder(cfg)) == set(cfg.labels)
+
+    def test_rpo_entry_first(self):
+        assert reverse_postorder(diamond())[0] == "entry"
+
+    def test_rpo_topological_on_chain(self):
+        cfg = straight_line(["x = 1"], ["y = 2"], ["z = 3"])
+        rpo = reverse_postorder(cfg)
+        assert rpo == ["entry", "s0", "s1", "s2", "exit"]
+
+    def test_rpo_preds_before_succs_in_dag(self):
+        cfg = diamond()
+        index = rpo_index(cfg)
+        assert index["cond"] < index["left"]
+        assert index["cond"] < index["right"]
+        assert index["left"] < index["join"] or index["right"] < index["join"]
+        # In a DAG both predecessors come before the join.
+        assert index["left"] < index["join"] and index["right"] < index["join"]
+
+    def test_rpo_loop_header_before_body(self):
+        index = rpo_index(loop_graph())
+        assert index["head"] < index["body"]
+
+
+class TestBackwardOrder:
+    def test_exit_first(self):
+        assert backward_order(diamond())[0] == "exit"
+
+    def test_all_blocks_present(self):
+        cfg = loop_graph()
+        assert set(backward_order(cfg)) == set(cfg.labels)
+
+    def test_succs_before_preds_on_chain(self):
+        cfg = straight_line(["x = 1"], ["y = 2"])
+        order = backward_order(cfg)
+        assert order.index("s1") < order.index("s0")
+
+    def test_deterministic(self):
+        assert backward_order(diamond()) == backward_order(diamond())

@@ -1,0 +1,71 @@
+"""Documentation consistency: every dotted ``repro....`` name the docs
+mention must actually exist, and every file path they reference must be
+on disk.  Keeps DESIGN.md / README / docs/ honest as the code moves.
+"""
+
+import importlib
+import re
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+DOC_FILES = sorted(
+    list(ROOT.glob("*.md")) + list((ROOT / "docs").glob("*.md"))
+)
+
+DOTTED = re.compile(r"`(repro(?:\.[a-z_]+)+)(?:\.([a-zA-Z_][a-zA-Z0-9_]*))?`")
+PATHISH = re.compile(
+    r"`((?:src|tests|benchmarks|examples|docs)/[A-Za-z0-9_/.]+\.(?:py|md|mini))`"
+)
+
+
+def doc_ids():
+    return [path.name for path in DOC_FILES]
+
+
+@pytest.fixture(params=DOC_FILES, ids=doc_ids())
+def doc_text(request):
+    return request.param, request.param.read_text()
+
+
+class TestDocsConsistency:
+    def test_dotted_names_resolve(self, doc_text):
+        path, text = doc_text
+        problems = []
+        for match in DOTTED.finditer(text):
+            module_name, attr = match.group(1), match.group(2)
+            try:
+                module = importlib.import_module(module_name)
+            except ImportError:
+                # Maybe the last segment is an attribute of the parent.
+                parent, _, leaf = module_name.rpartition(".")
+                try:
+                    module = importlib.import_module(parent)
+                except ImportError:
+                    problems.append(module_name)
+                    continue
+                if not hasattr(module, leaf):
+                    problems.append(module_name)
+                continue
+            if attr and not hasattr(module, attr):
+                problems.append(f"{module_name}.{attr}")
+        assert not problems, f"{path.name}: dangling references {problems}"
+
+    def test_file_paths_exist(self, doc_text):
+        path, text = doc_text
+        missing = [
+            ref
+            for ref in PATHISH.findall(text)
+            if not (ROOT / ref).exists()
+        ]
+        assert not missing, f"{path.name}: missing files {missing}"
+
+    def test_benchmark_modules_mentioned_exist(self, doc_text):
+        path, text = doc_text
+        missing = [
+            name
+            for name in re.findall(r"`benchmarks/(bench_[a-z_]+\.py)`", text)
+            if not (ROOT / "benchmarks" / name).exists()
+        ]
+        assert not missing, f"{path.name}: missing benchmarks {missing}"

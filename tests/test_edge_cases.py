@@ -1,0 +1,168 @@
+"""Edge cases across the stack: empty universes, degenerate graphs,
+multi-expression interplay, and torture-scale pipelines."""
+
+import pytest
+
+from tests.helpers import straight_line
+
+from repro.analysis.local import compute_local_properties
+from repro.core.lcm import analyze_lcm, lcm_placements
+from repro.core.optimality import check_equivalence, compare_per_path
+from repro.core.pipeline import available_strategies, optimize
+from repro.dataflow.bitvec import BitVector
+from repro.dataflow.problem import GenKillTransfer
+from repro.dataflow.stats import SolverStats
+from repro.ir.builder import CFGBuilder
+from repro.ir.expr import BinExpr, Var
+from repro.ir.validate import validate_cfg
+
+
+class TestEmptyUniverse:
+    """Programs with no candidate computations (width-0 vectors)."""
+
+    def test_copies_only_program(self):
+        cfg = straight_line(["x = y", "z = 5", "w = x"])
+        analysis = analyze_lcm(cfg)
+        assert analysis.universe.width == 0
+        assert lcm_placements(analysis) == []
+
+    @pytest.mark.parametrize("strategy", [s.name for s in available_strategies()])
+    def test_every_strategy_handles_empty_universe(self, strategy):
+        cfg = straight_line(["x = y", "z = 5"])
+        result = optimize(cfg, strategy)
+        assert check_equivalence(cfg, result.cfg).equivalent
+
+    def test_empty_program(self):
+        cfg = CFGBuilder().build()
+        result = optimize(cfg, "lcm")
+        validate_cfg(result.cfg)
+
+
+class TestDegenerateGraphs:
+    def test_single_block_single_instruction(self):
+        cfg = straight_line(["x = a + b"])
+        result = optimize(cfg, "lcm")
+        # One occurrence, no redundancy: untouched.
+        assert [str(i) for i in result.cfg.block("s0").instrs] == ["x = a + b"]
+
+    def test_self_loop_block(self):
+        b = CFGBuilder()
+        b.block("spin", "x = a + b", "i = i + 1", "t = i < n").branch(
+            "t", "spin", "out"
+        )
+        b.block("out", "y = a + b").to_exit()
+        cfg = b.build()
+        result = optimize(cfg, "lcm")
+        assert check_equivalence(cfg, result.cfg, runs=20).equivalent
+        assert compare_per_path(cfg, result.cfg, max_branches=5).safe
+        # The loop-carried a+b is invariant: hoisted to the loop entry.
+        report = compare_per_path(cfg, result.cfg, max_branches=5)
+        assert report.improvements >= 1
+
+    def test_branch_arms_to_exit_directly(self):
+        b = CFGBuilder()
+        b.block("c", "x = a + b").branch("p", "l", "r")
+        b.block("l", "y = a + b").to_exit()
+        b.block("r").to_exit()
+        cfg = b.build()
+        result = optimize(cfg, "lcm")
+        assert compare_per_path(cfg, result.cfg).safe
+        join = result.cfg
+        assert check_equivalence(cfg, join).equivalent
+
+    def test_long_chain(self):
+        groups = [["x0 = a + b"]] + [
+            [f"x{i} = x{i - 1}"] for i in range(1, 30)
+        ] + [["y = a + b"]]
+        cfg = straight_line(*groups)
+        result = optimize(cfg, "lcm")
+        report = compare_per_path(cfg, result.cfg)
+        assert report.safe
+        assert report.total_after < report.total_before
+
+
+class TestMultiExpressionInterplay:
+    def test_chained_candidates_with_shared_operands(self):
+        # Killing `a` invalidates a+b but not c*d.
+        b = CFGBuilder()
+        b.block("one", "x = a + b", "u = c * d").jump("two")
+        b.block("two", "a = c * d").jump("three")
+        b.block("three", "y = a + b", "v = c * d").to_exit()
+        cfg = b.build()
+        analysis = analyze_lcm(cfg)
+        ab = analysis.universe.index_of(BinExpr("+", Var("a"), Var("b")))
+        cd = analysis.universe.index_of(BinExpr("*", Var("c"), Var("d")))
+        assert ab not in analysis.avin["three"]
+        assert cd in analysis.avin["three"]
+        result = optimize(cfg, "lcm")
+        assert check_equivalence(cfg, result.cfg).equivalent
+        # c*d collapses to one evaluation; a+b must be recomputed.
+        report = compare_per_path(cfg, result.cfg)
+        assert report.total_after < report.total_before
+
+    def test_expression_whose_operand_is_another_result(self):
+        cfg = straight_line(["t1 = a + b", "t2 = t1 * 2"], ["u1 = a + b", "u2 = u1 * 2"])
+        result = optimize(cfg, "lcm")
+        assert check_equivalence(cfg, result.cfg).equivalent
+        report = compare_per_path(cfg, result.cfg)
+        assert report.safe
+        # a+b is deleted in s1.  t1*2 and u1*2 are *different*
+        # expressions (different operand names), so only one pair
+        # collapses; copy propagation in the full pipeline would expose
+        # the second.
+        assert report.total_after < report.total_before
+
+    def test_pipeline_exposes_second_order_redundancy(self):
+        from repro.passes import standard_pipeline
+
+        cfg = straight_line(
+            ["t1 = a + b", "t2 = t1 * 2"], ["u1 = a + b", "u2 = u1 * 2"]
+        )
+        result = standard_pipeline(cfg)
+        assert check_equivalence(
+            cfg, result.cfg, compare_decisions=False
+        ).equivalent
+
+
+class TestTortureScale:
+    def test_large_random_program_full_pipeline(self):
+        from repro.bench.generators import GeneratorConfig, random_cfg
+        from repro.passes import standard_pipeline
+
+        cfg = random_cfg(99, GeneratorConfig(statements=60, max_depth=4))
+        assert len(cfg) > 40
+        result = standard_pipeline(cfg)
+        validate_cfg(result.cfg)
+        assert check_equivalence(
+            cfg, result.cfg, runs=10, compare_decisions=False
+        ).equivalent
+
+    def test_many_expressions_wide_vectors(self):
+        instrs = [f"x{i} = a{i} + b{i}" for i in range(40)]
+        cfg = straight_line(instrs, instrs)  # second block fully redundant
+        local = compute_local_properties(cfg)
+        assert local.universe.width == 40
+        result = optimize(cfg, "lcm")
+        report = compare_per_path(cfg, result.cfg)
+        assert report.safe
+        assert report.total_after == report.total_before // 2
+
+
+class TestDataflowPlumbing:
+    def test_genkill_transfer_callable(self):
+        gen = {"b": BitVector.of(2, [0])}
+        keep = {"b": BitVector.of(2, [1])}
+        transfer = GenKillTransfer(gen, keep)
+        out = transfer("b", BitVector.of(2, [0, 1]))
+        assert list(out) == [0, 1]
+        out2 = transfer("b", BitVector.empty(2))
+        assert list(out2) == [0]
+
+    def test_solver_stats_merged(self):
+        a = SolverStats(sweeps=2, node_visits=10, bitvec_ops={"and": 3})
+        b = SolverStats(sweeps=1, node_visits=4, bitvec_ops={"and": 1, "or": 2})
+        merged = a.merged(b)
+        assert merged.sweeps == 3
+        assert merged.node_visits == 14
+        assert merged.bitvec_ops == {"and": 4, "or": 2}
+        assert merged.total_bitvec_ops == 6

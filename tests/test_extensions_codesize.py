@@ -1,0 +1,102 @@
+"""Unit tests for code-size-sensitive PRE."""
+
+from tests.helpers import diamond, straight_line
+
+from repro.core.optimality import check_equivalence, compare_per_path
+from repro.core.pipeline import optimize
+from repro.extensions.codesize import (
+    size_governed_placements,
+    size_governed_transform,
+)
+from repro.ir.builder import CFGBuilder
+
+
+def many_paths_one_use():
+    """Two kill-paths and one generator path feed one redundant use.
+
+    The generator path blocks the postponement (LATERIN(use) is
+    false), so LCM must insert on *both* kill edges to delete the one
+    occurrence: 2 inserts buy 1 delete — a bloat case the size
+    governor must drop at budget 0.  (Each kill writes `a` a different
+    value, so the insertions cannot be hoisted above the `ks` fork.)
+    """
+    b = CFGBuilder()
+    b.block("f1").branch("p", "g", "ks")
+    b.block("g", "x = a + b").jump("use")
+    b.block("ks").branch("q", "k1", "k2")
+    b.block("k1", "a = c + 1").jump("use")
+    b.block("k2", "a = c + 2").jump("use")
+    b.block("use", "y = a + b").to_exit()
+    return b.build()
+
+
+class TestSizeGovernor:
+    def test_balanced_placement_applied(self):
+        # Diamond: 1 insert / 1 delete — within budget 0.
+        result, report = size_governed_transform(diamond())
+        assert report.applied
+        assert not report.dropped
+        assert check_equivalence(diamond(), result.cfg).equivalent
+
+    def test_bloating_placement_dropped(self):
+        cfg = many_paths_one_use()
+        # Plain LCM grows the program here...
+        plain = optimize(cfg, "lcm")
+        inserted = sum(p.insertion_count for p in plain.placements)
+        deleted = sum(len(p.delete_blocks) for p in plain.placements)
+        assert inserted > deleted
+        # ...and the governor refuses.
+        result, report = size_governed_transform(cfg)
+        assert any("a + b" in expr for expr, _, _ in report.dropped)
+        assert str(result.cfg) == str(cfg)
+
+    def test_budget_loosens_the_governor(self):
+        cfg = many_paths_one_use()
+        result, report = size_governed_transform(cfg, budget=10)
+        assert report.applied
+        assert check_equivalence(cfg, result.cfg).equivalent
+
+    def test_static_size_never_grows_at_budget_zero(self):
+        from repro.bench.generators import GeneratorConfig, random_cfg
+
+        for seed in range(8):
+            cfg = random_cfg(seed, GeneratorConfig(statements=10))
+            result, _ = size_governed_transform(cfg)
+            assert (
+                result.cfg.static_computation_count()
+                <= cfg.static_computation_count()
+            ), seed
+
+    def test_still_safe_and_equivalent(self):
+        from repro.bench.generators import GeneratorConfig, random_cfg
+
+        for seed in range(6):
+            cfg = random_cfg(seed, GeneratorConfig(statements=10))
+            result, _ = size_governed_transform(cfg)
+            assert check_equivalence(cfg, result.cfg, runs=10).equivalent
+            assert compare_per_path(cfg, result.cfg, max_branches=6).safe
+
+    def test_identity_placements_not_reported(self):
+        cfg = straight_line(["x = a + b"])  # nothing to do
+        _, report = size_governed_transform(cfg)
+        assert not report.applied
+        assert not report.dropped
+        assert "no candidate placements" in report.describe()
+
+    def test_dropping_is_per_expression(self):
+        # One bloating expression (a+b: the many-paths shape) and one
+        # fully redundant one (c*d): only the balanced placement runs.
+        b = CFGBuilder()
+        b.block("f1", "u = c * d").branch("p", "g", "ks")
+        b.block("g", "x = a + b").jump("use")
+        b.block("ks").branch("q", "k1", "k2")
+        b.block("k1", "a = c + 1").jump("use")
+        b.block("k2", "a = c + 2").jump("use")
+        b.block("use", "y = a + b", "v = c * d").to_exit()
+        cfg = b.build()
+        result, report = size_governed_transform(cfg)
+        applied = {expr for expr, _, _ in report.applied}
+        dropped = {expr for expr, _, _ in report.dropped}
+        assert "c * d" in applied   # fully redundant: 0 inserts, 1 delete
+        assert "a + b" in dropped   # needs 2 inserts for 1 delete
+        assert check_equivalence(cfg, result.cfg).equivalent

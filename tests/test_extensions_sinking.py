@@ -1,0 +1,162 @@
+"""Unit tests for partial dead-code elimination (assignment sinking)."""
+
+from tests.helpers import straight_line
+
+from repro.core.optimality import check_equivalence, compare_per_path
+from repro.extensions.sinking import sink_assignments
+from repro.ir.builder import CFGBuilder
+from repro.ir.validate import validate_cfg
+
+
+def partially_dead():
+    """x = a*b is overwritten on the right arm before any use."""
+    b = CFGBuilder()
+    b.block("top", "x = a * b").branch("p", "uses", "kills")
+    b.block("uses", "y = x + 1").jump("end")
+    b.block("kills", "x = 7").jump("end")
+    b.block("end", "out = x + y").to_exit()
+    return b.build()
+
+
+class TestSinking:
+    def test_partially_dead_assignment_sunk(self):
+        cfg = partially_dead()
+        result, report = sink_assignments(cfg)
+        assert report.sunk
+        block, instr, targets = report.sunk[0]
+        assert block == "top"
+        assert instr == "x = a * b"
+        assert targets == ("uses",)
+        # The kills arm no longer computes a*b.
+        validate_cfg(result.cfg)
+        assert check_equivalence(cfg, result.cfg, runs=30).equivalent
+
+    def test_dead_arm_path_gets_cheaper(self):
+        cfg = partially_dead()
+        result, _ = sink_assignments(cfg)
+        report = compare_per_path(cfg, result.cfg, max_branches=4)
+        assert report.safe  # never more evaluations (the PDE guarantee)
+        assert report.improvements >= 1  # strictly fewer on the dead arm
+
+    def test_fully_dead_assignment_removed(self):
+        b = CFGBuilder()
+        b.block("top", "x = a * b").branch("p", "l", "r")
+        b.block("l", "x = 1").jump("end")
+        b.block("r", "x = 2").jump("end")
+        b.block("end", "out = x + 1").to_exit()
+        cfg = b.build()
+        result, report = sink_assignments(cfg)
+        assert report.removed
+        assert check_equivalence(cfg, result.cfg, runs=20).equivalent
+        assert compare_per_path(cfg, result.cfg).improvements >= 1
+
+    def test_live_everywhere_untouched(self):
+        b = CFGBuilder()
+        b.block("top", "x = a * b").branch("p", "l", "r")
+        b.block("l", "y = x + 1").jump("end")
+        b.block("r", "z = x + 2").jump("end")
+        b.block("end").to_exit()
+        cfg = b.build()
+        result, report = sink_assignments(cfg)
+        assert report.actions == 0
+        assert str(result.cfg) == str(cfg)
+
+    def test_observable_final_value_blocks_removal(self):
+        # x's final value is observable and the right arm does NOT
+        # overwrite it: x stays live there, so the assignment must be
+        # kept on that arm.
+        b = CFGBuilder()
+        b.block("top", "x = a * b").branch("p", "l", "r")
+        b.block("l", "x = 1").jump("end")
+        b.block("r", "q = c + d").jump("end")
+        b.block("end").to_exit()
+        cfg = b.build()
+        result, report = sink_assignments(cfg)
+        if report.sunk:
+            # Sinking may still specialise the arms, but never drop the
+            # value on the path where it survives to the exit.
+            pass
+        assert check_equivalence(cfg, result.cfg, runs=30).equivalent
+
+    def test_terminator_use_blocks_sinking(self):
+        b = CFGBuilder()
+        b.block("top", "p = a < b").branch("p", "l", "r")
+        b.block("l", "p = 0").jump("end")
+        b.block("r", "y = 1").jump("end")
+        b.block("end").to_exit()
+        cfg = b.build()
+        result, report = sink_assignments(cfg)
+        assert report.actions == 0
+
+    def test_chain_sinks_over_multiple_rounds(self):
+        # Two stacked partially dead assignments: the lower one sinks
+        # first, then the upper becomes the block's last and follows.
+        b = CFGBuilder()
+        b.block("top", "u = a * b", "v = c * d").branch("p", "needs", "kills")
+        b.block("needs", "s = u + v").jump("end")
+        b.block("kills", "u = 1", "v = 2").jump("end")
+        b.block("end", "out = u + v").to_exit()
+        cfg = b.build()
+        result, report = sink_assignments(cfg)
+        assert len(report.sunk) == 2
+        assert check_equivalence(cfg, result.cfg, runs=30).equivalent
+        per_path = compare_per_path(cfg, result.cfg, max_branches=4)
+        assert per_path.safe and per_path.improvements >= 1
+
+    def test_split_used_when_live_successor_is_a_join(self):
+        # `shared` (the live successor) has two predecessors, so the
+        # sunk assignment must land on a split block of the edge
+        # top -> shared, not at shared's entry.
+        b = CFGBuilder()
+        b.block("pre", "q = c + 1").branch("s", "top", "other")
+        b.block("top", "x = a * b").branch("p", "shared", "kills")
+        b.block("other").jump("shared")
+        b.block("kills", "x = 7").jump("end")
+        b.block("shared", "y = x + 1").jump("end")
+        b.block("end", "out = x + y").to_exit()
+        cfg = b.build()
+        result, report = sink_assignments(cfg)
+        assert report.sunk
+        block, _, targets = report.sunk[0]
+        assert block == "top"
+        assert all(t.startswith("sink_") for t in targets)
+        assert check_equivalence(cfg, result.cfg, runs=25).equivalent
+
+    def test_straight_line_untouched(self):
+        cfg = straight_line(["x = a + b", "y = x + 1"])
+        result, report = sink_assignments(cfg)
+        assert report.actions == 0
+
+    def test_input_not_mutated(self):
+        cfg = partially_dead()
+        before = str(cfg)
+        sink_assignments(cfg)
+        assert str(cfg) == before
+
+    def test_random_programs_preserved(self):
+        from repro.bench.generators import GeneratorConfig, random_cfg
+
+        for seed in range(10):
+            cfg = random_cfg(seed, GeneratorConfig(statements=10))
+            result, _ = sink_assignments(cfg)
+            validate_cfg(result.cfg)
+            assert check_equivalence(cfg, result.cfg, runs=10).equivalent, seed
+            assert compare_per_path(cfg, result.cfg, max_branches=6).safe, seed
+
+    def test_unstructured_graphs_preserved(self):
+        from repro.bench.shapegen import ShapeConfig, random_shape_cfg
+        from repro.core.optimality import enumerate_traces, replay
+        from repro.interp.machine import run
+
+        for seed in range(10):
+            cfg = random_shape_cfg(seed, ShapeConfig(blocks=8))
+            result, _ = sink_assignments(cfg)
+            validate_cfg(result.cfg)
+            for trace in enumerate_traces(cfg, 5):
+                before = run(cfg, decisions=trace.decisions)
+                after = run(result.cfg, decisions=trace.decisions)
+                assert after.reached_exit
+                for name in cfg.variables():
+                    assert before.env.get(name, 0) == after.env.get(name, 0), (
+                        seed, name
+                    )

@@ -1,0 +1,102 @@
+"""Unit tests for profile-guided speculative loop-invariant motion."""
+
+from repro.analysis.frequency import profile_from_runs
+from repro.core.optimality import check_equivalence, compare_per_path
+from repro.extensions.speculative import speculative_transform
+from repro.ir.builder import CFGBuilder
+
+
+def while_loop_graph():
+    """A zero-trip-capable while loop with an invariant in the body."""
+    b = CFGBuilder()
+    b.block("init", "i = 0").jump("head")
+    b.block("head", "t = i < n").branch("t", "body", "out")
+    b.block("body", "z = a * k", "s = s + z", "i = i + 1").jump("head")
+    b.block("out").to_exit()
+    return b.build()
+
+
+def hot_profile(cfg):
+    """Loops run many iterations: speculation should pay."""
+    profile = profile_from_runs(cfg, [{"n": 10, "a": 2, "k": 3}] * 3)
+    profile.attach(minimum=1)
+    return cfg
+
+
+def cold_profile(cfg):
+    """Loops never run: speculation should be rejected."""
+    profile = profile_from_runs(cfg, [{"n": 0, "a": 2, "k": 3}] * 3)
+    profile.attach(minimum=1)
+    return cfg
+
+
+class TestDecisions:
+    def test_hot_loop_hoists(self):
+        cfg = hot_profile(while_loop_graph())
+        result, report = speculative_transform(cfg)
+        assert report.hoisted
+        header, expr, inside, entry = report.hoisted[0]
+        assert str(expr) == "a * k"
+        assert inside > entry
+
+    def test_cold_loop_rejects(self):
+        cfg = cold_profile(while_loop_graph())
+        result, report = speculative_transform(cfg)
+        assert not report.hoisted
+        assert report.rejected
+        # The program is unchanged.
+        assert str(result.cfg) == str(cfg)
+
+    def test_explicit_frequencies_override_weights(self):
+        cfg = while_loop_graph()
+        freq = {label: 1 for label in cfg.labels}
+        freq["body"] = 50
+        result, report = speculative_transform(cfg, frequencies=freq)
+        assert report.hoisted
+
+    def test_variant_expression_never_hoisted(self):
+        cfg = hot_profile(while_loop_graph())
+        _, report = speculative_transform(cfg)
+        hoisted = {str(expr) for _, expr, _, _ in report.hoisted}
+        assert "i + 1" not in hoisted
+        assert "i < n" not in hoisted
+
+    def test_describe_mentions_decisions(self):
+        cfg = hot_profile(while_loop_graph())
+        _, report = speculative_transform(cfg)
+        assert "hoisted" in report.describe()
+
+
+class TestSemanticsAndTradeoff:
+    def test_semantics_preserved(self):
+        cfg = hot_profile(while_loop_graph())
+        result, _ = speculative_transform(cfg)
+        assert check_equivalence(cfg, result.cfg, runs=25).equivalent
+
+    def test_speculation_violates_classic_safety(self):
+        cfg = hot_profile(while_loop_graph())
+        result, report = speculative_transform(cfg)
+        assert report.hoisted
+        per_path = compare_per_path(cfg, result.cfg, max_branches=5)
+        # The zero-trip path now evaluates a*k once where the original
+        # evaluated it zero times.
+        assert not per_path.safe
+
+    def test_speculation_beats_lcm_on_hot_loops(self):
+        from repro.core.pipeline import optimize
+        from repro.interp.machine import run
+
+        cfg = hot_profile(while_loop_graph())
+        spec, report = speculative_transform(cfg)
+        assert report.hoisted
+        lcm = optimize(cfg, "lcm")
+        env = {"n": 20, "a": 2, "k": 3, "s": 0}
+        spec_cost = run(spec.cfg, env).total_evaluations
+        lcm_cost = run(lcm.cfg, env).total_evaluations
+        assert spec_cost < lcm_cost
+
+    def test_input_not_mutated(self):
+        cfg = hot_profile(while_loop_graph())
+        before = str(cfg)
+        speculative_transform(cfg)
+        assert str(cfg) == before

@@ -1,0 +1,293 @@
+"""Unit tests for induction-variable strength reduction."""
+
+from repro.analysis.dominators import back_edges, natural_loop
+from repro.core.optimality import check_equivalence
+from repro.extensions.strength import (
+    find_induction_variables,
+    strength_reduce,
+)
+from repro.interp.machine import run
+from repro.ir.builder import CFGBuilder
+from repro.ir.expr import BinExpr, Const, Var
+from repro.ir.validate import validate_cfg
+from repro.lang.lower import compile_program
+
+
+def counting_loop():
+    """for (i = 0; i < n; i++) { addr = i * 4; sum = sum + addr; }"""
+    b = CFGBuilder()
+    b.block("init", "i = 0", "sum = 0").jump("head")
+    b.block("head", "t = i < n").branch("t", "body", "out")
+    b.block("body", "addr = i * 4", "sum = sum + addr", "i = i + 1").jump("head")
+    b.block("out", "res = sum").to_exit()
+    return b.build()
+
+
+def loop_body(cfg):
+    (back,) = [e for e in back_edges(cfg)]
+    return natural_loop(cfg, back)
+
+
+class TestInductionDetection:
+    def test_basic_iv_found(self):
+        cfg = counting_loop()
+        ivs = find_induction_variables(cfg, loop_body(cfg))
+        names = {iv.name for iv in ivs}
+        assert "i" in names
+        iv = next(v for v in ivs if v.name == "i")
+        assert iv.op == "+"
+        assert iv.step == Const(1)
+
+    def test_accumulator_is_not_basic_iv_with_variant_step(self):
+        cfg = counting_loop()
+        ivs = find_induction_variables(cfg, loop_body(cfg))
+        # sum = sum + addr steps by a loop-variant amount.
+        assert "sum" not in {iv.name for iv in ivs}
+
+    def test_multiply_defined_var_rejected(self):
+        b = CFGBuilder()
+        b.block("init", "i = 0").jump("head")
+        b.block("head", "t = i < n").branch("t", "body", "out")
+        b.block("body", "i = i + 1", "i = i + 2").jump("head")
+        b.block("out").to_exit()
+        cfg = b.build()
+        assert find_induction_variables(cfg, loop_body(cfg)) == []
+
+    def test_region_constant_step_accepted(self):
+        b = CFGBuilder()
+        b.block("init", "i = 0").jump("head")
+        b.block("head", "t = i < n").branch("t", "body", "out")
+        b.block("body", "i = i + stride").jump("head")
+        b.block("out").to_exit()
+        cfg = b.build()
+        ivs = find_induction_variables(cfg, loop_body(cfg))
+        assert ivs and ivs[0].step == Var("stride")
+
+    def test_subtraction_iv(self):
+        b = CFGBuilder()
+        b.block("init", "i = n").jump("head")
+        b.block("head", "t = i > 0").branch("t", "body", "out")
+        b.block("body", "i = i - 1").jump("head")
+        b.block("out").to_exit()
+        cfg = b.build()
+        ivs = find_induction_variables(cfg, loop_body(cfg))
+        assert ivs and ivs[0].op == "-"
+
+
+class TestTransformation:
+    def test_multiplication_leaves_loop(self):
+        cfg = counting_loop()
+        result, report = strength_reduce(cfg)
+        assert report.reduced
+        validate_cfg(result.cfg)
+        # The loop body no longer multiplies.
+        body_exprs = [
+            instr.expr
+            for label in ("body",)
+            for instr in result.cfg.block(label).instrs
+        ]
+        assert BinExpr("*", Var("i"), Const(4)) not in body_exprs
+
+    def test_semantics_preserved(self):
+        cfg = counting_loop()
+        result, _ = strength_reduce(cfg)
+        assert check_equivalence(cfg, result.cfg, runs=30).equivalent
+
+    def test_dynamic_multiplications_drop(self):
+        cfg = counting_loop()
+        result, _ = strength_reduce(cfg)
+        expr = BinExpr("*", Var("i"), Const(4))
+        env = {"n": 10}
+        before = run(cfg, env)
+        after = run(result.cfg, env)
+        assert before.count(expr) == 10
+        # Only the preheader initialisation multiplies now.
+        total_muls = sum(
+            count
+            for e, count in after.eval_counts.items()
+            if isinstance(e, BinExpr) and e.op == "*"
+        )
+        assert total_muls <= 2  # t = i*4 (+ possibly d = step*c form)
+
+    def test_variable_factor_and_step(self):
+        cfg = compile_program(
+            """
+            i = 0;
+            s = 0;
+            while (i < n) {
+                offset = i * width;
+                s = s + offset;
+                i = i + stride;
+            }
+            """
+        )
+        result, report = strength_reduce(cfg)
+        assert report.reduced
+        assert check_equivalence(cfg, result.cfg, runs=30).equivalent
+
+    def test_no_loop_no_change(self):
+        b = CFGBuilder()
+        b.block("s", "x = i * 4").to_exit()
+        cfg = b.build()
+        result, report = strength_reduce(cfg)
+        assert not report.reduced
+        assert str(result.cfg) == str(cfg)
+
+    def test_variant_factor_not_reduced(self):
+        cfg = compile_program(
+            """
+            i = 0;
+            while (i < n) {
+                w = w + 1;
+                x = i * w;     # w varies: not a candidate
+                i = i + 1;
+            }
+            """
+        )
+        result, report = strength_reduce(cfg)
+        assert not report.reduced
+
+    def test_nested_loops(self):
+        cfg = compile_program(
+            """
+            i = 0;
+            s = 0;
+            while (i < n) {
+                j = 0;
+                while (j < m) {
+                    cell = j * 4;
+                    s = s + cell;
+                    j = j + 1;
+                }
+                row = i * 64;
+                s = s + row;
+                i = i + 1;
+            }
+            """
+        )
+        result, report = strength_reduce(cfg)
+        assert len(report.reduced) >= 2
+        assert check_equivalence(cfg, result.cfg, runs=20).equivalent
+
+    def test_input_not_mutated(self):
+        cfg = counting_loop()
+        before = str(cfg)
+        strength_reduce(cfg)
+        assert str(cfg) == before
+
+
+class TestDerivedIVs:
+    def kernel(self):
+        return compile_program(
+            """
+            acc = 0;
+            col = 0;
+            while (col < width) {
+                idx = rowbase + col;    # derived IV over col
+                addr = idx * 4;         # candidate on the derived IV
+                acc = acc + addr;
+                col = col + 1;
+            }
+            """
+        )
+
+    def test_derived_iv_detected(self):
+        from repro.analysis.dominators import back_edges, natural_loop
+        from repro.extensions.strength import (
+            find_derived_variables,
+            find_induction_variables,
+        )
+
+        cfg = self.kernel()
+        (back,) = back_edges(cfg)
+        body = natural_loop(cfg, back)
+        basic = {iv.name for iv in find_induction_variables(cfg, body)}
+        derived = find_derived_variables(cfg, body, basic)
+        names = {d.name for d in derived}
+        assert "idx" in names
+        d = next(x for x in derived if x.name == "idx")
+        assert d.base == "col"
+        assert d.form == "i+rc"
+        assert d.offset == Var("rowbase")
+
+    def test_derived_candidate_reduced(self):
+        cfg = self.kernel()
+        result, report = strength_reduce(cfg)
+        reduced_vars = {name for name, _ in report.reduced}
+        assert "idx" in reduced_vars
+        assert check_equivalence(cfg, result.cfg, runs=30).equivalent
+
+    def test_multiplications_leave_the_loop(self):
+        cfg = self.kernel()
+        result, _ = strength_reduce(cfg)
+        before = run(cfg, {"width": 12, "rowbase": 100})
+        after = run(result.cfg, {"width": 12, "rowbase": 100})
+        def muls(r):
+            return sum(
+                n for e, n in r.eval_counts.items()
+                if isinstance(e, BinExpr) and e.op == "*"
+            )
+        assert muls(before) == 12
+        # Only the one-time preheader initialisations remain: the two
+        # shadows (col*4, idx*4) and the offset rowbase*4.
+        assert muls(after) <= 3
+
+    def test_rc_minus_i_form(self):
+        cfg = compile_program(
+            """
+            acc = 0;
+            i = 0;
+            while (i < n) {
+                back = limit - i;       # rc - i derived form
+                off = back * 2;
+                acc = acc + off;
+                i = i + 1;
+            }
+            """
+        )
+        result, report = strength_reduce(cfg)
+        assert any(name == "back" for name, _ in report.reduced)
+        assert check_equivalence(cfg, result.cfg, runs=30).equivalent
+
+    def test_stale_prewindow_read_preserved(self):
+        # The occurrence executes *before* the derived IV's definition
+        # within the iteration, reading the previous iteration's value
+        # (or the arbitrary pre-loop value on entry).  The shadow must
+        # track the variable's definitions, not the iteration count.
+        cfg = compile_program(
+            """
+            acc = 0;
+            i = 0;
+            j = seed;
+            while (i < n) {
+                early = j * 3;          # reads the *old* j
+                j = i + base;
+                late = j * 3;           # reads the new j
+                acc = acc + early;
+                acc = acc + late;
+                i = i + 1;
+            }
+            """
+        )
+        result, report = strength_reduce(cfg)
+        assert check_equivalence(cfg, result.cfg, runs=40).equivalent
+
+    def test_derived_over_variant_offset_rejected(self):
+        cfg = compile_program(
+            """
+            i = 0;
+            while (i < n) {
+                w = w + 1;
+                j = i + w;              # w varies: not a derived IV
+                x = j * 4;
+                i = i + 1;
+            }
+            """
+        )
+        _, report = strength_reduce(cfg)
+        assert all(name != "j" for name, _ in report.reduced)
+
+    def test_report_describe(self):
+        cfg = counting_loop()
+        _, report = strength_reduce(cfg)
+        assert "multiplications replaced" in report.describe()

@@ -1,0 +1,85 @@
+"""Golden tests: exact-output stability of the user-facing renderings.
+
+These pin the precise text of the pretty printer, the placement
+descriptions, the DOT export and the optimised running example, so any
+behavioural drift in the core shows up as a readable diff.
+"""
+
+from textwrap import dedent
+
+from repro.bench.figures import diamond_example
+from repro.core.pipeline import optimize
+from repro.ir.dot import cfg_to_dot
+from repro.ir.pretty import pretty_cfg
+
+
+class TestGoldenDiamond:
+    def test_pretty_print(self):
+        expected = dedent(
+            """\
+            entry:
+              goto cond
+            exit:
+              halt
+            cond:
+              p = a < b
+              if p goto left else right
+            left:
+              x = a + b
+              goto join
+            right:
+              goto join
+            join:
+              y = a + b
+              goto exit"""
+        )
+        assert pretty_cfg(diamond_example()) == expected
+
+    def test_lcm_plan_description(self):
+        result = optimize(diamond_example(), "lcm")
+        assert result.describe() == (
+            "a + b: insert on edges [right->join]; replace in [join]"
+        )
+
+    def test_optimised_program_text(self):
+        result = optimize(diamond_example(), "lcm")
+        expected = dedent(
+            """\
+            entry:
+              goto cond
+            exit:
+              halt
+            cond:
+              p = a < b
+              if p goto left else right
+            left:
+              t1.a_plus_b = a + b
+              x = t1.a_plus_b
+              goto join
+            right:
+              goto ins_right_join
+            join:
+              y = t1.a_plus_b
+              goto exit
+            ins_right_join:
+              t1.a_plus_b = a + b
+              goto join"""
+        )
+        assert pretty_cfg(result.cfg) == expected
+
+    def test_dot_output(self):
+        dot = cfg_to_dot(diamond_example())
+        assert dot.splitlines()[0] == "digraph cfg {"
+        assert '  "cond" -> "left";' in dot
+        # Node labels show the block name and instructions (terminators
+        # are rendered as edges).
+        assert '  "entry" [label="entry:\\l"];' in dot
+        assert '"left" [label="left:\\lx = a + b\\l"];' in dot
+
+    def test_bcm_plan_description(self):
+        result = optimize(diamond_example(), "bcm")
+        described = {p.describe() for p in result.placements if not p.is_identity}
+        assert described == {
+            "a + b: insert on edges [entry->cond]; replace in [join, left]",
+            "a < b: insert on edges [entry->cond]; replace in [cond]",
+        }

@@ -1,0 +1,120 @@
+"""Golden analysis vectors: every predicate of the edge-based pipeline
+on the running example, hand-derived and pinned bit by bit.
+
+If any analysis equation drifts, the failing assertion names the exact
+predicate and block/edge, which makes this the fastest regression
+locator in the suite.
+"""
+
+import pytest
+
+from tests.helpers import names
+
+from repro.bench.figures import running_example
+from repro.core.lcm import analyze_lcm
+from repro.ir.expr import BinExpr, Var
+
+AB = BinExpr("+", Var("a"), Var("b"))
+CD = BinExpr("+", Var("c"), Var("d"))
+
+
+@pytest.fixture(scope="module")
+def analysis():
+    return analyze_lcm(running_example())
+
+
+def edge_set(table, idx):
+    return {edge for edge, vec in table.items() if idx in vec}
+
+
+class TestGoldenAPlusB:
+    """a + b: occurrences in n2, n4, n6, n10; killed by n5's a = k*3."""
+
+    def test_local_predicates(self, analysis):
+        idx = analysis.universe.index_of(AB)
+        assert names(analysis.local.antloc, idx) == {"n2", "n4", "n6", "n10"}
+        assert names(analysis.local.comp, idx) == {"n2", "n4", "n6", "n10"}
+        # Only n5 (a = k * 3) kills it.
+        opaque = set(analysis.cfg.labels) - names(analysis.local.transp, idx)
+        assert opaque == {"n5"}
+
+    def test_anticipability(self, analysis):
+        idx = analysis.universe.index_of(AB)
+        # Down-safe from the entry through every path to a use.  n5's
+        # entry anticipates nothing (its kill precedes the uses below);
+        # n7 anticipates it because both successors (n6 and n8->..->n10)
+        # lead to a use with no kill in between.
+        assert names(analysis.antin, idx) == {
+            "entry", "n1", "n2", "n3", "n4", "n6", "n7", "n8", "n9", "n10",
+        }
+        assert names(analysis.antout, idx) == {
+            "entry", "n1", "n2", "n3", "n5", "n6", "n7", "n8", "n9",
+        }
+
+    def test_availability(self, analysis):
+        idx = analysis.universe.index_of(AB)
+        assert names(analysis.avout, idx) == {
+            "n2", "n4", "n6", "n7", "n8", "n9", "n10", "exit",
+        }
+        # Not at n4's entry (the n3 arm computed nothing) and not at
+        # n10's (the n5->n10 arm comes straight from the kill).
+        assert names(analysis.avin, idx) == {
+            "n5", "n7", "n8", "n9", "exit",
+        }
+
+    def test_earliest_edges(self, analysis):
+        idx = analysis.universe.index_of(AB)
+        assert edge_set(analysis.earliest, idx) == {
+            ("entry", "n1"),
+            ("n5", "n6"),
+            ("n5", "n10"),
+        }
+
+    def test_laterin(self, analysis):
+        idx = analysis.universe.index_of(AB)
+        assert names(analysis.laterin, idx) == {"n1", "n2", "n3"}
+
+    def test_insert_and_delete(self, analysis):
+        idx = analysis.universe.index_of(AB)
+        assert edge_set(analysis.insert, idx) == {
+            ("n3", "n4"),
+            ("n5", "n6"),
+            ("n5", "n10"),
+        }
+        assert names(analysis.delete, idx) == {"n4", "n6", "n10"}
+
+
+class TestGoldenCPlusD:
+    """c + d: a single isolated occurrence in n8 — nothing may move."""
+
+    def test_local(self, analysis):
+        idx = analysis.universe.index_of(CD)
+        assert names(analysis.local.antloc, idx) == {"n8"}
+        # Transparent everywhere (c and d are never assigned).
+        assert names(analysis.local.transp, idx) == set(analysis.cfg.labels)
+
+    def test_anticipability_flows_through_the_loop(self, analysis):
+        idx = analysis.universe.index_of(CD)
+        # Every *terminating* path from the loop reaches n8 before c or
+        # d change, so anticipability (computed on paths to the exit)
+        # holds throughout the loop — but not above n5, because the
+        # n5 -> n10 arm never computes c + d.
+        assert names(analysis.antin, idx) == {"n6", "n7", "n8"}
+
+    def test_untouched(self, analysis):
+        idx = analysis.universe.index_of(CD)
+        assert edge_set(analysis.insert, idx) == set()
+        assert names(analysis.delete, idx) == set()
+        # The postponement covers the whole loop and ends *at* the use.
+        assert names(analysis.laterin, idx) == {"n6", "n7", "n8"}
+
+
+class TestGoldenKTimes3:
+    """k * 3: single occurrence in n5 (the kill block) — untouched."""
+
+    def test_untouched(self, analysis):
+        from repro.ir.expr import Const
+
+        idx = analysis.universe.index_of(BinExpr("*", Var("k"), Const(3)))
+        assert edge_set(analysis.insert, idx) == set()
+        assert names(analysis.delete, idx) == set()

@@ -1,0 +1,61 @@
+"""The grand integration sweep: one broad, cross-cutting pass.
+
+A wider net than the targeted integration tests: thirty structured and
+fifteen unstructured programs, each run through every strategy and the
+full pass pipeline, with all four oracles.  Kept in one module so the
+cost (a few seconds) is easy to see and to prune if it ever grows.
+"""
+
+import pytest
+
+from repro.bench.generators import GeneratorConfig, random_cfg
+from repro.bench.shapegen import ShapeConfig, random_shape_cfg
+from repro.core.lifetime import measure_lifetimes
+from repro.core.optimality import (
+    check_equivalence,
+    compare_per_path,
+    paths_agree,
+)
+from repro.core.pipeline import optimize
+from repro.ir.validate import validate_cfg
+from repro.passes import standard_pipeline
+
+STRUCTURED_SEEDS = range(100, 130)
+SHAPE_SEEDS = range(200, 215)
+
+
+class TestGrandSweepStructured:
+    @pytest.mark.parametrize("seed", STRUCTURED_SEEDS)
+    def test_lcm_all_oracles(self, seed):
+        cfg = random_cfg(seed, GeneratorConfig(statements=9))
+        result = optimize(cfg, "lcm")
+        validate_cfg(result.cfg)
+        assert check_equivalence(cfg, result.cfg, runs=8, seed=seed).equivalent
+        report = compare_per_path(cfg, result.cfg, max_branches=6)
+        assert report.safe
+        bcm = optimize(cfg, "bcm")
+        assert paths_agree(result.cfg, bcm.cfg, max_branches=6)
+        lcm_span = measure_lifetimes(result.cfg, result.temps).total_live_points
+        bcm_span = measure_lifetimes(bcm.cfg, bcm.temps).total_live_points
+        assert lcm_span <= bcm_span
+
+    @pytest.mark.parametrize("seed", list(STRUCTURED_SEEDS)[:10])
+    def test_pipeline_all_oracles(self, seed):
+        cfg = random_cfg(seed, GeneratorConfig(statements=9))
+        result = standard_pipeline(cfg)
+        validate_cfg(result.cfg)
+        assert check_equivalence(
+            cfg, result.cfg, runs=8, seed=seed, compare_decisions=False
+        ).equivalent
+
+
+class TestGrandSweepShapes:
+    @pytest.mark.parametrize("seed", SHAPE_SEEDS)
+    def test_lcm_on_shapes(self, seed):
+        cfg = random_shape_cfg(seed, ShapeConfig(blocks=9))
+        result = optimize(cfg, "lcm")
+        validate_cfg(result.cfg)
+        report = compare_per_path(cfg, result.cfg, max_branches=6)
+        assert report.safe
+        node = optimize(cfg, "krs-lcm")
+        assert paths_agree(result.cfg, node.cfg, max_branches=6)

@@ -1,0 +1,115 @@
+"""Integration tests: the paper's theorems checked on whole programs.
+
+These are the reproduction's core scientific assertions:
+
+* T3 (safety): BCM/ALCM/LCM never evaluate a candidate more often than
+  the original on any path;
+* T1 (computational optimality): LCM evaluates exactly as often as BCM
+  on every path, and no other safe strategy in the library evaluates
+  less than LCM anywhere;
+* T2 (lifetime optimality): LCM's temporary live ranges are within
+  ALCM's, which are within BCM's;
+* X1 (cross-check): the node-level formulation and the edge-based
+  formulation produce path-for-path identical programs;
+* semantic preservation for every strategy on every workload.
+"""
+
+import pytest
+
+from repro.bench.figures import FIGURES
+from repro.bench.generators import GeneratorConfig, random_cfg
+from repro.core.lifetime import measure_lifetimes
+from repro.core.optimality import (
+    check_equivalence,
+    compare_per_path,
+    paths_agree,
+)
+from repro.core.pipeline import optimize
+
+SAFE_STRATEGIES = ("lcm", "bcm", "krs-lcm", "krs-alcm", "krs-bcm", "mr", "gcse")
+
+WORKLOAD_SEEDS = list(range(12))
+
+
+def workloads():
+    graphs = [(name, fn()) for name, fn in sorted(FIGURES.items())]
+    graphs += [
+        (f"random-{seed}", random_cfg(seed, GeneratorConfig(statements=10)))
+        for seed in WORKLOAD_SEEDS
+    ]
+    return graphs
+
+
+WORKLOADS = workloads()
+IDS = [name for name, _ in WORKLOADS]
+GRAPHS = [cfg for _, cfg in WORKLOADS]
+
+
+class TestSafety:
+    @pytest.mark.parametrize("cfg", GRAPHS, ids=IDS)
+    @pytest.mark.parametrize("strategy", SAFE_STRATEGIES)
+    def test_no_path_evaluates_more(self, cfg, strategy):
+        result = optimize(cfg, strategy)
+        report = compare_per_path(cfg, result.cfg, max_branches=7)
+        assert report.safe, report.safety_violations[:3]
+
+
+class TestSemanticPreservation:
+    @pytest.mark.parametrize("cfg", GRAPHS, ids=IDS)
+    @pytest.mark.parametrize("strategy", SAFE_STRATEGIES + ("licm",))
+    def test_equivalent_results(self, cfg, strategy):
+        result = optimize(cfg, strategy)
+        report = check_equivalence(cfg, result.cfg, runs=15)
+        assert report.equivalent, report.mismatches[:3]
+
+
+class TestComputationalOptimality:
+    @pytest.mark.parametrize("cfg", GRAPHS, ids=IDS)
+    def test_lcm_matches_bcm_on_every_path(self, cfg):
+        lcm = optimize(cfg, "lcm")
+        bcm = optimize(cfg, "bcm")
+        assert paths_agree(lcm.cfg, bcm.cfg, max_branches=7)
+
+    @pytest.mark.parametrize("cfg", GRAPHS, ids=IDS)
+    @pytest.mark.parametrize("competitor", ("mr", "gcse", "none"))
+    def test_nothing_safe_beats_lcm(self, cfg, competitor):
+        lcm = optimize(cfg, "lcm")
+        other = optimize(cfg, competitor)
+        head_to_head = compare_per_path(lcm.cfg, other.cfg, max_branches=7)
+        assert head_to_head.improvements == 0, (
+            f"{competitor} beat LCM on {head_to_head.improvements} paths"
+        )
+
+
+class TestLifetimeOptimality:
+    @pytest.mark.parametrize("cfg", GRAPHS, ids=IDS)
+    def test_lcm_at_most_alcm_at_most_bcm(self, cfg):
+        spans = {}
+        for strategy in ("krs-lcm", "krs-alcm", "krs-bcm"):
+            result = optimize(cfg, strategy)
+            spans[strategy] = measure_lifetimes(
+                result.cfg, result.temps
+            ).total_live_points
+        assert spans["krs-lcm"] <= spans["krs-alcm"] <= spans["krs-bcm"]
+
+    @pytest.mark.parametrize("cfg", GRAPHS, ids=IDS)
+    def test_edge_lcm_at_most_edge_bcm(self, cfg):
+        lcm = optimize(cfg, "lcm")
+        bcm = optimize(cfg, "bcm")
+        lcm_span = measure_lifetimes(lcm.cfg, lcm.temps).total_live_points
+        bcm_span = measure_lifetimes(bcm.cfg, bcm.temps).total_live_points
+        assert lcm_span <= bcm_span
+
+
+class TestCrossCheck:
+    @pytest.mark.parametrize("cfg", GRAPHS, ids=IDS)
+    def test_node_level_and_edge_level_agree_per_path(self, cfg):
+        edge = optimize(cfg, "lcm")
+        node = optimize(cfg, "krs-lcm")
+        assert paths_agree(edge.cfg, node.cfg, max_branches=7)
+
+    @pytest.mark.parametrize("cfg", GRAPHS, ids=IDS)
+    def test_bcm_formulations_agree_per_path(self, cfg):
+        edge = optimize(cfg, "bcm")
+        node = optimize(cfg, "krs-bcm")
+        assert paths_agree(edge.cfg, node.cfg, max_branches=7)

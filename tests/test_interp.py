@@ -1,0 +1,144 @@
+"""Unit tests for the counting interpreter."""
+
+import pytest
+
+from tests.helpers import AB, diamond, straight_line
+
+from repro.interp.machine import InterpreterError, eval_expr, run
+from repro.interp.random_inputs import random_env, random_envs
+from repro.ir.expr import BinExpr, Const, UnaryExpr, Var
+import random
+
+
+class TestEvalExpr:
+    @pytest.mark.parametrize(
+        "op,left,right,expected",
+        [
+            ("+", 3, 4, 7),
+            ("-", 3, 4, -1),
+            ("*", 3, 4, 12),
+            ("/", 7, 2, 3),
+            ("/", -7, 2, -3),  # C-style truncation
+            ("/", 7, -2, -3),
+            ("/", 5, 0, 0),  # total semantics
+            ("%", 7, 3, 1),
+            ("%", 7, 0, 0),
+            ("<", 1, 2, 1),
+            ("<=", 2, 2, 1),
+            (">", 1, 2, 0),
+            (">=", 2, 2, 1),
+            ("==", 5, 5, 1),
+            ("!=", 5, 5, 0),
+            ("&", 6, 3, 2),
+            ("|", 6, 3, 7),
+            ("^", 6, 3, 5),
+            ("<<", 1, 3, 8),
+            ("<<", 1, 67, 8),  # shift amount mod 64
+            (">>", 8, 2, 2),
+            ("min", 3, -1, -1),
+            ("max", 3, -1, 3),
+        ],
+    )
+    def test_binary_operators(self, op, left, right, expected):
+        expr = BinExpr(op, Const(left), Const(right))
+        assert eval_expr(expr, {}) == expected
+
+    @pytest.mark.parametrize(
+        "op,value,expected",
+        [("-", 5, -5), ("!", 0, 1), ("!", 7, 0), ("~", 0, -1), ("abs", -4, 4)],
+    )
+    def test_unary_operators(self, op, value, expected):
+        assert eval_expr(UnaryExpr(op, Const(value)), {}) == expected
+
+    def test_variable_lookup(self):
+        assert eval_expr(Var("x"), {"x": 9}) == 9
+
+    def test_undefined_defaults_to_zero(self):
+        assert eval_expr(Var("ghost"), {}) == 0
+
+    def test_strict_mode_raises_on_undefined(self):
+        with pytest.raises(InterpreterError, match="undefined"):
+            eval_expr(Var("ghost"), {}, strict=True)
+
+
+class TestRun:
+    def test_final_environment(self):
+        cfg = straight_line(["x = a + b", "y = x * 2"])
+        result = run(cfg, {"a": 3, "b": 4})
+        assert result.env["y"] == 14
+        assert result.reached_exit
+
+    def test_eval_counts_by_structure(self):
+        cfg = straight_line(["x = a + b"], ["y = a + b"], ["z = a * b"])
+        result = run(cfg, {"a": 1, "b": 1})
+        assert result.count(AB) == 2
+        assert result.count(BinExpr("*", Var("a"), Var("b"))) == 1
+        assert result.total_evaluations == 3
+
+    def test_copies_not_counted(self):
+        cfg = straight_line(["x = a + b", "y = x", "z = 5"])
+        result = run(cfg, {})
+        assert result.total_evaluations == 1
+
+    def test_branching_on_value(self):
+        cfg = diamond()
+        taken = run(cfg, {"a": 1, "b": 2})  # a < b: left arm
+        assert taken.decisions_taken == [True]
+        assert "left" in taken.block_trace
+        other = run(cfg, {"a": 2, "b": 1})
+        assert other.decisions_taken == [False]
+        assert "right" in other.block_trace
+
+    def test_oracle_overrides_condition(self):
+        cfg = diamond()
+        result = run(cfg, {"a": 1, "b": 2}, decisions=[False])
+        assert "right" in result.block_trace
+
+    def test_oracle_exhaustion_stops_run(self):
+        cfg = diamond()
+        result = run(cfg, decisions=[])
+        assert not result.reached_exit
+
+    def test_step_budget(self):
+        from repro.ir.builder import CFGBuilder
+
+        b = CFGBuilder()
+        b.block("spin", "i = i + 1", "t = 1").branch("t", "spin", "done")
+        b.block("done").to_exit()
+        cfg = b.build()
+        result = run(cfg, {}, max_steps=50)
+        assert not result.reached_exit
+        assert result.steps > 50 - 5
+
+    def test_block_trace_starts_at_entry(self):
+        result = run(diamond(), {})
+        assert result.block_trace[0] == "entry"
+        assert result.block_trace[-1] == "exit"
+
+    def test_block_counts(self):
+        from tests.helpers import do_while_invariant
+
+        result = run(do_while_invariant(), {"n": 4})
+        counts = result.block_counts()
+        assert counts["body"] == 4
+        assert counts["after"] == 1
+        assert counts["entry"] == 1
+
+
+class TestRandomInputs:
+    def test_random_env_covers_variables(self):
+        env = random_env(["b", "a"], random.Random(0))
+        assert set(env) == {"a", "b"}
+
+    def test_random_envs_reproducible(self):
+        cfg = diamond()
+        assert random_envs(cfg, 5, seed=7) == random_envs(cfg, 5, seed=7)
+
+    def test_random_envs_differ_across_seeds(self):
+        cfg = diamond()
+        assert random_envs(cfg, 5, seed=1) != random_envs(cfg, 5, seed=2)
+
+    def test_bounds_respected(self):
+        cfg = diamond()
+        for env in random_envs(cfg, 20, seed=0, lo=-3, hi=3):
+            assert all(-3 <= v <= 3 for v in env.values())

@@ -1,0 +1,63 @@
+"""Unit tests for basic blocks."""
+
+import pytest
+
+from repro.ir.block import BasicBlock
+from repro.ir.builder import parse_assign
+from repro.ir.expr import BinExpr, Var
+from repro.ir.instr import Assign, CondBranch, Jump
+
+
+def block_with(*instrs: str) -> BasicBlock:
+    blk = BasicBlock("b")
+    for text in instrs:
+        blk.append(parse_assign(text))
+    return blk
+
+
+class TestBasicBlock:
+    def test_append_and_order(self):
+        blk = block_with("x = a + b", "y = x + 1")
+        assert [str(i) for i in blk.instrs] == ["x = a + b", "y = x + 1"]
+
+    def test_append_rejects_non_assign(self):
+        with pytest.raises(TypeError):
+            BasicBlock("b").append(Jump("x"))  # type: ignore[arg-type]
+
+    def test_successors_from_terminator(self):
+        blk = BasicBlock("b", [], CondBranch(Var("p"), "t", "f"))
+        assert blk.successors() == ("t", "f")
+
+    def test_successors_unterminated(self):
+        assert BasicBlock("b").successors() == ()
+
+    def test_is_empty(self):
+        assert BasicBlock("b").is_empty
+        assert not block_with("x = 1").is_empty
+
+    def test_computations_yields_only_operator_rhs(self):
+        blk = block_with("x = a + b", "y = x", "z = c * d")
+        found = list(blk.computations())
+        assert [(i, str(e)) for i, e in found] == [(0, "a + b"), (2, "c * d")]
+
+    def test_defs(self):
+        assert block_with("x = a + b", "y = x").defs() == {"x", "y"}
+
+    def test_uses_includes_terminator(self):
+        blk = block_with("x = a + b")
+        blk.terminator = CondBranch(Var("q"), "t", "f")
+        assert blk.uses() == {"a", "b", "q"}
+
+    def test_copy_is_independent(self):
+        blk = block_with("x = a + b")
+        blk.terminator = Jump("next")
+        clone = blk.copy()
+        clone.append(parse_assign("y = 1"))
+        assert len(blk.instrs) == 1
+        assert len(clone.instrs) == 2
+        assert clone.terminator == blk.terminator
+
+    def test_str_rendering(self):
+        blk = block_with("x = a + b")
+        blk.terminator = Jump("next")
+        assert str(blk) == "b:\n  x = a + b\n  goto next"

@@ -1,0 +1,110 @@
+"""Unit tests for the fluent CFG builder and the edge-list constructor."""
+
+import pytest
+
+from repro.ir.builder import CFGBuilder, cfg_from_edges, parse_assign
+from repro.ir.cfg import CFGError
+from repro.ir.expr import BinExpr, Const, Var
+from repro.ir.instr import CondBranch, Halt, Jump
+from repro.ir.validate import validate_cfg
+
+
+class TestParseAssign:
+    def test_simple(self):
+        instr = parse_assign("x = a + b")
+        assert instr.target == "x"
+        assert instr.expr == BinExpr("+", Var("a"), Var("b"))
+
+    def test_comparison_rhs_not_split_at_eq(self):
+        instr = parse_assign("p = a == b")
+        assert instr.expr == BinExpr("==", Var("a"), Var("b"))
+
+    def test_le_rhs(self):
+        assert parse_assign("p = a <= b").expr == BinExpr("<=", Var("a"), Var("b"))
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(CFGError):
+            parse_assign("x + y")
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(CFGError):
+            parse_assign("2x = a + b")
+
+
+class TestCFGBuilder:
+    def test_entry_wired_to_first_block(self):
+        b = CFGBuilder()
+        b.block("only", "x = 1").to_exit()
+        cfg = b.build()
+        assert cfg.succs(cfg.entry) == ("only",)
+
+    def test_explicit_entry_target(self):
+        b = CFGBuilder()
+        b.block("first", "x = 1").jump("second")
+        b.block("second").to_exit()
+        b.entry_to("second")
+        cfg = b.build(validate=False)
+        assert cfg.succs(cfg.entry) == ("second",)
+
+    def test_branch_terminator(self):
+        b = CFGBuilder()
+        b.block("c").branch("p", "t", "f")
+        b.block("t").to_exit()
+        b.block("f").to_exit()
+        cfg = b.build()
+        term = cfg.block("c").terminator
+        assert isinstance(term, CondBranch)
+        assert term.cond == Var("p")
+
+    def test_branch_on_constant(self):
+        b = CFGBuilder()
+        b.block("c").branch("1", "t", "f")
+        b.block("t").to_exit()
+        b.block("f").to_exit()
+        term = b.build().block("c").terminator
+        assert term.cond == Const(1)
+
+    def test_build_validates(self):
+        b = CFGBuilder()
+        b.block("dangling", "x = 1").jump("nowhere")
+        with pytest.raises(Exception):
+            b.build()
+
+    def test_empty_program(self):
+        cfg = CFGBuilder().build()
+        assert cfg.succs(cfg.entry) == (cfg.exit,)
+
+    def test_add_chaining(self):
+        b = CFGBuilder()
+        b.block("s").add("x = 1").add("y = x + 1").to_exit()
+        cfg = b.build()
+        assert len(cfg.block("s").instrs) == 2
+
+    def test_weight_passthrough(self):
+        b = CFGBuilder()
+        b.block("s", "x = 1").to_exit()
+        b.weight("s", "exit", 5)
+        assert b.build().weight(("s", "exit")) == 5
+
+
+class TestCfgFromEdges:
+    def test_shape_only_graph(self):
+        cfg = cfg_from_edges(
+            [("entry", "a"), ("a", "b"), ("a", "c"), ("b", "d"), ("c", "d"), ("d", "exit")]
+        )
+        validate_cfg(cfg)
+        assert cfg.succs("a") == ("b", "c")
+        assert isinstance(cfg.block("a").terminator, CondBranch)
+
+    def test_instruction_map(self):
+        cfg = cfg_from_edges(
+            [("entry", "a"), ("a", "exit")], instrs={"a": ["x = p + q"]}
+        )
+        assert str(cfg.block("a").instrs[0]) == "x = p + q"
+
+    def test_three_successors_rejected(self):
+        with pytest.raises(CFGError):
+            cfg_from_edges(
+                [("entry", "a"), ("a", "b"), ("a", "c"), ("a", "d"),
+                 ("b", "exit"), ("c", "exit"), ("d", "exit")]
+            )

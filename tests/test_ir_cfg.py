@@ -1,0 +1,152 @@
+"""Unit tests for the CFG container and its graph surgery."""
+
+import pytest
+
+from tests.helpers import diamond, straight_line
+
+from repro.ir.block import BasicBlock
+from repro.ir.cfg import CFG, CFGError
+from repro.ir.instr import CondBranch, Halt, Jump
+from repro.ir.expr import Var
+
+
+class TestBlockManagement:
+    def test_duplicate_label_rejected(self):
+        cfg = CFG()
+        cfg.new_block("b")
+        with pytest.raises(CFGError):
+            cfg.new_block("b")
+
+    def test_missing_block_lookup(self):
+        with pytest.raises(CFGError):
+            CFG().block("ghost")
+
+    def test_contains_len_iter(self):
+        cfg = diamond()
+        assert "join" in cfg
+        assert "ghost" not in cfg
+        assert len(cfg) == 6  # entry, exit, cond, left, right, join
+        assert {b.label for b in cfg} == set(cfg.labels)
+
+    def test_cannot_remove_entry_or_exit(self):
+        cfg = diamond()
+        with pytest.raises(CFGError):
+            cfg.remove_block(cfg.entry)
+        with pytest.raises(CFGError):
+            cfg.remove_block(cfg.exit)
+
+    def test_fresh_label_avoids_collisions(self):
+        cfg = diamond()
+        assert cfg.fresh_label("new") == "new"
+        first = cfg.fresh_label("join")
+        assert first == "join.1"
+
+
+class TestEdges:
+    def test_succs_in_branch_order(self):
+        cfg = diamond()
+        assert cfg.succs("cond") == ("left", "right")
+
+    def test_preds_deterministic(self):
+        cfg = diamond()
+        assert cfg.preds("join") == ["left", "right"]
+
+    def test_edges_listing(self):
+        cfg = straight_line(["x = 1"], ["y = 2"])
+        assert ("s0", "s1") in cfg.edges()
+        assert ("entry", "s0") in cfg.edges()
+        assert ("s1", "exit") in cfg.edges()
+
+    def test_has_edge(self):
+        cfg = diamond()
+        assert cfg.has_edge("cond", "left")
+        assert not cfg.has_edge("left", "right")
+
+    def test_dangling_edge_detected_on_pred_query(self):
+        cfg = CFG()
+        cfg.add_block(BasicBlock("entry", [], Jump("ghost")))
+        cfg.add_block(BasicBlock("exit", [], Halt()))
+        with pytest.raises(CFGError):
+            cfg.preds("exit")
+
+
+class TestWeights:
+    def test_default_weight(self):
+        cfg = diamond()
+        assert cfg.weight(("cond", "left")) == 1
+
+    def test_set_weight(self):
+        cfg = diamond()
+        cfg.set_weight(("cond", "left"), 7)
+        assert cfg.weight(("cond", "left")) == 7
+
+    def test_zero_weight_rejected(self):
+        cfg = diamond()
+        with pytest.raises(CFGError):
+            cfg.set_weight(("cond", "left"), 0)
+
+
+class TestSurgery:
+    def test_retarget_jump(self):
+        cfg = straight_line(["x = 1"], ["y = 2"])
+        cfg.new_block("detour").terminator = Jump("s1")
+        cfg.retarget("s0", "s1", "detour")
+        assert cfg.succs("s0") == ("detour",)
+        assert "s0" not in cfg.preds("s1")
+
+    def test_retarget_branch_single_arm(self):
+        cfg = diamond()
+        cfg.new_block("detour").terminator = Jump("join")
+        cfg.retarget("cond", "left", "detour")
+        assert cfg.succs("cond") == ("detour", "right")
+
+    def test_retarget_missing_edge_rejected(self):
+        cfg = diamond()
+        with pytest.raises(CFGError):
+            cfg.retarget("left", "right", "join")
+
+    def test_split_edge_inserts_pass_through(self):
+        cfg = diamond()
+        new = cfg.split_edge("right", "join")
+        assert cfg.succs("right") == (new.label,)
+        assert cfg.succs(new.label) == ("join",)
+        assert new.is_empty
+
+    def test_split_edge_moves_weight(self):
+        cfg = diamond()
+        cfg.set_weight(("right", "join"), 9)
+        new = cfg.split_edge("right", "join")
+        assert cfg.weight(("right", new.label)) == 9
+        assert cfg.weight((new.label, "join")) == 9
+
+    def test_split_missing_edge_rejected(self):
+        cfg = diamond()
+        with pytest.raises(CFGError):
+            cfg.split_edge("left", "right")
+
+
+class TestWholeGraph:
+    def test_variables(self):
+        cfg = diamond()
+        assert cfg.variables() == {"a", "b", "p", "x", "y"}
+
+    def test_instructions_iteration(self):
+        cfg = diamond()
+        listed = [(label, i, str(instr)) for label, i, instr in cfg.instructions()]
+        assert ("left", 0, "x = a + b") in listed
+
+    def test_static_computation_count(self):
+        cfg = diamond()
+        # p = a < b, x = a + b, y = a + b
+        assert cfg.static_computation_count() == 3
+
+    def test_copy_is_deep_for_blocks(self):
+        cfg = diamond()
+        clone = cfg.copy()
+        clone.block("left").instrs.clear()
+        assert len(cfg.block("left").instrs) == 1
+
+    def test_copy_preserves_weights(self):
+        cfg = diamond()
+        cfg.set_weight(("cond", "left"), 3)
+        assert cfg.copy().weight(("cond", "left")) == 3

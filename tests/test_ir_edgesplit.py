@@ -1,0 +1,68 @@
+"""Unit tests for critical-edge detection and splitting."""
+
+from tests.helpers import diamond
+
+from repro.ir.builder import CFGBuilder
+from repro.ir.edgesplit import critical_edges, split_critical_edges
+from repro.ir.validate import validate_cfg
+from repro.interp.machine import run
+
+
+def graph_with_critical_edge():
+    """cond branches to (shared, other); shared also reachable from pre.
+
+    The edge cond->shared is critical: cond has two successors, shared
+    has two predecessors.
+    """
+    b = CFGBuilder()
+    b.block("cond").branch("p", "shared", "other")
+    b.block("other", "x = 1").jump("shared")
+    b.block("shared", "y = 2").to_exit()
+    return b.build()
+
+
+class TestCriticalEdges:
+    def test_diamond_has_no_critical_edges(self):
+        assert critical_edges(diamond()) == []
+
+    def test_detection(self):
+        cfg = graph_with_critical_edge()
+        assert critical_edges(cfg) == [("cond", "shared")]
+
+    def test_split_removes_criticality(self):
+        cfg = graph_with_critical_edge()
+        mapping = split_critical_edges(cfg)
+        assert ("cond", "shared") in mapping
+        assert critical_edges(cfg) == []
+        validate_cfg(cfg)
+
+    def test_split_block_is_pass_through(self):
+        cfg = graph_with_critical_edge()
+        mapping = split_critical_edges(cfg)
+        label = mapping[("cond", "shared")]
+        block = cfg.block(label)
+        assert block.is_empty
+        assert cfg.succs(label) == ("shared",)
+
+    def test_split_preserves_semantics(self):
+        cfg = graph_with_critical_edge()
+        before = run(cfg, {"p": 1})
+        split_critical_edges(cfg)
+        after = run(cfg, {"p": 1})
+        assert before.env == after.env
+
+    def test_idempotent(self):
+        cfg = graph_with_critical_edge()
+        split_critical_edges(cfg)
+        assert split_critical_edges(cfg) == {}
+
+    def test_loop_back_edge_split(self):
+        b = CFGBuilder()
+        b.block("head", "i = i + 1", "t = i < n").branch("t", "head", "out")
+        b.block("out").to_exit()
+        cfg = b.build()
+        # head -> head is critical (head has 2 succs and 2 preds).
+        assert ("head", "head") in critical_edges(cfg)
+        split_critical_edges(cfg)
+        assert critical_edges(cfg) == []
+        validate_cfg(cfg)

@@ -1,0 +1,159 @@
+"""Unit tests for the expression value objects and the tiny parser."""
+
+import pytest
+
+from repro.ir.expr import (
+    BinExpr,
+    Const,
+    ExprError,
+    UnaryExpr,
+    Var,
+    expr_atoms,
+    expr_key,
+    expr_vars,
+    is_computation,
+    parse_expr,
+)
+
+
+class TestAtoms:
+    def test_const_str(self):
+        assert str(Const(42)) == "42"
+
+    def test_negative_const_str(self):
+        assert str(Const(-7)) == "-7"
+
+    def test_var_str(self):
+        assert str(Var("alpha")) == "alpha"
+
+    def test_empty_var_name_rejected(self):
+        with pytest.raises(ExprError):
+            Var("")
+
+    def test_atoms_are_hashable_value_objects(self):
+        assert Const(1) == Const(1)
+        assert Var("a") == Var("a")
+        assert len({Const(1), Const(1), Var("a"), Var("a")}) == 2
+
+    def test_const_var_distinct(self):
+        assert Const(1) != Var("1")
+
+
+class TestBinExpr:
+    def test_structural_equality(self):
+        assert BinExpr("+", Var("a"), Var("b")) == BinExpr("+", Var("a"), Var("b"))
+
+    def test_operand_order_matters(self):
+        assert BinExpr("+", Var("a"), Var("b")) != BinExpr("+", Var("b"), Var("a"))
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ExprError):
+            BinExpr("**", Var("a"), Var("b"))
+
+    def test_nested_expression_rejected(self):
+        inner = BinExpr("+", Var("a"), Var("b"))
+        with pytest.raises(ExprError):
+            BinExpr("*", inner, Var("c"))
+
+    def test_str_symbolic(self):
+        assert str(BinExpr("*", Var("a"), Const(2))) == "a * 2"
+
+    def test_str_function_form(self):
+        assert str(BinExpr("min", Var("a"), Var("b"))) == "min(a, b)"
+
+
+class TestUnaryExpr:
+    def test_str_prefix(self):
+        assert str(UnaryExpr("-", Var("x"))) == "-x"
+
+    def test_str_function_form(self):
+        assert str(UnaryExpr("abs", Var("x"))) == "abs(x)"
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ExprError):
+            UnaryExpr("+", Var("x"))
+
+    def test_non_atomic_operand_rejected(self):
+        with pytest.raises(ExprError):
+            UnaryExpr("-", BinExpr("+", Var("a"), Var("b")))
+
+
+class TestInspection:
+    def test_is_computation(self):
+        assert is_computation(BinExpr("+", Var("a"), Var("b")))
+        assert is_computation(UnaryExpr("-", Var("a")))
+        assert not is_computation(Var("a"))
+        assert not is_computation(Const(1))
+
+    def test_expr_vars_order_and_multiplicity(self):
+        assert expr_vars(BinExpr("+", Var("a"), Var("a"))) == ("a", "a")
+        assert expr_vars(BinExpr("-", Var("b"), Var("a"))) == ("b", "a")
+
+    def test_expr_vars_of_const(self):
+        assert expr_vars(Const(3)) == ()
+
+    def test_expr_vars_mixed(self):
+        assert expr_vars(BinExpr("*", Const(2), Var("k"))) == ("k",)
+
+    def test_expr_atoms(self):
+        expr = BinExpr("+", Const(1), Var("v"))
+        assert list(expr_atoms(expr)) == [Const(1), Var("v")]
+
+
+class TestExprKey:
+    def test_binary_key(self):
+        assert expr_key(BinExpr("+", Var("a"), Var("b"))) == "a_plus_b"
+
+    def test_const_key(self):
+        assert expr_key(BinExpr("*", Var("a"), Const(-2))) == "a_times_cneg2"
+
+    def test_unary_key(self):
+        assert expr_key(UnaryExpr("!", Var("p"))) == "not_p"
+
+    def test_keys_distinguish_operators(self):
+        a, b = Var("a"), Var("b")
+        keys = {expr_key(BinExpr(op, a, b)) for op in ("+", "-", "*", "/")}
+        assert len(keys) == 4
+
+
+class TestParseExpr:
+    def test_parse_binary(self):
+        assert parse_expr("a + b") == BinExpr("+", Var("a"), Var("b"))
+
+    def test_parse_no_spaces(self):
+        assert parse_expr("a*b") == BinExpr("*", Var("a"), Var("b"))
+
+    def test_parse_comparison_two_chars(self):
+        assert parse_expr("a <= b") == BinExpr("<=", Var("a"), Var("b"))
+
+    def test_parse_var(self):
+        assert parse_expr("  x ") == Var("x")
+
+    def test_parse_const(self):
+        assert parse_expr("42") == Const(42)
+
+    def test_parse_negative_const(self):
+        assert parse_expr("-5") == Const(-5)
+
+    def test_parse_unary_negation(self):
+        assert parse_expr("-x") == UnaryExpr("-", Var("x"))
+
+    def test_parse_const_operand(self):
+        assert parse_expr("n * 4") == BinExpr("*", Var("n"), Const(4))
+
+    def test_parse_min(self):
+        assert parse_expr("min(a, b)") == BinExpr("min", Var("a"), Var("b"))
+
+    def test_parse_abs(self):
+        assert parse_expr("abs(x)") == UnaryExpr("abs", Var("x"))
+
+    def test_parse_binary_negative_right(self):
+        assert parse_expr("a + -3") == BinExpr("+", Var("a"), Const(-3))
+
+    def test_parse_garbage_rejected(self):
+        with pytest.raises(ExprError):
+            parse_expr("a + + b")
+
+    def test_parse_empty_rejected(self):
+        with pytest.raises(ExprError):
+            parse_expr("   ")

@@ -1,0 +1,59 @@
+"""Unit tests for instructions and terminators."""
+
+import pytest
+
+from repro.ir.expr import BinExpr, Const, Var
+from repro.ir.instr import Assign, CondBranch, Halt, InstrError, Jump
+
+
+class TestAssign:
+    def test_str(self):
+        assert str(Assign("x", BinExpr("+", Var("a"), Var("b")))) == "x = a + b"
+
+    def test_uses_and_defines(self):
+        instr = Assign("x", BinExpr("+", Var("a"), Var("b")))
+        assert instr.uses() == ("a", "b")
+        assert instr.defines() == "x"
+
+    def test_copy_is_not_computation(self):
+        assert not Assign("x", Var("y")).is_computation
+        assert not Assign("x", Const(3)).is_computation
+
+    def test_operator_rhs_is_computation(self):
+        assert Assign("x", BinExpr("*", Var("a"), Const(2))).is_computation
+
+    def test_empty_target_rejected(self):
+        with pytest.raises(InstrError):
+            Assign("", Var("y"))
+
+    def test_immutability(self):
+        instr = Assign("x", Var("y"))
+        with pytest.raises(Exception):
+            instr.target = "z"
+
+
+class TestTerminators:
+    def test_jump_successors(self):
+        assert Jump("next").successors() == ("next",)
+
+    def test_jump_has_no_uses(self):
+        assert Jump("next").uses() == ()
+
+    def test_branch_successors_ordered(self):
+        term = CondBranch(Var("p"), "then", "else_")
+        assert term.successors() == ("then", "else_")
+
+    def test_branch_uses_condition_variable(self):
+        assert CondBranch(Var("p"), "a", "b").uses() == ("p",)
+
+    def test_branch_on_constant_uses_nothing(self):
+        assert CondBranch(Const(1), "a", "b").uses() == ()
+
+    def test_branch_rejects_compound_condition(self):
+        with pytest.raises(InstrError):
+            CondBranch(BinExpr("<", Var("a"), Var("b")), "t", "f")
+
+    def test_halt(self):
+        assert Halt().successors() == ()
+        assert Halt().uses() == ()
+        assert str(Halt()) == "halt"

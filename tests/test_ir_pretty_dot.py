@@ -1,0 +1,55 @@
+"""Unit tests for rendering (pretty printer and DOT export)."""
+
+from tests.helpers import diamond
+
+from repro.ir.dot import cfg_to_dot
+from repro.ir.pretty import facts_annotator, pretty_block, pretty_cfg
+
+
+class TestPretty:
+    def test_pretty_block_contains_instrs_and_terminator(self):
+        text = pretty_block(diamond().block("left"))
+        assert "left:" in text
+        assert "x = a + b" in text
+        assert "goto join" in text
+
+    def test_pretty_block_annotations(self):
+        text = pretty_block(diamond().block("left"), annotations=["DSAFE = yes"])
+        assert ";; DSAFE = yes" in text
+
+    def test_pretty_cfg_lists_all_blocks(self):
+        text = pretty_cfg(diamond())
+        for label in ("entry", "exit", "cond", "left", "right", "join"):
+            assert f"{label}:" in text
+
+    def test_pretty_cfg_deterministic(self):
+        assert pretty_cfg(diamond()) == pretty_cfg(diamond())
+
+    def test_facts_annotator(self):
+        annotate = facts_annotator({"AVIN": {"join": "{a+b}"}})
+        assert list(annotate("join")) == ["AVIN = {a+b}"]
+        assert list(annotate("left")) == []
+
+
+class TestDot:
+    def test_dot_structure(self):
+        dot = cfg_to_dot(diamond())
+        assert dot.startswith("digraph")
+        assert '"cond" -> "left"' in dot
+        assert '"left" -> "join"' in dot
+
+    def test_dot_highlights(self):
+        dot = cfg_to_dot(
+            diamond(),
+            highlight_blocks={"join"},
+            highlight_edges={("right", "join")},
+        )
+        assert dot.count("color=red") == 2
+
+    def test_dot_escapes_quotes(self):
+        dot = cfg_to_dot(diamond())
+        assert "\\l" in dot
+
+    def test_dot_annotations(self):
+        dot = cfg_to_dot(diamond(), annotate=lambda lbl: ["note"] if lbl == "join" else [])
+        assert ";; note" in dot

@@ -1,0 +1,92 @@
+"""Unit tests for structural CFG validation."""
+
+import pytest
+
+from tests.helpers import diamond
+
+from repro.ir.block import BasicBlock
+from repro.ir.builder import parse_assign
+from repro.ir.cfg import CFG
+from repro.ir.instr import CondBranch, Halt, Jump
+from repro.ir.expr import Var
+from repro.ir.validate import ValidationError, validate_cfg
+
+
+def minimal() -> CFG:
+    cfg = CFG()
+    cfg.add_block(BasicBlock("entry", [], Jump("exit")))
+    cfg.add_block(BasicBlock("exit", [], Halt()))
+    return cfg
+
+
+class TestValidate:
+    def test_minimal_graph_valid(self):
+        validate_cfg(minimal())
+
+    def test_diamond_valid(self):
+        validate_cfg(diamond())
+
+    def test_missing_entry(self):
+        cfg = CFG(entry="nope")
+        cfg.add_block(BasicBlock("exit", [], Halt()))
+        with pytest.raises(ValidationError, match="entry"):
+            validate_cfg(cfg)
+
+    def test_unterminated_block(self):
+        cfg = minimal()
+        cfg.add_block(BasicBlock("loose"))
+        with pytest.raises(ValidationError, match="unterminated"):
+            validate_cfg(cfg)
+
+    def test_halt_outside_exit(self):
+        cfg = minimal()
+        cfg.block("entry").terminator = Jump("mid")
+        cfg.add_block(BasicBlock("mid", [], Halt()))
+        with pytest.raises(ValidationError, match="halt"):
+            validate_cfg(cfg)
+
+    def test_dangling_target(self):
+        cfg = minimal()
+        cfg.block("entry").terminator = Jump("ghost")
+        with pytest.raises(ValidationError, match="ghost"):
+            validate_cfg(cfg)
+
+    def test_branch_same_target_twice(self):
+        cfg = minimal()
+        cfg.block("entry").terminator = Jump("mid")
+        cfg.add_block(BasicBlock("mid", [], CondBranch(Var("p"), "exit", "exit")))
+        with pytest.raises(ValidationError, match="same target"):
+            validate_cfg(cfg)
+
+    def test_nonempty_entry_rejected(self):
+        cfg = minimal()
+        cfg.block("entry").append(parse_assign("x = 1"))
+        with pytest.raises(ValidationError, match="entry block must be empty"):
+            validate_cfg(cfg)
+
+    def test_nonempty_entry_allowed_when_relaxed(self):
+        cfg = minimal()
+        cfg.block("entry").append(parse_assign("x = 1"))
+        validate_cfg(cfg, require_empty_entry_exit=False)
+
+    def test_entry_with_predecessor_rejected(self):
+        cfg = minimal()
+        cfg.block("entry").terminator = Jump("mid")
+        cfg.add_block(BasicBlock("mid", [], CondBranch(Var("p"), "entry", "exit")))
+        with pytest.raises(ValidationError, match="no predecessors"):
+            validate_cfg(cfg)
+
+    def test_unreachable_block_rejected(self):
+        cfg = minimal()
+        cfg.add_block(BasicBlock("island", [], Jump("exit")))
+        with pytest.raises(ValidationError, match="unreachable"):
+            validate_cfg(cfg)
+
+    def test_block_not_reaching_exit_rejected(self):
+        cfg = minimal()
+        cfg.block("entry").terminator = Jump("mid")
+        # mid loops forever on itself via a branch back to mid/trap.
+        cfg.add_block(BasicBlock("mid", [], CondBranch(Var("p"), "trap", "exit")))
+        cfg.add_block(BasicBlock("trap", [], Jump("trap")))
+        with pytest.raises(ValidationError, match="cannot reach exit"):
+            validate_cfg(cfg)

@@ -1,0 +1,175 @@
+"""Tests for break/continue lowering and their interaction with PRE.
+
+Multi-exit loops are the interesting case for down-safety: an
+expression computed after a conditional break is *not* anticipatable
+at the loop entry, so LCM must not hoist it.
+"""
+
+import pytest
+
+from repro.core.optimality import check_equivalence, compare_per_path
+from repro.core.pipeline import optimize
+from repro.interp.machine import run
+from repro.ir.validate import validate_cfg
+from repro.lang import compile_program
+from repro.lang.errors import LangError
+
+
+def result_of(source, **inputs):
+    cfg = compile_program(source)
+    validate_cfg(cfg)
+    return run(cfg, inputs)
+
+
+class TestBreak:
+    def test_break_leaves_while_loop(self):
+        src = """
+        i = 0; s = 0;
+        while (1) {
+            t = i >= n;
+            if (t) { break; }
+            s = s + i;
+            i = i + 1;
+        }
+        """
+        assert result_of(src, n=5).env["s"] == 10
+
+    def test_break_in_repeat(self):
+        src = """
+        s = 0;
+        repeat (10) {
+            s = s + 1;
+            t = s == 4;
+            if (t) { break; }
+        }
+        """
+        assert result_of(src).env["s"] == 4
+
+    def test_break_in_do_while(self):
+        src = """
+        i = 0;
+        do {
+            i = i + 1;
+            t = i == 3;
+            if (t) { break; }
+        } while (1);
+        """
+        assert result_of(src).env["i"] == 3
+
+    def test_break_targets_innermost_loop(self):
+        src = """
+        total = 0;
+        repeat (3) {
+            repeat (10) {
+                total = total + 1;
+                t = total % 2;
+                if (t) { break; }
+            }
+        }
+        """
+        # Inner loop breaks on odd totals: first inner run breaks at 1,
+        # second at 3 (1 -> 2? no: totals 2,3 -> break at 3), etc.
+        res = result_of(src)
+        assert res.reached_exit
+        assert res.env["total"] == 5
+
+    def test_statements_after_break_are_dropped(self):
+        src = """
+        x = 0;
+        while (1) {
+            break;
+            x = 99;
+        }
+        """
+        assert result_of(src).env["x"] == 0
+
+    def test_break_outside_loop_rejected(self):
+        with pytest.raises(LangError, match="break"):
+            compile_program("break;")
+
+    def test_both_arms_break(self):
+        src = """
+        while (1) {
+            if (p) { x = 1; break; } else { x = 2; break; }
+        }
+        """
+        assert result_of(src, p=1).env["x"] == 1
+        assert result_of(src, p=0).env["x"] == 2
+
+
+class TestContinue:
+    def test_continue_in_repeat_advances_counter(self):
+        src = """
+        s = 0; k = 0;
+        repeat (6) {
+            m = k % 2;
+            k = k + 1;
+            if (m) { continue; }
+            s = s + 1;
+        }
+        """
+        assert result_of(src).env["s"] == 3
+
+    def test_continue_in_while(self):
+        src = """
+        i = 0; s = 0;
+        while (i < n) {
+            i = i + 1;
+            m = i % 3;
+            if (m) { continue; }
+            s = s + i;
+        }
+        """
+        assert result_of(src, n=9).env["s"] == 3 + 6 + 9
+
+    def test_continue_in_do_while_reaches_the_test(self):
+        src = """
+        s = 0; i = 0;
+        do {
+            i = i + 1;
+            m = i % 2;
+            if (m) { continue; }
+            s = s + i;
+        } while (i < n);
+        """
+        assert result_of(src, n=6).env["s"] == 12
+
+    def test_continue_outside_loop_rejected(self):
+        with pytest.raises(LangError, match="continue"):
+            compile_program("x = 1; continue;")
+
+
+class TestPREOnMultiExitLoops:
+    SRC = """
+    i = 0; s = 0;
+    while (i < n) {
+        t = i == stop;
+        if (t) { break; }
+        v = a * k;          # NOT down-safe at loop entry: the break
+        s = s + v;          # path skips it
+        i = i + 1;
+    }
+    """
+
+    def test_lcm_respects_early_exit(self):
+        cfg = compile_program(self.SRC)
+        result = optimize(cfg, "lcm")
+        report = compare_per_path(cfg, result.cfg, max_branches=8)
+        assert report.safe
+        assert check_equivalence(cfg, result.cfg, runs=25).equivalent
+        # On the immediate-break path a*k is never evaluated; LCM must
+        # not have inserted it anywhere above the break test.
+        immediate_break = run(
+            result.cfg, {"n": 10, "stop": 0, "a": 3, "k": 4}
+        )
+        from repro.ir.expr import BinExpr, Var
+
+        assert immediate_break.count(BinExpr("*", Var("a"), Var("k"))) == 0
+
+    @pytest.mark.parametrize(
+        "strategy", ["lcm", "bcm", "krs-lcm", "mr", "gcse"]
+    )
+    def test_all_safe_strategies_stay_safe(self, strategy):
+        cfg = compile_program(self.SRC)
+        result = optimize(cfg, strategy)
+        assert compare_per_path(cfg, result.cfg, max_branches=8).safe

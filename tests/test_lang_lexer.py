@@ -1,0 +1,62 @@
+"""Unit tests for the tokeniser."""
+
+import pytest
+
+from repro.lang.errors import LexError
+from repro.lang.lexer import tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source)[:-1]]  # drop EOF
+
+
+class TestTokenize:
+    def test_simple_assignment(self):
+        assert texts("x = a + b;") == ["x", "=", "a", "+", "b", ";"]
+
+    def test_keywords_recognised(self):
+        tokens = tokenize("if while else do repeat skip")
+        assert all(t.kind == "KEYWORD" for t in tokens[:-1])
+
+    def test_identifier_with_underscore_and_digits(self):
+        tokens = tokenize("my_var2")
+        assert tokens[0].kind == "IDENT"
+        assert tokens[0].text == "my_var2"
+
+    def test_number(self):
+        tokens = tokenize("123")
+        assert tokens[0].kind == "NUMBER"
+
+    def test_two_char_operators_greedy(self):
+        assert texts("a <= b") == ["a", "<=", "b"]
+        assert texts("a << b") == ["a", "<<", "b"]
+        assert texts("a != b") == ["a", "!=", "b"]
+
+    def test_adjacent_single_char_ops(self):
+        assert texts("a<b") == ["a", "<", "b"]
+
+    def test_comment_skipped(self):
+        assert texts("x = 1; # a comment\ny = 2;") == [
+            "x", "=", "1", ";", "y", "=", "2", ";",
+        ]
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("x = 1;\n  y = 2;")
+        y = next(t for t in tokens if t.text == "y")
+        assert y.line == 2
+        assert y.column == 3
+
+    def test_eof_token_present(self):
+        assert tokenize("")[-1].kind == "EOF"
+
+    def test_bad_character_raises_with_position(self):
+        with pytest.raises(LexError) as info:
+            tokenize("x = $;")
+        assert "line 1" in str(info.value)
+
+    def test_whitespace_only(self):
+        assert kinds("   \n\t ") == ["EOF"]

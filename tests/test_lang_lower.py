@@ -1,0 +1,128 @@
+"""Unit tests for AST -> CFG lowering, checked by executing the result."""
+
+import pytest
+
+from repro.interp.machine import run
+from repro.ir.instr import CondBranch
+from repro.ir.validate import validate_cfg
+from repro.lang.lower import compile_program
+
+
+def result_of(source, **inputs):
+    cfg = compile_program(source)
+    validate_cfg(cfg)
+    return run(cfg, inputs)
+
+
+class TestStraightLine:
+    def test_sequence(self):
+        res = result_of("x = 1; y = x + 2; z = y * 3;")
+        assert res.env["z"] == 9
+
+    def test_empty_program(self):
+        res = result_of("")
+        assert res.reached_exit
+
+    def test_skip_only(self):
+        assert result_of("skip;").reached_exit
+
+
+class TestIf:
+    def test_then_taken(self):
+        res = result_of("if (p) { x = 1; } else { x = 2; }", p=1)
+        assert res.env["x"] == 1
+
+    def test_else_taken(self):
+        res = result_of("if (p) { x = 1; } else { x = 2; }", p=0)
+        assert res.env["x"] == 2
+
+    def test_if_without_else_skips(self):
+        res = result_of("x = 9; if (p) { x = 1; }", p=0)
+        assert res.env["x"] == 9
+
+    def test_condition_materialised_as_temp(self):
+        cfg = compile_program("if (a < b) { x = 1; }")
+        branches = [
+            blk for blk in cfg if isinstance(blk.terminator, CondBranch)
+        ]
+        assert len(branches) == 1
+        cond_var = branches[0].terminator.cond
+        # The comparison is computed into a dotted compiler temp.
+        assert "." in cond_var.name
+        assert any(
+            str(i) == f"{cond_var.name} = a < b" for i in branches[0].instrs
+        )
+
+    def test_nested_ifs(self):
+        src = """
+        if (p) {
+            if (q) { x = 1; } else { x = 2; }
+        } else {
+            x = 3;
+        }
+        """
+        assert result_of(src, p=1, q=0).env["x"] == 2
+        assert result_of(src, p=0, q=1).env["x"] == 3
+
+
+class TestLoops:
+    def test_while_counts(self):
+        res = result_of("i = 0; while (i < n) { i = i + 1; }", n=5)
+        assert res.env["i"] == 5
+
+    def test_while_zero_trip(self):
+        res = result_of("i = 0; x = 7; while (i < n) { x = 0; }", n=0)
+        assert res.env["x"] == 7
+
+    def test_do_while_runs_at_least_once(self):
+        res = result_of("x = 0; do { x = x + 1; } while (0);")
+        assert res.env["x"] == 1
+
+    def test_do_while_loops(self):
+        res = result_of(
+            "i = 0; do { i = i + 1; t = i < n; } while (t);", n=4
+        )
+        assert res.env["i"] == 4
+
+    def test_repeat_fixed_count(self):
+        res = result_of("x = 0; repeat (4) { x = x + 2; }")
+        assert res.env["x"] == 8
+
+    def test_repeat_zero(self):
+        res = result_of("x = 5; repeat (0) { x = 0; }")
+        assert res.env["x"] == 5
+
+    def test_repeat_with_expression_count(self):
+        res = result_of("x = 0; repeat (n * 2) { x = x + 1; }", n=3)
+        assert res.env["x"] == 6
+
+    def test_nested_loops(self):
+        res = result_of(
+            "x = 0; repeat (3) { repeat (4) { x = x + 1; } }"
+        )
+        assert res.env["x"] == 12
+
+    def test_loop_condition_reevaluated(self):
+        # n changes inside the loop; the header must recompute the test.
+        res = result_of(
+            "i = 0; while (i < n) { n = n - 1; i = i + 1; }", n=10
+        )
+        assert res.env["i"] == 5
+
+
+class TestStructure:
+    def test_all_programs_validate(self):
+        sources = [
+            "x = 1;",
+            "if (p) { x = 1; }",
+            "while (p) { skip; }",
+            "do { x = 1; } while (p);",
+            "repeat (2) { if (q) { y = 1; } }",
+        ]
+        for source in sources:
+            validate_cfg(compile_program(source))
+
+    def test_compiler_temps_cannot_collide_with_source(self):
+        cfg = compile_program("c1 = 1; if (c1 < 5) { x = 1; }")
+        res = run(cfg, {})
+        assert res.env["x"] == 1

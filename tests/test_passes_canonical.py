@@ -1,0 +1,84 @@
+"""Unit tests for expression canonicalisation."""
+
+from tests.helpers import straight_line
+
+from repro.core.optimality import check_equivalence
+from repro.core.pipeline import optimize
+from repro.ir.expr import BinExpr, Const, UnaryExpr, Var
+from repro.passes.canonical import canonicalize, canonicalize_expr
+
+
+class TestCanonicalizeExpr:
+    def test_commutative_operands_sorted(self):
+        assert canonicalize_expr(BinExpr("+", Var("b"), Var("a"))) == BinExpr(
+            "+", Var("a"), Var("b")
+        )
+
+    def test_sorted_form_unchanged(self):
+        expr = BinExpr("+", Var("a"), Var("b"))
+        assert canonicalize_expr(expr) is expr
+
+    def test_constant_moves_first(self):
+        assert canonicalize_expr(BinExpr("*", Var("x"), Const(2))) == BinExpr(
+            "*", Const(2), Var("x")
+        )
+
+    def test_noncommutative_untouched(self):
+        expr = BinExpr("-", Var("b"), Var("a"))
+        assert canonicalize_expr(expr) is expr
+
+    def test_gt_mirrored_to_lt(self):
+        assert canonicalize_expr(BinExpr(">", Var("a"), Var("b"))) == BinExpr(
+            "<", Var("b"), Var("a")
+        )
+
+    def test_ge_mirrored_to_le(self):
+        assert canonicalize_expr(BinExpr(">=", Var("a"), Const(3))) == BinExpr(
+            "<=", Const(3), Var("a")
+        )
+
+    def test_unary_untouched(self):
+        expr = UnaryExpr("-", Var("x"))
+        assert canonicalize_expr(expr) is expr
+
+    def test_min_max_sorted(self):
+        assert canonicalize_expr(BinExpr("max", Var("z"), Var("a"))) == BinExpr(
+            "max", Var("a"), Var("z")
+        )
+
+
+class TestCanonicalizeCfg:
+    def test_counts_rewrites(self):
+        cfg = straight_line(["x = b + a", "y = a + b", "z = a - b"])
+        assert canonicalize(cfg) == 1
+
+    def test_exposes_redundancy_to_pre(self):
+        cfg = straight_line(["x = b + a"], ["y = a + b"])
+        before = optimize(cfg, "lcm")
+        # Different spellings: PRE sees two unrelated candidates.
+        assert all(p.is_identity for p in before.placements)
+        canonicalize(cfg)
+        after = optimize(cfg, "lcm")
+        assert any(not p.is_identity for p in after.placements)
+
+    def test_semantics_preserved(self):
+        cfg = straight_line(
+            ["x = b + a", "p = a > b", "q = b >= a", "m = max(c, a)"]
+        )
+        snapshot = cfg.copy()
+        canonicalize(cfg)
+        assert check_equivalence(snapshot, cfg, runs=30).equivalent
+
+    def test_idempotent(self):
+        cfg = straight_line(["x = b + a", "p = a > b"])
+        canonicalize(cfg)
+        assert canonicalize(cfg) == 0
+
+    def test_random_programs_preserved(self):
+        from repro.bench.generators import GeneratorConfig, random_cfg
+
+        for seed in range(6):
+            cfg = random_cfg(seed, GeneratorConfig(statements=8))
+            snapshot = cfg.copy()
+            canonicalize(cfg)
+            assert check_equivalence(snapshot, cfg, runs=10).equivalent, seed

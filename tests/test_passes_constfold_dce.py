@@ -1,0 +1,135 @@
+"""Unit tests for constant folding/propagation and whole-program DCE."""
+
+from tests.helpers import straight_line
+
+from repro.core.optimality import check_equivalence
+from repro.ir.builder import CFGBuilder
+from repro.ir.expr import Const, Var
+from repro.ir.instr import CondBranch
+from repro.passes.constfold import fold_constants
+from repro.passes.dce import dead_code_elimination
+
+
+class TestFolding:
+    def test_literal_fold(self):
+        cfg = straight_line(["x = 2 * 3"])
+        assert fold_constants(cfg) == 1
+        assert cfg.block("s0").instrs[0].expr == Const(6)
+
+    def test_propagation_then_fold(self):
+        cfg = straight_line(["x = 4", "y = x * 2"])
+        fold_constants(cfg)
+        assert cfg.block("s0").instrs[1].expr == Const(8)
+
+    def test_input_variables_not_assumed(self):
+        cfg = straight_line(["y = a * 2"])  # a is an input
+        assert fold_constants(cfg) == 0
+
+    def test_initial_value_respected_at_partial_assignment(self):
+        # x is set to 5 on one arm only; at the join x is not constant
+        # (the other path keeps x's input value).
+        b = CFGBuilder()
+        b.block("top").branch("p", "set", "skip")
+        b.block("set", "x = 5").jump("join")
+        b.block("skip").jump("join")
+        b.block("join", "y = x + 1").to_exit()
+        cfg = b.build()
+        assert fold_constants(cfg) == 0
+
+    def test_join_agreeing_constants(self):
+        b = CFGBuilder()
+        b.block("top").branch("p", "l", "r")
+        b.block("l", "x = 5").jump("join")
+        b.block("r", "x = 5").jump("join")
+        b.block("join", "y = x + 1").to_exit()
+        cfg = b.build()
+        fold_constants(cfg)
+        assert cfg.block("join").instrs[0].expr == Const(6)
+
+    def test_join_disagreeing_constants(self):
+        b = CFGBuilder()
+        b.block("top").branch("p", "l", "r")
+        b.block("l", "x = 5").jump("join")
+        b.block("r", "x = 7").jump("join")
+        b.block("join", "y = x + 1").to_exit()
+        cfg = b.build()
+        assert fold_constants(cfg) == 0
+
+    def test_branch_condition_becomes_constant(self):
+        b = CFGBuilder()
+        b.block("top", "p = 1").branch("p", "l", "r")
+        b.block("l").to_exit()
+        b.block("r").to_exit()
+        cfg = b.build()
+        fold_constants(cfg)
+        term = cfg.block("top").terminator
+        assert isinstance(term, CondBranch)
+        assert term.cond == Const(1)
+
+    def test_loop_variant_not_folded(self):
+        b = CFGBuilder()
+        b.block("init", "i = 0").jump("head")
+        b.block("head", "i = i + 1", "c = i < n").branch("c", "head", "out")
+        b.block("out", "y = i * 2").to_exit()
+        cfg = b.build()
+        fold_constants(cfg)
+        # i varies around the loop: no instruction may claim it constant
+        # after the header.
+        assert cfg.block("out").instrs[0].expr == __import__(
+            "repro.ir.expr", fromlist=["BinExpr"]
+        ).BinExpr("*", Var("i"), Const(2))
+
+    def test_total_division_agrees_with_runtime(self):
+        cfg = straight_line(["x = 7 / 0", "y = -7 / 2"])
+        fold_constants(cfg)
+        assert cfg.block("s0").instrs[0].expr == Const(0)
+        assert cfg.block("s0").instrs[1].expr == Const(-3)
+
+    def test_semantics_preserved_on_random_programs(self):
+        from repro.bench.generators import GeneratorConfig, random_cfg
+
+        for seed in range(8):
+            cfg = random_cfg(seed, GeneratorConfig(statements=8))
+            snapshot = cfg.copy()
+            fold_constants(cfg)
+            assert check_equivalence(snapshot, cfg, runs=10).equivalent, seed
+
+
+class TestDeadCodeElimination:
+    def test_shadowed_store_removed(self):
+        cfg = straight_line(["x = a + b", "x = 5"])
+        assert dead_code_elimination(cfg) == 1
+        assert [str(i) for i in cfg.block("s0").instrs] == ["x = 5"]
+
+    def test_final_values_are_observable(self):
+        # x is never read but its final value is observable: keep it.
+        cfg = straight_line(["x = a + b"])
+        assert dead_code_elimination(cfg) == 0
+
+    def test_narrowed_observable_set(self):
+        cfg = straight_line(["x = a + b", "y = c * 2"])
+        removed = dead_code_elimination(cfg, observable=["y"])
+        assert removed == 1
+        assert [str(i) for i in cfg.block("s0").instrs] == ["y = c * 2"]
+
+    def test_cascading_removal(self):
+        cfg = straight_line(["t1 = a + b", "t2 = t1 + 1", "t2 = 0", "t1 = 0"])
+        # t2 = t1+1 is shadowed; then t1 = a+b becomes shadowed too.
+        assert dead_code_elimination(cfg) == 2
+
+    def test_loop_use_keeps_store(self):
+        b = CFGBuilder()
+        b.block("init", "s = 0").jump("head")
+        b.block("head", "s = s + 1", "c = s < n").branch("c", "head", "out")
+        b.block("out").to_exit()
+        cfg = b.build()
+        assert dead_code_elimination(cfg) == 0
+
+    def test_semantics_preserved(self):
+        from repro.bench.generators import GeneratorConfig, random_cfg
+
+        for seed in range(8):
+            cfg = random_cfg(seed, GeneratorConfig(statements=8))
+            snapshot = cfg.copy()
+            dead_code_elimination(cfg)
+            assert check_equivalence(snapshot, cfg, runs=10).equivalent, seed

@@ -1,0 +1,97 @@
+"""Unit tests for global copy propagation."""
+
+from tests.helpers import straight_line
+
+from repro.core.optimality import check_equivalence
+from repro.ir.builder import CFGBuilder
+from repro.ir.expr import BinExpr, Var
+from repro.ir.instr import CondBranch
+from repro.passes.copyprop import copy_propagate
+
+
+class TestWithinBlock:
+    def test_simple_propagation(self):
+        cfg = straight_line(["t = a + b", "x = t", "y = x + 1"])
+        rewrites = copy_propagate(cfg)
+        assert rewrites == 1
+        # y reads x's source directly after one step.
+        assert str(cfg.block("s0").instrs[2]) == "y = t + 1"
+
+    def test_kill_by_source_redefinition(self):
+        cfg = straight_line(["x = t", "t = 5", "y = x + 1"])
+        rewrites = copy_propagate(cfg)
+        # x = t is stale after t changes; y must keep reading x.
+        assert rewrites == 0
+        assert "x" in [v for v in cfg.block("s0").instrs[2].uses()]
+
+    def test_kill_by_dest_redefinition(self):
+        cfg = straight_line(["x = t", "x = 5", "y = x + 1"])
+        assert copy_propagate(cfg) == 0
+
+    def test_chain_collapses_under_iteration(self):
+        cfg = straight_line(["b = a", "c = b", "d = c"])
+        while copy_propagate(cfg):
+            pass
+        instrs = [str(i) for i in cfg.block("s0").instrs]
+        assert instrs == ["b = a", "c = a", "d = a"]
+
+
+class TestAcrossBlocks:
+    def test_propagates_through_join_when_on_all_paths(self):
+        b = CFGBuilder()
+        b.block("top", "x = t").branch("p", "l", "r")
+        b.block("l", "u = 1").jump("join")
+        b.block("r", "u = 2").jump("join")
+        b.block("join", "y = x + 1").to_exit()
+        cfg = b.build()
+        assert copy_propagate(cfg) == 1
+        assert "t" in cfg.block("join").instrs[0].uses()
+
+    def test_blocked_at_join_when_one_path_differs(self):
+        b = CFGBuilder()
+        b.block("top").branch("p", "l", "r")
+        b.block("l", "x = t").jump("join")
+        b.block("r", "x = u").jump("join")
+        b.block("join", "y = x + 1").to_exit()
+        cfg = b.build()
+        assert copy_propagate(cfg) == 0
+
+    def test_branch_condition_rewritten(self):
+        b = CFGBuilder()
+        b.block("top", "q = p").branch("q", "l", "r")
+        b.block("l").to_exit()
+        b.block("r").to_exit()
+        cfg = b.build()
+        assert copy_propagate(cfg) == 1
+        term = cfg.block("top").terminator
+        assert isinstance(term, CondBranch)
+        assert term.cond == Var("p")
+
+    def test_loop_carried_copy_killed(self):
+        # Inside the loop x = t, but t changes each iteration: the copy
+        # reaching the header from the back edge is a *different* t.
+        b = CFGBuilder()
+        b.block("init", "x = t").jump("head")
+        b.block("head", "y = x + 1", "t = t + 1", "x = t", "c = t < n").branch(
+            "c", "head", "out"
+        )
+        b.block("out").to_exit()
+        cfg = b.build()
+        snapshot = cfg.copy()
+        copy_propagate(cfg)
+        assert check_equivalence(snapshot, cfg, runs=25).equivalent
+
+
+class TestSemantics:
+    def test_random_programs_preserved(self):
+        from repro.bench.generators import GeneratorConfig, random_cfg
+
+        for seed in range(8):
+            cfg = random_cfg(seed, GeneratorConfig(statements=8))
+            snapshot = cfg.copy()
+            copy_propagate(cfg)
+            assert check_equivalence(snapshot, cfg, runs=10).equivalent, seed
+
+    def test_no_copies_no_changes(self):
+        cfg = straight_line(["x = a + b"])
+        assert copy_propagate(cfg) == 0

@@ -1,0 +1,94 @@
+"""The cleanup passes on unstructured graphs, via the path oracle.
+
+Copy propagation, constant folding and DCE preserve branch structure
+(they may rewrite a condition's *variable* but never add, remove or
+reorder branches), so per-path comparison is well defined even on the
+shape generator's irreducible graphs, whose concrete executions may
+diverge.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bench.shapegen import ShapeConfig, random_shape_cfg
+from repro.core.optimality import compare_per_path, enumerate_traces, replay
+from repro.ir.validate import validate_cfg
+from repro.passes.canonical import canonicalize
+from repro.passes.constfold import fold_constants
+from repro.passes.copyprop import copy_propagate
+from repro.passes.dce import dead_code_elimination
+
+quick = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+def final_envs_agree(original, transformed, max_branches=6):
+    """Same decision sequence -> same final environment (source vars)."""
+    source_vars = original.variables()
+    for trace in enumerate_traces(original, max_branches):
+        from repro.interp.machine import run
+
+        before = run(original, decisions=trace.decisions)
+        after = run(transformed, decisions=trace.decisions)
+        assert after.reached_exit
+        for name in source_vars:
+            if before.env.get(name, 0) != after.env.get(name, 0):
+                return False, (trace.decisions, name)
+    return True, None
+
+
+class TestPassesOnShapes:
+    @quick
+    @given(seeds)
+    def test_copy_propagation(self, seed):
+        cfg = random_shape_cfg(seed, ShapeConfig(blocks=8))
+        work = cfg.copy()
+        copy_propagate(work)
+        validate_cfg(work)
+        ok, witness = final_envs_agree(cfg, work)
+        assert ok, witness
+
+    @quick
+    @given(seeds)
+    def test_constant_folding(self, seed):
+        cfg = random_shape_cfg(seed, ShapeConfig(blocks=8))
+        work = cfg.copy()
+        fold_constants(work)
+        validate_cfg(work)
+        ok, witness = final_envs_agree(cfg, work)
+        assert ok, witness
+
+    @quick
+    @given(seeds)
+    def test_dead_code_elimination(self, seed):
+        cfg = random_shape_cfg(seed, ShapeConfig(blocks=8))
+        work = cfg.copy()
+        dead_code_elimination(work)
+        validate_cfg(work)
+        ok, witness = final_envs_agree(cfg, work)
+        assert ok, witness
+
+    @quick
+    @given(seeds)
+    def test_canonicalisation_never_increases_path_counts(self, seed):
+        cfg = random_shape_cfg(seed, ShapeConfig(blocks=8))
+        work = cfg.copy()
+        canonicalize(work)
+        # Counting is by structural expression; canonicalisation renames
+        # candidates, so compare totals rather than per-expression.
+        for trace in enumerate_traces(cfg, 6):
+            after = replay(work, trace.decisions)
+            assert after.total == trace.total
+
+    @quick
+    @given(seeds)
+    def test_dce_never_increases_evaluations(self, seed):
+        cfg = random_shape_cfg(seed, ShapeConfig(blocks=8))
+        work = cfg.copy()
+        dead_code_elimination(work)
+        report = compare_per_path(cfg, work, max_branches=6)
+        assert report.safe

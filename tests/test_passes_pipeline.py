@@ -1,0 +1,74 @@
+"""Integration tests for the composed pass pipeline."""
+
+import pytest
+
+from tests.helpers import diamond, do_while_invariant
+
+from repro.bench.figures import FIGURES
+from repro.bench.generators import GeneratorConfig, random_cfg
+from repro.core.optimality import check_equivalence
+from repro.interp.machine import run
+from repro.interp.random_inputs import random_envs
+from repro.ir.validate import validate_cfg
+from repro.passes import run_pipeline, standard_pipeline
+
+
+class TestPipeline:
+    def test_input_not_mutated(self):
+        cfg = diamond()
+        before = str(cfg)
+        standard_pipeline(cfg)
+        assert str(cfg) == before
+
+    def test_output_validates(self):
+        result = standard_pipeline(do_while_invariant())
+        validate_cfg(result.cfg)
+
+    @pytest.mark.parametrize("name", sorted(FIGURES))
+    def test_figures_preserved(self, name):
+        cfg = FIGURES[name]()
+        result = standard_pipeline(cfg)
+        report = check_equivalence(
+            cfg, result.cfg, runs=20, compare_decisions=False
+        )
+        assert report.equivalent, report.mismatches[:2]
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_programs_preserved(self, seed):
+        cfg = random_cfg(seed, GeneratorConfig(statements=10))
+        result = standard_pipeline(cfg)
+        report = check_equivalence(
+            cfg, result.cfg, runs=15, compare_decisions=False
+        )
+        assert report.equivalent, report.mismatches[:2]
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_pipeline_never_increases_dynamic_cost(self, seed):
+        cfg = random_cfg(seed, GeneratorConfig(statements=10))
+        result = standard_pipeline(cfg)
+        for env in random_envs(cfg, 8, seed=seed):
+            before = run(cfg, env)
+            after = run(result.cfg, env)
+            assert after.total_evaluations <= before.total_evaluations
+
+    def test_cleanup_only_mode(self):
+        cfg = diamond()
+        result = run_pipeline(cfg, pre_strategy=None)
+        assert "pre(lcm)" not in result.rewrites
+        validate_cfg(result.cfg)
+
+    def test_rewrites_recorded(self):
+        result = standard_pipeline(do_while_invariant())
+        assert result.total_rewrites > 0
+        assert "pre(lcm)" in result.rewrites
+        assert "pipeline:" in result.describe()
+
+    def test_pipeline_beats_pre_alone_on_copies(self):
+        # The cleanup trio should remove the x = t copies PRE leaves
+        # when x is otherwise unused (shadowed) or forwardable.
+        from repro.core.pipeline import optimize
+
+        cfg = do_while_invariant()
+        pre_only = optimize(cfg, "lcm")
+        full = standard_pipeline(cfg)
+        assert len(full.cfg) <= len(pre_only.cfg)

@@ -1,0 +1,197 @@
+"""Unit tests for the CFG simplification pass."""
+
+from tests.helpers import diamond
+
+from repro.core.optimality import check_equivalence
+from repro.ir.builder import CFGBuilder
+from repro.ir.cfg import CFG
+from repro.ir.block import BasicBlock
+from repro.ir.instr import CondBranch, Const, Halt, Jump
+from repro.ir.expr import Var
+from repro.ir.validate import validate_cfg
+from repro.passes.simplify import simplify_cfg
+
+
+class TestBranchFolding:
+    def test_constant_true_branch(self):
+        b = CFGBuilder()
+        b.block("c", "q = 9").branch("1", "t", "f")
+        b.block("t", "x = 1").to_exit()
+        b.block("f", "x = 2").to_exit()
+        cfg = b.build()
+        stats = simplify_cfg(cfg)
+        assert stats.branches_folded == 1
+        assert "f" not in cfg  # unreachable after folding
+        # The taken arm is then linearly merged into c.
+        assert [str(i) for i in cfg.block("c").instrs] == ["q = 9", "x = 1"]
+        validate_cfg(cfg)
+
+    def test_constant_false_branch(self):
+        b = CFGBuilder()
+        b.block("c", "q = 9").branch("0", "t", "f")
+        b.block("t", "x = 1").to_exit()
+        b.block("f", "x = 2").to_exit()
+        cfg = b.build()
+        simplify_cfg(cfg)
+        assert "t" not in cfg
+        assert [str(i) for i in cfg.block("c").instrs] == ["q = 9", "x = 2"]
+
+    def test_variable_branch_untouched(self):
+        cfg = diamond()
+        stats = simplify_cfg(cfg)
+        assert stats.branches_folded == 0
+        assert len(cfg.succs("cond")) == 2
+
+
+class TestPassThroughElision:
+    def test_empty_jump_block_removed(self):
+        b = CFGBuilder()
+        b.block("a", "x = 1").jump("mid")
+        b.block("mid").jump("b")
+        b.block("b", "y = 2").to_exit()
+        cfg = b.build()
+        stats = simplify_cfg(cfg)
+        assert stats.blocks_elided + stats.blocks_merged >= 2
+        # The whole linear chain collapses into `a`.
+        assert "mid" not in cfg
+        assert "b" not in cfg
+        assert [str(i) for i in cfg.block("a").instrs] == ["x = 1", "y = 2"]
+        validate_cfg(cfg)
+
+    def test_instruction_blocks_absorbed_not_elided(self):
+        b = CFGBuilder()
+        b.block("a", "x = 1").jump("mid")
+        b.block("mid", "y = 2").jump("b")
+        b.block("b", "z = 3").to_exit()
+        cfg = b.build()
+        stats = simplify_cfg(cfg)
+        assert stats.blocks_elided == 0  # non-empty: merging, not elision
+        assert stats.blocks_merged == 2
+        assert "mid" not in cfg
+
+    def test_diamond_with_empty_arm_collapses(self):
+        cfg = diamond()  # right arm is empty
+        before_blocks = len(cfg)
+        stats = simplify_cfg(cfg)
+        # right elided -> cond branches to (left, join).
+        assert "right" not in cfg
+        assert cfg.has_edge("cond", "join")
+        assert len(cfg) == before_blocks - 1
+        validate_cfg(cfg)
+
+    def test_elision_then_fold_when_targets_merge(self):
+        # Both arms empty, jumping to the same join: after eliding one
+        # arm, the branch points at {arm2, join}; after the other, the
+        # branch has two equal targets and must fold to a jump.
+        b = CFGBuilder()
+        b.block("c", "q = 9").branch("p", "a1", "a2")
+        b.block("a1").jump("join")
+        b.block("a2").jump("join")
+        b.block("join", "x = 1").to_exit()
+        cfg = b.build()
+        stats = simplify_cfg(cfg)
+        assert stats.branches_folded == 1
+        # After folding, the join is c's sole successor and is absorbed.
+        assert [str(i) for i in cfg.block("c").instrs] == ["q = 9", "x = 1"]
+        assert "join" not in cfg
+        validate_cfg(cfg)
+
+    def test_self_loop_not_elided(self):
+        cfg = CFG()
+        cfg.add_block(BasicBlock("entry", [], Jump("spin")))
+        cfg.add_block(
+            BasicBlock("spin", [], CondBranch(Var("p"), "spin", "exit"))
+        )
+        cfg.add_block(BasicBlock("exit", [], Halt()))
+        simplify_cfg(cfg)
+        assert "spin" in cfg
+
+
+class TestLinearMerging:
+    def test_chain_collapses_to_one_block(self):
+        b = CFGBuilder()
+        b.block("a", "x = 1").jump("b")
+        b.block("b", "y = 2").jump("c")
+        b.block("c", "z = 3").to_exit()
+        cfg = b.build()
+        stats = simplify_cfg(cfg)
+        assert stats.blocks_merged == 2
+        assert [str(i) for i in cfg.block("a").instrs] == [
+            "x = 1", "y = 2", "z = 3",
+        ]
+        assert "b" not in cfg and "c" not in cfg
+        validate_cfg(cfg)
+
+    def test_join_not_absorbed(self):
+        cfg = diamond()
+        simplify_cfg(cfg)
+        # join has two predecessors (cond's arms) — must survive.
+        assert "join" in cfg
+
+    def test_exit_never_absorbed(self):
+        b = CFGBuilder()
+        b.block("only", "x = 1").to_exit()
+        cfg = b.build()
+        simplify_cfg(cfg)
+        assert cfg.exit in cfg
+        assert cfg.block(cfg.exit).is_empty
+
+    def test_entry_stays_empty(self):
+        b = CFGBuilder()
+        b.block("first", "x = 1").to_exit()
+        cfg = b.build()
+        simplify_cfg(cfg)
+        assert cfg.block(cfg.entry).is_empty
+        validate_cfg(cfg)
+
+    def test_merge_preserves_semantics(self):
+        b = CFGBuilder()
+        b.block("a", "x = p + 1").jump("b")
+        b.block("b", "y = x * 2").branch("y", "c", "d")
+        b.block("c", "z = 1").jump("e")
+        b.block("d", "z = 2").jump("e")
+        b.block("e", "out = z + y").to_exit()
+        cfg = b.build()
+        snapshot = cfg.copy()
+        simplify_cfg(cfg)
+        validate_cfg(cfg)
+        report = check_equivalence(snapshot, cfg, runs=25,
+                                   compare_decisions=False)
+        assert report.equivalent
+
+
+class TestUnreachable:
+    def test_unreachable_block_removed(self):
+        cfg = diamond()
+        cfg.add_block(BasicBlock("island", [], Jump("join")))
+        stats = simplify_cfg(cfg)
+        assert stats.unreachable_removed == 1
+        assert "island" not in cfg
+
+    def test_exit_never_removed(self):
+        cfg = diamond()
+        simplify_cfg(cfg)
+        assert cfg.exit in cfg
+
+
+class TestSemantics:
+    def test_simplify_preserves_environment(self):
+        b = CFGBuilder()
+        b.block("c").branch("1", "t", "f")
+        b.block("t", "x = a + b").jump("mid")
+        b.block("mid").jump("end")
+        b.block("f", "x = a - b").jump("end")
+        b.block("end", "y = x + 1").to_exit()
+        cfg = b.build()
+        snapshot = cfg.copy()
+        simplify_cfg(cfg)
+        report = check_equivalence(
+            snapshot, cfg, runs=25, compare_decisions=False
+        )
+        assert report.equivalent
+
+    def test_idempotent(self):
+        cfg = diamond()
+        simplify_cfg(cfg)
+        stats = simplify_cfg(cfg)
+        assert stats.total == 0

@@ -1,0 +1,217 @@
+"""Property-based tests (hypothesis) over random programs and vectors.
+
+Strategies draw seeds for the mini-language program generator (which
+only emits structurally valid, terminating programs) and raw bit
+vectors; the properties are the library's load-bearing invariants.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.anticipability import compute_anticipability
+from repro.analysis.availability import compute_availability
+from repro.analysis.local import compute_local_properties
+from repro.bench.generators import GeneratorConfig, random_cfg
+from repro.core.lcm import analyze_lcm
+from repro.core.lifetime import measure_lifetimes
+from repro.core.localcse import local_cse
+from repro.core.optimality import (
+    check_equivalence,
+    compare_per_path,
+    paths_agree,
+)
+from repro.core.pipeline import optimize
+from repro.dataflow.bitvec import BitVector
+from repro.dataflow.solver import solve, solve_worklist
+from repro.analysis.availability import availability_problem
+from repro.analysis.anticipability import anticipability_problem
+from repro.interp.machine import run
+from repro.interp.random_inputs import random_envs
+
+SMALL = GeneratorConfig(statements=8, max_depth=2)
+
+quick = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+# ---------------------------------------------------------------------------
+# Bit-vector algebra
+# ---------------------------------------------------------------------------
+
+@st.composite
+def vec_pairs(draw):
+    width = draw(st.integers(min_value=0, max_value=24))
+    bits = st.integers(min_value=0, max_value=(1 << width) - 1 if width else 0)
+    return (
+        BitVector(width, draw(bits)),
+        BitVector(width, draw(bits)),
+    )
+
+
+class TestBitVectorAlgebra:
+    @quick
+    @given(vec_pairs())
+    def test_de_morgan(self, pair):
+        a, b = pair
+        assert ~(a | b) == (~a & ~b)
+        assert ~(a & b) == (~a | ~b)
+
+    @quick
+    @given(vec_pairs())
+    def test_difference_definition(self, pair):
+        a, b = pair
+        assert (a - b) == (a & ~b)
+
+    @quick
+    @given(vec_pairs())
+    def test_union_commutes_and_absorbs(self, pair):
+        a, b = pair
+        assert (a | b) == (b | a)
+        assert (a | b) & a == a & (a | b)
+        assert a.issubset(a | b)
+        assert (a & b).issubset(a)
+
+    @quick
+    @given(vec_pairs())
+    def test_indices_roundtrip(self, pair):
+        a, _ = pair
+        assert BitVector.of(a.width, a.indices()) == a
+
+
+# ---------------------------------------------------------------------------
+# Dataflow engine invariants
+# ---------------------------------------------------------------------------
+
+class TestSolverProperties:
+    @quick
+    @given(seeds)
+    def test_worklist_equals_round_robin(self, seed):
+        cfg = random_cfg(seed, SMALL)
+        local = compute_local_properties(cfg)
+        for problem in (availability_problem(local), anticipability_problem(local)):
+            a = solve(cfg, problem)
+            b = solve_worklist(cfg, problem)
+            assert a.inof == b.inof and a.outof == b.outof
+
+    @quick
+    @given(seeds)
+    def test_fixpoint_is_stable(self, seed):
+        cfg = random_cfg(seed, SMALL)
+        local = compute_local_properties(cfg)
+        problem = availability_problem(local)
+        sol = solve(cfg, problem)
+        # Re-applying every transfer/meet leaves the solution unchanged.
+        for label in cfg.labels:
+            if label != cfg.entry:
+                met = None
+                for p in cfg.preds(label):
+                    met = sol.outof[p] if met is None else met & sol.outof[p]
+                if met is not None:
+                    assert met == sol.inof[label]
+            assert problem.transfer(label, sol.inof[label]) == sol.outof[label]
+
+    @quick
+    @given(seeds)
+    def test_availability_implies_anticipation_was_satisfied(self, seed):
+        # AVIN ∧ ANTLOC at a block means the LCM DELETE bit may be set;
+        # sanity: DELETE ⊆ ANTLOC always.
+        cfg = random_cfg(seed, SMALL)
+        analysis = analyze_lcm(cfg)
+        for label in cfg.labels:
+            assert analysis.delete[label].issubset(analysis.local.antloc[label])
+
+
+# ---------------------------------------------------------------------------
+# Transformation properties (the paper's guarantees)
+# ---------------------------------------------------------------------------
+
+class TestTransformationProperties:
+    @quick
+    @given(seeds)
+    def test_lcm_preserves_semantics(self, seed):
+        cfg = random_cfg(seed, SMALL)
+        result = optimize(cfg, "lcm")
+        assert check_equivalence(cfg, result.cfg, runs=10, seed=seed).equivalent
+
+    @quick
+    @given(seeds)
+    def test_lcm_is_safe_per_path(self, seed):
+        cfg = random_cfg(seed, SMALL)
+        result = optimize(cfg, "lcm")
+        assert compare_per_path(cfg, result.cfg, max_branches=6).safe
+
+    @quick
+    @given(seeds)
+    def test_lcm_equals_bcm_per_path(self, seed):
+        cfg = random_cfg(seed, SMALL)
+        lcm = optimize(cfg, "lcm")
+        bcm = optimize(cfg, "bcm")
+        assert paths_agree(lcm.cfg, bcm.cfg, max_branches=6)
+
+    @quick
+    @given(seeds)
+    def test_node_and_edge_formulations_agree(self, seed):
+        cfg = random_cfg(seed, SMALL)
+        edge = optimize(cfg, "lcm")
+        node = optimize(cfg, "krs-lcm")
+        assert paths_agree(edge.cfg, node.cfg, max_branches=6)
+
+    @quick
+    @given(seeds)
+    def test_lifetime_ordering(self, seed):
+        cfg = random_cfg(seed, SMALL)
+        spans = {}
+        for strategy in ("krs-lcm", "krs-alcm", "krs-bcm"):
+            result = optimize(cfg, strategy)
+            spans[strategy] = measure_lifetimes(
+                result.cfg, result.temps
+            ).total_live_points
+        assert spans["krs-lcm"] <= spans["krs-alcm"] <= spans["krs-bcm"]
+
+    @quick
+    @given(seeds)
+    def test_optimization_is_idempotent_dynamically(self, seed):
+        # Optimising an already-optimised program removes nothing more.
+        cfg = random_cfg(seed, SMALL)
+        once = optimize(cfg, "lcm")
+        twice = optimize(once.cfg, "lcm")
+        assert paths_agree(once.cfg, twice.cfg, max_branches=6)
+
+
+# ---------------------------------------------------------------------------
+# Front-end / LCSE properties
+# ---------------------------------------------------------------------------
+
+class TestNormalisationProperties:
+    @quick
+    @given(seeds)
+    def test_local_cse_preserves_semantics(self, seed):
+        cfg = random_cfg(seed, SMALL)
+        after, _ = local_cse(cfg)
+        assert check_equivalence(cfg, after, runs=10, seed=seed).equivalent
+
+    @quick
+    @given(seeds)
+    def test_local_cse_idempotent(self, seed):
+        cfg = random_cfg(seed, SMALL)
+        once, _ = local_cse(cfg)
+        twice, replaced = local_cse(once)
+        assert replaced == 0
+        assert str(once) == str(twice)
+
+    @quick
+    @given(seeds)
+    def test_local_cse_never_increases_computations(self, seed):
+        cfg = random_cfg(seed, SMALL)
+        after, _ = local_cse(cfg)
+        for env in random_envs(cfg, 5, seed=seed):
+            before_run = run(cfg, env)
+            after_run = run(after, env)
+            assert after_run.total_evaluations <= before_run.total_evaluations

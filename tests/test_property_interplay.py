@@ -1,0 +1,93 @@
+"""Cross-cutting properties: interactions between subsystems.
+
+Each property ties two components together (canonicalisation × PRE,
+serialisation × optimisation, sinking × PRE, profiles × interpreter),
+catching integration drift the per-module tests cannot see.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.frequency import check_conservation, profile_from_runs
+from repro.bench.generators import GeneratorConfig, random_cfg
+from repro.core.optimality import compare_per_path, enumerate_traces, replay
+from repro.core.pipeline import optimize
+from repro.extensions.sinking import sink_assignments
+from repro.interp.random_inputs import random_envs
+from repro.ir.serialize import cfg_from_json, cfg_to_json
+from repro.passes.canonical import canonicalize
+
+quick = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+seeds = st.integers(min_value=0, max_value=10_000)
+SMALL = GeneratorConfig(statements=8, max_depth=2)
+
+
+class TestInterplay:
+    @quick
+    @given(seeds)
+    def test_canonicalisation_never_hurts_pre(self, seed):
+        """LCM on the canonicalised program is at most as costly per
+        path as LCM on the raw program (it can only merge candidates)."""
+        raw = random_cfg(seed, SMALL)
+        canon = raw.copy()
+        canonicalize(canon)
+        raw_opt = optimize(raw, "lcm")
+        canon_opt = optimize(canon, "lcm")
+        for trace in enumerate_traces(raw_opt.cfg, 6):
+            after = replay(canon_opt.cfg, trace.decisions)
+            assert after.total <= trace.total
+
+    @quick
+    @given(seeds)
+    def test_optimised_graphs_survive_serialisation(self, seed):
+        """Optimise, serialise, deserialise: the result still matches
+        the original program path-for-path."""
+        cfg = random_cfg(seed, SMALL)
+        optimised = optimize(cfg, "lcm").cfg
+        revived = cfg_from_json(cfg_to_json(optimised))
+        for trace in enumerate_traces(optimised, 6):
+            assert replay(revived, trace.decisions).eval_counts == trace.eval_counts
+
+    @quick
+    @given(seeds)
+    def test_pre_then_sinking_still_safe(self, seed):
+        cfg = random_cfg(seed, SMALL)
+        pre = optimize(cfg, "lcm")
+        composed, _ = sink_assignments(pre.cfg)
+        report = compare_per_path(cfg, composed.cfg, max_branches=6)
+        assert report.safe
+
+    @quick
+    @given(seeds)
+    def test_profiles_always_conserve_flow(self, seed):
+        """Edge counts from real executions satisfy Assumption 1 at
+        every block all of whose edges were observed."""
+        cfg = random_cfg(seed, SMALL)
+        profile = profile_from_runs(cfg, random_envs(cfg, 4, seed=seed))
+        profile.attach(minimum=0)
+        # Blocks with unobserved edges use weight 0 via default=0, so
+        # conservation must hold exactly.
+        assert check_conservation(cfg, default=0) == []
+
+    @quick
+    @given(seeds)
+    def test_profile_totals_match_interpreter(self, seed):
+        """The profile's block counts equal the interpreter's own
+        per-run block trace counts summed over the runs."""
+        from repro.interp.machine import run
+
+        cfg = random_cfg(seed, SMALL)
+        envs = random_envs(cfg, 3, seed=seed)
+        profile = profile_from_runs(cfg, envs)
+        expected = {}
+        for env in envs:
+            for label, n in run(cfg, env).block_counts().items():
+                expected[label] = expected.get(label, 0) + n
+        for label in cfg.labels:
+            if label == cfg.entry:
+                continue
+            assert profile.block(label) == expected.get(label, 0), label

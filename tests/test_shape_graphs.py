@@ -1,0 +1,113 @@
+"""LCM on unstructured (possibly irreducible) control flow.
+
+The structured front-end can only produce reducible graphs; these
+tests drive the whole PRE stack over arbitrary-shaped CFGs — joins,
+critical edges, irreducible loops — using the decision-oracle path
+checkers (concrete execution may not terminate on such graphs).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.dominators import compute_dominators
+from repro.bench.shapegen import ShapeConfig, random_shape_cfg
+from repro.core.lifetime import measure_lifetimes
+from repro.core.optimality import compare_per_path, paths_agree
+from repro.core.pipeline import optimize
+from repro.ir.edgesplit import critical_edges
+from repro.ir.validate import validate_cfg
+
+quick = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+def is_irreducible(cfg):
+    """Any back-ish edge whose target does not dominate its source."""
+    dom = compute_dominators(cfg)
+    order = {label: i for i, label in enumerate(cfg.labels)}
+    return any(
+        order.get(dst, 0) <= order.get(src, 0) and dst not in dom[src]
+        for src, dst in cfg.edges()
+    )
+
+
+class TestGenerator:
+    @quick
+    @given(seeds)
+    def test_graphs_validate(self, seed):
+        validate_cfg(random_shape_cfg(seed))
+
+    def test_reproducible(self):
+        assert str(random_shape_cfg(3)) == str(random_shape_cfg(3))
+
+    def test_produces_critical_edges(self):
+        assert any(
+            critical_edges(random_shape_cfg(seed)) for seed in range(20)
+        )
+
+    def test_produces_irreducible_graphs(self):
+        assert any(is_irreducible(random_shape_cfg(seed)) for seed in range(40))
+
+    def test_config_scales(self):
+        small = random_shape_cfg(1, ShapeConfig(blocks=4))
+        large = random_shape_cfg(1, ShapeConfig(blocks=20))
+        assert len(large) > len(small)
+
+
+class TestLCMOnShapes:
+    @quick
+    @given(seeds)
+    def test_lcm_safe_on_any_shape(self, seed):
+        cfg = random_shape_cfg(seed)
+        result = optimize(cfg, "lcm")
+        report = compare_per_path(cfg, result.cfg, max_branches=6)
+        assert report.safe, report.safety_violations[:3]
+
+    @quick
+    @given(seeds)
+    def test_bcm_safe_on_any_shape(self, seed):
+        cfg = random_shape_cfg(seed)
+        result = optimize(cfg, "bcm")
+        assert compare_per_path(cfg, result.cfg, max_branches=6).safe
+
+    @quick
+    @given(seeds)
+    def test_lcm_equals_bcm_on_any_shape(self, seed):
+        cfg = random_shape_cfg(seed)
+        lcm = optimize(cfg, "lcm")
+        bcm = optimize(cfg, "bcm")
+        assert paths_agree(lcm.cfg, bcm.cfg, max_branches=6)
+
+    @quick
+    @given(seeds)
+    def test_formulations_agree_on_any_shape(self, seed):
+        cfg = random_shape_cfg(seed)
+        edge = optimize(cfg, "lcm")
+        node = optimize(cfg, "krs-lcm")
+        assert paths_agree(edge.cfg, node.cfg, max_branches=6)
+
+    @quick
+    @given(seeds)
+    def test_lifetime_ordering_on_any_shape(self, seed):
+        cfg = random_shape_cfg(seed)
+        spans = {}
+        for strategy in ("krs-lcm", "krs-alcm", "krs-bcm"):
+            result = optimize(cfg, strategy)
+            spans[strategy] = measure_lifetimes(
+                result.cfg, result.temps
+            ).total_live_points
+        assert spans["krs-lcm"] <= spans["krs-alcm"] <= spans["krs-bcm"]
+
+    @quick
+    @given(seeds)
+    def test_mr_never_beats_lcm_on_any_shape(self, seed):
+        cfg = random_shape_cfg(seed)
+        lcm = optimize(cfg, "lcm")
+        mr = optimize(cfg, "mr")
+        head = compare_per_path(lcm.cfg, mr.cfg, max_branches=6)
+        assert head.improvements == 0
