@@ -23,7 +23,7 @@ from repro.analysis.local import compute_local_properties
 from repro.bench.generators import GeneratorConfig, random_cfg
 from repro.bench.harness import Table, record_report
 from repro.core.pipeline import optimize
-from repro.dataflow.solver import solve, solve_worklist
+from repro.dataflow.solver import solve
 from repro.ir.builder import CFGBuilder
 
 
@@ -76,7 +76,7 @@ def test_scaling_worklist_vs_round_robin(benchmark):
             local = compute_local_properties(cfg)
             problem = availability_problem(local)
             rr = solve(cfg, problem)
-            wl = solve_worklist(cfg, problem)
+            wl = solve(cfg, problem, strategy="worklist")
             assert rr.inof == wl.inof and rr.outof == wl.outof
             rows.append(
                 (statements, len(cfg), rr.stats.node_visits, wl.stats.node_visits)

@@ -57,6 +57,7 @@ from repro.analysis import (
 )
 from repro.core import (
     LCMAnalysis,
+    OptimizeConfig,
     Placement,
     TransformResult,
     analyze_krs,
@@ -67,7 +68,9 @@ from repro.core import (
     lcm_placements,
     measure_lifetimes,
     optimize,
+    register_pass,
 )
+from repro.obs import AnalysisManager, Tracer, tracing
 from repro.core.optimality import check_equivalence, compare_per_path
 from repro.core.verify import verify_transformation
 from repro.interp import run as run_program
@@ -75,6 +78,7 @@ from repro.interp import run as run_program
 __version__ = "1.0.0"
 
 __all__ = [
+    "AnalysisManager",
     "Assign",
     "BasicBlock",
     "BinExpr",
@@ -86,7 +90,9 @@ __all__ = [
     "Halt",
     "Jump",
     "LCMAnalysis",
+    "OptimizeConfig",
     "Placement",
+    "Tracer",
     "TransformResult",
     "UnaryExpr",
     "Var",
@@ -106,8 +112,10 @@ __all__ = [
     "optimize",
     "parse_expr",
     "pretty_cfg",
+    "register_pass",
     "run_program",
     "split_critical_edges",
+    "tracing",
     "validate_cfg",
     "verify_transformation",
 ]

@@ -46,7 +46,18 @@ def anticipability_problem(local: LocalProperties) -> DataflowProblem:
     )
 
 
-def compute_anticipability(cfg: CFG, local: LocalProperties) -> AnticipabilityResult:
-    """Solve global anticipability for *cfg*."""
-    solution = solve(cfg, anticipability_problem(local))
+def compute_anticipability(
+    cfg: CFG, local: LocalProperties, manager=None
+) -> AnticipabilityResult:
+    """Solve global anticipability for *cfg*.
+
+    Pass an :class:`~repro.obs.manager.AnalysisManager` to memoize the
+    solution by graph content (only sound when *local* was derived from
+    *cfg*'s own default universe).
+    """
+    problem = anticipability_problem(local)
+    if manager is not None:
+        solution = manager.solve(cfg, problem)
+    else:
+        solution = solve(cfg, problem)
     return AnticipabilityResult(solution.inof, solution.outof, solution.stats)

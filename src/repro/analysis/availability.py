@@ -44,7 +44,18 @@ def availability_problem(local: LocalProperties) -> DataflowProblem:
     )
 
 
-def compute_availability(cfg: CFG, local: LocalProperties) -> AvailabilityResult:
-    """Solve global availability for *cfg*."""
-    solution = solve(cfg, availability_problem(local))
+def compute_availability(
+    cfg: CFG, local: LocalProperties, manager=None
+) -> AvailabilityResult:
+    """Solve global availability for *cfg*.
+
+    Pass an :class:`~repro.obs.manager.AnalysisManager` to memoize the
+    solution by graph content (only sound when *local* was derived from
+    *cfg*'s own default universe).
+    """
+    problem = availability_problem(local)
+    if manager is not None:
+        solution = manager.solve(cfg, problem)
+    else:
+        solution = solve(cfg, problem)
     return AvailabilityResult(solution.inof, solution.outof, solution.stats)

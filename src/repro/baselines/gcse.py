@@ -14,6 +14,7 @@ from typing import List
 
 from repro.analysis.availability import compute_availability
 from repro.analysis.local import compute_local_properties
+from repro.core.pipeline import register_pass
 from repro.core.placement import Placement
 from repro.core.transform import TransformResult, apply_placements
 from repro.ir.cfg import CFG
@@ -40,3 +41,8 @@ def gcse_placements(cfg: CFG) -> List[Placement]:
 def gcse_transform(cfg: CFG) -> TransformResult:
     """Apply full-redundancy elimination to *cfg*."""
     return apply_placements(cfg, gcse_placements(cfg))
+
+
+@register_pass("gcse", "Global CSE: full-redundancy elimination only")
+def _gcse_pass(cfg: CFG, ctx) -> TransformResult:
+    return gcse_transform(cfg)

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import List, Set, Tuple
 
 from repro.analysis.loops import LoopNest
+from repro.core.pipeline import register_pass
 from repro.core.transform import TransformResult
 from repro.ir.block import BasicBlock
 from repro.ir.cfg import CFG
@@ -105,3 +106,8 @@ def licm_transform(cfg: CFG) -> TransformResult:
         copies_collapsed=[],
         insertions_dropped=[],
     )
+
+
+@register_pass("licm", "Naive loop-invariant code motion (speculative baseline)")
+def _licm_pass(cfg: CFG, ctx) -> TransformResult:
+    return licm_transform(cfg)

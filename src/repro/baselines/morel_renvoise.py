@@ -36,6 +36,7 @@ from repro.analysis.availability import compute_availability
 from repro.analysis.local import LocalProperties, compute_local_properties
 from repro.analysis.partial import compute_partial_availability
 from repro.analysis.universe import ExprUniverse
+from repro.core.pipeline import register_pass
 from repro.core.placement import Placement
 from repro.core.transform import TransformResult, apply_placements
 from repro.dataflow.bidirectional import EquationSystem, solve_system
@@ -141,3 +142,8 @@ def morel_renvoise_transform(cfg: CFG) -> TransformResult:
     """Apply Morel–Renvoise PRE to *cfg*."""
     analysis = analyze_morel_renvoise(cfg)
     return apply_placements(cfg, morel_renvoise_placements(analysis))
+
+
+@register_pass("mr", "Morel-Renvoise bidirectional PRE (1979 baseline)")
+def _mr_pass(cfg: CFG, ctx) -> TransformResult:
+    return morel_renvoise_transform(cfg)

@@ -1,13 +1,20 @@
-"""Plain-text tables for the benchmark reports.
+"""Plain-text tables and trace persistence for the benchmark reports.
 
 The benchmark modules print the same kind of rows the paper's
 figures/claims contain; this keeps the rendering in one place so every
-report looks alike and diffs cleanly run to run.
+report looks alike and diffs cleanly run to run.  The suite can also
+persist the observability layer's trace summary alongside the tables
+(:func:`write_trace_summary`), giving every benchmark run a
+machine-readable record of analysis timings, sweep counts and
+bit-vector operation tallies.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.obs.trace import Tracer, current
 
 
 class Table:
@@ -80,3 +87,45 @@ def drain_reports() -> List[str]:
     reports = list(_REPORTS)
     _REPORTS.clear()
     return reports
+
+
+# ---------------------------------------------------------------------------
+# Trace persistence: benchmark runs carry the trace summary with them so
+# timing/sweep/bit-vector-op numbers land next to the rendered tables.
+# ---------------------------------------------------------------------------
+
+
+def trace_summary_payload(
+    tracer: Optional[Tracer] = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """A benchmark-JSON payload for *tracer* (default: the active one).
+
+    The payload embeds the full ``repro-trace`` document (events,
+    counters, gauges, per-span-name summary) under ``"trace"`` plus any
+    *extra* run metadata at the top level.
+    """
+    tracer = tracer if tracer is not None else current()
+    if tracer is None:
+        raise ValueError("no tracer given and none active")
+    payload: Dict[str, Any] = {
+        "format": "repro-bench-trace",
+        "version": 1,
+        "trace": tracer.to_dict(),
+    }
+    if extra:
+        payload.update(extra)
+    return payload
+
+
+def write_trace_summary(
+    path: str,
+    tracer: Optional[Tracer] = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Persist the trace summary JSON to *path*; returns the payload."""
+    payload = trace_summary_payload(tracer, extra)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return payload

@@ -11,6 +11,8 @@ Usage (also via ``python -m repro``)::
     repro run prog.mini --optimized          # ... the optimised program
     repro audit prog.mini --expr "a + b"     # per-block analysis facts
     repro report prog.mini                   # strategy comparison table
+    repro --trace out.json opt prog.mini     # + JSON trace of all analyses
+    repro --no-cache audit prog.mini --full  # disable solution memoization
 
 Input files hold mini-language source (see :mod:`repro.lang`); files
 ending in ``.json`` are read as serialised CFGs instead.
@@ -34,6 +36,8 @@ from repro.ir.expr import parse_expr
 from repro.ir.pretty import pretty_cfg
 from repro.ir.serialize import cfg_from_json, cfg_to_json
 from repro.lang import compile_program
+from repro.obs.manager import AnalysisManager
+from repro.obs.trace import Tracer, activate, deactivate
 from repro.passes import standard_pipeline
 
 
@@ -88,12 +92,12 @@ def cmd_compile(args, out) -> int:
 def cmd_opt(args, out) -> int:
     cfg = load_program(args.file)
     if args.pipeline:
-        result = standard_pipeline(cfg)
+        result = standard_pipeline(cfg, manager=args.manager)
         print(f"; {result.describe()}", file=out)
         transformed = result.cfg
         compare_decisions = False  # the pipeline may fold branches
     else:
-        result = optimize(cfg, args.strategy)
+        result = optimize(cfg, args.strategy, manager=args.manager)
         if args.emit == "text":
             for line in result.describe().splitlines():
                 print(f"; {line}", file=out)
@@ -120,7 +124,7 @@ def cmd_opt(args, out) -> int:
 def cmd_run(args, out) -> int:
     cfg = load_program(args.file)
     if args.optimized:
-        cfg = optimize(cfg, args.strategy).cfg
+        cfg = optimize(cfg, args.strategy, manager=args.manager).cfg
     env = _parse_bindings(args.input or [])
     result = run(cfg, env, max_steps=args.max_steps)
     if not result.reached_exit:
@@ -138,11 +142,16 @@ def cmd_audit(args, out) -> int:
         from repro.core.report import optimization_report
 
         print(
-            optimization_report(cfg, strategy=args.strategy, title=args.file),
+            optimization_report(
+                cfg,
+                strategy=args.strategy,
+                title=args.file,
+                manager=args.manager,
+            ),
             file=out,
         )
         return 0
-    analysis = analyze_lcm(cfg)
+    analysis = analyze_lcm(cfg, manager=args.manager)
     universe = analysis.universe
     if args.expr:
         expr = parse_expr(args.expr)
@@ -189,6 +198,17 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Lazy Code Motion reproduction: compile, optimise, "
         "run and audit mini-language programs.",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write a structured JSON trace of every analysis/transform "
+        "span to FILE (see docs/OBSERVABILITY.md)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the AnalysisManager memoization of dataflow solutions",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -238,11 +258,28 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     out = out if out is not None else sys.stdout
     parser = build_parser()
     args = parser.parse_args(argv)
+    # A disabled manager (not None): handlers that default a missing
+    # manager to a fresh one must stay uncached under --no-cache.
+    args.manager = AnalysisManager(enabled=not args.no_cache)
+    tracer = Tracer() if args.trace else None
+    if tracer is not None:
+        activate(tracer)
     try:
-        return args.handler(args, out)
+        code = args.handler(args, out)
     except CliError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        code = 2
+    finally:
+        if tracer is not None:
+            deactivate()
+    if tracer is not None:
+        try:
+            tracer.write(args.trace)
+        except OSError as exc:
+            print(f"error: cannot write trace {args.trace}: {exc}",
+                  file=sys.stderr)
+            code = code or 2
+    return code
 
 
 if __name__ == "__main__":

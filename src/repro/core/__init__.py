@@ -27,7 +27,15 @@ from repro.core.transform import (
     apply_placements,
     eliminate_dead_code,
 )
-from repro.core.pipeline import PREStrategy, optimize, available_strategies
+from repro.core.pipeline import (
+    OptimizeConfig,
+    OptimizeContext,
+    PREStrategy,
+    available_strategies,
+    get_pass,
+    optimize,
+    register_pass,
+)
 from repro.core.lifetime import LifetimeReport, measure_lifetimes
 from repro.core.optimality import (
     PathReport,
@@ -40,6 +48,8 @@ __all__ = [
     "LCMAnalysis",
     "LifetimeReport",
     "NodeGraph",
+    "OptimizeConfig",
+    "OptimizeContext",
     "PREStrategy",
     "PathReport",
     "Placement",
@@ -54,8 +64,10 @@ __all__ = [
     "eliminate_dead_code",
     "enumerate_traces",
     "expand_to_nodes",
+    "get_pass",
     "krs_placements",
     "lcm_placements",
     "measure_lifetimes",
     "optimize",
+    "register_pass",
 ]

@@ -50,6 +50,7 @@ from repro.dataflow.problem import Confluence, DataflowProblem, Direction
 from repro.dataflow.solver import solve
 from repro.dataflow.stats import SolverStats
 from repro.ir.cfg import CFG
+from repro.obs.trace import span
 
 
 @dataclass
@@ -165,36 +166,58 @@ def _compute_isolated(
     return solution.outof, solution.stats
 
 
-def analyze_krs(cfg: CFG, universe: Optional[ExprUniverse] = None) -> KRSAnalysis:
-    """Run the node-level analysis stack on a statement-granular *cfg*."""
+def analyze_krs(
+    cfg: CFG,
+    universe: Optional[ExprUniverse] = None,
+    manager=None,
+) -> KRSAnalysis:
+    """Run the node-level analysis stack on a statement-granular *cfg*.
+
+    With an :class:`~repro.obs.manager.AnalysisManager`, the whole
+    bundle is memoized by graph content (default universe only), like
+    :func:`repro.core.lcm.analyze_lcm`.
+    """
     _check_node_granularity(cfg)
-    local = compute_local_properties(cfg, universe)
-    comp = local.antloc
-    width = local.universe.width
+    if manager is not None and universe is None:
+        return manager.cached(
+            cfg, "krs.analysis", lambda: _analyze_krs(cfg, None, manager)
+        )
+    return _analyze_krs(cfg, universe, manager)
 
-    ant = compute_anticipability(cfg, local)
-    av = compute_availability(cfg, local)
-    dsafe = ant.antin
-    usafe = av.avin
-    stats = ant.stats.merged(av.stats)
 
-    earliest = _compute_earliest(cfg, local, dsafe, usafe)
-    delay, delay_stats = _compute_delay(cfg, local, earliest)
-    stats = stats.merged(delay_stats)
+def _analyze_krs(
+    cfg: CFG, universe: Optional[ExprUniverse], manager
+) -> KRSAnalysis:
+    with span("krs.analyze", blocks=len(cfg)):
+        local = compute_local_properties(cfg, universe)
+        comp = local.antloc
+        width = local.universe.width
 
-    latest: Dict[str, BitVector] = {}
-    for n in cfg.labels:
-        succs = cfg.succs(n)
-        if not succs:
-            all_delayable_below = BitVector.full(width)
-        else:
-            all_delayable_below = BitVector.full(width)
-            for s in succs:
-                all_delayable_below = all_delayable_below & delay[s]
-        latest[n] = delay[n] & (comp[n] | ~all_delayable_below)
+        ant = compute_anticipability(cfg, local, manager=manager)
+        av = compute_availability(cfg, local, manager=manager)
+        dsafe = ant.antin
+        usafe = av.avin
+        stats = ant.stats.merged(av.stats)
 
-    isolated, iso_stats = _compute_isolated(cfg, local, latest)
-    stats = stats.merged(iso_stats)
+        with span("krs.earliest"):
+            earliest = _compute_earliest(cfg, local, dsafe, usafe)
+        delay, delay_stats = _compute_delay(cfg, local, earliest)
+        stats = stats.merged(delay_stats)
+
+        with span("krs.latest"):
+            latest: Dict[str, BitVector] = {}
+            for n in cfg.labels:
+                succs = cfg.succs(n)
+                if not succs:
+                    all_delayable_below = BitVector.full(width)
+                else:
+                    all_delayable_below = BitVector.full(width)
+                    for s in succs:
+                        all_delayable_below = all_delayable_below & delay[s]
+                latest[n] = delay[n] & (comp[n] | ~all_delayable_below)
+
+        isolated, iso_stats = _compute_isolated(cfg, local, latest)
+        stats = stats.merged(iso_stats)
 
     return KRSAnalysis(
         cfg=cfg,

@@ -47,6 +47,7 @@ from repro.dataflow.bitvec import BitVector
 from repro.dataflow.order import reverse_postorder
 from repro.dataflow.stats import SolverStats
 from repro.ir.cfg import CFG, Edge
+from repro.obs.trace import span
 
 
 @dataclass
@@ -129,28 +130,58 @@ def _solve_later(
     return laterin
 
 
-def analyze_lcm(cfg: CFG, universe: Optional[ExprUniverse] = None) -> LCMAnalysis:
-    """Run the complete edge-based LCM analysis pipeline on *cfg*."""
-    local = compute_local_properties(cfg, universe)
-    ant = compute_anticipability(cfg, local)
-    av = compute_availability(cfg, local)
-    stats = ant.stats.merged(av.stats)
+def analyze_lcm(
+    cfg: CFG,
+    universe: Optional[ExprUniverse] = None,
+    manager=None,
+) -> LCMAnalysis:
+    """Run the complete edge-based LCM analysis pipeline on *cfg*.
 
-    earliest = _compute_earliest(cfg, local, ant.antin, ant.antout, av.avout)
-    laterin = _solve_later(cfg, local, earliest, stats)
+    With an :class:`~repro.obs.manager.AnalysisManager`, the whole
+    analysis bundle — and each underlying dataflow solution — is
+    memoized by graph content, so re-analysing an unchanged graph does
+    no solver work.  (The bundle memo only applies for the default
+    universe; an explicit *universe* bypasses it.)
+    """
+    if manager is not None and universe is None:
+        return manager.cached(
+            cfg, "lcm.analysis", lambda: _analyze_lcm(cfg, None, manager)
+        )
+    return _analyze_lcm(cfg, universe, manager)
 
-    later: Dict[Edge, BitVector] = {}
-    insert: Dict[Edge, BitVector] = {}
-    for m, n in cfg.edges():
-        later[(m, n)] = earliest[(m, n)] | (laterin[m] - local.antloc[m])
-        insert[(m, n)] = later[(m, n)] - laterin[n]
 
-    delete: Dict[str, BitVector] = {}
-    for label in cfg.labels:
-        if label == cfg.entry:
-            delete[label] = local.universe.empty()
-        else:
-            delete[label] = local.antloc[label] - laterin[label]
+def _analyze_lcm(
+    cfg: CFG, universe: Optional[ExprUniverse], manager
+) -> LCMAnalysis:
+    with span("lcm.analyze", blocks=len(cfg)):
+        with span("lcm.local"):
+            local = compute_local_properties(cfg, universe)
+        ant = compute_anticipability(cfg, local, manager=manager)
+        av = compute_availability(cfg, local, manager=manager)
+        stats = ant.stats.merged(av.stats)
+
+        with span("lcm.earliest"):
+            earliest = _compute_earliest(cfg, local, ant.antin, ant.antout, av.avout)
+        with span("lcm.later") as later_span:
+            sweeps_before, visits_before = stats.sweeps, stats.node_visits
+            laterin = _solve_later(cfg, local, earliest, stats)
+            later_span.set(
+                sweeps=stats.sweeps - sweeps_before,
+                node_visits=stats.node_visits - visits_before,
+            )
+
+        later: Dict[Edge, BitVector] = {}
+        insert: Dict[Edge, BitVector] = {}
+        for m, n in cfg.edges():
+            later[(m, n)] = earliest[(m, n)] | (laterin[m] - local.antloc[m])
+            insert[(m, n)] = later[(m, n)] - laterin[n]
+
+        delete: Dict[str, BitVector] = {}
+        for label in cfg.labels:
+            if label == cfg.entry:
+                delete[label] = local.universe.empty()
+            else:
+                delete[label] = local.antloc[label] - laterin[label]
 
     return LCMAnalysis(
         cfg=cfg,

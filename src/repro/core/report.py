@@ -20,10 +20,11 @@ from repro.core.lifetime import measure_lifetimes, program_pressure
 from repro.core.pipeline import optimize
 from repro.core.verify import verify_transformation
 from repro.ir.cfg import CFG
+from repro.obs.manager import AnalysisManager
 
 
-def _expression_rows(cfg: CFG) -> Table:
-    analysis = analyze_lcm(cfg)
+def _expression_rows(cfg: CFG, manager: Optional[AnalysisManager] = None) -> Table:
+    analysis = analyze_lcm(cfg, manager=manager)
     universe = analysis.universe
     table = Table(
         ["#", "expression", "occurrences", "anticipatable blocks",
@@ -54,18 +55,26 @@ def optimization_report(
     strategy: str = "lcm",
     verify: bool = True,
     title: Optional[str] = None,
+    manager: Optional[AnalysisManager] = None,
 ) -> str:
-    """A complete, readable optimisation report for *cfg*."""
+    """A complete, readable optimisation report for *cfg*.
+
+    When no *manager* is given one is created for the duration of the
+    report, so the expression table and the transformation below it
+    share a single set of dataflow solutions.
+    """
+    if manager is None:
+        manager = AnalysisManager()
     lines: List[str] = []
     header = title or f"optimisation report ({strategy})"
     lines.append(header)
     lines.append("=" * len(header))
     lines.append("")
 
-    lines.append(_expression_rows(cfg).render())
+    lines.append(_expression_rows(cfg, manager).render())
     lines.append("")
 
-    result = optimize(cfg, strategy)
+    result = optimize(cfg, strategy, manager=manager)
     lines.append("placements")
     lines.append("-" * 10)
     for line in result.describe().splitlines():

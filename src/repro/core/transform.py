@@ -27,13 +27,28 @@ the library.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.liveness import LivenessResult, compute_liveness
 from repro.core.placement import Placement, PlacementError, upward_exposed_index
 from repro.ir.cfg import CFG, Edge
 from repro.ir.expr import Var, expr_vars
 from repro.ir.instr import Assign
+from repro.obs.manager import AnalysisManager, notify_cfg_mutated
+
+
+def _liveness(cfg: CFG, manager: Optional[AnalysisManager]) -> LivenessResult:
+    """Liveness of *cfg*, memoized through *manager* when given.
+
+    The working graph is mutated in place between lookups, so the
+    cached fingerprint is refreshed (invalidated) first; the lookup is
+    then keyed on true current content, and a second transformation run
+    producing the same intermediate programs hits the cache.
+    """
+    if manager is None:
+        return compute_liveness(cfg)
+    manager.invalidate(cfg)
+    return manager.cached(cfg, "liveness", lambda: compute_liveness(cfg))
 
 
 @dataclass
@@ -82,6 +97,7 @@ def apply_placements(
     add_copies: bool = True,
     collapse_isolated_copies: bool = True,
     drop_dead_insertions: bool = True,
+    manager: Optional[AnalysisManager] = None,
 ) -> TransformResult:
     """Apply *placements* to a copy of *cfg* and return the result.
 
@@ -98,6 +114,8 @@ def apply_placements(
         drop_dead_insertions: remove inserted ``t = e`` whose temp is
             dead — a defensive cleanup for baselines that may insert
             uselessly; LCM/BCM never trigger it.
+        manager: optional :class:`repro.obs.manager.AnalysisManager`
+            memoizing the liveness solves of the cleanup steps.
     """
     temps = [p.temp for p in placements]
     if len(set(temps)) != len(temps):
@@ -181,16 +199,19 @@ def apply_placements(
 
     # Step 4: collapse isolated copies and drop dead insertions.
     if collapse_isolated_copies and result.copies_added:
-        _collapse_dead_copies(work, result)
+        _collapse_dead_copies(work, result, manager)
     if drop_dead_insertions:
-        _drop_dead_insertions(work, result)
+        _drop_dead_insertions(work, result, manager)
 
+    notify_cfg_mutated(work)
     return result
 
 
-def _collapse_dead_copies(cfg: CFG, result: TransformResult) -> None:
+def _collapse_dead_copies(
+    cfg: CFG, result: TransformResult, manager: Optional[AnalysisManager] = None
+) -> None:
     """Rewrite ``t = e; x = t`` back to ``x = e`` where *t* dies at once."""
-    liveness = compute_liveness(cfg)
+    liveness = _liveness(cfg, manager)
     for block in cfg:
         changed = False
         i = 0
@@ -216,15 +237,17 @@ def _collapse_dead_copies(cfg: CFG, result: TransformResult) -> None:
             else:
                 i += 1
         if changed:
-            liveness = compute_liveness(cfg)
+            liveness = _liveness(cfg, manager)
 
 
-def _drop_dead_insertions(cfg: CFG, result: TransformResult) -> None:
+def _drop_dead_insertions(
+    cfg: CFG, result: TransformResult, manager: Optional[AnalysisManager] = None
+) -> None:
     """Remove inserted/copy definitions of temps that are never used."""
     changed = True
     while changed:
         changed = False
-        liveness = compute_liveness(cfg)
+        liveness = _liveness(cfg, manager)
         for block in cfg:
             keep: List[Assign] = []
             for i, instr in enumerate(block.instrs):
@@ -264,4 +287,6 @@ def eliminate_dead_code(cfg: CFG, candidates: Iterable[str]) -> int:
                     keep.append(instr)
             if len(keep) != len(block.instrs):
                 block.instrs[:] = keep
+    if removed:
+        notify_cfg_mutated(cfg)
     return removed

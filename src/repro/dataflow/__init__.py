@@ -25,12 +25,13 @@ from repro.dataflow.problem import (
     Direction,
     GenKillTransfer,
 )
-from repro.dataflow.solver import Solution, solve, solve_worklist
+from repro.dataflow.solver import STRATEGIES, Solution, solve, solve_worklist
 from repro.dataflow.bidirectional import EquationSystem, solve_system
 from repro.dataflow.stats import SolverStats
 
 __all__ = [
     "BitVector",
+    "STRATEGIES",
     "Confluence",
     "DataflowProblem",
     "Direction",

@@ -17,10 +17,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Sequence, Tuple
 
-from repro.dataflow.bitvec import BitVector
+from repro.dataflow.bitvec import BitVector, counting
 from repro.dataflow.order import reverse_postorder
 from repro.dataflow.stats import SolverStats
 from repro.ir.cfg import CFG
+from repro.obs.trace import is_active, span
 
 #: The solver state: variable name -> block label -> current fact.
 State = Dict[str, Dict[str, BitVector]]
@@ -57,7 +58,30 @@ class EquationSystem:
 def solve_system(
     cfg: CFG, system: EquationSystem, max_sweeps: int = 10_000
 ) -> Tuple[State, SolverStats]:
-    """Iterate *system* to a fixpoint over *cfg*; returns (state, stats)."""
+    """Iterate *system* to a fixpoint over *cfg*; returns (state, stats).
+
+    Emits a ``dataflow.solve_system`` span with sweep/visit counts and
+    (when tracing is active) the bit-vector operation tally.
+    """
+    with span("dataflow.solve_system", problem="bidirectional") as system_span:
+        if is_active():
+            with counting(exclusive=False) as ops:
+                state, stats = _run_system(cfg, system, max_sweeps)
+            stats.bitvec_ops = dict(ops.counts)
+        else:
+            state, stats = _run_system(cfg, system, max_sweeps)
+        system_span.set(
+            sweeps=stats.sweeps,
+            node_visits=stats.node_visits,
+            bitvec_ops=stats.total_bitvec_ops,
+            blocks=len(cfg),
+        )
+    return state, stats
+
+
+def _run_system(
+    cfg: CFG, system: EquationSystem, max_sweeps: int
+) -> Tuple[State, SolverStats]:
     state = system.initial_state(cfg)
     order = reverse_postorder(cfg)
     stats = SolverStats()

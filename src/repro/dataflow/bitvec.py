@@ -39,26 +39,40 @@ class OpCounter:
         return merged
 
 
-#: The installed counter, or None when counting is off (the default).
-_ACTIVE_COUNTER: Optional[OpCounter] = None
+#: The stack of installed ``(counter, exclusive)`` entries; empty when
+#: counting is off (the default).  A stack — not a single slot — so the
+#: tracing layer can attach a per-solve counter inside a whole-run
+#: measurement (``measure_strategy``) without stealing its operations.
+_ACTIVE_COUNTERS: tuple = ()
 
 
 @contextmanager
-def counting() -> Iterator[OpCounter]:
-    """Count bit-vector operations performed inside the ``with`` block."""
-    global _ACTIVE_COUNTER
-    previous = _ACTIVE_COUNTER
+def counting(exclusive: bool = True) -> Iterator[OpCounter]:
+    """Count bit-vector operations performed inside the ``with`` block.
+
+    By default a nested context *shadows* any enclosing one: the inner
+    counter takes every operation and outer counters see none until it
+    exits (so a measurement carved out of a larger one stays disjoint).
+    With ``exclusive=False`` the context *joins* instead: operations
+    count here **and** continue to propagate to the counters below —
+    the mode the tracing layer uses to annotate solver spans without
+    distorting an enclosing benchmark total.
+    """
+    global _ACTIVE_COUNTERS
     counter = OpCounter()
-    _ACTIVE_COUNTER = counter
+    previous = _ACTIVE_COUNTERS
+    _ACTIVE_COUNTERS = previous + ((counter, exclusive),)
     try:
         yield counter
     finally:
-        _ACTIVE_COUNTER = previous
+        _ACTIVE_COUNTERS = previous
 
 
 def _bump(kind: str) -> None:
-    if _ACTIVE_COUNTER is not None:
-        _ACTIVE_COUNTER.bump(kind)
+    for counter, exclusive in reversed(_ACTIVE_COUNTERS):
+        counter.bump(kind)
+        if exclusive:
+            break
 
 
 class BitVector:

@@ -1,28 +1,43 @@
-"""Iterative solvers for unidirectional bit-vector dataflow problems.
+"""Iterative solver for unidirectional bit-vector dataflow problems.
 
-Two solvers are provided with identical results:
+One entry point, :func:`solve`, with two interchangeable strategies
+producing identical fixpoints:
 
-* :func:`solve` — round-robin sweeps in reverse postorder (forward) or
-  reverse postorder of the reversed graph (backward), the textbook
-  algorithm whose sweep count the paper's complexity remarks refer to;
-* :func:`solve_worklist` — a priority worklist keyed by traversal-order
+* ``"round-robin"`` (the default) — full sweeps in reverse postorder
+  (forward) or reverse postorder of the reversed graph (backward), the
+  textbook algorithm whose sweep count the paper's complexity remarks
+  refer to;
+* ``"worklist"`` — a priority worklist keyed by traversal-order
   position, revisiting only blocks whose inputs changed.
 
 Both return a :class:`Solution` mapping every block to the fact holding
 at its entry (``inof``) and exit (``outof``), plus work statistics.
+
+Every solve emits a ``dataflow.solve`` span on the installed tracer
+(see :mod:`repro.obs.trace`) carrying the problem name, strategy, sweep
+and visit counts and — when tracing is active — the per-run bit-vector
+operation tally, which is also stored in ``Solution.stats.bitvec_ops``.
+
+``solve_worklist`` survives as a deprecated alias for
+``solve(cfg, problem, strategy="worklist")``.
 """
 
 from __future__ import annotations
 
 import heapq
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, Iterable, List, Optional
 
-from repro.dataflow.bitvec import BitVector
+from repro.dataflow.bitvec import BitVector, counting
 from repro.dataflow.order import backward_order, reverse_postorder
 from repro.dataflow.problem import Confluence, DataflowProblem, Direction
 from repro.dataflow.stats import SolverStats
 from repro.ir.cfg import CFG
+from repro.obs.trace import is_active, span
+
+#: The solver strategies accepted by :func:`solve`.
+STRATEGIES = ("round-robin", "worklist")
 
 
 @dataclass
@@ -35,20 +50,77 @@ class Solution:
     stats: SolverStats = field(default_factory=SolverStats)
 
 
-def _meet(problem: DataflowProblem, facts: List[BitVector]) -> BitVector:
-    if not facts:
+def _meet(problem: DataflowProblem, facts: Iterable[BitVector]) -> BitVector:
+    """Fold the confluence operator over *facts* without materializing them."""
+    intersect = problem.confluence is Confluence.INTERSECT
+    result: Optional[BitVector] = None
+    for fact in facts:
+        if result is None:
+            result = fact
+        elif intersect:
+            result = result & fact
+        else:
+            result = result | fact
+    if result is None:
         # Joins with no incoming facts only occur at the graph boundary,
         # which the solvers special-case; return the neutral element.
-        if problem.confluence is Confluence.INTERSECT:
+        if intersect:
             return BitVector.full(problem.width)
         return BitVector.empty(problem.width)
-    result = facts[0]
-    for fact in facts[1:]:
-        result = result & fact if problem.confluence is Confluence.INTERSECT else result | fact
     return result
 
 
-def solve(cfg: CFG, problem: DataflowProblem, max_sweeps: int = 10_000) -> Solution:
+def solve(
+    cfg: CFG,
+    problem: DataflowProblem,
+    strategy: str = "round-robin",
+    max_sweeps: int = 10_000,
+) -> Solution:
+    """Solve *problem* on *cfg* to its fixpoint with the named *strategy*.
+
+    Args:
+        cfg: the graph to analyse.
+        strategy: ``"round-robin"`` or ``"worklist"``; both reach the
+            same fixpoint (a property test pins this).
+        max_sweeps: divergence guard for the round-robin strategy
+            (a non-monotone transfer function raises RuntimeError).
+    """
+    if strategy not in STRATEGIES:
+        names = ", ".join(STRATEGIES)
+        raise ValueError(f"unknown solver strategy {strategy!r}; choose one of: {names}")
+    with span(
+        "dataflow.solve", problem=problem.name, strategy=strategy
+    ) as solve_span:
+        if is_active():
+            # Attach a per-run counter so the span and the solution both
+            # carry the bit-vector op tally; non-exclusive, so outer
+            # counting() contexts (benchmark totals) still see every op.
+            with counting(exclusive=False) as ops:
+                solution = _run(cfg, problem, strategy, max_sweeps)
+            solution.stats.bitvec_ops = dict(ops.counts)
+        else:
+            solution = _run(cfg, problem, strategy, max_sweeps)
+        solve_span.set(
+            sweeps=solution.stats.sweeps,
+            node_visits=solution.stats.node_visits,
+            bitvec_ops=solution.stats.total_bitvec_ops,
+            blocks=len(cfg),
+            width=problem.width,
+        )
+    return solution
+
+
+def _run(
+    cfg: CFG, problem: DataflowProblem, strategy: str, max_sweeps: int
+) -> Solution:
+    if strategy == "worklist":
+        return _solve_worklist(cfg, problem)
+    return _solve_round_robin(cfg, problem, max_sweeps)
+
+
+def _solve_round_robin(
+    cfg: CFG, problem: DataflowProblem, max_sweeps: int
+) -> Solution:
     """Round-robin iteration to the maximum (resp. minimum) fixpoint."""
     forward = problem.direction is Direction.FORWARD
     order = reverse_postorder(cfg) if forward else backward_order(cfg)
@@ -76,7 +148,7 @@ def solve(cfg: CFG, problem: DataflowProblem, max_sweeps: int = 10_000) -> Solut
                 if label == boundary_label:
                     new_in = problem.boundary
                 else:
-                    new_in = _meet(problem, [outof[p] for p in cfg.preds(label)])
+                    new_in = _meet(problem, map(outof.__getitem__, cfg.preds(label)))
                 new_out = problem.transfer(label, new_in)
                 if new_in != inof[label] or new_out != outof[label]:
                     inof[label], outof[label] = new_in, new_out
@@ -85,7 +157,7 @@ def solve(cfg: CFG, problem: DataflowProblem, max_sweeps: int = 10_000) -> Solut
                 if label == boundary_label:
                     new_out = problem.boundary
                 else:
-                    new_out = _meet(problem, [inof[s] for s in cfg.succs(label)])
+                    new_out = _meet(problem, map(inof.__getitem__, cfg.succs(label)))
                 new_in = problem.transfer(label, new_out)
                 if new_in != inof[label] or new_out != outof[label]:
                     inof[label], outof[label] = new_in, new_out
@@ -93,8 +165,8 @@ def solve(cfg: CFG, problem: DataflowProblem, max_sweeps: int = 10_000) -> Solut
     return Solution(problem.name, inof, outof, stats)
 
 
-def solve_worklist(cfg: CFG, problem: DataflowProblem) -> Solution:
-    """Priority-worklist iteration; same fixpoint as :func:`solve`."""
+def _solve_worklist(cfg: CFG, problem: DataflowProblem) -> Solution:
+    """Priority-worklist iteration; same fixpoint as round-robin."""
     forward = problem.direction is Direction.FORWARD
     order = reverse_postorder(cfg) if forward else backward_order(cfg)
     priority = {label: i for i, label in enumerate(order)}
@@ -123,7 +195,7 @@ def solve_worklist(cfg: CFG, problem: DataflowProblem) -> Solution:
             if label == boundary_label:
                 new_in = problem.boundary
             else:
-                new_in = _meet(problem, [outof[p] for p in cfg.preds(label)])
+                new_in = _meet(problem, map(outof.__getitem__, cfg.preds(label)))
             new_out = problem.transfer(label, new_in)
             if new_in != inof[label] or new_out != outof[label]:
                 inof[label], outof[label] = new_in, new_out
@@ -133,10 +205,21 @@ def solve_worklist(cfg: CFG, problem: DataflowProblem) -> Solution:
             if label == boundary_label:
                 new_out = problem.boundary
             else:
-                new_out = _meet(problem, [inof[s] for s in cfg.succs(label)])
+                new_out = _meet(problem, map(inof.__getitem__, cfg.succs(label)))
             new_in = problem.transfer(label, new_out)
             if new_in != inof[label] or new_out != outof[label]:
                 inof[label], outof[label] = new_in, new_out
                 for pred in cfg.preds(label):
                     push(pred)
     return Solution(problem.name, inof, outof, stats)
+
+
+def solve_worklist(cfg: CFG, problem: DataflowProblem) -> Solution:
+    """Deprecated alias for ``solve(cfg, problem, strategy="worklist")``."""
+    warnings.warn(
+        "solve_worklist() is deprecated; use "
+        'solve(cfg, problem, strategy="worklist")',
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return solve(cfg, problem, strategy="worklist")

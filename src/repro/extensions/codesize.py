@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import List, Tuple
 
 from repro.core.lcm import LCMAnalysis, analyze_lcm, lcm_placements
+from repro.core.pipeline import register_pass
 from repro.core.placement import Placement
 from repro.core.transform import TransformResult, apply_placements
 from repro.ir.cfg import CFG
@@ -76,9 +77,17 @@ def size_governed_placements(
 
 
 def size_governed_transform(
-    cfg: CFG, budget: int = 0
+    cfg: CFG, budget: int = 0, manager=None
 ) -> Tuple[TransformResult, SizeReport]:
     """LCM restricted to placements within the code-size *budget*."""
-    analysis = analyze_lcm(cfg)
+    analysis = analyze_lcm(cfg, manager=manager)
     placements, report = size_governed_placements(analysis, budget)
     return apply_placements(cfg, placements), report
+
+
+@register_pass("lcm-size", "Code-size-governed LCM (never grows the program text)")
+def _lcm_size_pass(cfg: CFG, ctx) -> TransformResult:
+    result, _ = size_governed_transform(
+        cfg, manager=ctx.manager if ctx is not None else None
+    )
+    return result

@@ -1,0 +1,47 @@
+"""Observability and caching: tracing, metrics and memoized analyses.
+
+The cross-cutting layer behind the reproduction's cost claims:
+
+* :mod:`repro.obs.trace` — spans, counters and gauges with a structured
+  JSON exporter; free when no tracer is installed;
+* :mod:`repro.obs.fingerprint` — content fingerprints of CFGs, the
+  cache key;
+* :mod:`repro.obs.manager` — the :class:`AnalysisManager`, which
+  memoizes dataflow solutions and analysis bundles and is invalidated
+  through :func:`notify_cfg_mutated` when graphs mutate in place.
+
+See ``docs/OBSERVABILITY.md`` for the trace schema, the span-name
+inventory and the cache-invalidation rules.
+"""
+
+from repro.obs.trace import (
+    SpanEvent,
+    Tracer,
+    activate,
+    count,
+    current,
+    deactivate,
+    gauge,
+    is_active,
+    span,
+    tracing,
+)
+from repro.obs.fingerprint import cfg_fingerprint
+from repro.obs.manager import AnalysisManager, CacheStats, notify_cfg_mutated
+
+__all__ = [
+    "AnalysisManager",
+    "CacheStats",
+    "SpanEvent",
+    "Tracer",
+    "activate",
+    "cfg_fingerprint",
+    "count",
+    "current",
+    "deactivate",
+    "gauge",
+    "is_active",
+    "notify_cfg_mutated",
+    "span",
+    "tracing",
+]

@@ -1,0 +1,153 @@
+"""The analysis manager: memoized dataflow solutions with invalidation.
+
+The paper's cost argument is that LCM's four unidirectional analyses
+are cheap; this module makes them cheap *in practice* by never solving
+the same problem on the same program twice.  An :class:`AnalysisManager`
+memoizes :class:`~repro.dataflow.solver.Solution` objects (and whole
+analysis bundles such as :class:`~repro.core.lcm.LCMAnalysis`) keyed by
+
+    (CFG content fingerprint, computation key)
+
+so repeated pipeline runs, strategy comparisons and report generation
+over an unchanged graph hit the cache and return the *same* object —
+bit-identical facts, zero solver work.
+
+Because the fingerprint is content-based, caching is sound even across
+distinct CFG objects with equal content.  The only subtlety is in-place
+mutation: fingerprints are themselves cached per CFG *object* (hashing
+a big graph on every lookup would defeat the purpose), so code that
+mutates a graph in place must call :func:`notify_cfg_mutated` — the
+transformation engine (:mod:`repro.core.transform`) and the pass
+pipeline (:mod:`repro.passes.pipeline`) do.  Cached solutions are never
+dropped by invalidation: they stay valid for any graph that hashes to
+their fingerprint; invalidation only forces the fingerprint itself to
+be recomputed.
+
+Cache traffic is observable: hits, misses and invalidations bump the
+``cache.hit`` / ``cache.miss`` / ``cache.invalidate`` counters on the
+installed tracer (see :mod:`repro.obs.trace`) and are tallied in
+:attr:`AnalysisManager.stats`.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Tuple
+
+from repro.obs import trace
+from repro.obs.fingerprint import cfg_fingerprint
+from repro.ir.cfg import CFG
+
+#: Every live manager, so module-level mutation hooks can reach them all.
+_LIVE_MANAGERS: "weakref.WeakSet" = weakref.WeakSet()
+
+
+def notify_cfg_mutated(cfg: CFG) -> None:
+    """Invalidate *cfg*'s cached fingerprint in every live manager.
+
+    The hook mutating code must call after changing a graph in place.
+    Cheap when no managers exist or none has seen the graph.
+    """
+    for manager in list(_LIVE_MANAGERS):
+        manager.invalidate(cfg)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/invalidation tallies for one manager."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class AnalysisManager:
+    """Memoizes analysis results keyed by CFG content fingerprint.
+
+    Args:
+        enabled: with False, every lookup recomputes (the CLI's
+            ``--no-cache``); stats still record the misses.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.stats = CacheStats()
+        self._store: Dict[Tuple[str, str], Any] = {}
+        self._fingerprints: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+        _LIVE_MANAGERS.add(self)
+
+    # -- keys -----------------------------------------------------------
+
+    def fingerprint(self, cfg: CFG) -> str:
+        """The content fingerprint of *cfg*, cached per object."""
+        try:
+            return self._fingerprints[cfg]
+        except KeyError:
+            fp = cfg_fingerprint(cfg)
+            self._fingerprints[cfg] = fp
+            return fp
+
+    # -- lookups --------------------------------------------------------
+
+    def cached(self, cfg: CFG, key: str, compute: Callable[[], Any]) -> Any:
+        """Return the memoized value for (*cfg* content, *key*).
+
+        On a miss, runs *compute* and stores its result.  The stored
+        object is returned as-is on later hits — callers must treat it
+        as immutable.
+        """
+        if not self.enabled:
+            self.stats.misses += 1
+            return compute()
+        full_key = (self.fingerprint(cfg), key)
+        try:
+            value = self._store[full_key]
+        except KeyError:
+            self.stats.misses += 1
+            trace.count("cache.miss")
+            value = compute()
+            self._store[full_key] = value
+            return value
+        self.stats.hits += 1
+        trace.count("cache.hit")
+        return value
+
+    def solve(self, cfg: CFG, problem, strategy: str = "round-robin"):
+        """Memoized :func:`repro.dataflow.solver.solve`.
+
+        The key includes the problem name, the vector width and the
+        solver strategy; pass problems whose universe is derived from
+        the graph content (the default everywhere) so equal fingerprints
+        imply equal problems.
+        """
+        from repro.dataflow.solver import solve as _solve
+
+        key = f"solve:{problem.name}:w{problem.width}:{strategy}"
+        return self.cached(
+            cfg, key, lambda: _solve(cfg, problem, strategy=strategy)
+        )
+
+    # -- invalidation ---------------------------------------------------
+
+    def invalidate(self, cfg: CFG) -> None:
+        """Forget *cfg*'s cached fingerprint (it was mutated in place)."""
+        if self._fingerprints.pop(cfg, None) is not None:
+            self.stats.invalidations += 1
+            trace.count("cache.invalidate")
+
+    def clear(self) -> None:
+        """Drop every memoized result and fingerprint."""
+        self._store.clear()
+        self._fingerprints = weakref.WeakKeyDictionary()
+
+    def __len__(self) -> int:
+        return len(self._store)

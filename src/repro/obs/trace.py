@@ -1,0 +1,293 @@
+"""Lightweight tracing: spans, counters and gauges with a JSON exporter.
+
+The observability layer the whole stack reports into.  Every dataflow
+solve, every LCM phase, every transformation and every pipeline pass
+opens a *span* — a named, timed region with arbitrary key/value
+attributes (sweep counts, node visits, bit-vector operation tallies).
+Spans nest; the recorded events keep parent links so a trace can be
+reconstructed as a tree.
+
+Tracing is **off by default and free when off**: the module-level
+:func:`span` helper returns a reusable null context when no tracer is
+installed, so instrumented code pays one global read and one attribute
+call per region.  Install a tracer for a region of code with::
+
+    from repro.obs import Tracer, tracing
+
+    with tracing() as tracer:
+        optimize(cfg, "lcm")
+    tracer.write("out.json")          # structured JSON trace
+
+or process-wide with :func:`activate` / :func:`deactivate` (the CLI's
+``--trace FILE`` and the benchmark suite do this).
+
+The export format is versioned (``repro-trace`` version 1) and described
+in ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass
+class SpanEvent:
+    """One completed span, as recorded in a trace."""
+
+    id: int
+    name: str
+    parent: Optional[int]
+    start_ms: float
+    duration_ms: float
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "type": "span",
+            "id": self.id,
+            "name": self.name,
+            "parent": self.parent,
+            "start_ms": round(self.start_ms, 6),
+            "duration_ms": round(self.duration_ms, 6),
+            "attrs": self.attrs,
+        }
+
+
+class Span:
+    """A live span handle; annotate it with :meth:`set` while open."""
+
+    __slots__ = ("id", "name", "parent", "attrs", "_start")
+
+    def __init__(
+        self, id: int, name: str, parent: Optional[int], attrs: Dict[str, Any],
+        start: float,
+    ) -> None:
+        self.id = id
+        self.name = name
+        self.parent = parent
+        self.attrs = attrs
+        self._start = start
+
+    def set(self, **attrs: Any) -> None:
+        """Attach (or overwrite) attributes on the open span."""
+        self.attrs.update(attrs)
+
+
+class _NullSpan:
+    """Accepts annotations and discards them (tracing off)."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects span events, counters and gauges for one trace."""
+
+    def __init__(self) -> None:
+        self._epoch = time.perf_counter()
+        self.events: List[SpanEvent] = []
+        self.counters: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
+        self._stack: List[Span] = []
+        self._next_id = 0
+
+    # -- spans ----------------------------------------------------------
+
+    def begin(self, name: str, attrs: Optional[Dict[str, Any]] = None) -> Span:
+        """Open a span; prefer the :meth:`span` context manager."""
+        parent = self._stack[-1].id if self._stack else None
+        opened = Span(
+            self._next_id, name, parent, dict(attrs or {}), time.perf_counter()
+        )
+        self._next_id += 1
+        self._stack.append(opened)
+        return opened
+
+    def end(self, span: Span) -> SpanEvent:
+        """Close *span* and record its event."""
+        now = time.perf_counter()
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+        event = SpanEvent(
+            id=span.id,
+            name=span.name,
+            parent=span.parent,
+            start_ms=(span._start - self._epoch) * 1000.0,
+            duration_ms=(now - span._start) * 1000.0,
+            attrs=span.attrs,
+        )
+        self.events.append(event)
+        return event
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[Span]:
+        """Open a span for the duration of the ``with`` block."""
+        opened = self.begin(name, attrs)
+        try:
+            yield opened
+        finally:
+            self.end(opened)
+
+    # -- counters and gauges --------------------------------------------
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Add *n* to the monotonically increasing counter *name*."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record the latest value of gauge *name*."""
+        self.gauges[name] = value
+
+    # -- queries --------------------------------------------------------
+
+    def spans(self, name: Optional[str] = None, **attrs: Any) -> List[SpanEvent]:
+        """Recorded spans, optionally filtered by name and attributes."""
+        found = []
+        for event in self.events:
+            if name is not None and event.name != name:
+                continue
+            if any(event.attrs.get(k) != v for k, v in attrs.items()):
+                continue
+            found.append(event)
+        return found
+
+    def summary(self) -> Dict[str, Dict[str, Any]]:
+        """Aggregate spans by name (split by the ``problem`` attribute).
+
+        Each entry has ``count``, ``total_ms`` and the sum of every
+        numeric attribute — e.g. total sweeps, node visits and
+        bit-vector operations per analysis.
+        """
+        summary: Dict[str, Dict[str, Any]] = {}
+        for event in self.events:
+            key = event.name
+            problem = event.attrs.get("problem")
+            if problem is not None:
+                key = f"{event.name}[{problem}]"
+            entry = summary.setdefault(key, {"count": 0, "total_ms": 0.0})
+            entry["count"] += 1
+            entry["total_ms"] = round(entry["total_ms"] + event.duration_ms, 6)
+            for attr, value in event.attrs.items():
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    continue
+                entry[attr] = entry.get(attr, 0) + value
+        return summary
+
+    # -- export ---------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": "repro-trace",
+            "version": 1,
+            "events": [event.to_dict() for event in self.events],
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "summary": self.summary(),
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def write(self, path: str) -> None:
+        """Write the JSON trace to *path*."""
+        with open(path, "w") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# The installed tracer.  One global slot: tracing is a per-process
+# concern (a CLI invocation, a benchmark session, a test block).
+# ---------------------------------------------------------------------------
+
+_ACTIVE: Optional[Tracer] = None
+
+
+def current() -> Optional[Tracer]:
+    """The installed tracer, or None when tracing is off."""
+    return _ACTIVE
+
+
+def is_active() -> bool:
+    """True when a tracer is installed."""
+    return _ACTIVE is not None
+
+
+def activate(tracer: Optional[Tracer] = None) -> Tracer:
+    """Install *tracer* (or a fresh one) process-wide and return it."""
+    global _ACTIVE
+    _ACTIVE = tracer if tracer is not None else Tracer()
+    return _ACTIVE
+
+
+def deactivate() -> Optional[Tracer]:
+    """Uninstall and return the current tracer (no-op when off)."""
+    global _ACTIVE
+    tracer, _ACTIVE = _ACTIVE, None
+    return tracer
+
+
+@contextmanager
+def tracing(tracer: Optional[Tracer] = None) -> Iterator[Tracer]:
+    """Install a tracer for the ``with`` block; restores the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    installed = tracer if tracer is not None else Tracer()
+    _ACTIVE = installed
+    try:
+        yield installed
+    finally:
+        _ACTIVE = previous
+
+
+class _SpanContext:
+    """Context manager for :func:`span`; null when tracing is off."""
+
+    __slots__ = ("_name", "_attrs", "_tracer", "_span")
+
+    def __init__(self, name: str, attrs: Dict[str, Any]) -> None:
+        self._name = name
+        self._attrs = attrs
+        self._tracer: Optional[Tracer] = None
+        self._span: Optional[Span] = None
+
+    def __enter__(self):
+        tracer = _ACTIVE
+        if tracer is None:
+            return _NULL_SPAN
+        self._tracer = tracer
+        self._span = tracer.begin(self._name, self._attrs)
+        return self._span
+
+    def __exit__(self, *exc) -> bool:
+        if self._tracer is not None:
+            self._tracer.end(self._span)
+        return False
+
+
+def span(name: str, **attrs: Any) -> _SpanContext:
+    """Open a span on the installed tracer (a no-op when tracing is off)."""
+    return _SpanContext(name, attrs)
+
+
+def count(name: str, n: int = 1) -> None:
+    """Bump a counter on the installed tracer (no-op when tracing is off)."""
+    if _ACTIVE is not None:
+        _ACTIVE.count(name, n)
+
+
+def gauge(name: str, value: float) -> None:
+    """Record a gauge on the installed tracer (no-op when tracing is off)."""
+    if _ACTIVE is not None:
+        _ACTIVE.gauge(name, value)

@@ -6,6 +6,12 @@ LCSE canonicalises blocks), run Lazy Code Motion, then clean up the
 copies and structure it leaves behind — iterating the cleanup trio to a
 fixed point because each enables the others (copy propagation exposes
 dead stores, DCE exposes pass-through blocks, ...).
+
+Every pass runs under a :func:`repro.obs.trace.span` (``pipeline.run``
+with one ``pass.<name>`` child per rewrite pass), and every in-place
+mutation is followed by :func:`repro.obs.manager.notify_cfg_mutated` so
+any live :class:`repro.obs.manager.AnalysisManager` drops its stale
+content fingerprint for the working CFG.
 """
 
 from __future__ import annotations
@@ -14,9 +20,11 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.core.localcse import local_cse
-from repro.core.pipeline import optimize
+from repro.core.pipeline import OptimizeConfig, optimize
 from repro.ir.cfg import CFG
 from repro.ir.validate import validate_cfg
+from repro.obs.manager import AnalysisManager, notify_cfg_mutated
+from repro.obs.trace import span
 from repro.passes.canonical import canonicalize
 from repro.passes.constfold import fold_constants
 from repro.passes.copyprop import copy_propagate
@@ -46,62 +54,90 @@ class PassResult:
         return f"pipeline: {parts}"
 
 
+def _run_pass(result: PassResult, name: str, fn, cfg: CFG) -> int:
+    """Run one in-place rewrite pass under a span, with invalidation."""
+    with span(f"pass.{name}") as sp:
+        count = fn(cfg)
+        sp.set(rewrites=count)
+    if count:
+        notify_cfg_mutated(cfg)
+    result.bump(name, count)
+    return count
+
+
 def _cleanup_to_fixpoint(cfg: CFG, result: PassResult, max_rounds: int = 20) -> None:
     for _ in range(max_rounds):
         round_total = 0
-        round_total += _record(result, "copyprop", copy_propagate(cfg))
-        round_total += _record(result, "constfold", fold_constants(cfg))
-        round_total += _record(result, "dce", dead_code_elimination(cfg))
-        stats = simplify_cfg(cfg)
+        round_total += _run_pass(result, "copyprop", copy_propagate, cfg)
+        round_total += _run_pass(result, "constfold", fold_constants, cfg)
+        round_total += _run_pass(result, "dce", dead_code_elimination, cfg)
+        with span("pass.simplify") as sp:
+            stats = simplify_cfg(cfg)
+            sp.set(rewrites=stats.total)
+        if stats.total:
+            notify_cfg_mutated(cfg)
         result.bump("simplify", stats.total)
         round_total += stats.total
         if round_total == 0:
             return
 
 
-def _record(result: PassResult, name: str, count: int) -> int:
-    result.bump(name, count)
-    return count
-
-
 def run_pipeline(
     cfg: CFG,
     pre_strategy: Optional[str] = "lcm",
     validate: bool = True,
+    manager: Optional[AnalysisManager] = None,
 ) -> PassResult:
     """Run the standard pipeline on a copy of *cfg*.
 
     Args:
         cfg: input program (never mutated).
-        pre_strategy: which PRE strategy to run in the middle, or None
-            to run the cleanup passes only.
+        pre_strategy: which PRE pass to run in the middle, or None to
+            run the cleanup passes only.
         validate: validate the input and the final result.
+        manager: optional :class:`repro.obs.manager.AnalysisManager`
+            memoizing dataflow solutions across the PRE pass (and
+            across repeated pipeline runs on identical programs).
     """
     if validate:
         validate_cfg(cfg)
-    work = cfg.copy()
-    result = PassResult(cfg=work)
-    _record(result, "canonicalize", canonicalize(work))
-    _record(result, "constfold", fold_constants(work))
-    work, lcse_replaced = local_cse(work)
-    result.cfg = work
-    result.bump("lcse", lcse_replaced)
-
-    if pre_strategy is not None:
-        pre = optimize(work, pre_strategy, run_local_cse=False, validate=False)
-        work = pre.cfg
+    with span("pipeline.run", pre=pre_strategy or "none") as sp:
+        work = cfg.copy()
+        result = PassResult(cfg=work)
+        _run_pass(result, "canonicalize", canonicalize, work)
+        _run_pass(result, "constfold", fold_constants, work)
+        with span("pass.lcse") as lcse_sp:
+            work, lcse_replaced = local_cse(work)
+            lcse_sp.set(rewrites=lcse_replaced)
         result.cfg = work
-        result.bump(
-            f"pre({pre_strategy})",
-            sum(p.insertion_count + len(p.delete_blocks) for p in pre.placements),
-        )
+        result.bump("lcse", lcse_replaced)
 
-    _cleanup_to_fixpoint(work, result)
+        if pre_strategy is not None:
+            pre = optimize(
+                work,
+                pre_strategy,
+                config=OptimizeConfig(run_local_cse=False, validate=False),
+                manager=manager,
+            )
+            work = pre.cfg
+            result.cfg = work
+            result.bump(
+                f"pre({pre_strategy})",
+                sum(
+                    p.insertion_count + len(p.delete_blocks)
+                    for p in pre.placements
+                ),
+            )
+
+        _cleanup_to_fixpoint(work, result)
+        sp.set(total_rewrites=result.total_rewrites)
     if validate:
         validate_cfg(work)
     return result
 
 
-def standard_pipeline(cfg: CFG) -> PassResult:
+def standard_pipeline(
+    cfg: CFG, manager: Optional[AnalysisManager] = None
+) -> PassResult:
     """The default full pipeline: normalise, LCM, clean up."""
-    return run_pipeline(cfg, "lcm")
+    return run_pipeline(cfg, "lcm", manager=manager)

@@ -177,6 +177,49 @@ class TestJsonFlow:
         assert "x = 5" in out
 
 
+class TestTraceFlag:
+    def test_trace_writes_valid_json(self, prog, tmp_path):
+        trace_path = tmp_path / "out.json"
+        code, _ = invoke("--trace", str(trace_path), "opt", prog)
+        assert code == 0
+        data = json.loads(trace_path.read_text())
+        assert data["format"] == "repro-trace"
+        solves = [e for e in data["events"] if e["name"] == "dataflow.solve"]
+        assert solves, "expected dataflow.solve events in the trace"
+        for event in solves:
+            assert event["duration_ms"] >= 0
+            assert event["attrs"]["sweeps"] >= 1
+            assert event["attrs"]["bitvec_ops"] > 0
+        assert any(
+            key.startswith("dataflow.solve[") for key in data["summary"]
+        )
+        assert any(e["name"] == "optimize" for e in data["events"])
+
+    def test_trace_covers_pipeline_passes(self, prog, tmp_path):
+        trace_path = tmp_path / "out.json"
+        code, _ = invoke("--trace", str(trace_path), "opt", prog, "--pipeline")
+        assert code == 0
+        names = {e["name"] for e in json.loads(trace_path.read_text())["events"]}
+        assert "pipeline.run" in names
+        assert any(name.startswith("pass.") for name in names)
+
+    def test_no_cache_flag_disables_memoization(self, prog, tmp_path):
+        trace_path = tmp_path / "out.json"
+        code, _ = invoke(
+            "--no-cache", "--trace", str(trace_path), "audit", prog, "--full"
+        )
+        assert code == 0
+        counters = json.loads(trace_path.read_text())["counters"]
+        assert counters.get("cache.hit", 0) == 0
+
+    def test_cached_audit_full_reuses_solutions(self, prog, tmp_path):
+        trace_path = tmp_path / "out.json"
+        code, _ = invoke("--trace", str(trace_path), "audit", prog, "--full")
+        assert code == 0
+        counters = json.loads(trace_path.read_text())["counters"]
+        assert counters.get("cache.hit", 0) >= 1
+
+
 class TestHelpers:
     def test_parse_bindings(self):
         assert _parse_bindings(["a=1", "b = -2"]) == {"a": 1, "b": -2}

@@ -4,7 +4,7 @@ import pytest
 
 from tests.helpers import diamond, do_while_invariant
 
-from repro.core.pipeline import available_strategies, optimize
+from repro.core.pipeline import OptimizeConfig, available_strategies, optimize
 from repro.core.optimality import check_equivalence
 from repro.ir.block import BasicBlock
 from repro.ir.cfg import CFG
@@ -42,7 +42,7 @@ class TestOptimize:
 
     def test_validation_can_be_disabled(self):
         cfg = diamond()
-        optimize(cfg, "lcm", validate=False)
+        optimize(cfg, "lcm", config=OptimizeConfig(validate=False))
 
     def test_result_original_is_callers_graph(self):
         cfg = diamond()
@@ -51,7 +51,9 @@ class TestOptimize:
 
     def test_none_strategy_is_identity(self):
         cfg = diamond()
-        result = optimize(cfg, "none", run_local_cse=False)
+        result = optimize(
+            cfg, "none", config=OptimizeConfig(run_local_cse=False)
+        )
         assert str(result.cfg) == str(cfg)
 
     def test_local_cse_folded_in(self):

@@ -101,7 +101,7 @@ class TestWorklist:
         cfg = graph()
         _, problem = availability_problem(cfg)
         a = solve(cfg, problem)
-        b = solve_worklist(cfg, problem)
+        b = solve(cfg, problem, strategy="worklist")
         assert a.inof == b.inof
         assert a.outof == b.outof
 
@@ -114,9 +114,22 @@ class TestWorklist:
             GenKillTransfer(gen=local.antloc, keep=local.transp),
         )
         a = solve(cfg, problem)
-        b = solve_worklist(cfg, problem)
+        b = solve(cfg, problem, strategy="worklist")
         assert a.inof == b.inof
         assert a.outof == b.outof
+
+    def test_unknown_strategy_rejected(self):
+        cfg = diamond()
+        _, problem = availability_problem(cfg)
+        with pytest.raises(ValueError, match="worklist"):
+            solve(cfg, problem, strategy="chaotic")
+
+    def test_deprecated_alias_still_works(self):
+        cfg = diamond()
+        _, problem = availability_problem(cfg)
+        with pytest.warns(DeprecationWarning, match="solve_worklist"):
+            b = solve_worklist(cfg, problem)
+        assert b.inof == solve(cfg, problem).inof
 
 
 class TestProblemConstruction:

@@ -1,0 +1,148 @@
+"""Tests for the tracing core: spans, counters, no-op mode, export."""
+
+import json
+
+import pytest
+
+from tests.helpers import diamond
+
+from repro.analysis.local import compute_local_properties
+from repro.dataflow.problem import DataflowProblem, GenKillTransfer
+from repro.dataflow.solver import solve
+from repro.obs.trace import (
+    Tracer,
+    activate,
+    count,
+    current,
+    deactivate,
+    gauge,
+    is_active,
+    span,
+    tracing,
+)
+
+
+def availability_problem(cfg):
+    local = compute_local_properties(cfg)
+    return DataflowProblem.forward_intersect(
+        "avail",
+        local.universe.width,
+        GenKillTransfer(gen=local.comp, keep=local.transp),
+    )
+
+
+class TestTracerSpans:
+    def test_events_record_names_and_attrs(self):
+        tracer = Tracer()
+        with tracer.span("outer", kind="test") as sp:
+            sp.set(extra=3)
+        (event,) = tracer.events
+        assert event.name == "outer"
+        assert event.attrs == {"kind": "test", "extra": 3}
+        assert event.parent is None
+        assert event.duration_ms >= 0
+
+    def test_nesting_keeps_parent_links(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.events  # innermost closes first
+        assert inner.name == "inner"
+        assert inner.parent == outer.id
+        assert outer.parent is None
+
+    def test_counters_and_gauges(self):
+        tracer = Tracer()
+        tracer.count("ticks")
+        tracer.count("ticks", 4)
+        tracer.gauge("width", 7.5)
+        assert tracer.counters == {"ticks": 5}
+        assert tracer.gauges == {"width": 7.5}
+
+    def test_spans_query_filters(self):
+        tracer = Tracer()
+        with tracer.span("solve", problem="avail"):
+            pass
+        with tracer.span("solve", problem="ant"):
+            pass
+        assert len(tracer.spans("solve")) == 2
+        assert len(tracer.spans("solve", problem="ant")) == 1
+        assert tracer.spans("missing") == []
+
+    def test_summary_aggregates_numeric_attrs_by_problem(self):
+        tracer = Tracer()
+        with tracer.span("solve", problem="avail", sweeps=3):
+            pass
+        with tracer.span("solve", problem="avail", sweeps=2):
+            pass
+        summary = tracer.summary()
+        entry = summary["solve[avail]"]
+        assert entry["count"] == 2
+        assert entry["sweeps"] == 5
+        assert entry["total_ms"] >= 0
+
+
+class TestNoOpMode:
+    def test_module_span_is_null_when_off(self):
+        assert not is_active()
+        with span("anything", a=1) as sp:
+            sp.set(b=2)  # must be accepted and discarded
+        assert current() is None
+
+    def test_module_counters_are_noops_when_off(self):
+        count("nothing")
+        gauge("nothing", 1.0)
+        assert current() is None
+
+    def test_instrumented_solve_records_nothing_when_off(self):
+        cfg = diamond()
+        sol = solve(cfg, availability_problem(cfg))
+        assert sol.stats.bitvec_ops == {}  # tallied only when tracing
+
+
+class TestActivation:
+    def test_tracing_context_installs_and_restores(self):
+        outer = Tracer()
+        activate(outer)
+        try:
+            with tracing() as inner:
+                assert current() is inner
+                with span("x"):
+                    pass
+            assert current() is outer
+            assert len(inner.events) == 1
+        finally:
+            deactivate()
+        assert not is_active()
+
+    def test_solver_emits_span_with_stats(self):
+        cfg = diamond()
+        with tracing() as tracer:
+            sol = solve(cfg, availability_problem(cfg))
+        (event,) = tracer.spans("dataflow.solve")
+        assert event.attrs["problem"] == "avail"
+        assert event.attrs["strategy"] == "round-robin"
+        assert event.attrs["sweeps"] == sol.stats.sweeps
+        assert event.attrs["blocks"] == len(cfg)
+        assert event.attrs["bitvec_ops"] == sol.stats.total_bitvec_ops > 0
+
+
+class TestExport:
+    def test_json_document_shape(self, tmp_path):
+        cfg = diamond()
+        with tracing() as tracer:
+            solve(cfg, availability_problem(cfg))
+            tracer.count("cache.miss")
+        path = tmp_path / "trace.json"
+        tracer.write(str(path))
+        data = json.loads(path.read_text())
+        assert data["format"] == "repro-trace"
+        assert data["version"] == 1
+        assert data["counters"] == {"cache.miss": 1}
+        names = {event["name"] for event in data["events"]}
+        assert "dataflow.solve" in names
+        assert "dataflow.solve[avail]" in data["summary"]
+        for event in data["events"]:
+            assert {"type", "id", "name", "parent", "start_ms",
+                    "duration_ms", "attrs"} <= set(event)

@@ -1,0 +1,106 @@
+"""Tests for the pass-registry API and its deprecation shims."""
+
+import pytest
+
+from tests.helpers import diamond
+
+from repro.core.pipeline import (
+    OptimizeConfig,
+    OptimizeContext,
+    available_strategies,
+    get_pass,
+    optimize,
+    register_pass,
+)
+from repro.core.transform import TransformResult, apply_placements
+
+
+class TestRegistry:
+    def test_core_and_baseline_passes_registered(self):
+        names = {s.name for s in available_strategies()}
+        assert {"lcm", "bcm", "krs-lcm", "krs-alcm", "krs-bcm", "none",
+                "gcse", "licm", "mr", "lcm-size"} <= names
+
+    def test_get_pass_returns_callable_strategy(self):
+        strategy = get_pass("lcm")
+        assert strategy.name == "lcm"
+        assert strategy.description
+        result = strategy.run(diamond(), OptimizeContext(OptimizeConfig(), None))
+        assert isinstance(result, TransformResult)
+
+    def test_unknown_pass_error_lists_options(self):
+        with pytest.raises(ValueError, match="lcm"):
+            get_pass("nope")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            @register_pass("lcm")
+            def _clash(cfg, ctx):  # pragma: no cover - never runs
+                return None
+
+    def test_custom_pass_registers_and_runs(self):
+        @register_pass("identity-test", "leave the program alone")
+        def _identity(cfg, ctx):
+            return apply_placements(cfg, [])
+
+        try:
+            result = optimize(diamond(), "identity-test")
+            assert result.cfg is not result.original
+            assert {s.name for s in available_strategies()} >= {"identity-test"}
+        finally:
+            from repro.core import pipeline
+
+            del pipeline._REGISTRY["identity-test"]
+
+    def test_docstring_used_as_default_description(self):
+        @register_pass("doc-test")
+        def _documented(cfg, ctx):
+            """First line becomes the description."""
+            return apply_placements(cfg, [])
+
+        try:
+            assert (
+                get_pass("doc-test").description
+                == "First line becomes the description."
+            )
+        finally:
+            from repro.core import pipeline
+
+            del pipeline._REGISTRY["doc-test"]
+
+
+class TestOptimizeSignature:
+    def test_keyword_pass_selection(self):
+        result = optimize(diamond(), pass_="none")
+        assert result.placements == []
+
+    def test_config_controls_validation_and_lcse(self):
+        result = optimize(
+            diamond(),
+            "none",
+            config=OptimizeConfig(run_local_cse=False, validate=False),
+        )
+        assert result.placements == []
+
+    def test_legacy_strategy_kwarg_warns_and_maps(self):
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            result = optimize(diamond(), strategy="lcm")
+        assert any(not p.is_identity for p in result.placements)
+
+    def test_legacy_flags_warn_and_map(self):
+        with pytest.warns(DeprecationWarning):
+            result = optimize(
+                diamond(), "none", run_local_cse=False, validate=False
+            )
+        assert result.placements == []
+
+    def test_unknown_keyword_still_a_type_error(self):
+        with pytest.raises(TypeError, match="frobnicate"):
+            optimize(diamond(), "lcm", frobnicate=True)
+
+    def test_positional_string_still_works(self):
+        old = optimize(diamond(), "lcm")
+        new = optimize(diamond(), pass_="lcm")
+        assert [str(p) for p in old.placements] == [
+            str(p) for p in new.placements
+        ]

@@ -24,7 +24,7 @@ from repro.core.optimality import (
 )
 from repro.core.pipeline import optimize
 from repro.dataflow.bitvec import BitVector
-from repro.dataflow.solver import solve, solve_worklist
+from repro.dataflow.solver import solve
 from repro.analysis.availability import availability_problem
 from repro.analysis.anticipability import anticipability_problem
 from repro.interp.machine import run
@@ -97,7 +97,7 @@ class TestSolverProperties:
         local = compute_local_properties(cfg)
         for problem in (availability_problem(local), anticipability_problem(local)):
             a = solve(cfg, problem)
-            b = solve_worklist(cfg, problem)
+            b = solve(cfg, problem, strategy="worklist")
             assert a.inof == b.inof and a.outof == b.outof
 
     @quick
