@@ -1,0 +1,79 @@
+"""Batch throughput: the parallel corpus driver vs. the serial baseline.
+
+Pushes the realistic corpus (``tests/corpus``) plus a pile of generated
+workloads through :func:`repro.batch.run_batch` at increasing worker
+counts.  Two things are checked, matching the driver's contract:
+
+* every job count produces **bit-identical per-program IR** (equal
+  content fingerprints item by item) — parallelism must not change
+  results;
+* the parallel run completes with a zero error tally.
+
+The wall-time rows (items/s, speedup over ``jobs=1``) are recorded in
+the end-of-run report tables, and the ``jobs``-max batch report is
+persisted as ``BENCH_BATCH.json`` next to ``BENCH_TRACE.json``.
+"""
+
+import os
+from pathlib import Path
+
+from repro.batch import BatchConfig, items_from_dir, run_batch, WorkItem
+from repro.bench.generators import GeneratorConfig, random_program
+from repro.bench.harness import Table, record_report, write_json_report
+from repro.lang.unparse import unparse
+
+CORPUS_DIR = Path(__file__).resolve().parent.parent / "tests" / "corpus"
+GENERATED = 51  # with the 9 corpus programs: a 60-program batch
+JOB_COUNTS = (1, 2, 4)
+REPORT_FILENAME = "BENCH_BATCH.json"
+
+
+def build_items():
+    items = items_from_dir(str(CORPUS_DIR))
+    for seed in range(GENERATED):
+        source = unparse(random_program(seed, GeneratorConfig(statements=14)))
+        items.append(WorkItem(f"gen{seed:03d}", "source", source))
+    return items
+
+
+def sweep():
+    items = build_items()
+    reports = {}
+    for jobs in JOB_COUNTS:
+        report = run_batch(items, BatchConfig(jobs=jobs, timeout=60.0))
+        assert report.ok, report.tally
+        reports[jobs] = report
+
+    # Parallelism must not change results: same fingerprints everywhere.
+    baseline = [item.fingerprint for item in reports[JOB_COUNTS[0]].items]
+    for jobs in JOB_COUNTS[1:]:
+        fingerprints = [item.fingerprint for item in reports[jobs].items]
+        assert fingerprints == baseline, f"jobs={jobs} changed the IR"
+    return reports
+
+
+def test_batch_throughput(benchmark):
+    reports = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = Table(
+        ["jobs", "items", "wall s", "items/s", "speedup", "hit rate"],
+        title=f"batch throughput over {len(reports[1].items)} programs "
+        f"({os.cpu_count()} cores)",
+    )
+    serial_wall = reports[JOB_COUNTS[0]].wall_time_s
+    for jobs in JOB_COUNTS:
+        report = reports[jobs]
+        wall = report.wall_time_s
+        table.add_row(
+            jobs,
+            len(report.items),
+            wall,
+            len(report.items) / wall if wall else 0.0,
+            serial_wall / wall if wall else 0.0,
+            report.cache_stats()["hit_rate"],
+        )
+    record_report("batch throughput", table)
+
+    try:
+        write_json_report(REPORT_FILENAME, reports[max(JOB_COUNTS)].to_dict())
+    except OSError:
+        pass  # read-only invocation dir: the artifact is best-effort

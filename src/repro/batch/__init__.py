@@ -1,0 +1,51 @@
+"""Parallel corpus optimization with per-program fault isolation.
+
+The throughput layer on top of :func:`repro.core.pipeline.optimize`:
+a batch driver that pushes whole corpora of programs through a worker
+pool, isolates per-program failures as structured records, enforces
+per-item timeouts, and merges per-item observability (trace summaries,
+counters, cache hit rates) into one report.
+
+::
+
+    from repro.batch import BatchConfig, items_from_dir, run_batch
+
+    items = items_from_dir("tests/corpus")
+    report = run_batch(items, BatchConfig(jobs=4, timeout=10.0))
+    assert report.ok, report.tally
+    print(report.render_table())
+    print(report.to_json())
+
+CLI: ``repro batch DIR --jobs N --timeout S --emit json|table``.
+See ``docs/BATCH.md`` for the driver API and the report schema.
+"""
+
+from repro.batch.driver import (
+    CORPUS_SUFFIXES,
+    BatchConfig,
+    WorkItem,
+    items_from_cfgs,
+    items_from_dir,
+    run_batch,
+)
+from repro.batch.report import (
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    BatchReport,
+    ItemResult,
+)
+
+__all__ = [
+    "BatchConfig",
+    "BatchReport",
+    "CORPUS_SUFFIXES",
+    "ItemResult",
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "STATUS_TIMEOUT",
+    "WorkItem",
+    "items_from_cfgs",
+    "items_from_dir",
+    "run_batch",
+]

@@ -1,0 +1,360 @@
+"""The corpus driver: optimize many programs with per-item fault isolation.
+
+One ``optimize`` call processes one graph; real PRE deployments run
+over whole translation-unit corpora.  :func:`run_batch` takes a list of
+:class:`WorkItem` (built from a directory of ``.mini``/``.json`` files
+with :func:`items_from_dir`, or from in-memory graphs with
+:func:`items_from_cfgs`) and pushes them through a
+``ProcessPoolExecutor`` worker pool:
+
+* **fault isolation** — an item that raises anywhere (parse error,
+  validation failure, transform bug) produces a structured
+  ``ItemResult(status="error")`` record carrying the message and
+  traceback; the rest of the batch is unaffected;
+* **timeouts** — with ``BatchConfig.timeout`` set, an item that
+  exceeds the budget is interrupted in the worker (SIGALRM, so the
+  worker stays warm) and recorded as ``status="timeout"``;
+* **bounded retry** — ``BatchConfig.retries`` re-runs failed items up
+  to N extra times, for transient failures;
+* **warm workers** — each worker process keeps one
+  :class:`~repro.obs.manager.AnalysisManager` for its whole lifetime,
+  so items with identical content hit the dataflow-solution cache, and
+  runs each item under its own :class:`~repro.obs.trace.Tracer` whose
+  summary/counters travel back in the item record;
+* **determinism** — results are reported in input order regardless of
+  completion order, and the optimised IR per program is bit-identical
+  whatever ``jobs`` is (workers share no mutable state).
+
+``jobs=1`` runs serially in-process through the *same* item code path
+(no pool), which is both the baseline for throughput comparisons and
+the debug mode — breakpoints and pdb work.
+
+Timeout enforcement needs ``signal.SIGALRM`` (POSIX; the main thread of
+each worker).  Where it is unavailable the batch still runs, but hangs
+are not interrupted.  A worker lost to a hard crash (segfault, OOM
+kill) breaks the pool; the driver converts every affected item into an
+error record rather than aborting, so the report is always complete.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+import traceback as traceback_module
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.batch.report import (
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    BatchReport,
+    ItemResult,
+)
+from repro.ir.cfg import CFG
+from repro.obs.fingerprint import cfg_fingerprint
+from repro.obs.manager import AnalysisManager
+from repro.obs.trace import Tracer, tracing
+
+#: File suffixes a corpus directory is scanned for.
+CORPUS_SUFFIXES = (".mini", ".json")
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One program to optimize, in a transportable (picklable) form.
+
+    Kinds:
+
+    ``path``
+        *payload* is a filesystem path; the **worker** reads and parses
+        it, so unreadable/malformed files become error records.
+    ``source``
+        *payload* is mini-language source text.
+    ``json``
+        *payload* is a serialised CFG (``cfg_to_json``).
+    ``call``
+        *payload* is a ``"module.path:function"`` reference resolved in
+        the worker; the function must return a :class:`CFG`.  This is
+        the extension point for custom loaders (and what the
+        fault-injection tests use).
+    """
+
+    name: str
+    kind: str
+    payload: str
+
+
+def items_from_dir(
+    directory: str,
+    suffixes: Sequence[str] = CORPUS_SUFFIXES,
+) -> List[WorkItem]:
+    """Scan *directory* for corpus files, sorted by name (deterministic).
+
+    Raises ``ValueError`` when the directory does not exist or holds no
+    matching files — an empty batch is almost always a wrong path.
+    """
+    root = Path(directory)
+    if not root.is_dir():
+        raise ValueError(f"not a directory: {directory}")
+    paths = sorted(
+        path for path in root.iterdir()
+        if path.is_file() and path.suffix in suffixes
+    )
+    if not paths:
+        wanted = "/".join(suffixes)
+        raise ValueError(f"no {wanted} files in {directory}")
+    return [WorkItem(path.stem, "path", str(path)) for path in paths]
+
+
+def items_from_cfgs(
+    cfgs: Iterable[CFG],
+    names: Optional[Sequence[str]] = None,
+) -> List[WorkItem]:
+    """Wrap in-memory graphs as work items (serialised for transport)."""
+    from repro.ir.serialize import cfg_to_json
+
+    items = []
+    for i, cfg in enumerate(cfgs):
+        name = names[i] if names is not None else f"cfg{i}"
+        items.append(WorkItem(name, "json", cfg_to_json(cfg)))
+    return items
+
+
+@dataclass(frozen=True)
+class BatchConfig:
+    """Knobs for :func:`run_batch`.
+
+    Attributes:
+        pass_: the registered optimisation pass to run per program.
+        pipeline: run the full standard pass pipeline instead.
+        jobs: worker processes; 1 means serial in-process.
+        timeout: per-item wall-clock budget in seconds (None: none).
+        retries: extra attempts for items that error or time out.
+        cache: whether worker analysis managers memoize (the CLI's
+            ``--no-cache`` turns this off).
+        keep_ir: carry the optimised program (serialised JSON) in each
+            ok item record — bulky, but what differential checks need.
+    """
+
+    pass_: str = "lcm"
+    pipeline: bool = False
+    jobs: int = 1
+    timeout: Optional[float] = None
+    retries: int = 0
+    cache: bool = True
+    keep_ir: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Worker side.  One warm AnalysisManager per process, installed by the
+# pool initializer; the serial path calls the initializer itself so
+# jobs=1 exercises the identical item code path.
+# ---------------------------------------------------------------------------
+
+_WORKER_MANAGER: Optional[AnalysisManager] = None
+
+
+def _init_worker(cache_enabled: bool) -> None:
+    """Pool initializer: create this process's warm analysis manager."""
+    global _WORKER_MANAGER
+    _WORKER_MANAGER = AnalysisManager(enabled=cache_enabled)
+
+
+class _ItemTimeout(Exception):
+    """Raised inside a worker when an item exceeds its time budget."""
+
+
+def _raise_timeout(signum, frame):
+    raise _ItemTimeout()
+
+
+def _load_item(item: WorkItem) -> CFG:
+    """Materialise the item's CFG (inside the worker, so failures are
+    per-item records)."""
+    from repro.ir.serialize import cfg_from_json
+    from repro.lang import compile_program
+
+    if item.kind == "path":
+        with open(item.payload) as handle:
+            text = handle.read()
+        if item.payload.endswith(".json"):
+            return cfg_from_json(text)
+        return compile_program(text)
+    if item.kind == "source":
+        return compile_program(item.payload)
+    if item.kind == "json":
+        return cfg_from_json(item.payload)
+    if item.kind == "call":
+        import importlib
+
+        module_name, _, attr = item.payload.partition(":")
+        fn = getattr(importlib.import_module(module_name), attr)
+        return fn()
+    raise ValueError(f"unknown work-item kind {item.kind!r}")
+
+
+def _optimize_item(cfg: CFG, config: BatchConfig, manager: AnalysisManager):
+    from repro.core.pipeline import optimize
+    from repro.passes import standard_pipeline
+
+    if config.pipeline:
+        return standard_pipeline(cfg, manager=manager)
+    return optimize(cfg, config.pass_, manager=manager)
+
+
+def _run_item(index: int, item: WorkItem, config: BatchConfig) -> ItemResult:
+    """Execute one work item; never raises — every outcome is a record."""
+    global _WORKER_MANAGER
+    if _WORKER_MANAGER is None:  # pool without initializer (not ours)
+        _init_worker(config.cache)
+    manager = _WORKER_MANAGER
+    hits_before = manager.stats.hits
+    misses_before = manager.stats.misses
+
+    tracer = Tracer()
+    use_alarm = config.timeout is not None and hasattr(signal, "SIGALRM")
+    previous_handler = None
+    start = time.perf_counter()
+    status, message, trace_back = STATUS_OK, "", ""
+    result = None
+    cfg = None
+    try:
+        if use_alarm:
+            previous_handler = signal.signal(signal.SIGALRM, _raise_timeout)
+            signal.setitimer(signal.ITIMER_REAL, config.timeout)
+        with tracing(tracer):
+            cfg = _load_item(item)
+            result = _optimize_item(cfg, config, manager)
+    except _ItemTimeout:
+        status = STATUS_TIMEOUT
+        message = f"exceeded {config.timeout}s budget"
+    except Exception as exc:  # fault isolation: record, don't propagate
+        status = STATUS_ERROR
+        message = f"{type(exc).__name__}: {exc}"
+        trace_back = traceback_module.format_exc()
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, previous_handler)
+    duration_ms = (time.perf_counter() - start) * 1000.0
+
+    record = ItemResult(
+        index=index,
+        name=item.name,
+        status=status,
+        message=message,
+        traceback=trace_back,
+        duration_ms=duration_ms,
+        cache={
+            "hits": manager.stats.hits - hits_before,
+            "misses": manager.stats.misses - misses_before,
+        },
+        counters=dict(tracer.counters),
+        summary=tracer.summary(),
+        pid=os.getpid(),
+    )
+    if status == STATUS_OK:
+        record.fingerprint = cfg_fingerprint(result.cfg)
+        record.static_before = cfg.static_computation_count()
+        record.static_after = result.cfg.static_computation_count()
+        if config.keep_ir:
+            from repro.ir.serialize import cfg_to_json
+
+            record.ir = cfg_to_json(result.cfg)
+    return record
+
+
+# ---------------------------------------------------------------------------
+# Driver side.
+# ---------------------------------------------------------------------------
+
+
+def _lost_worker_record(index: int, item: WorkItem, exc: BaseException,
+                        attempts: int) -> ItemResult:
+    return ItemResult(
+        index=index,
+        name=item.name,
+        status=STATUS_ERROR,
+        message=f"worker lost: {type(exc).__name__}: {exc}",
+        attempts=attempts,
+    )
+
+
+def _run_serial(items: Sequence[WorkItem], config: BatchConfig) -> List[ItemResult]:
+    _init_worker(config.cache)
+    results = []
+    for index, item in enumerate(items):
+        record = _run_item(index, item, config)
+        for attempt in range(2, config.retries + 2):
+            if record.ok:
+                break
+            record = _run_item(index, item, config)
+            record.attempts = attempt
+        results.append(record)
+    return results
+
+
+def _run_pooled(items: Sequence[WorkItem], config: BatchConfig,
+                jobs: int) -> List[ItemResult]:
+    results: List[Optional[ItemResult]] = [None] * len(items)
+    attempts: Dict[int, int] = {}
+    with ProcessPoolExecutor(
+        max_workers=jobs,
+        initializer=_init_worker,
+        initargs=(config.cache,),
+    ) as pool:
+
+        def submit(index: int) -> Tuple:
+            attempts[index] = attempts.get(index, 0) + 1
+            return pool.submit(_run_item, index, items[index], config)
+
+        pending = {submit(index): index for index in range(len(items))}
+        while pending:
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                index = pending.pop(future)
+                try:
+                    record = future.result()
+                except Exception as exc:  # worker died mid-item
+                    record = _lost_worker_record(
+                        index, items[index], exc, attempts[index]
+                    )
+                    results[index] = record
+                    continue
+                record.attempts = attempts[index]
+                if not record.ok and attempts[index] <= config.retries:
+                    pending[submit(index)] = index
+                else:
+                    results[index] = record
+    return results  # type: ignore[return-value]
+
+
+def run_batch(
+    items: Sequence[WorkItem],
+    config: Optional[BatchConfig] = None,
+) -> BatchReport:
+    """Optimize every item; always returns a complete, input-ordered report.
+
+    The report's :attr:`~repro.batch.report.BatchReport.ok` is False as
+    soon as any item errored or timed out — callers deciding an exit
+    code should use it — but every item, failed or not, has a record.
+    """
+    config = config if config is not None else BatchConfig()
+    jobs = max(1, config.jobs)
+    start = time.perf_counter()
+    if jobs == 1 or len(items) <= 1:
+        results = _run_serial(items, config)
+    else:
+        results = _run_pooled(items, config, min(jobs, len(items)))
+    wall = time.perf_counter() - start
+    return BatchReport(
+        items=results,
+        jobs=jobs,
+        wall_time_s=wall,
+        pass_=config.pass_,
+        pipeline=config.pipeline,
+    )

@@ -1,0 +1,206 @@
+"""Structured results for batch runs: per-item records and the report.
+
+The batch driver (:mod:`repro.batch.driver`) optimizes many programs,
+possibly across a process pool, and each unit of work produces exactly
+one :class:`ItemResult` — whether it succeeded, raised, or timed out.
+The driver folds them (in *input* order, regardless of completion
+order) into a :class:`BatchReport`, which merges the per-item trace
+summaries and counters (:func:`repro.obs.trace.merge_summaries`) so a
+whole corpus run has the same observability surface as a single
+``optimize`` call: wall time, per-item timings, cache hit rates and an
+error tally.
+
+The JSON schema is versioned (``repro-batch-report`` version 1) and
+documented in ``docs/BATCH.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.obs.trace import merge_counters, merge_summaries
+
+#: The three terminal states of one work item.
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+STATUS_TIMEOUT = "timeout"
+
+
+@dataclass
+class ItemResult:
+    """The outcome of optimising one program of the batch.
+
+    Attributes:
+        index: the item's position in the submitted batch (results are
+            always reported in this order).
+        name: the item's display name (file stem, or a caller-given
+            label for in-memory programs).
+        status: ``"ok"``, ``"error"`` or ``"timeout"``.
+        message: one-line failure description (empty when ok).
+        traceback: the full formatted traceback for errors (empty
+            otherwise) — timeouts carry no traceback, the work was
+            interrupted, not failed.
+        attempts: how many times the item ran (> 1 only with retries).
+        duration_ms: wall time of the final attempt, measured in the
+            worker.
+        fingerprint: content fingerprint of the optimised graph
+            (``None`` unless ok) — two runs that agree here produced
+            bit-identical IR.
+        ir: the optimised program as serialised JSON, when the batch
+            was configured with ``keep_ir`` (``None`` otherwise).
+        static_before / static_after: operator-expression counts of the
+            input and optimised graphs.
+        cache: the worker manager's ``{"hits", "misses"}`` delta for
+            this item.
+        counters: the item's trace counters (``cache.hit`` …).
+        summary: the item's :meth:`~repro.obs.trace.Tracer.summary`.
+        pid: the worker process id (useful when auditing pool spread).
+    """
+
+    index: int
+    name: str
+    status: str
+    message: str = ""
+    traceback: str = ""
+    attempts: int = 1
+    duration_ms: float = 0.0
+    fingerprint: Optional[str] = None
+    ir: Optional[str] = None
+    static_before: Optional[int] = None
+    static_after: Optional[int] = None
+    cache: Dict[str, int] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+    summary: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    pid: Optional[int] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "index": self.index,
+            "name": self.name,
+            "status": self.status,
+            "attempts": self.attempts,
+            "duration_ms": round(self.duration_ms, 3),
+        }
+        if self.message:
+            payload["message"] = self.message
+        if self.traceback:
+            payload["traceback"] = self.traceback
+        if self.fingerprint is not None:
+            payload["fingerprint"] = self.fingerprint
+        if self.ir is not None:
+            payload["ir"] = self.ir
+        if self.static_before is not None:
+            payload["static_before"] = self.static_before
+            payload["static_after"] = self.static_after
+        payload["cache"] = dict(self.cache)
+        payload["counters"] = dict(self.counters)
+        return payload
+
+
+@dataclass
+class BatchReport:
+    """The merged outcome of one batch run.
+
+    ``items`` is in input order.  ``ok`` is True only when every item
+    succeeded — the CLI exits nonzero otherwise, but the report is
+    always *complete*: failed items are records, not absences.
+    """
+
+    items: List[ItemResult]
+    jobs: int
+    wall_time_s: float
+    pass_: str = "lcm"
+    pipeline: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return all(item.ok for item in self.items)
+
+    @property
+    def tally(self) -> Dict[str, int]:
+        """Item count per status, e.g. ``{"ok": 48, "error": 2}``."""
+        tally: Dict[str, int] = {}
+        for item in self.items:
+            tally[item.status] = tally.get(item.status, 0) + 1
+        return tally
+
+    @property
+    def error_count(self) -> int:
+        """Items that did not succeed (errors + timeouts)."""
+        return sum(1 for item in self.items if not item.ok)
+
+    def merged_counters(self) -> Dict[str, int]:
+        return merge_counters(item.counters for item in self.items)
+
+    def merged_summary(self) -> Dict[str, Dict[str, Any]]:
+        return merge_summaries(item.summary for item in self.items)
+
+    def cache_stats(self) -> Dict[str, Any]:
+        """Batch-wide cache traffic: hits, misses and the hit rate."""
+        hits = sum(item.cache.get("hits", 0) for item in self.items)
+        misses = sum(item.cache.get("misses", 0) for item in self.items)
+        lookups = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": round(hits / lookups, 4) if lookups else 0.0,
+        }
+
+    # -- export ---------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "format": "repro-batch-report",
+            "version": 1,
+            "pass": self.pass_,
+            "pipeline": self.pipeline,
+            "jobs": self.jobs,
+            "wall_time_s": round(self.wall_time_s, 6),
+            "items_total": len(self.items),
+            "tally": self.tally,
+            "cache": self.cache_stats(),
+            "counters": self.merged_counters(),
+            "summary": self.merged_summary(),
+            "items": [item.to_dict() for item in self.items],
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def render_table(self) -> str:
+        """A plain-text per-item table plus a one-line batch footer."""
+        from repro.bench.harness import Table
+
+        mode = "pipeline" if self.pipeline else self.pass_
+        table = Table(
+            ["program", "status", "ms", "static", "attempts", "detail"],
+            title=f"batch: {len(self.items)} programs, {mode}, "
+            f"jobs={self.jobs}",
+        )
+        for item in self.items:
+            static = (
+                f"{item.static_before}->{item.static_after}"
+                if item.static_before is not None
+                else ""
+            )
+            table.add_row(
+                item.name,
+                item.status,
+                f"{item.duration_ms:.1f}",
+                static,
+                item.attempts,
+                item.message,
+            )
+        cache = self.cache_stats()
+        tally = ", ".join(f"{k}={v}" for k, v in sorted(self.tally.items()))
+        footer = (
+            f"wall {self.wall_time_s:.3f}s  {tally}  "
+            f"cache hit rate {cache['hit_rate']:.0%}"
+        )
+        return f"{table.render()}\n{footer}"

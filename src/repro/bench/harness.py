@@ -118,14 +118,24 @@ def trace_summary_payload(
     return payload
 
 
+def write_json_report(path: str, payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Persist any benchmark JSON *payload* to *path*; returns it.
+
+    The common sink for machine-readable benchmark artifacts — trace
+    summaries (:func:`write_trace_summary`) and batch reports
+    (``BatchReport.to_dict()``) both land through here so every
+    artifact is written the same way.
+    """
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    return payload
+
+
 def write_trace_summary(
     path: str,
     tracer: Optional[Tracer] = None,
     extra: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     """Persist the trace summary JSON to *path*; returns the payload."""
-    payload = trace_summary_payload(tracer, extra)
-    with open(path, "w") as handle:
-        json.dump(payload, handle, indent=2)
-        handle.write("\n")
-    return payload
+    return write_json_report(path, trace_summary_payload(tracer, extra))

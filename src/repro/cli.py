@@ -11,6 +11,7 @@ Usage (also via ``python -m repro``)::
     repro run prog.mini --optimized          # ... the optimised program
     repro audit prog.mini --expr "a + b"     # per-block analysis facts
     repro report prog.mini                   # strategy comparison table
+    repro batch tests/corpus --jobs 4        # whole-corpus parallel driver
     repro --trace out.json opt prog.mini     # + JSON trace of all analyses
     repro --no-cache audit prog.mini --full  # disable solution memoization
 
@@ -178,6 +179,38 @@ def cmd_audit(args, out) -> int:
     return 0
 
 
+def cmd_batch(args, out) -> int:
+    from repro.batch import BatchConfig, items_from_dir, run_batch
+
+    try:
+        items = items_from_dir(args.dir)
+    except ValueError as exc:
+        raise CliError(str(exc)) from exc
+    config = BatchConfig(
+        pass_=args.strategy,
+        pipeline=args.pipeline,
+        jobs=args.jobs,
+        timeout=args.timeout,
+        retries=args.retries,
+        cache=not args.no_cache,
+        keep_ir=args.keep_ir,
+    )
+    report = run_batch(items, config)
+    if args.emit == "json":
+        print(report.to_json(), file=out)
+    else:
+        print(report.render_table(), file=out)
+    if not report.ok:
+        failed = [i.name for i in report.items if not i.ok]
+        print(
+            f"error: {report.error_count}/{len(report.items)} items failed: "
+            f"{', '.join(failed)}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_report(args, out) -> int:
     cfg = load_program(args.file)
     headers = ["strategy", "static", "dynamic", "temps", "live pts",
@@ -244,6 +277,26 @@ def build_parser() -> argparse.ArgumentParser:
                          help="full report: universe, placements, metrics, verdict")
     p_audit.add_argument("--strategy", choices=strategies, default="lcm")
     p_audit.set_defaults(handler=cmd_audit)
+
+    p_batch = sub.add_parser(
+        "batch",
+        help="optimise every program in a directory across a worker pool",
+    )
+    p_batch.add_argument("dir", help="directory of .mini/.json programs")
+    p_batch.add_argument("--jobs", type=int, default=1,
+                         help="worker processes (1: serial in-process)")
+    p_batch.add_argument("--timeout", type=float, default=None, metavar="S",
+                         help="per-item wall-clock budget in seconds")
+    p_batch.add_argument("--retries", type=int, default=0,
+                         help="extra attempts for items that error/time out")
+    p_batch.add_argument("--strategy", choices=strategies, default="lcm")
+    p_batch.add_argument("--pipeline", action="store_true",
+                         help="run the full pass pipeline per program")
+    p_batch.add_argument("--emit", choices=("table", "json"), default="table")
+    p_batch.add_argument("--keep-ir", action="store_true",
+                         help="include each optimised program's JSON IR "
+                         "in the report")
+    p_batch.set_defaults(handler=cmd_batch)
 
     p_report = sub.add_parser("report", help="strategy comparison table")
     p_report.add_argument("file")

@@ -198,14 +198,17 @@ class BitVector:
         return bin(self.bits).count("1")
 
     def indices(self) -> Iterator[int]:
-        """Yield the set bit positions in increasing order."""
+        """Yield the set bit positions in increasing order.
+
+        Jumps straight from one set bit to the next (isolate the lowest
+        set bit, locate it, clear it), so iteration costs O(popcount)
+        big-int operations instead of O(width) single-bit shifts.
+        """
         bits = self.bits
-        index = 0
         while bits:
-            if bits & 1:
-                yield index
-            bits >>= 1
-            index += 1
+            low = bits & -bits
+            yield low.bit_length() - 1
+            bits ^= low
 
     def __iter__(self) -> Iterator[int]:
         return self.indices()

@@ -2,7 +2,10 @@
 
 The arithmetic is total: division and modulo by zero yield 0 and shift
 amounts are taken modulo 64, so random programs can be executed on
-random inputs without faulting.  What the evaluation *counts* measure is
+random inputs without faulting.  Division and remainder are both
+C-style truncated (quotient rounds toward zero, remainder takes the
+sign of the dividend), so ``(a / b) * b + a % b == a`` holds for every
+sign combination with ``b != 0``.  What the evaluation *counts* measure is
 unaffected by these conventions — both the original and the transformed
 program use the same semantics, and PRE is semantics-agnostic about the
 operator's meaning.
@@ -62,7 +65,13 @@ def eval_expr(expr: Expr, env: Mapping[str, int], strict: bool = False) -> int:
             quotient = abs(left) // abs(right)
             return -quotient if (left < 0) != (right < 0) else quotient
         if op == "%":
-            return 0 if right == 0 else left % right
+            # C-style truncated remainder, total (x % 0 == 0).  Pairs
+            # with the truncating division above so that
+            # (a / b) * b + a % b == a for every sign combination.
+            if right == 0:
+                return 0
+            remainder = abs(left) % abs(right)
+            return -remainder if left < 0 else remainder
         if op == "<":
             return int(left < right)
         if op == "<=":

@@ -23,6 +23,8 @@ from repro.obs.trace import (
     deactivate,
     gauge,
     is_active,
+    merge_counters,
+    merge_summaries,
     span,
     tracing,
 )
@@ -41,6 +43,8 @@ __all__ = [
     "deactivate",
     "gauge",
     "is_active",
+    "merge_counters",
+    "merge_summaries",
     "notify_cfg_mutated",
     "span",
     "tracing",

@@ -107,6 +107,7 @@ class AnalysisManager:
         """
         if not self.enabled:
             self.stats.misses += 1
+            trace.count("cache.miss")
             return compute()
         full_key = (self.fingerprint(cfg), key)
         try:

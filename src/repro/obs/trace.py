@@ -31,7 +31,7 @@ import json
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterable, Iterator, List, Optional
 
 
 @dataclass
@@ -204,6 +204,46 @@ class Tracer:
         with open(path, "w") as handle:
             handle.write(self.to_json())
             handle.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# Summary merging.  Multi-run drivers (the batch driver, benchmark
+# sweeps) collect one Tracer.summary() / counter map per unit of work,
+# possibly in different processes, and fold them into one aggregate.
+# ---------------------------------------------------------------------------
+
+
+def merge_summaries(
+    summaries: "Iterable[Dict[str, Dict[str, Any]]]",
+) -> Dict[str, Dict[str, Any]]:
+    """Fold many :meth:`Tracer.summary` dictionaries into one.
+
+    Entries with the same key have their ``count``, ``total_ms`` and
+    every other numeric attribute summed — the same aggregation
+    :meth:`Tracer.summary` applies to individual spans, lifted to whole
+    summaries.  The inputs are not modified.
+    """
+    merged: Dict[str, Dict[str, Any]] = {}
+    for summary in summaries:
+        for key, entry in summary.items():
+            target = merged.setdefault(key, {"count": 0, "total_ms": 0.0})
+            for attr, value in entry.items():
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    continue
+                if attr == "total_ms":
+                    target[attr] = round(target.get(attr, 0.0) + value, 6)
+                else:
+                    target[attr] = target.get(attr, 0) + value
+    return merged
+
+
+def merge_counters(counter_maps: "Iterable[Dict[str, int]]") -> Dict[str, int]:
+    """Sum many counter maps (as in :attr:`Tracer.counters`) key-wise."""
+    merged: Dict[str, int] = {}
+    for counters in counter_maps:
+        for name, value in counters.items():
+            merged[name] = merged.get(name, 0) + value
+    return merged
 
 
 # ---------------------------------------------------------------------------

@@ -220,6 +220,46 @@ class TestTraceFlag:
         assert counters.get("cache.hit", 0) >= 1
 
 
+class TestBatch:
+    @pytest.fixture
+    def corpus(self, tmp_path):
+        (tmp_path / "first.mini").write_text(SOURCE)
+        (tmp_path / "second.mini").write_text("u = c * d; v = c * d;")
+        return tmp_path
+
+    def test_table_output(self, corpus):
+        code, text = invoke("batch", str(corpus))
+        assert code == 0
+        assert "first" in text and "second" in text
+        assert "ok=2" in text
+
+    def test_json_report(self, corpus):
+        code, text = invoke("batch", str(corpus), "--jobs", "2",
+                            "--emit", "json")
+        assert code == 0
+        data = json.loads(text)
+        assert data["format"] == "repro-batch-report"
+        assert data["tally"] == {"ok": 2}
+        assert [item["name"] for item in data["items"]] == ["first", "second"]
+
+    def test_failing_item_sets_exit_code_but_report_is_complete(self, corpus):
+        (corpus / "broken.mini").write_text("x = ;")
+        code, text = invoke("batch", str(corpus), "--emit", "json")
+        assert code == 1
+        data = json.loads(text)
+        assert data["tally"] == {"ok": 2, "error": 1}
+        assert len(data["items"]) == 3
+
+    def test_missing_directory_is_cli_error(self, tmp_path):
+        code, _ = invoke("batch", str(tmp_path / "nope"))
+        assert code == 2
+
+    def test_pipeline_mode(self, corpus):
+        code, text = invoke("batch", str(corpus), "--pipeline")
+        assert code == 0
+        assert "pipeline" in text
+
+
 class TestHelpers:
     def test_parse_bindings(self):
         assert _parse_bindings(["a=1", "b = -2"]) == {"a": 1, "b": -2}

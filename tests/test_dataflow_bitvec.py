@@ -1,8 +1,37 @@
 """Unit tests for bit vectors and operation counting."""
 
+import random
+
 import pytest
 
 from repro.dataflow.bitvec import BitVector, counting
+
+
+def naive_indices(vec):
+    """Reference implementation: probe every position in order."""
+    return [i for i in range(vec.width) if vec.get(i)]
+
+
+class TestIndices:
+    def test_randomized_matches_naive(self):
+        # indices() skips zero runs; it must agree with the
+        # position-by-position reference on vectors of every density.
+        rng = random.Random(97)
+        for _ in range(200):
+            width = rng.randrange(0, 260)
+            density = rng.choice([0.0, 0.02, 0.1, 0.5, 0.9, 1.0])
+            expected = [i for i in range(width) if rng.random() < density]
+            vec = BitVector.of(width, expected)
+            assert list(vec.indices()) == expected
+            assert list(vec.indices()) == naive_indices(vec)
+
+    def test_sparse_wide_vector(self):
+        vec = BitVector.of(100_000, [0, 99_999])
+        assert list(vec) == [0, 99_999]
+
+    def test_empty_and_full(self):
+        assert list(BitVector.empty(64)) == []
+        assert list(BitVector.full(7)) == list(range(7))
 
 
 class TestConstruction:

@@ -61,6 +61,50 @@ class TestEvalExpr:
             eval_expr(Var("ghost"), {}, strict=True)
 
 
+class TestTruncatedRemainder:
+    """``%`` is the C-style truncated remainder, paired with ``/``."""
+
+    @pytest.mark.parametrize(
+        "left,right,expected",
+        [
+            (7, 3, 1),
+            (-7, 3, -1),   # sign of the dividend, not Python's +2
+            (7, -3, 1),
+            (-7, -3, -1),
+            (-7, 2, -1),
+            (-6, 3, 0),
+            (0, 5, 0),
+            (5, 0, 0),     # total semantics
+            (-5, 0, 0),
+        ],
+    )
+    def test_remainder_follows_dividend_sign(self, left, right, expected):
+        expr = BinExpr("%", Const(left), Const(right))
+        assert eval_expr(expr, {}) == expected
+
+    def test_division_identity_all_sign_combinations(self):
+        # (a / b) * b + a % b == a exhaustively near zero ...
+        for a in range(-12, 13):
+            for b in range(-6, 7):
+                if b == 0:
+                    continue
+                q = eval_expr(BinExpr("/", Const(a), Const(b)), {})
+                r = eval_expr(BinExpr("%", Const(a), Const(b)), {})
+                assert q * b + r == a, (a, b, q, r)
+                assert abs(r) < abs(b), (a, b, r)
+                assert r == 0 or (r < 0) == (a < 0), (a, b, r)
+
+    def test_division_identity_randomized(self):
+        # ... and on random larger operands.
+        rng = random.Random(20260806)
+        for _ in range(500):
+            a = rng.randint(-10_000, 10_000)
+            b = rng.randint(-500, 500) or 1
+            q = eval_expr(BinExpr("/", Const(a), Const(b)), {})
+            r = eval_expr(BinExpr("%", Const(a), Const(b)), {})
+            assert q * b + r == a, (a, b, q, r)
+
+
 class TestRun:
     def test_final_environment(self):
         cfg = straight_line(["x = a + b", "y = x * 2"])

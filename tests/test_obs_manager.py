@@ -64,6 +64,20 @@ class TestMemoization:
         assert manager.stats.hits == 0 and manager.stats.misses == 2
         assert len(manager) == 0
 
+    def test_disabled_manager_traces_every_miss(self):
+        # --no-cache runs must still report their cache traffic: the
+        # disabled path bumps stats.misses AND the cache.miss counter,
+        # so traces and stats agree.
+        manager = AnalysisManager(enabled=False)
+        cfg = diamond()
+        problem = availability_problem(cfg)
+        with tracing() as tracer:
+            manager.solve(cfg, problem)
+            manager.solve(cfg, problem)
+        assert tracer.counters.get("cache.miss", 0) == 2
+        assert "cache.hit" not in tracer.counters
+        assert manager.stats.misses == tracer.counters["cache.miss"]
+
     def test_distinct_strategies_cached_separately(self):
         manager = AnalysisManager()
         cfg = diamond()

@@ -21,6 +21,16 @@ class TestFolding:
         fold_constants(cfg)
         assert cfg.block("s0").instrs[1].expr == Const(8)
 
+    def test_fold_agrees_with_runtime_on_negative_remainder(self):
+        # Folding goes through the interpreter's eval_expr, so the
+        # compile-time value of -7 % 2 must be the truncated -1 (C
+        # semantics), never Python's +1.
+        cfg = straight_line(["x = 0 - 7", "y = x % 2", "z = x / 2"])
+        fold_constants(cfg)
+        instrs = cfg.block("s0").instrs
+        assert instrs[1].expr == Const(-1)
+        assert instrs[2].expr == Const(-3)
+
     def test_input_variables_not_assumed(self):
         cfg = straight_line(["y = a * 2"])  # a is an input
         assert fold_constants(cfg) == 0
