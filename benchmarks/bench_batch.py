@@ -12,9 +12,15 @@ counts.  Two things are checked, matching the driver's contract:
 The wall-time rows (items/s, speedup over ``jobs=1``) are recorded in
 the end-of-run report tables, and the ``jobs``-max batch report is
 persisted as ``BENCH_BATCH.json`` next to ``BENCH_TRACE.json``.
+
+A second benchmark measures the persistent store (docs/CACHING.md):
+a cold run populating a fresh ``--cache-dir`` vs. a warm run over the
+same corpus, asserting the warm run does **zero solver work** (no
+memory-tier misses, therefore no solves) with bit-identical IR.
 """
 
 import os
+import tempfile
 from pathlib import Path
 
 from repro.batch import BatchConfig, items_from_dir, run_batch, WorkItem
@@ -77,3 +83,47 @@ def test_batch_throughput(benchmark):
         write_json_report(REPORT_FILENAME, reports[max(JOB_COUNTS)].to_dict())
     except OSError:
         pass  # read-only invocation dir: the artifact is best-effort
+
+
+def store_sweep(store_dir):
+    items = build_items()
+    config = BatchConfig(jobs=2, timeout=60.0, store_path=store_dir)
+    cold = run_batch(items, config)
+    assert cold.ok, cold.tally
+    warm = run_batch(items, config)
+    assert warm.ok, warm.tally
+
+    # The warm run must do zero solver work: a memory-tier miss is the
+    # only path that runs a solver, and there are none.
+    warm_stats = warm.cache_stats()
+    assert warm_stats["misses"] == 0, warm_stats
+    assert warm_stats["disk_writes"] == 0, warm_stats
+    assert warm_stats["hits"] + warm_stats["disk_hits"] > 0
+    # ... with bit-identical IR to the cold run.
+    cold_fps = [item.fingerprint for item in cold.items]
+    warm_fps = [item.fingerprint for item in warm.items]
+    assert warm_fps == cold_fps, "warm store changed the IR"
+    return cold, warm
+
+
+def test_batch_warm_store(benchmark):
+    with tempfile.TemporaryDirectory(prefix="repro-store-") as store_dir:
+        cold, warm = benchmark.pedantic(
+            store_sweep, args=(store_dir,), rounds=1, iterations=1
+        )
+        table = Table(
+            ["run", "items", "wall s", "misses", "disk hits", "disk writes"],
+            title=f"persistent store: cold vs warm over {len(cold.items)} "
+            f"programs (jobs=2, entries={warm.store['entries']})",
+        )
+        for name, report in (("cold", cold), ("warm", warm)):
+            stats = report.cache_stats()
+            table.add_row(
+                name,
+                len(report.items),
+                report.wall_time_s,
+                stats["misses"],
+                stats["disk_hits"],
+                stats["disk_writes"],
+            )
+        record_report("batch warm store", table)

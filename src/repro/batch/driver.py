@@ -21,6 +21,12 @@ with :func:`items_from_dir`, or from in-memory graphs with
   so items with identical content hit the dataflow-solution cache, and
   runs each item under its own :class:`~repro.obs.trace.Tracer` whose
   summary/counters travel back in the item record;
+* **a shared persistent cache** — with ``BatchConfig.store_path`` set,
+  every worker's manager is backed by one on-disk
+  :class:`~repro.obs.store.SolutionStore`, so identical programs
+  landing on *different* workers — or in different invocations — reuse
+  each other's solutions instead of re-solving (the CLI's
+  ``--cache-dir``; see ``docs/CACHING.md``);
 * **determinism** — results are reported in input order regardless of
   completion order, and the optimised IR per program is bit-identical
   whatever ``jobs`` is (workers share no mutable state).
@@ -57,6 +63,7 @@ from repro.batch.report import (
 from repro.ir.cfg import CFG
 from repro.obs.fingerprint import cfg_fingerprint
 from repro.obs.manager import AnalysisManager
+from repro.obs.store import SolutionStore
 from repro.obs.trace import Tracer, tracing
 
 #: File suffixes a corpus directory is scanned for.
@@ -136,6 +143,10 @@ class BatchConfig:
         retries: extra attempts for items that error or time out.
         cache: whether worker analysis managers memoize (the CLI's
             ``--no-cache`` turns this off).
+        store_path: directory of a shared on-disk
+            :class:`~repro.obs.store.SolutionStore` every worker's
+            manager consults and writes through (None: memory-only).
+            Safe to share across concurrent batches and invocations.
         keep_ir: carry the optimised program (serialised JSON) in each
             ok item record — bulky, but what differential checks need.
     """
@@ -146,6 +157,7 @@ class BatchConfig:
     timeout: Optional[float] = None
     retries: int = 0
     cache: bool = True
+    store_path: Optional[str] = None
     keep_ir: bool = False
 
 
@@ -158,10 +170,16 @@ class BatchConfig:
 _WORKER_MANAGER: Optional[AnalysisManager] = None
 
 
-def _init_worker(cache_enabled: bool) -> None:
-    """Pool initializer: create this process's warm analysis manager."""
+def _init_worker(cache_enabled: bool, store_path: Optional[str] = None) -> None:
+    """Pool initializer: create this process's warm analysis manager.
+
+    With *store_path*, the manager gets the shared on-disk tier — each
+    worker opens its own :class:`SolutionStore` handle on the common
+    directory (the store's atomic writes make that safe).
+    """
     global _WORKER_MANAGER
-    _WORKER_MANAGER = AnalysisManager(enabled=cache_enabled)
+    store = SolutionStore(store_path) if store_path else None
+    _WORKER_MANAGER = AnalysisManager(enabled=cache_enabled, store=store)
 
 
 class _ItemTimeout(Exception):
@@ -210,10 +228,13 @@ def _run_item(index: int, item: WorkItem, config: BatchConfig) -> ItemResult:
     """Execute one work item; never raises — every outcome is a record."""
     global _WORKER_MANAGER
     if _WORKER_MANAGER is None:  # pool without initializer (not ours)
-        _init_worker(config.cache)
+        _init_worker(config.cache, config.store_path)
     manager = _WORKER_MANAGER
     hits_before = manager.stats.hits
     misses_before = manager.stats.misses
+    disk_hits_before = manager.stats.disk_hits
+    disk_misses_before = manager.stats.disk_misses
+    disk_writes_before = manager.stats.disk_writes
 
     tracer = Tracer()
     use_alarm = config.timeout is not None and hasattr(signal, "SIGALRM")
@@ -252,6 +273,9 @@ def _run_item(index: int, item: WorkItem, config: BatchConfig) -> ItemResult:
         cache={
             "hits": manager.stats.hits - hits_before,
             "misses": manager.stats.misses - misses_before,
+            "disk_hits": manager.stats.disk_hits - disk_hits_before,
+            "disk_misses": manager.stats.disk_misses - disk_misses_before,
+            "disk_writes": manager.stats.disk_writes - disk_writes_before,
         },
         counters=dict(tracer.counters),
         summary=tracer.summary(),
@@ -285,7 +309,7 @@ def _lost_worker_record(index: int, item: WorkItem, exc: BaseException,
 
 
 def _run_serial(items: Sequence[WorkItem], config: BatchConfig) -> List[ItemResult]:
-    _init_worker(config.cache)
+    _init_worker(config.cache, config.store_path)
     results = []
     for index, item in enumerate(items):
         record = _run_item(index, item, config)
@@ -305,7 +329,7 @@ def _run_pooled(items: Sequence[WorkItem], config: BatchConfig,
     with ProcessPoolExecutor(
         max_workers=jobs,
         initializer=_init_worker,
-        initargs=(config.cache,),
+        initargs=(config.cache, config.store_path),
     ) as pool:
 
         def submit(index: int) -> Tuple:
@@ -351,10 +375,14 @@ def run_batch(
     else:
         results = _run_pooled(items, config, min(jobs, len(items)))
     wall = time.perf_counter() - start
+    store_stats = (
+        SolutionStore(config.store_path).stats() if config.store_path else None
+    )
     return BatchReport(
         items=results,
         jobs=jobs,
         wall_time_s=wall,
         pass_=config.pass_,
         pipeline=config.pipeline,
+        store=store_stats,
     )

@@ -52,8 +52,9 @@ class ItemResult:
             was configured with ``keep_ir`` (``None`` otherwise).
         static_before / static_after: operator-expression counts of the
             input and optimised graphs.
-        cache: the worker manager's ``{"hits", "misses"}`` delta for
-            this item.
+        cache: the worker manager's per-tier delta for this item:
+            ``{"hits", "misses", "disk_hits", "disk_misses",
+            "disk_writes"}`` (disk fields are 0 without a store).
         counters: the item's trace counters (``cache.hit`` …).
         summary: the item's :meth:`~repro.obs.trace.Tracer.summary`.
         pid: the worker process id (useful when auditing pool spread).
@@ -117,6 +118,9 @@ class BatchReport:
     wall_time_s: float
     pass_: str = "lcm"
     pipeline: bool = False
+    #: `SolutionStore.stats()` of the shared on-disk cache after the
+    #: run, when the batch was configured with a ``store_path``.
+    store: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -142,20 +146,30 @@ class BatchReport:
         return merge_summaries(item.summary for item in self.items)
 
     def cache_stats(self) -> Dict[str, Any]:
-        """Batch-wide cache traffic: hits, misses and the hit rate."""
+        """Batch-wide cache traffic per tier, plus the overall hit rate.
+
+        ``hit_rate`` counts a lookup served by *either* tier as a hit —
+        the fraction of lookups that did no solver work.
+        """
         hits = sum(item.cache.get("hits", 0) for item in self.items)
         misses = sum(item.cache.get("misses", 0) for item in self.items)
-        lookups = hits + misses
+        disk_hits = sum(item.cache.get("disk_hits", 0) for item in self.items)
+        disk_misses = sum(item.cache.get("disk_misses", 0) for item in self.items)
+        disk_writes = sum(item.cache.get("disk_writes", 0) for item in self.items)
+        lookups = hits + disk_hits + misses
         return {
             "hits": hits,
             "misses": misses,
-            "hit_rate": round(hits / lookups, 4) if lookups else 0.0,
+            "disk_hits": disk_hits,
+            "disk_misses": disk_misses,
+            "disk_writes": disk_writes,
+            "hit_rate": round((hits + disk_hits) / lookups, 4) if lookups else 0.0,
         }
 
     # -- export ---------------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "format": "repro-batch-report",
             "version": 1,
             "pass": self.pass_,
@@ -169,6 +183,9 @@ class BatchReport:
             "summary": self.merged_summary(),
             "items": [item.to_dict() for item in self.items],
         }
+        if self.store is not None:
+            payload["store"] = dict(self.store)
+        return payload
 
     def to_json(self, indent: Optional[int] = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
@@ -203,4 +220,9 @@ class BatchReport:
             f"wall {self.wall_time_s:.3f}s  {tally}  "
             f"cache hit rate {cache['hit_rate']:.0%}"
         )
+        if self.store is not None:
+            footer += (
+                f"  disk hits {cache['disk_hits']}  "
+                f"store entries {self.store.get('entries', 0)}"
+            )
         return f"{table.render()}\n{footer}"

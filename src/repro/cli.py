@@ -14,6 +14,8 @@ Usage (also via ``python -m repro``)::
     repro batch tests/corpus --jobs 4        # whole-corpus parallel driver
     repro --trace out.json opt prog.mini     # + JSON trace of all analyses
     repro --no-cache audit prog.mini --full  # disable solution memoization
+    repro --cache-dir .repro-cache opt p.mini   # persistent on-disk cache
+    repro cache stats --cache-dir .repro-cache  # inspect / gc / clear it
 
 Input files hold mini-language source (see :mod:`repro.lang`); files
 ending in ``.json`` are read as serialised CFGs instead.
@@ -22,6 +24,7 @@ ending in ``.json`` are read as serialised CFGs instead.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Dict, List, Optional, Sequence
 
@@ -38,6 +41,7 @@ from repro.ir.pretty import pretty_cfg
 from repro.ir.serialize import cfg_from_json, cfg_to_json
 from repro.lang import compile_program
 from repro.obs.manager import AnalysisManager
+from repro.obs.store import SolutionStore
 from repro.obs.trace import Tracer, activate, deactivate
 from repro.passes import standard_pipeline
 
@@ -193,6 +197,7 @@ def cmd_batch(args, out) -> int:
         timeout=args.timeout,
         retries=args.retries,
         cache=not args.no_cache,
+        store_path=args.cache_dir,
         keep_ir=args.keep_ir,
     )
     report = run_batch(items, config)
@@ -209,6 +214,50 @@ def cmd_batch(args, out) -> int:
         )
         return 1
     return 0
+
+
+def cmd_cache(args, out) -> int:
+    if not args.cache_dir:
+        raise CliError(
+            "cache needs a store directory; pass --cache-dir DIR"
+        )
+    store = SolutionStore(args.cache_dir)
+    if args.action == "stats":
+        stats = store.stats()
+        if args.emit == "json":
+            print(json.dumps(stats, indent=2), file=out)
+        else:
+            print(f"store        : {stats['path']}", file=out)
+            print(f"code version : {stats['code_version']}", file=out)
+            print(
+                f"entries      : {stats['entries']} "
+                f"({stats['bytes']} bytes)",
+                file=out,
+            )
+            print(
+                f"stale entries: {stats['stale_entries']} "
+                f"({stats['stale_bytes']} bytes, other code versions; "
+                f"reclaim with `repro cache gc`)",
+                file=out,
+            )
+        return 0
+    if args.action == "gc":
+        removed = store.gc()
+        print(
+            f"gc: removed {removed['removed_entries']} stale entries, "
+            f"reclaimed {removed['reclaimed_bytes']} bytes",
+            file=out,
+        )
+        return 0
+    if args.action == "clear":
+        removed = store.clear()
+        print(
+            f"clear: removed {removed['removed_entries']} entries, "
+            f"reclaimed {removed['reclaimed_bytes']} bytes",
+            file=out,
+        )
+        return 0
+    raise CliError(f"unknown cache action {args.action!r}")
 
 
 def cmd_report(args, out) -> int:
@@ -242,6 +291,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache",
         action="store_true",
         help="disable the AnalysisManager memoization of dataflow solutions",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="directory of a persistent, shareable on-disk solution store "
+        "consulted before solving and written through on misses "
+        "(see docs/CACHING.md)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -296,7 +353,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_batch.add_argument("--keep-ir", action="store_true",
                          help="include each optimised program's JSON IR "
                          "in the report")
+    # Accepted after the subcommand too (`repro batch DIR --cache-dir X`);
+    # SUPPRESS keeps an omitted flag from clobbering the global value.
+    p_batch.add_argument("--cache-dir", metavar="DIR",
+                         default=argparse.SUPPRESS,
+                         help="shared on-disk solution store for all workers")
     p_batch.set_defaults(handler=cmd_batch)
+
+    p_cache = sub.add_parser(
+        "cache",
+        help="inspect or maintain an on-disk solution store",
+    )
+    p_cache.add_argument("action", choices=("stats", "gc", "clear"),
+                         help="stats: entry/size summary; gc: drop entries "
+                         "of other code versions; clear: drop everything")
+    p_cache.add_argument("--cache-dir", metavar="DIR",
+                         default=argparse.SUPPRESS,
+                         help="the store directory (also accepted globally)")
+    p_cache.add_argument("--emit", choices=("text", "json"), default="text")
+    p_cache.set_defaults(handler=cmd_cache)
 
     p_report = sub.add_parser("report", help="strategy comparison table")
     p_report.add_argument("file")
@@ -313,7 +388,12 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     args = parser.parse_args(argv)
     # A disabled manager (not None): handlers that default a missing
     # manager to a fresh one must stay uncached under --no-cache.
-    args.manager = AnalysisManager(enabled=not args.no_cache)
+    store = (
+        SolutionStore(args.cache_dir)
+        if args.cache_dir and not args.no_cache
+        else None
+    )
+    args.manager = AnalysisManager(enabled=not args.no_cache, store=store)
     tracer = Tracer() if args.trace else None
     if tracer is not None:
         activate(tracer)

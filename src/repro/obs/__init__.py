@@ -8,10 +8,13 @@ The cross-cutting layer behind the reproduction's cost claims:
   cache key;
 * :mod:`repro.obs.manager` — the :class:`AnalysisManager`, which
   memoizes dataflow solutions and analysis bundles and is invalidated
-  through :func:`notify_cfg_mutated` when graphs mutate in place.
+  through :func:`notify_cfg_mutated` when graphs mutate in place;
+* :mod:`repro.obs.store` — the :class:`SolutionStore`, a
+  content-addressed on-disk second tier shared across processes and
+  invocations (what makes the batch cache persistent).
 
-See ``docs/OBSERVABILITY.md`` for the trace schema, the span-name
-inventory and the cache-invalidation rules.
+See ``docs/OBSERVABILITY.md`` for the trace schema and span-name
+inventory, and ``docs/CACHING.md`` for the two-tier cache story.
 """
 
 from repro.obs.trace import (
@@ -30,10 +33,12 @@ from repro.obs.trace import (
 )
 from repro.obs.fingerprint import cfg_fingerprint
 from repro.obs.manager import AnalysisManager, CacheStats, notify_cfg_mutated
+from repro.obs.store import SolutionStore, default_code_version
 
 __all__ = [
     "AnalysisManager",
     "CacheStats",
+    "SolutionStore",
     "SpanEvent",
     "Tracer",
     "activate",
@@ -41,6 +46,7 @@ __all__ = [
     "count",
     "current",
     "deactivate",
+    "default_code_version",
     "gauge",
     "is_active",
     "merge_counters",

@@ -23,10 +23,21 @@ dropped by invalidation: they stay valid for any graph that hashes to
 their fingerprint; invalidation only forces the fingerprint itself to
 be recomputed.
 
+A manager can additionally be given a
+:class:`~repro.obs.store.SolutionStore`, which turns the cache into two
+tiers: in-memory hit first, then disk, then solve-and-write.  The disk
+tier is shared across processes and invocations (batch workers point at
+one ``--cache-dir``); a disk hit is promoted into the memory tier, so
+repeated lookups pay the deserialisation once.  Values the store has no
+codec for stay memory-only — the disk tier is transparent, never
+load-bearing.
+
 Cache traffic is observable: hits, misses and invalidations bump the
 ``cache.hit`` / ``cache.miss`` / ``cache.invalidate`` counters on the
-installed tracer (see :mod:`repro.obs.trace`) and are tallied in
-:attr:`AnalysisManager.stats`.
+installed tracer (see :mod:`repro.obs.trace`), the disk tier bumps
+``cache.disk.hit`` / ``cache.disk.miss`` / ``cache.disk.write``, and
+both tiers are tallied separately in :attr:`AnalysisManager.stats` —
+so ``repro cache stats``, batch reports and trace counters agree.
 """
 
 from __future__ import annotations
@@ -55,19 +66,34 @@ def notify_cfg_mutated(cfg: CFG) -> None:
 
 @dataclass
 class CacheStats:
-    """Hit/miss/invalidation tallies for one manager."""
+    """Hit/miss/invalidation tallies for one manager, split by tier.
+
+    ``hits`` are in-memory hits and ``misses`` are full misses (the
+    solver actually ran); the disk tier is counted separately so batch
+    reports and ``repro cache stats`` can tell "served from a previous
+    process" apart from "already warm in this one":
+
+    * ``disk_hits`` — lookups served by deserialising a store entry;
+    * ``disk_misses`` — lookups where the store was consulted and had
+      nothing usable (every full miss with a store attached);
+    * ``disk_writes`` — solutions persisted after a full miss.
+    """
 
     hits: int = 0
     misses: int = 0
     invalidations: int = 0
+    disk_hits: int = 0
+    disk_misses: int = 0
+    disk_writes: int = 0
 
     @property
     def lookups(self) -> int:
-        return self.hits + self.misses
+        return self.hits + self.disk_hits + self.misses
 
     @property
     def hit_rate(self) -> float:
-        return self.hits / self.lookups if self.lookups else 0.0
+        """Fraction of lookups served without solving (either tier)."""
+        return (self.hits + self.disk_hits) / self.lookups if self.lookups else 0.0
 
 
 class AnalysisManager:
@@ -75,11 +101,16 @@ class AnalysisManager:
 
     Args:
         enabled: with False, every lookup recomputes (the CLI's
-            ``--no-cache``); stats still record the misses.
+            ``--no-cache``); stats still record the misses, and the
+            disk tier is bypassed entirely.
+        store: an optional :class:`~repro.obs.store.SolutionStore`
+            consulted between the memory tier and a fresh solve, and
+            written through on misses (the CLI's ``--cache-dir``).
     """
 
-    def __init__(self, enabled: bool = True) -> None:
+    def __init__(self, enabled: bool = True, store=None) -> None:
         self.enabled = enabled
+        self.store = store
         self.stats = CacheStats()
         self._store: Dict[Tuple[str, str], Any] = {}
         self._fingerprints: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
@@ -101,25 +132,39 @@ class AnalysisManager:
     def cached(self, cfg: CFG, key: str, compute: Callable[[], Any]) -> Any:
         """Return the memoized value for (*cfg* content, *key*).
 
-        On a miss, runs *compute* and stores its result.  The stored
-        object is returned as-is on later hits — callers must treat it
-        as immutable.
+        Tiers, in order: memory, then the attached disk store (a hit is
+        promoted into memory), then *compute* — whose result goes into
+        memory and, when the store has a codec for it, onto disk.  The
+        stored object is returned as-is on later hits — callers must
+        treat it as immutable.
         """
         if not self.enabled:
             self.stats.misses += 1
             trace.count("cache.miss")
             return compute()
-        full_key = (self.fingerprint(cfg), key)
+        fingerprint = self.fingerprint(cfg)
+        full_key = (fingerprint, key)
         try:
             value = self._store[full_key]
         except KeyError:
-            self.stats.misses += 1
-            trace.count("cache.miss")
-            value = compute()
-            self._store[full_key] = value
+            pass
+        else:
+            self.stats.hits += 1
+            trace.count("cache.hit")
             return value
-        self.stats.hits += 1
-        trace.count("cache.hit")
+        if self.store is not None:
+            value = self.store.load(fingerprint, key, cfg=cfg)
+            if value is not None:
+                self.stats.disk_hits += 1
+                self._store[full_key] = value
+                return value
+            self.stats.disk_misses += 1
+        self.stats.misses += 1
+        trace.count("cache.miss")
+        value = compute()
+        self._store[full_key] = value
+        if self.store is not None and self.store.save(fingerprint, key, value):
+            self.stats.disk_writes += 1
         return value
 
     def solve(self, cfg: CFG, problem, strategy: str = "round-robin"):

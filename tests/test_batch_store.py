@@ -1,0 +1,105 @@
+"""Batch driver × persistent store: the cross-process guarantees.
+
+Pins the concurrency story documented in docs/CACHING.md: concurrent
+batch runs sharing one store directory end with exactly one valid
+entry per unique ``(fingerprint, key)`` — no torn or duplicate
+writes — and a store full of corrupted entries degrades to a cold run,
+never a failed one.
+"""
+
+import json
+import multiprocessing
+import os
+
+from repro.batch import BatchConfig, items_from_dir, run_batch
+from repro.obs.store import (
+    ENTRY_FORMAT,
+    STORE_FORMAT_VERSION,
+    SolutionStore,
+    default_code_version,
+)
+
+CORPUS = os.path.join(os.path.dirname(__file__), "corpus")
+
+
+def entry_files(root):
+    return [
+        p
+        for p in root.rglob("*.json")
+        if p.is_file() and not p.name.startswith(".tmp-")
+    ]
+
+
+def _run_batch_into(store_dir, jobs):
+    report = run_batch(
+        items_from_dir(CORPUS),
+        BatchConfig(jobs=jobs, store_path=str(store_dir)),
+    )
+    if not report.ok:
+        raise AssertionError(f"batch failed: {report.tally}")
+
+
+class TestConcurrentWriters:
+    def test_single_valid_entry_per_key(self, tmp_path):
+        # Two whole batch processes (each with its own worker pool)
+        # race over the same corpus and the same store directory.
+        ctx = multiprocessing.get_context()
+        procs = [
+            ctx.Process(target=_run_batch_into, args=(tmp_path, 2))
+            for _ in range(2)
+        ]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=120)
+            assert proc.exitcode == 0
+
+        files = entry_files(tmp_path)
+        assert files
+        seen = set()
+        for path in files:
+            document = json.loads(path.read_text())  # parses: not torn
+            assert document["format"] == ENTRY_FORMAT
+            assert document["version"] == STORE_FORMAT_VERSION
+            assert document["code_version"] == default_code_version()
+            assert isinstance(document["payload"], dict)
+            seen.add((document["fingerprint"], document["key"]))
+        assert len(seen) == len(files)  # no duplicates
+        assert len(SolutionStore(tmp_path)) == len(files)
+
+    def test_second_run_is_all_hits(self, tmp_path):
+        items = items_from_dir(CORPUS)
+        config = BatchConfig(jobs=1, store_path=str(tmp_path))
+        cold = run_batch(items, config)
+        warm = run_batch(items, config)
+        assert warm.ok
+
+        cold_stats, warm_stats = cold.cache_stats(), warm.cache_stats()
+        assert cold_stats["disk_writes"] > 0
+        assert warm_stats["misses"] == 0 and warm_stats["disk_writes"] == 0
+        assert warm_stats["hits"] + warm_stats["disk_hits"] > 0
+        assert [i.fingerprint for i in warm.items] == [
+            i.fingerprint for i in cold.items
+        ]
+        assert warm.store["entries"] == cold.store["entries"]
+
+
+class TestCorruptedStore:
+    def test_batch_falls_through_and_heals(self, tmp_path):
+        items = items_from_dir(CORPUS)
+        config = BatchConfig(jobs=1, store_path=str(tmp_path))
+        cold = run_batch(items, config)
+        for path in entry_files(tmp_path):
+            path.write_bytes(b"\x00 torn mid-write")
+
+        recovered = run_batch(items, config)
+        assert recovered.ok, recovered.tally
+        assert recovered.merged_counters().get("cache.disk.corrupt", 0) > 0
+        assert recovered.cache_stats()["disk_hits"] == 0
+        assert [i.fingerprint for i in recovered.items] == [
+            i.fingerprint for i in cold.items
+        ]
+        # The re-solves rewrote every entry: a third run hits clean.
+        healed = run_batch(items, config)
+        assert healed.cache_stats()["misses"] == 0
+        assert healed.merged_counters().get("cache.disk.corrupt", 0) == 0

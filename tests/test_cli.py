@@ -260,6 +260,96 @@ class TestBatch:
         assert "pipeline" in text
 
 
+class TestCacheDir:
+    @pytest.fixture
+    def corpus(self, tmp_path):
+        root = tmp_path / "corpus"
+        root.mkdir()
+        (root / "first.mini").write_text(SOURCE)
+        (root / "second.mini").write_text("u = c * d; v = c * d;")
+        return root
+
+    def test_warm_second_batch_reports_disk_hits(self, corpus, tmp_path):
+        cache = str(tmp_path / "cache")
+        code, cold = invoke("batch", str(corpus), "--cache-dir", cache,
+                            "--emit", "json")
+        assert code == 0
+        cold_data = json.loads(cold)
+        assert cold_data["cache"]["disk_writes"] > 0
+        assert cold_data["store"]["entries"] > 0
+
+        code, warm = invoke("batch", str(corpus), "--cache-dir", cache,
+                            "--emit", "json")
+        assert code == 0
+        warm_data = json.loads(warm)
+        assert warm_data["cache"]["misses"] == 0
+        assert warm_data["cache"]["disk_hits"] > 0
+        assert [i["fingerprint"] for i in warm_data["items"]] == [
+            i["fingerprint"] for i in cold_data["items"]
+        ]
+
+    def test_global_flag_position_also_works(self, corpus, tmp_path):
+        cache = str(tmp_path / "cache")
+        code, _ = invoke("--cache-dir", cache, "batch", str(corpus))
+        assert code == 0
+        code, text = invoke("--cache-dir", cache, "batch", str(corpus))
+        assert code == 0
+        assert "disk hits" in text  # table footer shows store traffic
+
+    def test_opt_uses_the_store(self, prog, tmp_path):
+        cache = str(tmp_path / "cache")
+        code, _ = invoke("--cache-dir", cache, "opt", prog)
+        assert code == 0
+        code, text = invoke("cache", "stats", "--cache-dir", cache)
+        assert code == 0
+        assert "entries" in text
+
+    def test_no_cache_wins_over_cache_dir(self, prog, tmp_path):
+        cache = str(tmp_path / "cache")
+        code, _ = invoke("--no-cache", "--cache-dir", cache, "opt", prog)
+        assert code == 0
+        code, text = invoke("cache", "stats", "--cache-dir", cache,
+                            "--emit", "json")
+        assert code == 0
+        assert json.loads(text)["entries"] == 0
+
+
+class TestCacheSubcommand:
+    def seed(self, tmp_path, prog):
+        cache = str(tmp_path / "cache")
+        code, _ = invoke("--cache-dir", cache, "opt", prog)
+        assert code == 0
+        return cache
+
+    def test_stats_text_and_json(self, prog, tmp_path):
+        cache = self.seed(tmp_path, prog)
+        code, text = invoke("cache", "stats", "--cache-dir", cache)
+        assert code == 0
+        assert cache in text and "code version" in text
+
+        code, text = invoke("cache", "stats", "--cache-dir", cache,
+                            "--emit", "json")
+        assert code == 0
+        data = json.loads(text)
+        assert data["entries"] > 0 and data["stale_entries"] == 0
+
+    def test_gc_and_clear(self, prog, tmp_path):
+        cache = self.seed(tmp_path, prog)
+        code, text = invoke("cache", "gc", "--cache-dir", cache)
+        assert code == 0
+        assert "removed 0" in text  # nothing stale yet
+
+        code, text = invoke("cache", "clear", "--cache-dir", cache)
+        assert code == 0
+        code, text = invoke("cache", "stats", "--cache-dir", cache,
+                            "--emit", "json")
+        assert json.loads(text)["entries"] == 0
+
+    def test_requires_cache_dir(self):
+        code, _ = invoke("cache", "stats")
+        assert code == 2
+
+
 class TestHelpers:
     def test_parse_bindings(self):
         assert _parse_bindings(["a=1", "b = -2"]) == {"a": 1, "b": -2}

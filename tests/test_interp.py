@@ -105,6 +105,61 @@ class TestTruncatedRemainder:
             assert q * b + r == a, (a, b, q, r)
 
 
+class TestShiftSemantics:
+    """The fixed-width shift story pinned (see docs/LANGUAGE.md):
+    unbounded values, amounts taken modulo 64 into 0..63, arithmetic
+    right shift, and no result wrapping."""
+
+    @pytest.mark.parametrize(
+        "op,left,right,expected",
+        [
+            ("<<", 1, 64, 1),      # amount mod 64
+            ("<<", 1, 67, 8),
+            ("<<", 1, 128, 1),
+            (">>", 256, 64, 256),
+            (">>", 256, 66, 64),
+            ("<<", 3, 0, 3),
+        ],
+    )
+    def test_amounts_reduce_mod_64(self, op, left, right, expected):
+        assert eval_expr(BinExpr(op, Const(left), Const(right)), {}) == expected
+
+    def test_negative_amounts_map_into_range(self):
+        # Python's floored %: (-1) % 64 == 63, so x << -1 == x << 63.
+        assert eval_expr(BinExpr("<<", Const(1), Const(-1)), {}) == 1 << 63
+        assert eval_expr(BinExpr("<<", Const(1), Const(-63)), {}) == 2
+        assert eval_expr(BinExpr(">>", Const(1 << 63), Const(-1)), {}) == 1
+
+    @pytest.mark.parametrize(
+        "left,right,expected",
+        [
+            (-8, 1, -4),   # sign-preserving
+            (-1, 5, -1),   # saturates at -1, never 0
+            (-1, 63, -1),
+            (7, 1, 3),     # floors toward -inf on positives too
+            (-7, 1, -4),
+        ],
+    )
+    def test_right_shift_is_arithmetic(self, left, right, expected):
+        assert eval_expr(BinExpr(">>", Const(left), Const(right)), {}) == expected
+
+    def test_left_shift_never_wraps(self):
+        # Values are unbounded: 1 << 63 << ... grows, never truncates.
+        huge = eval_expr(BinExpr("<<", Const(1 << 62), Const(2)), {})
+        assert huge == 1 << 64
+
+    def test_round_trip_identity(self):
+        # Because results never wrap, (x << k) >> k == x for every x
+        # and every amount — false under true 64-bit semantics.
+        rng = random.Random(19920617)
+        for _ in range(300):
+            x = rng.randint(-(10**9), 10**9)
+            k = rng.randint(-130, 130)
+            shifted = eval_expr(BinExpr("<<", Const(x), Const(k)), {})
+            back = eval_expr(BinExpr(">>", Const(shifted), Const(k)), {})
+            assert back == x, (x, k)
+
+
 class TestRun:
     def test_final_environment(self):
         cfg = straight_line(["x = a + b", "y = x * 2"])

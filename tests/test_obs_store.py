@@ -1,0 +1,252 @@
+"""Tests for the persistent solution store (the disk cache tier).
+
+Covers the codec roundtrips, the two-tier manager flow, corruption
+handling, ``code_version`` invalidation and the maintenance operations
+documented in docs/CACHING.md.
+"""
+
+import json
+
+import pytest
+
+from tests.helpers import diamond, do_while_invariant
+
+from repro.analysis.liveness import compute_liveness
+from repro.analysis.local import compute_local_properties
+from repro.core.lcm import analyze_lcm
+from repro.core.pipeline import optimize
+from repro.dataflow.problem import DataflowProblem, GenKillTransfer
+from repro.dataflow.solver import solve
+from repro.obs.fingerprint import cfg_fingerprint
+from repro.obs.manager import AnalysisManager
+from repro.obs.store import SolutionStore, default_code_version
+from repro.obs.trace import tracing
+
+
+def availability_problem(cfg):
+    local = compute_local_properties(cfg)
+    return DataflowProblem.forward_intersect(
+        "avail",
+        local.universe.width,
+        GenKillTransfer(gen=local.comp, keep=local.transp),
+    )
+
+
+def entry_files(root):
+    return [
+        p
+        for p in root.rglob("*.json")
+        if p.is_file() and not p.name.startswith(".tmp-")
+    ]
+
+
+class TestRoundtrips:
+    def test_solution_roundtrip(self, tmp_path):
+        cfg = diamond()
+        fp = cfg_fingerprint(cfg)
+        solution = solve(cfg, availability_problem(cfg))
+        store = SolutionStore(tmp_path)
+        assert store.save(fp, "solve:avail:w2:round-robin", solution)
+
+        loaded = SolutionStore(tmp_path).load(
+            fp, "solve:avail:w2:round-robin", cfg=cfg
+        )
+        assert loaded is not None and loaded is not solution
+        assert loaded.problem == solution.problem
+        assert {l: v.bits for l, v in loaded.inof.items()} == {
+            l: v.bits for l, v in solution.inof.items()
+        }
+        assert {l: v.bits for l, v in loaded.outof.items()} == {
+            l: v.bits for l, v in solution.outof.items()
+        }
+
+    def test_lcm_analysis_roundtrip(self, tmp_path):
+        cfg = diamond()
+        fp = cfg_fingerprint(cfg)
+        analysis = analyze_lcm(cfg)
+        store = SolutionStore(tmp_path)
+        assert store.save(fp, "lcm.analysis", analysis)
+
+        loaded = SolutionStore(tmp_path).load(fp, "lcm.analysis", cfg=cfg)
+        assert loaded is not None
+        assert list(loaded.local.universe) == list(analysis.local.universe)
+        for name in ("antin", "avout", "laterin", "delete"):
+            got, want = getattr(loaded, name), getattr(analysis, name)
+            assert {l: v.bits for l, v in got.items()} == {
+                l: v.bits for l, v in want.items()
+            }, name
+        for name in ("earliest", "later", "insert"):
+            got, want = getattr(loaded, name), getattr(analysis, name)
+            assert {e: v.bits for e, v in got.items()} == {
+                e: v.bits for e, v in want.items()
+            }, name
+
+    def test_liveness_roundtrip(self, tmp_path):
+        cfg = do_while_invariant()
+        fp = cfg_fingerprint(cfg)
+        liveness = compute_liveness(cfg)
+        store = SolutionStore(tmp_path)
+        assert store.save(fp, "liveness", liveness)
+
+        loaded = SolutionStore(tmp_path).load(fp, "liveness", cfg=cfg)
+        assert loaded is not None
+        assert loaded.variables == liveness.variables
+        for label in liveness.livein:
+            assert loaded.live_in(label) == liveness.live_in(label)
+            assert loaded.live_out(label) == liveness.live_out(label)
+
+    def test_unsupported_values_stay_memory_only(self, tmp_path):
+        store = SolutionStore(tmp_path)
+        assert not store.save("f" * 64, "krs.analysis", {"not": "a codec kind"})
+        assert len(store) == 0
+
+
+class TestTwoTierManager:
+    def test_warm_store_does_zero_solver_work(self, tmp_path):
+        cold = AnalysisManager(store=SolutionStore(tmp_path))
+        first = optimize(diamond(), "lcm", manager=cold)
+        assert cold.stats.misses > 0 and cold.stats.disk_writes > 0
+
+        warm = AnalysisManager(store=SolutionStore(tmp_path))
+        second = optimize(diamond(), "lcm", manager=warm)
+        assert warm.stats.misses == 0
+        assert warm.stats.disk_hits > 0 and warm.stats.disk_writes == 0
+        assert cfg_fingerprint(second.cfg) == cfg_fingerprint(first.cfg)
+
+    def test_disk_traffic_has_its_own_counters(self, tmp_path):
+        with tracing() as tracer:
+            manager = AnalysisManager(store=SolutionStore(tmp_path))
+            optimize(diamond(), "lcm", manager=manager)
+        assert tracer.counters["cache.miss"] == manager.stats.misses
+        assert tracer.counters["cache.disk.write"] == manager.stats.disk_writes
+        assert tracer.counters["cache.disk.miss"] == manager.stats.disk_misses
+
+        with tracing() as tracer:
+            warm = AnalysisManager(store=SolutionStore(tmp_path))
+            optimize(diamond(), "lcm", manager=warm)
+        assert tracer.counters["cache.disk.hit"] == warm.stats.disk_hits
+        assert "cache.miss" not in tracer.counters
+
+    def test_disk_hit_promotes_into_memory(self, tmp_path):
+        seed = AnalysisManager(store=SolutionStore(tmp_path))
+        optimize(diamond(), "lcm", manager=seed)
+
+        warm = AnalysisManager(store=SolutionStore(tmp_path))
+        optimize(diamond(), "lcm", manager=warm)
+        after_first = warm.stats.disk_hits
+        optimize(diamond(), "lcm", manager=warm)
+        assert warm.stats.disk_hits == after_first  # second run is all-memory
+        assert warm.stats.misses == 0
+
+    def test_disabled_manager_bypasses_the_store(self, tmp_path):
+        manager = AnalysisManager(enabled=False, store=SolutionStore(tmp_path))
+        optimize(diamond(), "lcm", manager=manager)
+        assert len(SolutionStore(tmp_path)) == 0
+        assert manager.stats.disk_writes == 0
+
+    def test_stats_split_by_tier(self, tmp_path):
+        manager = AnalysisManager(store=SolutionStore(tmp_path))
+        optimize(diamond(), "lcm", manager=manager)
+        stats = manager.stats
+        assert stats.lookups == stats.hits + stats.disk_hits + stats.misses
+        assert 0.0 <= stats.hit_rate <= 1.0
+
+
+class TestCorruption:
+    def test_corrupt_entry_is_a_miss_and_heals(self, tmp_path):
+        seed = AnalysisManager(store=SolutionStore(tmp_path))
+        optimize(diamond(), "lcm", manager=seed)
+        files = entry_files(tmp_path)
+        assert files
+        for path in files:
+            path.write_text("{definitely not json")
+
+        with tracing() as tracer:
+            manager = AnalysisManager(store=SolutionStore(tmp_path))
+            result = optimize(diamond(), "lcm", manager=manager)
+        assert result.cfg is not None
+        assert tracer.counters.get("cache.disk.corrupt", 0) > 0
+        assert manager.stats.disk_hits == 0 and manager.stats.misses > 0
+        # The re-solve wrote the entries back: every file decodes again.
+        healed = AnalysisManager(store=SolutionStore(tmp_path))
+        optimize(diamond(), "lcm", manager=healed)
+        assert healed.stats.misses == 0 and healed.stats.disk_hits > 0
+
+    def test_wrong_header_fields_are_misses(self, tmp_path):
+        cfg = diamond()
+        fp = cfg_fingerprint(cfg)
+        store = SolutionStore(tmp_path)
+        store.save(fp, "liveness", compute_liveness(cfg))
+        (path,) = entry_files(tmp_path)
+        doc = json.loads(path.read_text())
+        doc["fingerprint"] = "0" * 64
+        path.write_text(json.dumps(doc))
+        assert SolutionStore(tmp_path).load(fp, "liveness", cfg=cfg) is None
+
+
+class TestCodeVersion:
+    def test_other_version_entries_are_invisible(self, tmp_path):
+        cfg = diamond()
+        fp = cfg_fingerprint(cfg)
+        old = SolutionStore(tmp_path, code_version="0.9.0-f1")
+        assert old.save(fp, "liveness", compute_liveness(cfg))
+
+        current = SolutionStore(tmp_path)
+        assert current.load(fp, "liveness", cfg=cfg) is None
+        assert len(current) == 0
+        assert current.stats()["stale_entries"] == 1
+
+    def test_default_code_version_tracks_package(self):
+        from repro import __version__
+
+        assert default_code_version().startswith(__version__)
+
+    def test_gc_reclaims_only_stale_versions(self, tmp_path):
+        cfg = diamond()
+        fp = cfg_fingerprint(cfg)
+        SolutionStore(tmp_path, code_version="0.9.0-f1").save(
+            fp, "liveness", compute_liveness(cfg)
+        )
+        current = SolutionStore(tmp_path)
+        current.save(fp, "liveness", compute_liveness(cfg))
+
+        report = current.gc()
+        assert report["removed_entries"] == 1
+        assert report["reclaimed_bytes"] > 0
+        stats = current.stats()
+        assert stats["entries"] == 1 and stats["stale_entries"] == 0
+        assert current.load(fp, "liveness", cfg=cfg) is not None
+
+    def test_clear_removes_everything(self, tmp_path):
+        cfg = diamond()
+        fp = cfg_fingerprint(cfg)
+        SolutionStore(tmp_path, code_version="0.9.0-f1").save(
+            fp, "liveness", compute_liveness(cfg)
+        )
+        current = SolutionStore(tmp_path)
+        current.save(fp, "liveness", compute_liveness(cfg))
+        report = current.clear()
+        assert report["removed_entries"] == 2
+        assert not entry_files(tmp_path)
+
+
+class TestStoreShape:
+    def test_one_entry_per_key(self, tmp_path):
+        cfg = diamond()
+        fp = cfg_fingerprint(cfg)
+        store = SolutionStore(tmp_path)
+        for _ in range(3):
+            store.save(fp, "liveness", compute_liveness(cfg))
+        assert len(store) == 1
+
+    def test_stats_shape(self, tmp_path):
+        stats = SolutionStore(tmp_path).stats()
+        assert set(stats) == {
+            "path",
+            "code_version",
+            "entries",
+            "bytes",
+            "stale_entries",
+            "stale_bytes",
+        }
+        assert stats["entries"] == 0

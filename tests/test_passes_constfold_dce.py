@@ -31,6 +31,17 @@ class TestFolding:
         assert instrs[1].expr == Const(-1)
         assert instrs[2].expr == Const(-3)
 
+    def test_fold_agrees_with_runtime_on_shifts(self):
+        # Folding goes through eval_expr, so compile-time shifts use
+        # the same mod-64/arithmetic convention as the interpreter
+        # (docs/LANGUAGE.md): 1 << 67 folds to 8, and -8 >> 1 stays
+        # sign-preserving.
+        cfg = straight_line(["x = 1 << 67", "y = 0 - 8", "z = y >> 1"])
+        fold_constants(cfg)
+        instrs = cfg.block("s0").instrs
+        assert instrs[0].expr == Const(8)
+        assert instrs[2].expr == Const(-4)
+
     def test_input_variables_not_assumed(self):
         cfg = straight_line(["y = a * 2"])  # a is an input
         assert fold_constants(cfg) == 0
