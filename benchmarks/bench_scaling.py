@@ -12,8 +12,14 @@ scaling on three axes:
   round-robin solver's on the same problems (same fixpoints, checked);
 * **universe width** — wall-clock of the full LCM pipeline as the
   number of candidate expressions grows (Python ints as bit vectors
-  keep per-operation cost nearly flat until very wide universes).
+  keep per-operation cost nearly flat until very wide universes);
+* **solver backend** — wall-clock of the dense integer backend against
+  the counted reference solver on the paper's four-analysis pipeline,
+  with bit-identical fixpoints asserted and the measured ratio written
+  to ``BENCH_solver.json`` (the repo's recorded perf trajectory).
 """
+
+import time
 
 import pytest
 
@@ -21,10 +27,13 @@ from repro.analysis.anticipability import anticipability_problem
 from repro.analysis.availability import availability_problem
 from repro.analysis.local import compute_local_properties
 from repro.bench.generators import GeneratorConfig, random_cfg
-from repro.bench.harness import Table, record_report
+from repro.bench.harness import Table, record_report, write_json_report
+from repro.core.krs import delay_problem, isolation_problem
 from repro.core.pipeline import optimize
+from repro.dataflow.dense import compile_plan
 from repro.dataflow.solver import solve
 from repro.ir.builder import CFGBuilder
+from repro.obs.trace import activate, deactivate
 
 
 def wide_universe_cfg(width: int):
@@ -100,3 +109,122 @@ def test_scaling_universe_width(benchmark, width):
     # Every one of the `width` expressions is eliminated in `second`.
     deleted = sum(len(p.delete_blocks) for p in result.placements)
     assert deleted == width
+
+
+def dense_bench_cfg(blocks: int, width: int):
+    """A loopy chain of *blocks* blocks over a *width*-expression universe.
+
+    Expressions are spread across the chain, every seventh block kills
+    an operand (so transparency varies), and every fifth block branches
+    back five blocks — the back edges force the all-paths solves through
+    many sweeps, which is where solver cost actually lives.
+    """
+    b = CFGBuilder()
+    b.entry_to("b0")
+    e = 0
+    per = max(1, (width + blocks - 1) // blocks)
+    for i in range(blocks):
+        instrs = []
+        for _ in range(per):
+            j = e % width
+            instrs.append(f"t{j} = a{j} + b{j}")
+            e += 1
+        if i % 7 == 3:
+            instrs.append(f"a{(i * 13) % width} = {i}")
+        handle = b.block(f"b{i}", *instrs)
+        if i + 1 == blocks:
+            handle.to_exit()
+        elif i % 5 == 4 and i > 5:
+            handle.branch("p", f"b{i+1}", f"b{i-5}")
+        else:
+            handle.jump(f"b{i+1}")
+    return b.build()
+
+
+def test_scaling_dense_vs_reference(benchmark):
+    """C1b: dense backend vs reference solver, four-analysis pipeline.
+
+    Builds the paper's four dataflow problems (anticipability,
+    availability, delayability, isolation) on one large graph, solves
+    each with both backends, asserts bit-identical fixpoints and sweep
+    counts, and records the wall-clock ratio to ``BENCH_solver.json``.
+    The equivalence assertions are the gate; the speedup is recorded,
+    not asserted, so the benchmark cannot flake on a loaded machine.
+    """
+    blocks, width = 200, 128
+    cfg = dense_bench_cfg(blocks, width)
+    local = compute_local_properties(cfg)
+    plan = compile_plan(cfg)
+
+    # Untimed setup: delay needs EARLIEST and isolation LATEST; any
+    # fixed per-label vectors exercise the solver identically, so use
+    # the natural down-safe-but-not-up-safe frontier.
+    ant = solve(cfg, anticipability_problem(local), plan=plan)
+    av = solve(cfg, availability_problem(local), plan=plan)
+    earliest = {n: ant.inof[n] - av.inof[n] for n in cfg.labels}
+    latest = {n: earliest[n] & local.antloc[n] for n in cfg.labels}
+    problems = [
+        anticipability_problem(local),
+        availability_problem(local),
+        delay_problem(local, earliest),
+        isolation_problem(local, latest),
+    ]
+
+    def measure(strategy, rounds=5):
+        best = float("inf")
+        solutions = None
+        for _ in range(rounds):
+            start = time.perf_counter()
+            solutions = [
+                solve(cfg, p, strategy=strategy, plan=plan) for p in problems
+            ]
+            best = min(best, time.perf_counter() - start)
+        return best, solutions
+
+    def run():
+        # Suspend the suite-wide tracer so both arms time the bare
+        # solver, not span bookkeeping or the reference op counter.
+        tracer = deactivate()
+        try:
+            ref_time, ref_solutions = measure("round-robin")
+            dense_time, dense_solutions = measure("dense")
+        finally:
+            if tracer is not None:
+                activate(tracer)
+        return ref_time, ref_solutions, dense_time, dense_solutions
+
+    ref_time, ref_solutions, dense_time, dense_solutions = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    for ref, dense in zip(ref_solutions, dense_solutions):
+        assert dense.stats.backend == "dense"
+        assert ref.inof == dense.inof and ref.outof == dense.outof
+        assert ref.stats.sweeps == dense.stats.sweeps
+        assert ref.stats.node_visits == dense.stats.node_visits
+
+    speedup = ref_time / dense_time if dense_time else float("inf")
+    table = Table(
+        ["blocks", "width", "problems", "reference ms", "dense ms", "speedup"],
+        title="C1b: dense integer backend vs reference solver",
+    )
+    table.add_row(
+        len(cfg), width, len(problems), ref_time * 1e3, dense_time * 1e3, speedup
+    )
+    record_report("C1b dense backend speedup (identical fixpoints)", table)
+
+    write_json_report(
+        "BENCH_solver.json",
+        {
+            "format": "repro-solver-bench",
+            "version": 1,
+            "blocks": len(cfg),
+            "width": width,
+            "problems": [p.name for p in problems],
+            "sweeps": [s.stats.sweeps for s in dense_solutions],
+            "reference_ms": round(ref_time * 1e3, 3),
+            "dense_ms": round(dense_time * 1e3, 3),
+            "speedup": round(speedup, 2),
+            "equivalent": True,
+        },
+    )

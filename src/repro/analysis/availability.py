@@ -45,17 +45,19 @@ def availability_problem(local: LocalProperties) -> DataflowProblem:
 
 
 def compute_availability(
-    cfg: CFG, local: LocalProperties, manager=None
+    cfg: CFG, local: LocalProperties, manager=None, plan=None
 ) -> AvailabilityResult:
     """Solve global availability for *cfg*.
 
     Pass an :class:`~repro.obs.manager.AnalysisManager` to memoize the
     solution by graph content (only sound when *local* was derived from
-    *cfg*'s own default universe).
+    *cfg*'s own default universe).  Without a manager, a precompiled
+    dense *plan* for *cfg* may be passed so consecutive analyses share
+    one (managers cache plans themselves).
     """
     problem = availability_problem(local)
     if manager is not None:
         solution = manager.solve(cfg, problem)
     else:
-        solution = solve(cfg, problem)
+        solution = solve(cfg, problem, plan=plan)
     return AvailabilityResult(solution.inof, solution.outof, solution.stats)

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Set
 
 from repro.dataflow.bitvec import BitVector
-from repro.dataflow.problem import DataflowProblem
+from repro.dataflow.problem import DataflowProblem, GenKillTransfer
 from repro.dataflow.solver import solve
 from repro.dataflow.stats import SolverStats
 from repro.ir.cfg import CFG
@@ -55,7 +55,7 @@ class LivenessResult:
         return idx is not None and idx in self.livein[label]
 
 
-def compute_liveness(cfg: CFG, live_at_exit=()) -> LivenessResult:
+def compute_liveness(cfg: CFG, live_at_exit=(), plan=None) -> LivenessResult:
     """Solve liveness for every variable of *cfg*.
 
     *live_at_exit* names variables considered observable after the
@@ -64,6 +64,10 @@ def compute_liveness(cfg: CFG, live_at_exit=()) -> LivenessResult:
     preserve the final environment (e.g. whole-program dead code
     elimination under this library's observable-state semantics) pass
     the observable set instead.
+
+    The transfer is the standard gen/kill shape (``USE`` generates,
+    ``DEF`` kills), so the solve lowers to the dense backend; pass a
+    precompiled dense *plan* for *cfg* to share it across analyses.
     """
     variables = sorted(cfg.variables())
     index = {name: i for i, name in enumerate(variables)}
@@ -84,10 +88,9 @@ def compute_liveness(cfg: CFG, live_at_exit=()) -> LivenessResult:
         use[block.label] = BitVector.of(width, (index[v] for v in upward))
         notdef[block.label] = ~BitVector.of(width, (index[v] for v in defined))
 
-    def transfer(label: str, liveout: BitVector) -> BitVector:
-        return use[label] | (liveout & notdef[label])
-
-    problem = DataflowProblem.backward_union("liveness", width, transfer)
+    problem = DataflowProblem.backward_union(
+        "liveness", width, GenKillTransfer(gen=use, keep=notdef)
+    )
     boundary = BitVector.of(
         width, (index[v] for v in live_at_exit if v in index)
     )
@@ -95,7 +98,7 @@ def compute_liveness(cfg: CFG, live_at_exit=()) -> LivenessResult:
         from dataclasses import replace
 
         problem = replace(problem, boundary=boundary)
-    solution = solve(cfg, problem)
+    solution = solve(cfg, problem, plan=plan)
     return LivenessResult(
         variables, index, solution.inof, solution.outof, solution.stats
     )

@@ -29,7 +29,13 @@ with :func:`items_from_dir`, or from in-memory graphs with
   ``--cache-dir``; see ``docs/CACHING.md``);
 * **determinism** — results are reported in input order regardless of
   completion order, and the optimised IR per program is bit-identical
-  whatever ``jobs`` is (workers share no mutable state).
+  whatever ``jobs`` is (workers share no mutable state);
+* **longest-processing-time scheduling** — the pool dispatches items in
+  descending predicted-cost order (:attr:`WorkItem.cost`: graph size ×
+  computation count for in-memory items, file size for corpus files),
+  the classic LPT heuristic that keeps one huge program from serialising
+  the tail of the batch.  Scheduling only reorders *execution*; the
+  report stays input-ordered.
 
 ``jobs=1`` runs serially in-process through the *same* item code path
 (no pool), which is both the baseline for throughput comparisons and
@@ -88,11 +94,16 @@ class WorkItem:
         the worker; the function must return a :class:`CFG`.  This is
         the extension point for custom loaders (and what the
         fault-injection tests use).
+
+    *cost* is a relative work prediction (any nonnegative scale) used
+    by the pooled driver's LPT scheduling; 0 means unknown, and equal
+    costs keep input order.
     """
 
     name: str
     kind: str
     payload: str
+    cost: float = 0.0
 
 
 def items_from_dir(
@@ -114,7 +125,10 @@ def items_from_dir(
     if not paths:
         wanted = "/".join(suffixes)
         raise ValueError(f"no {wanted} files in {directory}")
-    return [WorkItem(path.stem, "path", str(path)) for path in paths]
+    return [
+        WorkItem(path.stem, "path", str(path), cost=float(path.stat().st_size))
+        for path in paths
+    ]
 
 
 def items_from_cfgs(
@@ -127,7 +141,8 @@ def items_from_cfgs(
     items = []
     for i, cfg in enumerate(cfgs):
         name = names[i] if names is not None else f"cfg{i}"
-        items.append(WorkItem(name, "json", cfg_to_json(cfg)))
+        cost = float(len(cfg) * max(1, cfg.static_computation_count()))
+        items.append(WorkItem(name, "json", cfg_to_json(cfg), cost=cost))
     return items
 
 
@@ -336,7 +351,13 @@ def _run_pooled(items: Sequence[WorkItem], config: BatchConfig,
             attempts[index] = attempts.get(index, 0) + 1
             return pool.submit(_run_item, index, items[index], config)
 
-        pending = {submit(index): index for index in range(len(items))}
+        # LPT: dispatch predicted-heavy items first so the slowest item
+        # starts as early as possible (ties keep input order; results
+        # are indexed, so the report order is unaffected).
+        schedule = sorted(
+            range(len(items)), key=lambda index: (-items[index].cost, index)
+        )
+        pending = {submit(index): index for index in schedule}
         while pending:
             done, _ = wait(pending, return_when=FIRST_COMPLETED)
             for future in done:

@@ -46,6 +46,7 @@ from repro.analysis.local import LocalProperties, compute_local_properties
 from repro.analysis.universe import ExprUniverse
 from repro.core.placement import Placement
 from repro.dataflow.bitvec import BitVector
+from repro.dataflow.dense import compile_plan
 from repro.dataflow.problem import Confluence, DataflowProblem, Direction
 from repro.dataflow.solver import solve
 from repro.dataflow.stats import SolverStats
@@ -114,25 +115,95 @@ def _compute_earliest(
     return earliest
 
 
+@dataclass(frozen=True)
+class DelayTransfer:
+    """Per-node transfer of the DELAY system, with a dense lowering.
+
+    Applied: ``(EARLIEST(n) ∨ fact) ∧ ¬COMP(n)`` — the exact operation
+    sequence benchmark C1 counts.  The lowered gen/kill form
+    (``gen = EARLIEST − COMP``, ``keep = ¬COMP``) is bit-for-bit
+    equivalent by distribution, and is precomputed on raw ints so no
+    counted operation ever runs.
+    """
+
+    earliest: Dict[str, BitVector]
+    comp: Dict[str, BitVector]
+
+    def __call__(self, label: str, fact: BitVector) -> BitVector:
+        return (self.earliest[label] | fact) - self.comp[label]
+
+    def lower(self, labels) -> tuple:
+        gen, keep = [], []
+        for label in labels:
+            comp = self.comp[label]
+            not_comp = comp.bits ^ ((1 << comp.width) - 1)
+            gen.append(self.earliest[label].bits & not_comp)
+            keep.append(not_comp)
+        return gen, keep
+
+
+@dataclass(frozen=True)
+class IsolationTransfer:
+    """Per-node transfer of the ISOLATED system, with a dense lowering.
+
+    Applied: ``LATEST(n) ∨ (fact ∧ ¬COMP(n))``; lowered:
+    ``gen = LATEST``, ``keep = ¬COMP`` — already the gen/kill shape.
+    """
+
+    latest: Dict[str, BitVector]
+    comp: Dict[str, BitVector]
+
+    def __call__(self, label: str, fact: BitVector) -> BitVector:
+        return self.latest[label] | (fact - self.comp[label])
+
+    def lower(self, labels) -> tuple:
+        gen, keep = [], []
+        for label in labels:
+            comp = self.comp[label]
+            gen.append(self.latest[label].bits)
+            keep.append(comp.bits ^ ((1 << comp.width) - 1))
+        return gen, keep
+
+
+def delay_problem(
+    local: LocalProperties, earliest: Dict[str, BitVector]
+) -> DataflowProblem:
+    """The DELAY instance over *local*'s universe, given EARLIEST."""
+    return DataflowProblem.forward_intersect(
+        "delayability",
+        local.universe.width,
+        DelayTransfer(earliest=earliest, comp=local.antloc),
+    )
+
+
+def isolation_problem(
+    local: LocalProperties, latest: Dict[str, BitVector]
+) -> DataflowProblem:
+    """The ISOLATED instance over *local*'s universe, given LATEST."""
+    width = local.universe.width
+    return DataflowProblem(
+        "isolation",
+        Direction.BACKWARD,
+        Confluence.INTERSECT,
+        width,
+        IsolationTransfer(latest=latest, comp=local.antloc),
+        boundary=BitVector.full(width),
+        init=BitVector.full(width),
+    )
+
+
 def _compute_delay(
     cfg: CFG,
     local: LocalProperties,
     earliest: Dict[str, BitVector],
+    plan=None,
 ) -> tuple:
     """DELAY(n) = EARLIEST(n) ∨ ∏_{m∈pred}(DELAY(m) ∧ ¬COMP(m)).
 
     Solved as a forward all-paths problem whose per-node output is
     ``DELAY(m) ∧ ¬COMP(m)``; DELAY itself is recovered pointwise.
     """
-    comp = local.antloc
-
-    def transfer(label: str, fact: BitVector) -> BitVector:
-        return (earliest[label] | fact) - comp[label]
-
-    problem = DataflowProblem.forward_intersect(
-        "delayability", local.universe.width, transfer
-    )
-    solution = solve(cfg, problem)
+    solution = solve(cfg, delay_problem(local, earliest), plan=plan)
     delay = {n: earliest[n] | solution.inof[n] for n in cfg.labels}
     return delay, solution.stats
 
@@ -141,28 +212,14 @@ def _compute_isolated(
     cfg: CFG,
     local: LocalProperties,
     latest: Dict[str, BitVector],
+    plan=None,
 ) -> tuple:
     """ISOLATED(n) = ∏_{s∈succ}(LATEST(s) ∨ (¬COMP(s) ∧ ISOLATED(s))).
 
     Backward all-paths with boundary *full* at the exit (the conjunction
     over no successors is vacuously true).
     """
-    comp = local.antloc
-    width = local.universe.width
-
-    def transfer(label: str, fact: BitVector) -> BitVector:
-        return latest[label] | (fact - comp[label])
-
-    problem = DataflowProblem(
-        "isolation",
-        Direction.BACKWARD,
-        Confluence.INTERSECT,
-        width,
-        transfer,
-        boundary=BitVector.full(width),
-        init=BitVector.full(width),
-    )
-    solution = solve(cfg, problem)
+    solution = solve(cfg, isolation_problem(local, latest), plan=plan)
     return solution.outof, solution.stats
 
 
@@ -193,15 +250,19 @@ def _analyze_krs(
         comp = local.antloc
         width = local.universe.width
 
-        ant = compute_anticipability(cfg, local, manager=manager)
-        av = compute_availability(cfg, local, manager=manager)
+        # One dense solve plan shared by all four dataflow solves.
+        plan = (
+            manager.dense_plan(cfg) if manager is not None else compile_plan(cfg)
+        )
+        ant = compute_anticipability(cfg, local, manager=manager, plan=plan)
+        av = compute_availability(cfg, local, manager=manager, plan=plan)
         dsafe = ant.antin
         usafe = av.avin
         stats = ant.stats.merged(av.stats)
 
         with span("krs.earliest"):
             earliest = _compute_earliest(cfg, local, dsafe, usafe)
-        delay, delay_stats = _compute_delay(cfg, local, earliest)
+        delay, delay_stats = _compute_delay(cfg, local, earliest, plan=plan)
         stats = stats.merged(delay_stats)
 
         with span("krs.latest"):
@@ -216,7 +277,7 @@ def _analyze_krs(
                         all_delayable_below = all_delayable_below & delay[s]
                 latest[n] = delay[n] & (comp[n] | ~all_delayable_below)
 
-        isolated, iso_stats = _compute_isolated(cfg, local, latest)
+        isolated, iso_stats = _compute_isolated(cfg, local, latest, plan=plan)
         stats = stats.merged(iso_stats)
 
     return KRSAnalysis(

@@ -44,6 +44,7 @@ from repro.analysis.local import LocalProperties, compute_local_properties
 from repro.analysis.universe import ExprUniverse
 from repro.core.placement import Placement
 from repro.dataflow.bitvec import BitVector
+from repro.dataflow.dense import compile_plan
 from repro.dataflow.order import reverse_postorder
 from repro.dataflow.stats import SolverStats
 from repro.ir.cfg import CFG, Edge
@@ -156,8 +157,11 @@ def _analyze_lcm(
     with span("lcm.analyze", blocks=len(cfg)):
         with span("lcm.local"):
             local = compute_local_properties(cfg, universe)
-        ant = compute_anticipability(cfg, local, manager=manager)
-        av = compute_availability(cfg, local, manager=manager)
+        # One dense solve plan serves both analyses (and, with a
+        # manager, every later solve on a graph with this content).
+        plan = None if manager is not None else compile_plan(cfg)
+        ant = compute_anticipability(cfg, local, manager=manager, plan=plan)
+        av = compute_availability(cfg, local, manager=manager, plan=plan)
         stats = ant.stats.merged(av.stats)
 
         with span("lcm.earliest"):

@@ -12,12 +12,15 @@ the machinery to measure that claim:
   (direction, confluence, boundary, transfer functions);
 * :mod:`repro.dataflow.solver` — round-robin and worklist iterative
   solvers for unidirectional problems;
+* :mod:`repro.dataflow.dense` — the allocation-free int-array backend
+  the default ``"auto"`` strategy compiles problems to;
 * :mod:`repro.dataflow.bidirectional` — a fixpoint solver for coupled
   equation systems (used by the Morel–Renvoise baseline);
 * :mod:`repro.dataflow.stats` — counters shared by all of the above.
 """
 
-from repro.dataflow.bitvec import BitVector, OpCounter, counting
+from repro.dataflow.bitvec import BitVector, OpCounter, counting, counting_active
+from repro.dataflow.dense import DenseGraph, compile_plan, solve_dense
 from repro.dataflow.order import postorder, reverse_postorder, backward_order
 from repro.dataflow.problem import (
     Confluence,
@@ -34,6 +37,7 @@ __all__ = [
     "STRATEGIES",
     "Confluence",
     "DataflowProblem",
+    "DenseGraph",
     "Direction",
     "EquationSystem",
     "GenKillTransfer",
@@ -41,10 +45,13 @@ __all__ = [
     "Solution",
     "SolverStats",
     "backward_order",
+    "compile_plan",
     "counting",
+    "counting_active",
     "postorder",
     "reverse_postorder",
     "solve",
+    "solve_dense",
     "solve_system",
     "solve_worklist",
 ]

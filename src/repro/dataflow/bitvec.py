@@ -75,6 +75,25 @@ def _bump(kind: str) -> None:
             break
 
 
+def counting_active() -> bool:
+    """True when any :func:`counting` context is installed.
+
+    The dense solver backend (:mod:`repro.dataflow.dense`) performs no
+    ``BitVector`` operations at all, so it checks this once per solve
+    and steps aside — routing to the reference solver — whenever a
+    measurement is in progress (benchmark C1 relies on every logical
+    operation being tallied).
+    """
+    return bool(_ACTIVE_COUNTERS)
+
+
+try:  # Python >= 3.10: native popcount.
+    _popcount = int.bit_count
+except AttributeError:  # pragma: no cover - 3.9 fallback
+    def _popcount(bits: int) -> int:
+        return bin(bits).count("1")
+
+
 class BitVector:
     """An immutable bit vector of fixed width.
 
@@ -194,8 +213,8 @@ class BitVector:
         return self.bits & ~other.bits == 0
 
     def count(self) -> int:
-        """Number of set bits."""
-        return bin(self.bits).count("1")
+        """Number of set bits (``int.bit_count`` where available)."""
+        return _popcount(self.bits)
 
     def indices(self) -> Iterator[int]:
         """Yield the set bit positions in increasing order.

@@ -1,0 +1,246 @@
+"""The dense solver backend: allocation-free int-array fixpoint sweeps.
+
+The reference solver (:mod:`repro.dataflow.solver`) pays Python object
+tax on every logical operation: each ``&``/``|`` constructs a fresh
+:class:`~repro.dataflow.bitvec.BitVector`, re-validates widths and walks
+the operation-counter stack even when no counter is installed.  The
+paper's complexity claim — four *cheap* unidirectional bit-vector
+analyses — assumes the per-operation cost of a machine word; production
+implementations (GCC's ``pre_edge_lcm``) run the sweeps over raw words.
+This module is the Python equivalent:
+
+* a :class:`DenseGraph` *plan* is compiled once per CFG — labels mapped
+  to contiguous integer ids, predecessor/successor adjacency as tuples
+  of ids, the forward and backward traversal orders precomputed — and
+  shared by every solve on that graph (the memory tier of
+  :class:`~repro.obs.manager.AnalysisManager` caches it by content
+  fingerprint, so all four LCM analyses plus liveness compile it once);
+* the solve loop runs on plain Python ints in preallocated lists.
+  Gen/kill problems are *lowered* to parallel ``gen``/``keep`` int
+  arrays (see :meth:`repro.dataflow.problem.GenKillTransfer.lower`), so
+  the inner loop is ``out[i] = gen[i] | (acc & keep[i])`` — zero object
+  allocation, zero width checks, zero counter-stack probes;
+* transfers without a lowering hook fall back to a per-node closure
+  over ints that wraps the original transfer function at the boundary;
+* the :class:`~repro.dataflow.solver.Solution` is materialised into
+  ``BitVector`` dictionaries only at the very end, so callers are
+  untouched.
+
+Semantics are preserved exactly: the sweep structure mirrors the
+reference round-robin solver node for node, so fixpoints *and* the
+``sweeps``/``node_visits`` statistics are identical (a property test
+pins this).  The backend never runs inside a
+:func:`~repro.dataflow.bitvec.counting` context — :func:`solver.solve
+<repro.dataflow.solver.solve>` routes those runs to the counted
+reference path so benchmark C1's operation tallies are unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.dataflow.bitvec import BitVector
+from repro.dataflow.order import backward_order, reverse_postorder
+from repro.dataflow.problem import Confluence, DataflowProblem, Direction
+from repro.dataflow.stats import SolverStats
+from repro.ir.cfg import CFG
+
+
+class DenseGraph:
+    """A compiled, immutable solve plan for one CFG.
+
+    Everything the inner loop needs, precomputed once: contiguous block
+    ids (in ``cfg.labels`` order), adjacency as id tuples, and the two
+    traversal orders.  A plan is valid for any graph with the same
+    content — :meth:`repro.obs.manager.AnalysisManager.dense_plan`
+    caches them by content fingerprint so repeated analyses share one.
+    """
+
+    __slots__ = (
+        "labels", "index", "preds", "succs",
+        "forward_order", "backward_order", "entry", "exit",
+    )
+
+    def __init__(
+        self,
+        labels: Tuple[str, ...],
+        index: Dict[str, int],
+        preds: Tuple[Tuple[int, ...], ...],
+        succs: Tuple[Tuple[int, ...], ...],
+        forward: Tuple[int, ...],
+        backward: Tuple[int, ...],
+        entry: int,
+        exit: int,
+    ) -> None:
+        self.labels = labels
+        self.index = index
+        self.preds = preds
+        self.succs = succs
+        self.forward_order = forward
+        self.backward_order = backward
+        self.entry = entry
+        self.exit = exit
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def __repr__(self) -> str:
+        return f"DenseGraph({len(self.labels)} blocks)"
+
+
+def compile_plan(cfg: CFG) -> DenseGraph:
+    """Compile *cfg* into a :class:`DenseGraph` plan.
+
+    The traversal orders are exactly the reference solver's
+    (:func:`~repro.dataflow.order.reverse_postorder` forward,
+    :func:`~repro.dataflow.order.backward_order` backward), translated
+    to ids — blocks missing from an order (unreachable ones the
+    reference solver never visits) are likewise never visited here, so
+    their facts stay at the init value in both backends.
+    """
+    labels = tuple(cfg.labels)
+    index = {label: i for i, label in enumerate(labels)}
+    preds = tuple(
+        tuple(index[p] for p in cfg.preds(label)) for label in labels
+    )
+    succs = tuple(
+        tuple(index[s] for s in cfg.succs(label)) for label in labels
+    )
+    forward = tuple(index[label] for label in reverse_postorder(cfg))
+    backward = tuple(index[label] for label in backward_order(cfg))
+    return DenseGraph(
+        labels, index, preds, succs, forward, backward,
+        index[cfg.entry], index[cfg.exit],
+    )
+
+
+def lower_transfer(
+    problem: DataflowProblem, labels: Tuple[str, ...]
+) -> Optional[Tuple[List[int], List[int]]]:
+    """The problem's parallel gen/keep int arrays, or None.
+
+    The lowering contract: a transfer object exposing
+    ``lower(labels) -> (gen, keep)`` — parallel lists of raw ints such
+    that ``transfer(labels[i], fact) == gen[i] | (fact & keep[i])``
+    bit-for-bit — is run as a pure int sweep.
+    :class:`~repro.dataflow.problem.GenKillTransfer` implements it;
+    bespoke transfers (the KRS delay/isolation systems) may too, as
+    long as the array form is exactly equivalent.
+    """
+    lower = getattr(problem.transfer, "lower", None)
+    if lower is None:
+        return None
+    return lower(labels)
+
+
+def _closure_transfer(
+    problem: DataflowProblem, labels: Tuple[str, ...]
+) -> Callable[[int, int], int]:
+    """Per-node int transfer wrapping a non-lowerable transfer function.
+
+    The original transfer still sees/returns ``BitVector``s — only the
+    meets, comparisons and storage stay in raw ints, which is where the
+    reference solver spends most of its time.
+    """
+    transfer = problem.transfer
+    width = problem.width
+
+    def apply(i: int, fact: int) -> int:
+        return transfer(labels[i], BitVector(width, fact)).bits
+
+    return apply
+
+
+def solve_dense(
+    cfg: CFG,
+    problem: DataflowProblem,
+    plan: Optional[DenseGraph] = None,
+    max_sweeps: int = 10_000,
+):
+    """Round-robin solve of *problem* on *cfg* over raw int arrays.
+
+    Returns a :class:`~repro.dataflow.solver.Solution` bit-identical to
+    ``solve(cfg, problem, strategy="round-robin")``, with identical
+    ``sweeps`` and ``node_visits`` statistics.  Pass a precompiled
+    *plan* to share the id mapping across solves (the analysis manager
+    does); without one the plan is compiled on the fly.
+    """
+    from repro.dataflow.solver import Solution  # cycle: solver routes here
+
+    if plan is None:
+        plan = compile_plan(cfg)
+    labels = plan.labels
+    n = len(labels)
+    width = problem.width
+    forward = problem.direction is Direction.FORWARD
+    intersect = problem.confluence is Confluence.INTERSECT
+    full_mask = (1 << width) - 1
+    neutral = full_mask if intersect else 0
+    boundary_bits = problem.boundary.bits
+    init_bits = problem.init.bits
+
+    lowered = lower_transfer(problem, labels)
+    if lowered is not None:
+        gen, keep = lowered
+    else:
+        gen = keep = None
+        apply = _closure_transfer(problem, labels)
+
+    # The two fact arrays; `met` facts land on the meet side of each
+    # block (entry for forward problems), `out` facts on the other.
+    if forward:
+        order, nbrs, boundary_id = plan.forward_order, plan.preds, plan.entry
+    else:
+        order, nbrs, boundary_id = plan.backward_order, plan.succs, plan.exit
+    met_facts = [init_bits] * n   # forward: IN,  backward: OUT
+    out_facts = [init_bits] * n   # forward: OUT, backward: IN
+
+    sweeps = 0
+    node_visits = 0
+    changed = True
+    while changed:
+        if sweeps >= max_sweeps:
+            raise RuntimeError(
+                f"dataflow problem {problem.name!r} did not converge in "
+                f"{max_sweeps} sweeps"
+            )
+        changed = False
+        sweeps += 1
+        for i in order:
+            node_visits += 1
+            if i == boundary_id:
+                met = boundary_bits
+            else:
+                nb = nbrs[i]
+                count = len(nb)
+                if count:
+                    met = out_facts[nb[0]]
+                    k = 1
+                    if intersect:
+                        while k < count:
+                            met &= out_facts[nb[k]]
+                            k += 1
+                    else:
+                        while k < count:
+                            met |= out_facts[nb[k]]
+                            k += 1
+                else:
+                    met = neutral
+            if gen is not None:
+                out = gen[i] | (met & keep[i])
+            else:
+                out = apply(i, met)
+            if met != met_facts[i] or out != out_facts[i]:
+                met_facts[i] = met
+                out_facts[i] = out
+                changed = True
+
+    # Materialise BitVector dictionaries only at the API boundary.
+    if forward:
+        in_facts, out_side = met_facts, out_facts
+    else:
+        in_facts, out_side = out_facts, met_facts
+    inof = {labels[i]: BitVector(width, in_facts[i]) for i in range(n)}
+    outof = {labels[i]: BitVector(width, out_side[i]) for i in range(n)}
+    stats = SolverStats(sweeps=sweeps, node_visits=node_visits, backend="dense")
+    return Solution(problem.name, inof, outof, stats)

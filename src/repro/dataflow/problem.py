@@ -65,6 +65,22 @@ class GenKillTransfer:
     def __call__(self, label: str, fact: BitVector) -> BitVector:
         return self.gen[label] | (fact & self.keep[label])
 
+    def lower(self, labels) -> tuple:
+        """Parallel raw-int ``(gen, keep)`` arrays, in *labels* order.
+
+        The dense backend's lowering hook (see
+        :func:`repro.dataflow.dense.lower_transfer`): the returned
+        arrays satisfy ``transfer(labels[i], fact).bits ==
+        gen[i] | (fact.bits & keep[i])`` exactly, so the inner solve
+        loop needs no ``BitVector`` objects at all.
+        """
+        gen = self.gen
+        keep = self.keep
+        return (
+            [gen[label].bits for label in labels],
+            [keep[label].bits for label in labels],
+        )
+
 
 @dataclass(frozen=True)
 class DataflowProblem:

@@ -1,22 +1,31 @@
 """Iterative solver for unidirectional bit-vector dataflow problems.
 
-One entry point, :func:`solve`, with two interchangeable strategies
+One entry point, :func:`solve`, with interchangeable strategies
 producing identical fixpoints:
 
-* ``"round-robin"`` (the default) — full sweeps in reverse postorder
-  (forward) or reverse postorder of the reversed graph (backward), the
-  textbook algorithm whose sweep count the paper's complexity remarks
-  refer to;
+* ``"auto"`` (the default) — the dense int-array backend
+  (:mod:`repro.dataflow.dense`) whenever no operation counter is
+  installed, the counted reference round-robin loop otherwise;
+* ``"dense"`` — the dense backend explicitly (it still steps aside for
+  an active :func:`~repro.dataflow.bitvec.counting` context, so
+  benchmark C1's operation tallies are never distorted);
+* ``"round-robin"`` — full sweeps in reverse postorder (forward) or
+  reverse postorder of the reversed graph (backward), the textbook
+  algorithm whose sweep count the paper's complexity remarks refer to;
 * ``"worklist"`` — a priority worklist keyed by traversal-order
   position, revisiting only blocks whose inputs changed.
 
-Both return a :class:`Solution` mapping every block to the fact holding
+All return a :class:`Solution` mapping every block to the fact holding
 at its entry (``inof``) and exit (``outof``), plus work statistics.
 
-Every solve emits a ``dataflow.solve`` span on the installed tracer
-(see :mod:`repro.obs.trace`) carrying the problem name, strategy, sweep
-and visit counts and — when tracing is active — the per-run bit-vector
-operation tally, which is also stored in ``Solution.stats.bitvec_ops``.
+When tracing is active, every solve emits a ``dataflow.solve`` span on
+the installed tracer (see :mod:`repro.obs.trace`) carrying the problem
+name, strategy, the ``backend`` that actually ran (``"dense"`` or
+``"reference"``), sweep and visit counts and — on the reference
+backend — the per-run bit-vector operation tally, which is also stored
+in ``Solution.stats.bitvec_ops``.  When tracing is off, :func:`solve`
+enters no span context at all, so the dense inner loop is not wrapped
+in dead tracing machinery.
 
 ``solve_worklist`` survives as a deprecated alias for
 ``solve(cfg, problem, strategy="worklist")``.
@@ -29,7 +38,8 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
-from repro.dataflow.bitvec import BitVector, counting
+from repro.dataflow.bitvec import BitVector, counting, counting_active
+from repro.dataflow.dense import DenseGraph, solve_dense
 from repro.dataflow.order import backward_order, reverse_postorder
 from repro.dataflow.problem import Confluence, DataflowProblem, Direction
 from repro.dataflow.stats import SolverStats
@@ -37,7 +47,10 @@ from repro.ir.cfg import CFG
 from repro.obs.trace import is_active, span
 
 #: The solver strategies accepted by :func:`solve`.
-STRATEGIES = ("round-robin", "worklist")
+STRATEGIES = ("auto", "dense", "round-robin", "worklist")
+
+#: The strategies served by the dense backend (absent an op counter).
+_DENSE_STRATEGIES = ("auto", "dense")
 
 
 @dataclass
@@ -73,39 +86,54 @@ def _meet(problem: DataflowProblem, facts: Iterable[BitVector]) -> BitVector:
 def solve(
     cfg: CFG,
     problem: DataflowProblem,
-    strategy: str = "round-robin",
+    strategy: str = "auto",
     max_sweeps: int = 10_000,
+    plan: Optional[DenseGraph] = None,
 ) -> Solution:
     """Solve *problem* on *cfg* to its fixpoint with the named *strategy*.
 
     Args:
         cfg: the graph to analyse.
-        strategy: ``"round-robin"`` or ``"worklist"``; both reach the
-            same fixpoint (a property test pins this).
-        max_sweeps: divergence guard for the round-robin strategy
+        strategy: one of :data:`STRATEGIES`; all reach the same
+            fixpoint (a property test pins this).  ``"auto"`` and
+            ``"dense"`` run the int-array backend unless an operation
+            counter is installed, in which case the counted reference
+            path runs instead (so measured op tallies never change).
+        max_sweeps: divergence guard for the sweeping strategies
             (a non-monotone transfer function raises RuntimeError).
+        plan: a precompiled :class:`~repro.dataflow.dense.DenseGraph`
+            for *cfg*, letting consecutive solves share one id mapping
+            (the analysis manager caches these by content fingerprint);
+            only consulted by the dense backend.
     """
     if strategy not in STRATEGIES:
         names = ", ".join(STRATEGIES)
         raise ValueError(f"unknown solver strategy {strategy!r}; choose one of: {names}")
+    dense = strategy in _DENSE_STRATEGIES and not counting_active()
+    if not is_active():
+        # Tracing off: skip the span machinery entirely.
+        if dense:
+            return solve_dense(cfg, problem, plan=plan, max_sweeps=max_sweeps)
+        return _run(cfg, problem, strategy, max_sweeps)
     with span(
         "dataflow.solve", problem=problem.name, strategy=strategy
     ) as solve_span:
-        if is_active():
+        if dense:
+            solution = solve_dense(cfg, problem, plan=plan, max_sweeps=max_sweeps)
+        else:
             # Attach a per-run counter so the span and the solution both
             # carry the bit-vector op tally; non-exclusive, so outer
             # counting() contexts (benchmark totals) still see every op.
             with counting(exclusive=False) as ops:
                 solution = _run(cfg, problem, strategy, max_sweeps)
             solution.stats.bitvec_ops = dict(ops.counts)
-        else:
-            solution = _run(cfg, problem, strategy, max_sweeps)
         solve_span.set(
             sweeps=solution.stats.sweeps,
             node_visits=solution.stats.node_visits,
             bitvec_ops=solution.stats.total_bitvec_ops,
             blocks=len(cfg),
             width=problem.width,
+            backend=solution.stats.backend,
         )
     return solution
 
@@ -114,8 +142,11 @@ def _run(
     cfg: CFG, problem: DataflowProblem, strategy: str, max_sweeps: int
 ) -> Solution:
     if strategy == "worklist":
-        return _solve_worklist(cfg, problem)
-    return _solve_round_robin(cfg, problem, max_sweeps)
+        solution = _solve_worklist(cfg, problem)
+    else:
+        solution = _solve_round_robin(cfg, problem, max_sweeps)
+    solution.stats.backend = "reference"
+    return solution
 
 
 def _solve_round_robin(

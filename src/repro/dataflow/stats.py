@@ -17,11 +17,16 @@ class SolverStats:
         bitvec_ops: logical bit-vector operations, by kind, when the run
             happened inside a :func:`repro.dataflow.bitvec.counting`
             context attached by the caller; empty otherwise.
+        backend: which solve loop produced the result — ``"dense"``
+            (int-array sweeps, :mod:`repro.dataflow.dense`) or
+            ``"reference"`` (the counted object path); empty for stats
+            not produced by a single solve (merges, bespoke loops).
     """
 
     sweeps: int = 0
     node_visits: int = 0
     bitvec_ops: Dict[str, int] = field(default_factory=dict)
+    backend: str = ""
 
     @property
     def total_bitvec_ops(self) -> int:

@@ -43,7 +43,7 @@ so ``repro cache stats``, batch reports and trace counters agree.
 from __future__ import annotations
 
 import weakref
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Tuple
 
 from repro.obs import trace
@@ -77,6 +77,13 @@ class CacheStats:
     * ``disk_misses`` — lookups where the store was consulted and had
       nothing usable (every full miss with a store attached);
     * ``disk_writes`` — solutions persisted after a full miss.
+
+    The dense solver backend adds two memory-only tallies —
+    ``plan_hits``/``plan_misses`` for the per-fingerprint
+    :class:`~repro.dataflow.dense.DenseGraph` plan cache (kept out of
+    the hit/miss columns above so cache-rate assertions stay about
+    *solutions*) — and ``backends``, a per-backend count of the solves
+    this manager actually ran (``{"dense": ..., "reference": ...}``).
     """
 
     hits: int = 0
@@ -85,6 +92,9 @@ class CacheStats:
     disk_hits: int = 0
     disk_misses: int = 0
     disk_writes: int = 0
+    plan_hits: int = 0
+    plan_misses: int = 0
+    backends: Dict[str, int] = field(default_factory=dict)
 
     @property
     def lookups(self) -> int:
@@ -113,6 +123,7 @@ class AnalysisManager:
         self.store = store
         self.stats = CacheStats()
         self._store: Dict[Tuple[str, str], Any] = {}
+        self._plans: Dict[str, Any] = {}
         self._fingerprints: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
         _LIVE_MANAGERS.add(self)
 
@@ -167,20 +178,58 @@ class AnalysisManager:
             self.stats.disk_writes += 1
         return value
 
-    def solve(self, cfg: CFG, problem, strategy: str = "round-robin"):
+    def dense_plan(self, cfg: CFG):
+        """The dense solve plan for *cfg*, memoized by content fingerprint.
+
+        Plans (:class:`~repro.dataflow.dense.DenseGraph`) are pure
+        functions of graph content, so one compilation serves all four
+        LCM solves plus liveness on the same graph — and any other
+        graph with equal content.  The cache is memory-only (plans cost
+        less to recompile than to deserialise) with its own
+        ``plan_hits``/``plan_misses`` stats, so solution hit rates are
+        unaffected.  With caching disabled, every call recompiles.
+        """
+        from repro.dataflow.dense import compile_plan
+
+        if not self.enabled:
+            self.stats.plan_misses += 1
+            return compile_plan(cfg)
+        fingerprint = self.fingerprint(cfg)
+        try:
+            plan = self._plans[fingerprint]
+        except KeyError:
+            self.stats.plan_misses += 1
+            plan = compile_plan(cfg)
+            self._plans[fingerprint] = plan
+        else:
+            self.stats.plan_hits += 1
+        return plan
+
+    def solve(self, cfg: CFG, problem, strategy: str = "auto"):
         """Memoized :func:`repro.dataflow.solver.solve`.
 
         The key includes the problem name, the vector width and the
         solver strategy; pass problems whose universe is derived from
         the graph content (the default everywhere) so equal fingerprints
-        imply equal problems.
+        imply equal problems.  Actual solves (cache misses) share this
+        manager's dense plan for the graph, and the backend that ran is
+        tallied in ``stats.backends``.
         """
         from repro.dataflow.solver import solve as _solve
 
         key = f"solve:{problem.name}:w{problem.width}:{strategy}"
-        return self.cached(
-            cfg, key, lambda: _solve(cfg, problem, strategy=strategy)
-        )
+
+        def compute():
+            solution = _solve(
+                cfg, problem, strategy=strategy, plan=self.dense_plan(cfg)
+            )
+            backend = solution.stats.backend or "reference"
+            self.stats.backends[backend] = (
+                self.stats.backends.get(backend, 0) + 1
+            )
+            return solution
+
+        return self.cached(cfg, key, compute)
 
     # -- invalidation ---------------------------------------------------
 
@@ -191,8 +240,9 @@ class AnalysisManager:
             trace.count("cache.invalidate")
 
     def clear(self) -> None:
-        """Drop every memoized result and fingerprint."""
+        """Drop every memoized result, plan and fingerprint."""
         self._store.clear()
+        self._plans.clear()
         self._fingerprints = weakref.WeakKeyDictionary()
 
     def __len__(self) -> int:

@@ -80,6 +80,16 @@ class TestItems:
         assert [item.name for item in items] == ["d", "w"]
         assert all(item.kind == "json" for item in items)
 
+    def test_items_carry_cost_predictions(self):
+        # In-memory items: blocks × static computations; corpus files:
+        # file size.  Both feed the pooled driver's LPT scheduling.
+        items = items_from_cfgs([diamond(), do_while_invariant()])
+        assert all(item.cost > 0 for item in items)
+        for item, cfg in zip(items, [diamond(), do_while_invariant()]):
+            assert item.cost == len(cfg) * max(1, cfg.static_computation_count())
+        for item in items_from_dir(str(CORPUS_DIR)):
+            assert item.cost == Path(item.payload).stat().st_size
+
 
 # -- the serial path --------------------------------------------------------
 
@@ -205,6 +215,19 @@ class TestParallel:
         report = run_batch(items, BatchConfig(jobs=2))
         assert report.ok
         assert all(item.pid is not None for item in report.items)
+
+    def test_lpt_scheduling_preserves_report_order(self):
+        # Costs deliberately ascending, so LPT dispatches in reverse
+        # submission order — the report must still come back in input
+        # order with every item ok.
+        items = [
+            WorkItem(f"p{i}", "call", "tests.test_batch:_ok_program", cost=float(i))
+            for i in range(6)
+        ]
+        report = run_batch(items, BatchConfig(jobs=3))
+        assert report.ok
+        assert [item.name for item in report.items] == [i.name for i in items]
+        assert [item.index for item in report.items] == list(range(len(items)))
 
 
 # -- differential property: optimization preserves semantics ----------------

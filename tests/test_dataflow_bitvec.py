@@ -132,6 +132,20 @@ class TestQueries:
     def test_repr(self):
         assert repr(BitVector.of(4, [0, 2])) == "BitVector(4, {0, 2})"
 
+    def test_count_matches_naive_popcount(self):
+        # count() dispatches through a popcount bound once at import
+        # (int.bit_count on 3.10+, a bin() fallback before that).
+        from repro.dataflow import bitvec
+
+        for vec in (
+            BitVector.empty(0),
+            BitVector.of(7, [0, 3, 6]),
+            BitVector.full(130),
+        ):
+            assert vec.count() == bin(vec.bits).count("1")
+        if hasattr(int, "bit_count"):
+            assert bitvec._popcount(13) == (13).bit_count()
+
 
 class TestCounting:
     def test_counts_each_kind(self):

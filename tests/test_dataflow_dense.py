@@ -1,0 +1,304 @@
+"""The dense integer backend is bit-identical to the reference solver.
+
+The tentpole property: ``solve_dense`` mirrors the reference round-robin
+solver node for node, so on *any* problem — forward/backward,
+intersect/union, gen/kill-lowered or closure fallback, reducible or
+irreducible graph — the fixpoints, the ``sweeps`` count and the
+``node_visits`` count all coincide exactly.  A hypothesis sweep pins the
+property over random graphs; targeted tests pin the routing rules (the
+dense backend steps aside whenever a :func:`counting` context is active,
+so benchmark C1's operation tallies are untouched) and the manager's
+plan cache.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from tests.helpers import diamond, do_while_invariant
+
+from repro.analysis.anticipability import anticipability_problem
+from repro.analysis.availability import availability_problem
+from repro.analysis.local import compute_local_properties
+from repro.bench.generators import GeneratorConfig, random_cfg
+from repro.bench.shapegen import ShapeConfig, random_shape_cfg
+from repro.core.krs import delay_problem, isolation_problem
+from repro.dataflow.bitvec import BitVector, counting, counting_active
+from repro.dataflow.dense import (
+    DenseGraph,
+    compile_plan,
+    lower_transfer,
+    solve_dense,
+)
+from repro.dataflow.problem import DataflowProblem, GenKillTransfer
+from repro.dataflow.solver import solve
+from repro.obs.manager import AnalysisManager
+
+SMALL = GeneratorConfig(statements=8, max_depth=2)
+SHAPES = ShapeConfig(blocks=8, back_edge_probability=0.5)
+
+quick = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+def _problem_suite(cfg):
+    """Problems covering every (direction, confluence, lowering) shape."""
+    local = compute_local_properties(cfg)
+    width = local.universe.width
+    # Gen/kill, forward intersect and backward intersect.
+    yield availability_problem(local)
+    yield anticipability_problem(local)
+    # Gen/kill, backward union (the liveness shape).
+    yield DataflowProblem.backward_union(
+        "liveness-shape",
+        width,
+        GenKillTransfer(gen=local.antloc, keep=local.transp),
+    )
+    # Bespoke lowered transfers with a full boundary (the KRS systems).
+    earliest = {n: local.antloc[n] - local.transp[n] for n in cfg.labels}
+    latest = {n: local.antloc[n] for n in cfg.labels}
+    yield delay_problem(local, earliest)
+    yield isolation_problem(local, latest)
+    # A transfer with no lowering hook: exercises the closure fallback.
+    transp = local.transp
+    antloc = local.antloc
+    yield DataflowProblem.forward_intersect(
+        "closure-shape",
+        width,
+        lambda label, fact: (fact & transp[label]) | antloc[label],
+    )
+
+
+def _assert_backends_agree(cfg):
+    for problem in _problem_suite(cfg):
+        rr = solve(cfg, problem, strategy="round-robin")
+        wl = solve(cfg, problem, strategy="worklist")
+        dn = solve(cfg, problem, strategy="dense")
+        assert dn.stats.backend == "dense"
+        assert rr.inof == wl.inof == dn.inof, problem.name
+        assert rr.outof == wl.outof == dn.outof, problem.name
+        assert rr.stats.sweeps == dn.stats.sweeps, problem.name
+        assert rr.stats.node_visits == dn.stats.node_visits, problem.name
+        assert rr.stats.sweeps >= 1 and rr.stats.node_visits >= len(cfg) - 1
+
+
+# ---------------------------------------------------------------------------
+# The equivalence property
+# ---------------------------------------------------------------------------
+
+class TestDenseEqualsReference:
+    @quick
+    @given(seeds)
+    def test_on_random_reducible_cfgs(self, seed):
+        _assert_backends_agree(random_cfg(seed, SMALL))
+
+    @quick
+    @given(seeds)
+    def test_on_random_irreducible_cfgs(self, seed):
+        _assert_backends_agree(random_shape_cfg(seed, SHAPES))
+
+    def test_on_handwritten_graphs(self):
+        _assert_backends_agree(diamond())
+        _assert_backends_agree(do_while_invariant())
+
+    @pytest.mark.parametrize("width", [0, 1, 7, 64, 200])
+    def test_odd_widths(self, width):
+        cfg = diamond()
+        empty = BitVector.empty(width)
+        gen = {label: empty for label in cfg.labels}
+        keep = {label: ~empty for label in cfg.labels}
+        problem = DataflowProblem.forward_intersect(
+            "widths", width, GenKillTransfer(gen=gen, keep=keep)
+        )
+        rr = solve(cfg, problem, strategy="round-robin")
+        dn = solve(cfg, problem, strategy="dense")
+        assert rr.inof == dn.inof and rr.outof == dn.outof
+
+
+# ---------------------------------------------------------------------------
+# Plan compilation and lowering
+# ---------------------------------------------------------------------------
+
+class TestPlan:
+    def test_plan_shape(self):
+        cfg = diamond()
+        plan = compile_plan(cfg)
+        assert isinstance(plan, DenseGraph)
+        assert len(plan) == len(cfg)
+        assert plan.labels == tuple(cfg.labels)
+        assert plan.labels[plan.entry] == cfg.entry
+        assert plan.labels[plan.exit] == cfg.exit
+        for label in cfg.labels:
+            i = plan.index[label]
+            assert {plan.labels[p] for p in plan.preds[i]} == set(cfg.preds(label))
+            assert {plan.labels[s] for s in plan.succs[i]} == set(cfg.succs(label))
+        # Both orders visit every block exactly once on this graph.
+        assert sorted(plan.forward_order) == list(range(len(plan)))
+        assert sorted(plan.backward_order) == list(range(len(plan)))
+
+    def test_explicit_plan_is_honoured(self):
+        cfg = diamond()
+        plan = compile_plan(cfg)
+        problem = availability_problem(compute_local_properties(cfg))
+        with_plan = solve_dense(cfg, problem, plan=plan)
+        without = solve_dense(cfg, problem)
+        assert with_plan.inof == without.inof
+        assert with_plan.outof == without.outof
+
+    def test_gen_kill_lowers_to_parallel_arrays(self):
+        cfg = diamond()
+        local = compute_local_properties(cfg)
+        problem = availability_problem(local)
+        plan = compile_plan(cfg)
+        lowered = lower_transfer(problem, plan.labels)
+        assert lowered is not None
+        gen, keep = lowered
+        for i, label in enumerate(plan.labels):
+            assert gen[i] == local.comp[label].bits
+            assert keep[i] == local.transp[label].bits
+
+    def test_function_transfer_does_not_lower(self):
+        problem = DataflowProblem.forward_intersect(
+            "raw", 4, lambda label, fact: fact
+        )
+        assert lower_transfer(problem, ("a", "b")) is None
+
+    @quick
+    @given(seeds)
+    def test_krs_lowering_contract(self, seed):
+        """``transfer(l, f) == gen | (f & keep)`` bit-for-bit, any fact."""
+        cfg = random_cfg(seed, SMALL)
+        local = compute_local_properties(cfg)
+        width = local.universe.width
+        earliest = {n: local.antloc[n] - local.transp[n] for n in cfg.labels}
+        latest = {n: local.antloc[n] for n in cfg.labels}
+        labels = tuple(cfg.labels)
+        for problem in (
+            delay_problem(local, earliest),
+            isolation_problem(local, latest),
+        ):
+            gen, keep = problem.transfer.lower(labels)
+            for i, label in enumerate(labels):
+                for fact in (
+                    BitVector.empty(width),
+                    BitVector.full(width),
+                    local.transp[label],
+                    ~local.antloc[label],
+                ):
+                    expect = problem.transfer(label, fact)
+                    assert expect.bits == gen[i] | (fact.bits & keep[i])
+
+
+# ---------------------------------------------------------------------------
+# Routing: counting contexts always get the counted reference path
+# ---------------------------------------------------------------------------
+
+class TestCountingRegression:
+    def _tally(self, cfg, strategy):
+        local = compute_local_properties(cfg)
+        with counting() as ops:
+            for problem in (
+                availability_problem(local),
+                anticipability_problem(local),
+            ):
+                solution = solve(cfg, problem, strategy=strategy)
+                assert solution.stats.backend == "reference"
+        return dict(ops.counts)
+
+    @pytest.mark.parametrize("strategy", ["auto", "dense"])
+    def test_counting_forces_reference_backend(self, strategy):
+        cfg = do_while_invariant()
+        baseline = self._tally(cfg, "round-robin")
+        assert baseline and sum(baseline.values()) > 0
+        assert self._tally(cfg, strategy) == baseline
+
+    def test_counting_active_probe(self):
+        assert not counting_active()
+        with counting():
+            assert counting_active()
+            with counting(exclusive=False):
+                assert counting_active()
+        assert not counting_active()
+
+    def test_dense_runs_when_no_counter_is_active(self):
+        cfg = diamond()
+        problem = availability_problem(compute_local_properties(cfg))
+        assert solve(cfg, problem).stats.backend == "dense"
+        assert solve(cfg, problem, strategy="auto").stats.backend == "dense"
+        rr = solve(cfg, problem, strategy="round-robin")
+        assert rr.stats.backend == "reference"
+
+
+# ---------------------------------------------------------------------------
+# Manager integration: one plan per graph content
+# ---------------------------------------------------------------------------
+
+class TestManagerPlanCache:
+    def test_plan_cached_by_fingerprint(self):
+        manager = AnalysisManager()
+        a, b = diamond(), diamond()
+        plan = manager.dense_plan(a)
+        assert manager.dense_plan(a) is plan
+        assert manager.dense_plan(b) is plan  # equal content, same plan
+        assert manager.stats.plan_misses == 1
+        assert manager.stats.plan_hits == 2
+        other = manager.dense_plan(do_while_invariant())
+        assert other is not plan
+        assert manager.stats.plan_misses == 2
+
+    def test_disabled_manager_recompiles(self):
+        manager = AnalysisManager(enabled=False)
+        cfg = diamond()
+        assert manager.dense_plan(cfg) is not manager.dense_plan(cfg)
+        assert manager.stats.plan_hits == 0
+
+    def test_solution_cache_unaffected_and_backends_tallied(self):
+        manager = AnalysisManager()
+        cfg = diamond()
+        problem = availability_problem(compute_local_properties(cfg))
+        first = manager.solve(cfg, problem)
+        second = manager.solve(cfg, problem)
+        assert first.inof == second.inof
+        # Plan compiles never show up as solution misses.
+        assert manager.stats.misses == 1
+        assert manager.stats.hits == 1
+        assert manager.stats.backends == {"dense": 1}
+
+    def test_clear_drops_plans(self):
+        manager = AnalysisManager()
+        cfg = diamond()
+        plan = manager.dense_plan(cfg)
+        manager.clear()
+        assert manager.dense_plan(cfg) is not plan
+
+
+# ---------------------------------------------------------------------------
+# Unreachable blocks keep their init facts in both backends
+# ---------------------------------------------------------------------------
+
+def test_unreachable_blocks_keep_init_facts():
+    from repro.ir.block import BasicBlock
+    from repro.ir.cfg import CFG
+    from repro.ir.instr import Halt, Jump
+
+    cfg = CFG()
+    cfg.add_block(BasicBlock("entry", [], Jump("exit")))
+    cfg.add_block(BasicBlock("exit", [], Halt()))
+    cfg.add_block(BasicBlock("orphan", [], Jump("exit")))
+
+    width = 3
+    full = BitVector.full(width)
+    gen = {label: BitVector.empty(width) for label in cfg.labels}
+    keep = {label: full for label in cfg.labels}
+    problem = DataflowProblem.forward_intersect(
+        "unreachable", width, GenKillTransfer(gen=gen, keep=keep)
+    )
+    rr = solve(cfg, problem, strategy="round-robin")
+    dn = solve(cfg, problem, strategy="dense")
+    assert rr.inof == dn.inof and rr.outof == dn.outof
+    assert dn.inof["orphan"] == problem.init

@@ -122,9 +122,20 @@ class TestActivation:
             sol = solve(cfg, availability_problem(cfg))
         (event,) = tracer.spans("dataflow.solve")
         assert event.attrs["problem"] == "avail"
-        assert event.attrs["strategy"] == "round-robin"
+        assert event.attrs["strategy"] == "auto"
+        assert event.attrs["backend"] == "dense"
         assert event.attrs["sweeps"] == sol.stats.sweeps
         assert event.attrs["blocks"] == len(cfg)
+        # The dense backend does no counted BitVector operations.
+        assert event.attrs["bitvec_ops"] == sol.stats.total_bitvec_ops == 0
+
+    def test_reference_solve_tallies_ops_in_span(self):
+        cfg = diamond()
+        with tracing() as tracer:
+            sol = solve(cfg, availability_problem(cfg), strategy="round-robin")
+        (event,) = tracer.spans("dataflow.solve")
+        assert event.attrs["strategy"] == "round-robin"
+        assert event.attrs["backend"] == "reference"
         assert event.attrs["bitvec_ops"] == sol.stats.total_bitvec_ops > 0
 
 

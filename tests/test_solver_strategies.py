@@ -30,8 +30,8 @@ def _problems(cfg):
     )
 
 
-def test_strategies_constant_names_both_solvers():
-    assert set(STRATEGIES) == {"round-robin", "worklist"}
+def test_strategies_constant_names_all_solvers():
+    assert set(STRATEGIES) == {"auto", "dense", "round-robin", "worklist"}
 
 
 @pytest.mark.parametrize("seed", range(50))
@@ -40,5 +40,11 @@ def test_identical_fixpoints_on_random_cfgs(seed):
     for problem in _problems(cfg):
         rr = solve(cfg, problem, strategy="round-robin")
         wl = solve(cfg, problem, strategy="worklist")
+        dn = solve(cfg, problem, strategy="dense")
         assert rr.inof == wl.inof, f"IN facts diverge for {problem.name}"
         assert rr.outof == wl.outof, f"OUT facts diverge for {problem.name}"
+        assert rr.inof == dn.inof, f"dense IN facts diverge for {problem.name}"
+        assert rr.outof == dn.outof, f"dense OUT facts diverge for {problem.name}"
+        # Dense mirrors the round-robin sweep structure node for node.
+        assert rr.stats.sweeps == dn.stats.sweeps
+        assert rr.stats.node_visits == dn.stats.node_visits
