@@ -21,7 +21,7 @@ from typing import Dict
 from repro.analysis.local import LocalProperties
 from repro.dataflow.bitvec import BitVector
 from repro.dataflow.problem import DataflowProblem, GenKillTransfer
-from repro.dataflow.solver import Solution, solve
+from repro.dataflow.solver import solve
 from repro.dataflow.stats import SolverStats
 from repro.ir.cfg import CFG
 

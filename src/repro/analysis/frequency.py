@@ -19,7 +19,7 @@ profiles concrete:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional
 
 from repro.interp.machine import run
 from repro.ir.cfg import CFG, Edge

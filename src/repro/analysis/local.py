@@ -21,12 +21,11 @@ by a kill — the classic subtlety this module's tests pin down.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.analysis.universe import ExprUniverse
 from repro.dataflow.bitvec import BitVector
 from repro.ir.cfg import CFG
-from repro.ir.expr import Expr, expr_vars
 
 
 @dataclass

@@ -9,7 +9,7 @@ edges and preheader candidates — computed once per graph.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from repro.analysis.dominators import back_edges, natural_loop
 from repro.ir.cfg import CFG, Edge

@@ -1,10 +1,14 @@
-"""Parallel corpus optimization with per-program fault isolation.
+"""Supervised corpus optimization with per-program fault isolation.
 
 The throughput layer on top of :func:`repro.core.pipeline.optimize`:
-a batch driver that pushes whole corpora of programs through a worker
-pool, isolates per-program failures as structured records, enforces
-per-item timeouts, and merges per-item observability (trace summaries,
-counters, cache hit rates) into one report.
+a batch driver that pushes whole corpora of programs through a
+supervised pool of long-lived worker processes
+(:mod:`repro.batch.supervisor`), isolates per-program failures as
+structured records, enforces airtight per-item deadlines (soft SIGALRM
+in the worker, hard SIGKILL from the parent for C-call hangs),
+recycles workers to bound memory, streams results as they complete,
+and merges per-item observability (trace summaries, counters, cache
+hit rates) into one report.
 
 ::
 
@@ -16,21 +20,33 @@ counters, cache hit rates) into one report.
     print(report.render_table())
     print(report.to_json())
 
-CLI: ``repro batch DIR --jobs N --timeout S --emit json|table``.
-See ``docs/BATCH.md`` for the driver API and the report schema.
+Streaming, with early exit::
+
+    from repro.batch import iter_batch
+
+    config = BatchConfig(jobs=4, timeout=10.0, stop_after_failures=3)
+    for record in iter_batch(items, config):
+        print(record.index, record.name, record.status)
+
+CLI: ``repro batch DIR --jobs N --timeout S --stream --max-failures N
+--recycle-after N --emit json|table``.  See ``docs/BATCH.md`` for the
+supervisor architecture, the streaming protocol and the report schema.
 """
 
 from repro.batch.driver import (
     CORPUS_SUFFIXES,
     BatchConfig,
     WorkItem,
+    collect_report,
     items_from_cfgs,
     items_from_dir,
+    iter_batch,
     run_batch,
 )
 from repro.batch.report import (
     STATUS_ERROR,
     STATUS_OK,
+    STATUS_SKIPPED,
     STATUS_TIMEOUT,
     BatchReport,
     ItemResult,
@@ -43,9 +59,12 @@ __all__ = [
     "ItemResult",
     "STATUS_ERROR",
     "STATUS_OK",
+    "STATUS_SKIPPED",
     "STATUS_TIMEOUT",
     "WorkItem",
+    "collect_report",
     "items_from_cfgs",
     "items_from_dir",
+    "iter_batch",
     "run_batch",
 ]

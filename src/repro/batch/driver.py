@@ -1,19 +1,35 @@
 """The corpus driver: optimize many programs with per-item fault isolation.
 
 One ``optimize`` call processes one graph; real PRE deployments run
-over whole translation-unit corpora.  :func:`run_batch` takes a list of
-:class:`WorkItem` (built from a directory of ``.mini``/``.json`` files
-with :func:`items_from_dir`, or from in-memory graphs with
-:func:`items_from_cfgs`) and pushes them through a
-``ProcessPoolExecutor`` worker pool:
+over whole translation-unit corpora.  :func:`iter_batch` takes a list
+of :class:`WorkItem` (built from a directory of ``.mini``/``.json``
+files with :func:`items_from_dir`, or from in-memory graphs with
+:func:`items_from_cfgs`) and streams one
+:class:`~repro.batch.report.ItemResult` per item as it completes;
+:func:`run_batch` is a thin collector on top that folds the stream
+into the input-ordered, deterministic
+:class:`~repro.batch.report.BatchReport`.  Work runs on a
+:class:`~repro.batch.supervisor.Supervisor` — long-lived worker
+processes owned over ``multiprocessing`` pipes — which provides:
 
 * **fault isolation** — an item that raises anywhere (parse error,
   validation failure, transform bug) produces a structured
   ``ItemResult(status="error")`` record carrying the message and
   traceback; the rest of the batch is unaffected;
-* **timeouts** — with ``BatchConfig.timeout`` set, an item that
-  exceeds the budget is interrupted in the worker (SIGALRM, so the
-  worker stays warm) and recorded as ``status="timeout"``;
+* **airtight timeouts** — with ``BatchConfig.timeout`` set, a
+  Python-level hang is interrupted in the worker (SIGALRM, so the
+  worker stays warm); an item stuck in an *uninterruptible C call* is
+  killed from the parent (SIGKILL after ``timeout + grace``) and the
+  worker respawned — either way a clean ``status="timeout"`` record;
+* **single-item crash attribution** — one item runs per worker at a
+  time, so a worker lost to a segfault/OOM kill produces exactly one
+  ``worker lost`` error record; other items transparently reschedule
+  onto the respawned worker;
+* **worker recycling** — ``max_tasks_per_worker`` retires workers
+  after N items to bound memory growth over long corpora;
+* **early exit** — ``stop_after_failures`` and ``deadline_s`` cancel
+  the remainder of a batch; unfinished items are recorded (and
+  streamed) as ``status="skipped"``;
 * **bounded retry** — ``BatchConfig.retries`` re-runs failed items up
   to N extra times, for transient failures;
 * **warm workers** — each worker process keeps one
@@ -23,29 +39,21 @@ with :func:`items_from_dir`, or from in-memory graphs with
   summary/counters travel back in the item record;
 * **a shared persistent cache** — with ``BatchConfig.store_path`` set,
   every worker's manager is backed by one on-disk
-  :class:`~repro.obs.store.SolutionStore`, so identical programs
-  landing on *different* workers — or in different invocations — reuse
-  each other's solutions instead of re-solving (the CLI's
-  ``--cache-dir``; see ``docs/CACHING.md``);
-* **determinism** — results are reported in input order regardless of
-  completion order, and the optimised IR per program is bit-identical
-  whatever ``jobs`` is (workers share no mutable state);
-* **longest-processing-time scheduling** — the pool dispatches items in
-  descending predicted-cost order (:attr:`WorkItem.cost`: graph size ×
-  computation count for in-memory items, file size for corpus files),
-  the classic LPT heuristic that keeps one huge program from serialising
-  the tail of the batch.  Scheduling only reorders *execution*; the
-  report stays input-ordered.
+  :class:`~repro.obs.store.SolutionStore` (the CLI's ``--cache-dir``;
+  see ``docs/CACHING.md``);
+* **determinism** — :func:`run_batch` reports in input order
+  regardless of completion order, and the optimised IR per program is
+  bit-identical whatever ``jobs`` is (workers share no mutable state);
+* **longest-processing-time scheduling** — the supervisor dispatches
+  items in descending predicted-cost order (:attr:`WorkItem.cost`),
+  the classic LPT heuristic.  Scheduling only reorders *execution*;
+  the collected report stays input-ordered.
 
 ``jobs=1`` runs serially in-process through the *same* item code path
-(no pool), which is both the baseline for throughput comparisons and
-the debug mode — breakpoints and pdb work.
-
-Timeout enforcement needs ``signal.SIGALRM`` (POSIX; the main thread of
-each worker).  Where it is unavailable the batch still runs, but hangs
-are not interrupted.  A worker lost to a hard crash (segfault, OOM
-kill) breaks the pool; the driver converts every affected item into an
-error record rather than aborting, so the report is always complete.
+(no worker processes), which is both the baseline for throughput
+comparisons and the debug mode — breakpoints and pdb work.  Serial
+mode keeps the soft SIGALRM timeout but has no parent to kill a
+C-call hang; hard isolation needs ``jobs >= 2``.
 """
 
 from __future__ import annotations
@@ -54,19 +62,21 @@ import os
 import signal
 import time
 import traceback as traceback_module
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
 from repro.batch.report import (
     STATUS_ERROR,
     STATUS_OK,
+    STATUS_SKIPPED,
     STATUS_TIMEOUT,
     BatchReport,
     ItemResult,
 )
+from repro.batch.supervisor import COUNTER_SKIPPED, Supervisor
 from repro.ir.cfg import CFG
+from repro.obs import trace
 from repro.obs.fingerprint import cfg_fingerprint
 from repro.obs.manager import AnalysisManager
 from repro.obs.store import SolutionStore
@@ -93,10 +103,10 @@ class WorkItem:
         *payload* is a ``"module.path:function"`` reference resolved in
         the worker; the function must return a :class:`CFG`.  This is
         the extension point for custom loaders (and what the
-        fault-injection tests use).
+        fault-injection payloads in :mod:`repro.batch.testing` use).
 
     *cost* is a relative work prediction (any nonnegative scale) used
-    by the pooled driver's LPT scheduling; 0 means unknown, and equal
+    by the supervisor's LPT scheduling; 0 means unknown, and equal
     costs keep input order.
     """
 
@@ -148,14 +158,25 @@ def items_from_cfgs(
 
 @dataclass(frozen=True)
 class BatchConfig:
-    """Knobs for :func:`run_batch`.
+    """Knobs for :func:`run_batch` / :func:`iter_batch`.
 
     Attributes:
         pass_: the registered optimisation pass to run per program.
         pipeline: run the full standard pass pipeline instead.
         jobs: worker processes; 1 means serial in-process.
         timeout: per-item wall-clock budget in seconds (None: none).
+        grace: extra seconds past *timeout* the supervisor waits for
+            the in-worker soft timeout to fire before SIGKILLing the
+            worker — the hard deadline is ``timeout + grace``.
         retries: extra attempts for items that error or time out.
+        max_tasks_per_worker: recycle (retire and respawn) a worker
+            after it served this many items, bounding per-process
+            memory growth (None: workers live for the whole batch).
+        stop_after_failures: cancel the rest of the batch once this
+            many items failed; unfinished items are recorded as
+            ``status="skipped"`` (None: never).
+        deadline_s: whole-batch wall-clock budget; on expiry the
+            remainder is cancelled as ``skipped`` (None: none).
         cache: whether worker analysis managers memoize (the CLI's
             ``--no-cache`` turns this off).
         store_path: directory of a shared on-disk
@@ -170,7 +191,11 @@ class BatchConfig:
     pipeline: bool = False
     jobs: int = 1
     timeout: Optional[float] = None
+    grace: float = 1.0
     retries: int = 0
+    max_tasks_per_worker: Optional[int] = None
+    stop_after_failures: Optional[int] = None
+    deadline_s: Optional[float] = None
     cache: bool = True
     store_path: Optional[str] = None
     keep_ir: bool = False
@@ -178,15 +203,15 @@ class BatchConfig:
 
 # ---------------------------------------------------------------------------
 # Worker side.  One warm AnalysisManager per process, installed by the
-# pool initializer; the serial path calls the initializer itself so
-# jobs=1 exercises the identical item code path.
+# supervisor's worker entry point; the serial path calls the
+# initializer itself so jobs=1 exercises the identical item code path.
 # ---------------------------------------------------------------------------
 
 _WORKER_MANAGER: Optional[AnalysisManager] = None
 
 
 def _init_worker(cache_enabled: bool, store_path: Optional[str] = None) -> None:
-    """Pool initializer: create this process's warm analysis manager.
+    """Create this process's warm analysis manager.
 
     With *store_path*, the manager gets the shared on-disk tier — each
     worker opens its own :class:`SolutionStore` handle on the common
@@ -242,7 +267,7 @@ def _optimize_item(cfg: CFG, config: BatchConfig, manager: AnalysisManager):
 def _run_item(index: int, item: WorkItem, config: BatchConfig) -> ItemResult:
     """Execute one work item; never raises — every outcome is a record."""
     global _WORKER_MANAGER
-    if _WORKER_MANAGER is None:  # pool without initializer (not ours)
+    if _WORKER_MANAGER is None:  # process without initializer (not ours)
         _init_worker(config.cache, config.store_path)
     manager = _WORKER_MANAGER
     hits_before = manager.stats.hits
@@ -312,70 +337,113 @@ def _run_item(index: int, item: WorkItem, config: BatchConfig) -> ItemResult:
 # ---------------------------------------------------------------------------
 
 
-def _lost_worker_record(index: int, item: WorkItem, exc: BaseException,
-                        attempts: int) -> ItemResult:
+def _skipped_record(
+    index: int, item: WorkItem, reason: str, stats: Dict[str, int]
+) -> ItemResult:
+    stats[COUNTER_SKIPPED] = stats.get(COUNTER_SKIPPED, 0) + 1
+    trace.count(COUNTER_SKIPPED)
     return ItemResult(
         index=index,
         name=item.name,
-        status=STATUS_ERROR,
-        message=f"worker lost: {type(exc).__name__}: {exc}",
-        attempts=attempts,
+        status=STATUS_SKIPPED,
+        message=f"cancelled: {reason}",
+        attempts=0,
     )
 
 
-def _run_serial(items: Sequence[WorkItem], config: BatchConfig) -> List[ItemResult]:
+def _iter_serial(
+    items: Sequence[WorkItem], config: BatchConfig, stats: Dict[str, int]
+) -> Iterator[ItemResult]:
+    """The jobs=1 path: in-process, input order, same early-exit
+    policies as the supervisor (but no hard kill — no parent)."""
     _init_worker(config.cache, config.store_path)
-    results = []
+    deadline = (
+        time.monotonic() + config.deadline_s
+        if config.deadline_s is not None
+        else None
+    )
+    failures = 0
+    stop_reason = None
     for index, item in enumerate(items):
+        if stop_reason is None and deadline is not None:
+            if time.monotonic() >= deadline:
+                stop_reason = f"batch deadline {config.deadline_s}s exceeded"
+        if stop_reason is not None:
+            yield _skipped_record(index, item, stop_reason, stats)
+            continue
         record = _run_item(index, item, config)
         for attempt in range(2, config.retries + 2):
             if record.ok:
                 break
             record = _run_item(index, item, config)
             record.attempts = attempt
-        results.append(record)
-    return results
+        if not record.ok:
+            failures += 1
+            if (
+                config.stop_after_failures is not None
+                and failures >= config.stop_after_failures
+            ):
+                stop_reason = (
+                    f"stopped after {failures} failed "
+                    f"item{'s' if failures != 1 else ''}"
+                )
+        yield record
 
 
-def _run_pooled(items: Sequence[WorkItem], config: BatchConfig,
-                jobs: int) -> List[ItemResult]:
-    results: List[Optional[ItemResult]] = [None] * len(items)
-    attempts: Dict[int, int] = {}
-    with ProcessPoolExecutor(
-        max_workers=jobs,
-        initializer=_init_worker,
-        initargs=(config.cache, config.store_path),
-    ) as pool:
+def iter_batch(
+    items: Sequence[WorkItem],
+    config: Optional[BatchConfig] = None,
+    stats: Optional[Dict[str, int]] = None,
+) -> Iterator[ItemResult]:
+    """Stream one final :class:`ItemResult` per item, in completion order.
 
-        def submit(index: int) -> Tuple:
-            attempts[index] = attempts.get(index, 0) + 1
-            return pool.submit(_run_item, index, items[index], config)
+    Every submitted index is yielded exactly once; records carry
+    :attr:`~repro.batch.report.ItemResult.index` so callers can
+    reassemble input order (:func:`run_batch` does exactly that).
+    Early-exit policies (``stop_after_failures``, ``deadline_s``)
+    cancel the remainder as ``status="skipped"`` records, which are
+    streamed too — the stream is always complete.
 
-        # LPT: dispatch predicted-heavy items first so the slowest item
-        # starts as early as possible (ties keep input order; results
-        # are indexed, so the report order is unaffected).
-        schedule = sorted(
-            range(len(items)), key=lambda index: (-items[index].cost, index)
+    *stats*, when given, is filled with supervision counters
+    (``batch.worker.respawn``, ``batch.item.killed``, …) as the run
+    progresses; :func:`run_batch` surfaces them as
+    :attr:`BatchReport.supervisor`.  Abandoning the iterator early
+    (``break``, ``.close()``) shuts the workers down — no orphans.
+    """
+    config = config if config is not None else BatchConfig()
+    stats = stats if stats is not None else {}
+    jobs = max(1, config.jobs)
+    if jobs == 1 or len(items) <= 1:
+        yield from _iter_serial(items, config, stats)
+    else:
+        supervisor = Supervisor(
+            list(items), config, min(jobs, len(items)), stats
         )
-        pending = {submit(index): index for index in schedule}
-        while pending:
-            done, _ = wait(pending, return_when=FIRST_COMPLETED)
-            for future in done:
-                index = pending.pop(future)
-                try:
-                    record = future.result()
-                except Exception as exc:  # worker died mid-item
-                    record = _lost_worker_record(
-                        index, items[index], exc, attempts[index]
-                    )
-                    results[index] = record
-                    continue
-                record.attempts = attempts[index]
-                if not record.ok and attempts[index] <= config.retries:
-                    pending[submit(index)] = index
-                else:
-                    results[index] = record
-    return results  # type: ignore[return-value]
+        yield from supervisor.run()
+
+
+def collect_report(
+    results: Iterable[ItemResult],
+    config: BatchConfig,
+    wall_time_s: float = 0.0,
+    supervisor: Optional[Dict[str, int]] = None,
+) -> BatchReport:
+    """Fold streamed records into the input-ordered :class:`BatchReport`
+    (what :func:`run_batch` returns; the CLI's ``--stream`` uses this
+    to finish with a report identical to the non-streaming run)."""
+    ordered = sorted(results, key=lambda record: record.index)
+    store_stats = (
+        SolutionStore(config.store_path).stats() if config.store_path else None
+    )
+    return BatchReport(
+        items=ordered,
+        jobs=max(1, config.jobs),
+        wall_time_s=wall_time_s,
+        pass_=config.pass_,
+        pipeline=config.pipeline,
+        store=store_stats,
+        supervisor=dict(supervisor) if supervisor else None,
+    )
 
 
 def run_batch(
@@ -385,25 +453,13 @@ def run_batch(
     """Optimize every item; always returns a complete, input-ordered report.
 
     The report's :attr:`~repro.batch.report.BatchReport.ok` is False as
-    soon as any item errored or timed out — callers deciding an exit
-    code should use it — but every item, failed or not, has a record.
+    soon as any item errored, timed out or was skipped — callers
+    deciding an exit code should use it — but every item, failed or
+    not, has a record.
     """
     config = config if config is not None else BatchConfig()
-    jobs = max(1, config.jobs)
+    stats: Dict[str, int] = {}
     start = time.perf_counter()
-    if jobs == 1 or len(items) <= 1:
-        results = _run_serial(items, config)
-    else:
-        results = _run_pooled(items, config, min(jobs, len(items)))
+    results = list(iter_batch(items, config, stats))
     wall = time.perf_counter() - start
-    store_stats = (
-        SolutionStore(config.store_path).stats() if config.store_path else None
-    )
-    return BatchReport(
-        items=results,
-        jobs=jobs,
-        wall_time_s=wall,
-        pass_=config.pass_,
-        pipeline=config.pipeline,
-        store=store_stats,
-    )
+    return collect_report(results, config, wall, stats)

@@ -10,8 +10,12 @@ whole corpus run has the same observability surface as a single
 ``optimize`` call: wall time, per-item timings, cache hit rates and an
 error tally.
 
-The JSON schema is versioned (``repro-batch-report`` version 1) and
-documented in ``docs/BATCH.md``.
+The JSON schema is versioned (``repro-batch-report`` version 2) and
+documented in ``docs/BATCH.md``.  Version 2 added the ``skipped``
+item status (early-exit policies cancelling the tail of a batch) and
+the optional top-level ``supervisor`` block of worker-supervision
+counters; version-1 consumers that only switch on the original three
+statuses should treat ``skipped`` as a failure.
 """
 
 from __future__ import annotations
@@ -22,10 +26,14 @@ from typing import Any, Dict, List, Optional
 
 from repro.obs.trace import merge_counters, merge_summaries
 
-#: The three terminal states of one work item.
+#: The four terminal states of one work item.
 STATUS_OK = "ok"
 STATUS_ERROR = "error"
 STATUS_TIMEOUT = "timeout"
+#: The item never ran (or its run was abandoned): an early-exit policy
+#: — ``stop_after_failures`` / ``deadline_s`` — cancelled the batch
+#: before the item could complete.
+STATUS_SKIPPED = "skipped"
 
 
 @dataclass
@@ -37,12 +45,13 @@ class ItemResult:
             always reported in this order).
         name: the item's display name (file stem, or a caller-given
             label for in-memory programs).
-        status: ``"ok"``, ``"error"`` or ``"timeout"``.
+        status: ``"ok"``, ``"error"``, ``"timeout"`` or ``"skipped"``.
         message: one-line failure description (empty when ok).
         traceback: the full formatted traceback for errors (empty
             otherwise) — timeouts carry no traceback, the work was
             interrupted, not failed.
-        attempts: how many times the item ran (> 1 only with retries).
+        attempts: how many times the item ran (> 1 only with retries;
+            0 for a ``skipped`` item that never started).
         duration_ms: wall time of the final attempt, measured in the
             worker.
         fingerprint: content fingerprint of the optimised graph
@@ -121,6 +130,11 @@ class BatchReport:
     #: `SolutionStore.stats()` of the shared on-disk cache after the
     #: run, when the batch was configured with a ``store_path``.
     store: Optional[Dict[str, Any]] = None
+    #: Supervision counters of the pooled run (``batch.worker.respawn``,
+    #: ``batch.item.killed``, ``batch.worker.recycled``,
+    #: ``batch.item.skipped``), when any fired.  None for serial runs
+    #: and uneventful pooled runs.
+    supervisor: Optional[Dict[str, int]] = None
 
     @property
     def ok(self) -> bool:
@@ -136,7 +150,7 @@ class BatchReport:
 
     @property
     def error_count(self) -> int:
-        """Items that did not succeed (errors + timeouts)."""
+        """Items that did not succeed (errors + timeouts + skipped)."""
         return sum(1 for item in self.items if not item.ok)
 
     def merged_counters(self) -> Dict[str, int]:
@@ -171,7 +185,7 @@ class BatchReport:
     def to_dict(self) -> Dict[str, Any]:
         payload = {
             "format": "repro-batch-report",
-            "version": 1,
+            "version": 2,
             "pass": self.pass_,
             "pipeline": self.pipeline,
             "jobs": self.jobs,
@@ -185,6 +199,8 @@ class BatchReport:
         }
         if self.store is not None:
             payload["store"] = dict(self.store)
+        if self.supervisor is not None:
+            payload["supervisor"] = dict(self.supervisor)
         return payload
 
     def to_json(self, indent: Optional[int] = 2) -> str:
@@ -225,4 +241,8 @@ class BatchReport:
                 f"  disk hits {cache['disk_hits']}  "
                 f"store entries {self.store.get('entries', 0)}"
             )
+        if self.supervisor is not None:
+            respawns = self.supervisor.get("batch.worker.respawn", 0)
+            if respawns:
+                footer += f"  worker respawns {respawns}"
         return f"{table.render()}\n{footer}"

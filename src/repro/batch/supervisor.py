@@ -1,0 +1,390 @@
+"""The worker supervisor: hard isolation for the batch driver.
+
+The pooled driver used to lean on ``ProcessPoolExecutor`` plus
+in-worker SIGALRM timeouts.  That combination has two structural
+holes:
+
+* SIGALRM only fires between bytecodes — an item stuck inside a
+  long-running C call (a pathological regex, a huge builtin reduction)
+  never sees the alarm and hangs the worker, and with it the batch;
+* a worker lost to a hard crash (segfault, OOM kill) breaks the whole
+  pool, so *every* in-flight item came back as an error record even
+  though only one item was responsible.
+
+The :class:`Supervisor` closes both by owning its workers directly,
+pebble-style.  Each worker is a long-lived ``multiprocessing`` process
+connected over a duplex pipe; the **parent** is the enforcement point:
+
+* **deadlines** — while an item runs, the supervisor tracks a
+  wall-clock deadline of ``timeout + grace``.  The in-worker SIGALRM
+  remains the first line (it interrupts Python-level loops and keeps
+  the worker warm); if it cannot fire, the supervisor SIGKILLs the
+  whole worker, records a clean ``timeout`` item and respawns a fresh
+  process — even a C-call hang costs one worker, never the batch;
+* **crash attribution** — exactly one item runs per worker at a time,
+  so a dead pipe is attributed to that single item (``worker lost:``
+  error record); everything else queued merely reschedules onto the
+  respawned worker;
+* **recycling** — after ``max_tasks_per_worker`` items a worker is
+  retired and (when work remains) replaced, bounding memory growth of
+  long corpora;
+* **streaming** — results are handed out in *completion* order as they
+  arrive, which is what :func:`repro.batch.driver.iter_batch` yields;
+  every record carries its ``index`` for reassembly;
+* **early exit** — ``stop_after_failures`` and ``deadline_s`` cancel
+  the remainder of the batch: in-flight workers are killed and every
+  unfinished item is recorded as ``status="skipped"``.
+
+Supervisor events are observable twice: in the ``stats`` mapping the
+driver folds into :attr:`repro.batch.report.BatchReport.supervisor`,
+and as trace counters (``batch.worker.respawn``, ``batch.item.killed``,
+``batch.worker.recycled``, ``batch.item.skipped``) on the active
+:mod:`repro.obs.trace` tracer.
+
+The protocol over each pipe is tiny: the parent sends
+``("run", index, item, config)`` or ``("stop",)``; the worker answers
+one pickled :class:`~repro.batch.report.ItemResult` per ``run``.
+Workers are daemonic, so even an abandoned supervisor cannot leak
+processes past interpreter exit; orderly shutdown happens in a
+``finally`` and is exercised by tests and the CI kill-resilience smoke.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections import deque
+from multiprocessing.connection import wait as _connection_wait
+from typing import TYPE_CHECKING, Deque, Dict, Iterator, List, Optional
+
+from repro.batch.report import (
+    STATUS_ERROR,
+    STATUS_SKIPPED,
+    STATUS_TIMEOUT,
+    ItemResult,
+)
+from repro.obs import trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.batch.driver import BatchConfig, WorkItem
+
+#: Seconds an idle worker gets to honour a graceful ``("stop",)``
+#: before the supervisor falls back to SIGKILL.
+_STOP_JOIN_S = 2.0
+
+#: Trace counter names (also the keys of ``BatchReport.supervisor``).
+COUNTER_RESPAWN = "batch.worker.respawn"
+COUNTER_KILLED = "batch.item.killed"
+COUNTER_RECYCLED = "batch.worker.recycled"
+COUNTER_SKIPPED = "batch.item.skipped"
+
+
+def _mp_context():
+    """The multiprocessing context workers are spawned from.
+
+    Fork keeps parity with the previous ``ProcessPoolExecutor`` driver
+    (workers inherit imported modules, which the ``call`` work-item
+    kind relies on in tests); platforms without fork fall back to the
+    default start method.
+    """
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX
+        return multiprocessing.get_context()
+
+
+def _worker_main(conn, cache_enabled: bool, store_path: Optional[str]) -> None:
+    """Worker process entry point: serve items off the pipe until told
+    to stop (or the pipe dies with the parent)."""
+    from repro.batch.driver import _init_worker, _run_item
+
+    _init_worker(cache_enabled, store_path)
+    try:
+        while True:
+            message = conn.recv()
+            if message[0] == "stop":
+                break
+            _, index, item, config = message
+            conn.send(_run_item(index, item, config))
+    except (EOFError, OSError, KeyboardInterrupt):
+        pass
+    finally:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
+
+
+class _Worker:
+    """Parent-side handle of one long-lived worker process."""
+
+    __slots__ = ("proc", "conn", "tasks_done", "index", "deadline")
+
+    def __init__(self, ctx, config: "BatchConfig") -> None:
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        self.conn = parent_conn
+        self.proc = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, config.cache, config.store_path),
+            daemon=True,
+        )
+        self.proc.start()
+        child_conn.close()
+        self.tasks_done = 0
+        #: Index of the in-flight item (None when idle).
+        self.index: Optional[int] = None
+        #: Hard wall-clock deadline of the in-flight item (monotonic).
+        self.deadline: Optional[float] = None
+
+    @property
+    def busy(self) -> bool:
+        return self.index is not None
+
+    def assign(self, index: int, item: "WorkItem",
+               config: "BatchConfig") -> None:
+        self.conn.send(("run", index, item, config))
+        self.index = index
+        self.deadline = (
+            time.monotonic() + config.timeout + config.grace
+            if config.timeout is not None
+            else None
+        )
+
+    def clear(self) -> None:
+        self.index = None
+        self.deadline = None
+        self.tasks_done += 1
+
+    def kill(self) -> None:
+        """SIGKILL the process — the only interruption that always works."""
+        if self.proc.is_alive():
+            self.proc.kill()
+        self.proc.join()
+        self.conn.close()
+
+    def stop(self) -> None:
+        """Graceful shutdown; falls back to :meth:`kill` on a timeout."""
+        try:
+            self.conn.send(("stop",))
+        except (BrokenPipeError, OSError):
+            pass
+        self.proc.join(_STOP_JOIN_S)
+        if self.proc.is_alive():  # pragma: no cover - stuck despite stop
+            self.proc.kill()
+            self.proc.join()
+        self.conn.close()
+
+
+class Supervisor:
+    """Drives one batch over owned worker processes, streaming results.
+
+    Single-threaded: :meth:`run` is a generator that multiplexes every
+    worker pipe with :func:`multiprocessing.connection.wait`, enforcing
+    per-item deadlines and the batch-level early-exit policies between
+    wakeups.  ``stats`` (a plain counter mapping, shared with the
+    caller) accumulates supervision events.
+    """
+
+    def __init__(
+        self,
+        items: "List[WorkItem]",
+        config: "BatchConfig",
+        jobs: int,
+        stats: Dict[str, int],
+    ) -> None:
+        self.items = items
+        self.config = config
+        self.jobs = jobs
+        self.stats = stats
+        self.ctx = _mp_context()
+        self.attempts: Dict[int, int] = {}
+
+    # -- bookkeeping ----------------------------------------------------
+
+    def _count(self, name: str, n: int = 1) -> None:
+        self.stats[name] = self.stats.get(name, 0) + n
+        trace.count(name, n)
+
+    def _spawn(self) -> _Worker:
+        return _Worker(self.ctx, self.config)
+
+    def _respawn(self, workers: List[_Worker], dead: _Worker) -> None:
+        workers[workers.index(dead)] = self._spawn()
+        self._count(COUNTER_RESPAWN)
+
+    # -- records the parent manufactures --------------------------------
+
+    def _timeout_record(self, index: int, worker: _Worker) -> ItemResult:
+        config = self.config
+        return ItemResult(
+            index=index,
+            name=self.items[index].name,
+            status=STATUS_TIMEOUT,
+            message=(
+                f"killed: exceeded {config.timeout}s budget "
+                f"(+{config.grace}s grace, uninterruptible worker)"
+            ),
+            pid=worker.proc.pid,
+        )
+
+    def _lost_record(self, index: int, worker: _Worker) -> ItemResult:
+        worker.proc.join(_STOP_JOIN_S)
+        code = worker.proc.exitcode
+        return ItemResult(
+            index=index,
+            name=self.items[index].name,
+            status=STATUS_ERROR,
+            message=f"worker lost: exited with code {code} mid-item",
+            pid=worker.proc.pid,
+        )
+
+    def _skipped_record(self, index: int, reason: str) -> ItemResult:
+        self._count(COUNTER_SKIPPED)
+        return ItemResult(
+            index=index,
+            name=self.items[index].name,
+            status=STATUS_SKIPPED,
+            message=f"cancelled: {reason}",
+            attempts=self.attempts.get(index, 0),
+        )
+
+    # -- the loop --------------------------------------------------------
+
+    def run(self) -> Iterator[ItemResult]:
+        """Yield one final record per item, in completion order."""
+        config = self.config
+        # LPT: predicted-heavy items first (ties keep input order).
+        pending: Deque[int] = deque(
+            sorted(
+                range(len(self.items)),
+                key=lambda index: (-self.items[index].cost, index),
+            )
+        )
+        batch_deadline = (
+            time.monotonic() + config.deadline_s
+            if config.deadline_s is not None
+            else None
+        )
+        workers = [self._spawn() for _ in range(self.jobs)]
+        completed = 0
+        failures = 0
+        stop_reason: Optional[str] = None
+        try:
+            while completed < len(self.items) and stop_reason is None:
+                for worker in workers:
+                    if not worker.busy and pending:
+                        index = pending.popleft()
+                        self.attempts[index] = self.attempts.get(index, 0) + 1
+                        worker.assign(index, self.items[index], config)
+                busy = [worker for worker in workers if worker.busy]
+                if not busy:  # pragma: no cover - defensive
+                    break
+                ready = set(
+                    _connection_wait(
+                        [worker.conn for worker in busy],
+                        self._wait_timeout(busy, batch_deadline),
+                    )
+                )
+                now = time.monotonic()
+                for worker in busy:
+                    record = None
+                    survived = True
+                    if worker.conn in ready:
+                        try:
+                            record = worker.conn.recv()
+                        except (EOFError, OSError):
+                            # The pipe died mid-item: exactly one item
+                            # was running here, so the crash is its and
+                            # its alone.
+                            record = self._lost_record(worker.index, worker)
+                            survived = False
+                    elif worker.deadline is not None and now >= worker.deadline:
+                        # SIGALRM never fired — the worker is stuck
+                        # somewhere uninterruptible.  Kill the process.
+                        worker.kill()
+                        record = self._timeout_record(worker.index, worker)
+                        self._count(COUNTER_KILLED)
+                        survived = False
+                    if record is None:
+                        continue
+                    index = worker.index
+                    worker.clear()
+                    if not survived:
+                        self._respawn(workers, worker)
+                    record.attempts = self.attempts[index]
+                    if not record.ok and self.attempts[index] <= config.retries:
+                        pending.append(index)
+                        continue
+                    completed += 1
+                    if not record.ok:
+                        failures += 1
+                    yield record
+                    if (
+                        config.stop_after_failures is not None
+                        and failures >= config.stop_after_failures
+                    ):
+                        stop_reason = (
+                            f"stopped after {failures} failed "
+                            f"item{'s' if failures != 1 else ''}"
+                        )
+                        break
+                    if survived and self._should_recycle(worker):
+                        self._recycle(workers, worker)
+                if (
+                    stop_reason is None
+                    and batch_deadline is not None
+                    and time.monotonic() >= batch_deadline
+                ):
+                    stop_reason = f"batch deadline {config.deadline_s}s exceeded"
+            if stop_reason is not None:
+                # Cancel everything unfinished: kill in-flight workers,
+                # drain the queue, record all of it as skipped.
+                unfinished = sorted(
+                    [worker.index for worker in workers if worker.busy]
+                    + list(pending)
+                )
+                for worker in workers:
+                    if worker.busy:
+                        worker.kill()
+                for index in unfinished:
+                    yield self._skipped_record(index, stop_reason)
+        finally:
+            self._shutdown(workers)
+
+    def _wait_timeout(
+        self, busy: List[_Worker], batch_deadline: Optional[float]
+    ) -> Optional[float]:
+        deadlines = [
+            worker.deadline for worker in busy if worker.deadline is not None
+        ]
+        if batch_deadline is not None:
+            deadlines.append(batch_deadline)
+        if not deadlines:
+            return None  # block until a result arrives
+        return max(0.0, min(deadlines) - time.monotonic())
+
+    def _should_recycle(self, worker: _Worker) -> bool:
+        return (
+            self.config.max_tasks_per_worker is not None
+            and worker.tasks_done >= self.config.max_tasks_per_worker
+        )
+
+    def _recycle(self, workers: List[_Worker], worker: _Worker) -> None:
+        """Retire a worker that served its quota and replace it with a
+        fresh process (retries may still route work to its slot)."""
+        worker.stop()
+        self._count(COUNTER_RECYCLED)
+        self._respawn(workers, worker)
+
+    def _shutdown(self, workers: List[_Worker]) -> None:
+        for worker in workers:
+            if worker.proc.is_alive() and worker.busy:
+                worker.kill()  # still running an item: no graceful exit
+            elif worker.proc.is_alive():
+                worker.stop()
+            else:
+                worker.proc.join()
+                try:
+                    worker.conn.close()
+                except OSError:  # pragma: no cover
+                    pass

@@ -1,0 +1,60 @@
+"""Fault-injection payloads for isolation tests and CI smoke runs.
+
+Each function here is a ``call``-kind work-item target
+(``WorkItem(name, "call", "repro.batch.testing:<fn>")``) that
+misbehaves in a specific, reproducible way.  They live in the package
+— not in the test tree — so CI smoke steps and operators reproducing
+an incident can use them against an installed ``repro`` without a
+checkout.
+
+The interesting distinction is *where* each hang can be interrupted:
+
+* :func:`busy_loop_py` spins in Python bytecode, so the in-worker
+  SIGALRM soft timeout interrupts it and the worker survives, warm;
+* :func:`busy_loop_c` blocks inside one single C call
+  (``sum(itertools.repeat(1))``) — CPython only runs signal handlers
+  between bytecodes, so no alarm can ever fire and only the
+  supervisor's hard deadline (SIGKILL from the parent) gets rid of it.
+
+That second shape is exactly the pathological-input class the lospre
+literature warns about, and what the kill-resilience CI smoke pins.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import signal
+
+
+def ok_cfg():
+    """A well-formed program: a diamond with one partially redundant
+    expression (the canonical LCM example)."""
+    from repro.lang import compile_program
+
+    return compile_program(
+        "x = a + b; if (p) { y = a + b; } else { y = 0; } z = a + b;"
+    )
+
+
+def crash():
+    """Raise — an ordinary per-item error record."""
+    raise RuntimeError("injected crash")
+
+
+def busy_loop_py():
+    """Hang in Python bytecode: interruptible by the worker's SIGALRM."""
+    while True:
+        pass
+
+
+def busy_loop_c():
+    """Hang inside a single C call: *uninterruptible* by any signal
+    handler; only a parent-side SIGKILL ends it."""
+    return sum(itertools.repeat(1))
+
+
+def kill_self():
+    """Die the way a segfault or the OOM killer looks from outside:
+    SIGKILL to our own process, mid-item, with no cleanup."""
+    os.kill(os.getpid(), signal.SIGKILL)

@@ -12,7 +12,7 @@ at-least-once (``do-while``) kind.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Tuple
 
 from repro.ir.cfg import CFG

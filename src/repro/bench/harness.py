@@ -12,7 +12,7 @@ bit-vector operation tallies.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.obs.trace import Tracer, current
 

@@ -16,9 +16,8 @@ These are the columns of the benchmark tables:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional
+from typing import Dict, Optional
 
-from repro.bench.generators import random_cfg
 from repro.core.lifetime import measure_lifetimes
 from repro.core.pipeline import optimize
 from repro.dataflow.bitvec import OpCounter, counting

@@ -12,6 +12,7 @@ Usage (also via ``python -m repro``)::
     repro audit prog.mini --expr "a + b"     # per-block analysis facts
     repro report prog.mini                   # strategy comparison table
     repro batch tests/corpus --jobs 4        # whole-corpus parallel driver
+    repro batch DIR --stream --max-failures 3   # NDJSON stream, early exit
     repro --trace out.json opt prog.mini     # + JSON trace of all analyses
     repro --no-cache audit prog.mini --full  # disable solution memoization
     repro --cache-dir .repro-cache opt p.mini   # persistent on-disk cache
@@ -28,7 +29,6 @@ import json
 import sys
 from typing import Dict, List, Optional, Sequence
 
-from repro.analysis.universe import ExprUniverse
 from repro.bench.harness import Table
 from repro.bench.metrics import measure_strategy
 from repro.core.lcm import analyze_lcm
@@ -184,7 +184,15 @@ def cmd_audit(args, out) -> int:
 
 
 def cmd_batch(args, out) -> int:
-    from repro.batch import BatchConfig, items_from_dir, run_batch
+    import time as time_module
+
+    from repro.batch import (
+        BatchConfig,
+        collect_report,
+        items_from_dir,
+        iter_batch,
+        run_batch,
+    )
 
     try:
         items = items_from_dir(args.dir)
@@ -196,12 +204,32 @@ def cmd_batch(args, out) -> int:
         jobs=args.jobs,
         timeout=args.timeout,
         retries=args.retries,
+        max_tasks_per_worker=args.recycle_after,
+        stop_after_failures=args.max_failures,
+        deadline_s=args.deadline,
         cache=not args.no_cache,
         store_path=args.cache_dir,
         keep_ir=args.keep_ir,
     )
-    report = run_batch(items, config)
-    if args.emit == "json":
+    if args.stream:
+        # NDJSON: one compact item record per line, in completion
+        # order, flushed as it happens — then the collected report
+        # (identical to the non-streaming run, modulo timings).
+        stats: Dict[str, int] = {}
+        results = []
+        start = time_module.perf_counter()
+        for record in iter_batch(items, config, stats):
+            print(json.dumps(record.to_dict()), file=out, flush=True)
+            results.append(record)
+        wall = time_module.perf_counter() - start
+        report = collect_report(results, config, wall, stats)
+    else:
+        report = run_batch(items, config)
+    if args.stream and args.emit == "json":
+        # Keep stdout line-oriented: the report is the final NDJSON
+        # line, recognisable by its "format" key.
+        print(json.dumps(report.to_dict()), file=out, flush=True)
+    elif args.emit == "json":
         print(report.to_json(), file=out)
     else:
         print(report.render_table(), file=out)
@@ -346,6 +374,21 @@ def build_parser() -> argparse.ArgumentParser:
                          help="per-item wall-clock budget in seconds")
     p_batch.add_argument("--retries", type=int, default=0,
                          help="extra attempts for items that error/time out")
+    p_batch.add_argument("--stream", action="store_true",
+                         help="emit one NDJSON item record per line as "
+                         "results complete (completion order; the collected "
+                         "report follows)")
+    p_batch.add_argument("--max-failures", type=int, default=None,
+                         metavar="N",
+                         help="cancel the rest of the batch after N failed "
+                         "items (the remainder is recorded as 'skipped')")
+    p_batch.add_argument("--recycle-after", type=int, default=None,
+                         metavar="N",
+                         help="retire and respawn each worker after it "
+                         "served N items (bounds worker memory growth)")
+    p_batch.add_argument("--deadline", type=float, default=None, metavar="S",
+                         help="whole-batch wall-clock budget in seconds; "
+                         "on expiry the remainder is 'skipped'")
     p_batch.add_argument("--strategy", choices=strategies, default="lcm")
     p_batch.add_argument("--pipeline", action="store_true",
                          help="run the full pass pipeline per program")

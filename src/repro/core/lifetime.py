@@ -16,7 +16,7 @@ module measures those ranges:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Set, Tuple
 
 from repro.analysis.liveness import compute_liveness

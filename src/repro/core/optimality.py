@@ -23,11 +23,10 @@ is well defined.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
-from repro.interp.machine import ExecutionResult, run
+from repro.interp.machine import run
 from repro.interp.random_inputs import random_envs
 from repro.ir.cfg import CFG
 from repro.ir.expr import Expr

@@ -19,11 +19,11 @@ way the paper's figures mark insertion/replacement points.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import FrozenSet, Iterable, Tuple
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable
 
 from repro.ir.cfg import CFG, Edge
-from repro.ir.expr import Expr, expr_key, is_computation
+from repro.ir.expr import Expr, is_computation
 
 
 class PlacementError(ValueError):

@@ -32,7 +32,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 from repro.analysis.liveness import LivenessResult, compute_liveness
 from repro.core.placement import Placement, PlacementError, upward_exposed_index
 from repro.ir.cfg import CFG, Edge
-from repro.ir.expr import Var, expr_vars
+from repro.ir.expr import Var
 from repro.ir.instr import Assign
 from repro.obs.manager import AnalysisManager, notify_cfg_mutated
 

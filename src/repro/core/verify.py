@@ -23,7 +23,7 @@ Used by the CLI's ``opt --verify`` and handy in user code::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
 from repro.core.optimality import (
     EquivalenceReport,

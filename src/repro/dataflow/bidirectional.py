@@ -15,7 +15,7 @@ unidirectional problems.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, Sequence, Tuple
 
 from repro.dataflow.bitvec import BitVector, counting
 from repro.dataflow.order import reverse_postorder

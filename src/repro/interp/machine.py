@@ -13,7 +13,7 @@ operator's meaning.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional
 
 from repro.ir.cfg import CFG

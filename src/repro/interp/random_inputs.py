@@ -8,7 +8,7 @@ reproducibly from a seed.
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable, Iterator, List, Sequence
+from typing import Dict, Iterable, List
 
 from repro.ir.cfg import CFG
 

@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Set, Tuple
 
 from repro.ir.expr import Expr
-from repro.ir.instr import Assign, CondBranch, Halt, Jump, Terminator
+from repro.ir.instr import Assign, Halt, Terminator
 
 
 @dataclass

@@ -12,11 +12,10 @@ the transformation engine (edge splitting for insertions on edges).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.ir.block import BasicBlock
-from repro.ir.expr import Expr
-from repro.ir.instr import Assign, CondBranch, Halt, Jump, Terminator
+from repro.ir.instr import Assign, CondBranch, Jump, Terminator
 
 #: A control flow edge, as a (source label, target label) pair.
 Edge = Tuple[str, str]

@@ -8,11 +8,10 @@ predicates next to the code they describe.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Mapping, Optional
+from typing import Callable, Iterable, Mapping, Optional
 
 from repro.ir.block import BasicBlock
 from repro.ir.cfg import CFG
-from repro.ir.instr import Halt
 
 
 def pretty_block(

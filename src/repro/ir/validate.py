@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import List, Set
 
 from repro.ir.cfg import CFG
-from repro.ir.instr import CondBranch, Halt, Jump
+from repro.ir.instr import CondBranch, Halt
 
 
 class ValidationError(ValueError):

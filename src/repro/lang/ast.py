@@ -8,7 +8,7 @@ right-hand sides are restricted to the same single-operator shapes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple, Union
+from typing import Tuple, Union
 
 from repro.ir.expr import Expr
 

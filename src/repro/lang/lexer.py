@@ -8,7 +8,7 @@ and the synthetic ``EOF``.  ``#`` starts a comment to end of line.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List
+from typing import List
 
 from repro.lang.errors import LexError
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.ir.expr import Atom, BinExpr, Const, Expr, UnaryExpr, Var
+from repro.ir.expr import BinExpr, Const, Expr, UnaryExpr, Var
 from repro.lang import ast
 
 

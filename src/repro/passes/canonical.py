@@ -21,7 +21,7 @@ from __future__ import annotations
 from typing import Tuple
 
 from repro.ir.cfg import CFG
-from repro.ir.expr import Atom, BinExpr, Const, Expr, Var
+from repro.ir.expr import Atom, BinExpr, Const, Expr
 from repro.ir.instr import Assign
 
 #: Operators where operand order does not affect the value.

@@ -17,7 +17,7 @@ content fingerprint for the working CFG.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.core.localcse import local_cse
 from repro.core.pipeline import OptimizeConfig, optimize

@@ -22,11 +22,11 @@ fixed point and reports how many of each rewrite it performed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Set
+from dataclasses import dataclass
+from typing import Set
 
 from repro.ir.cfg import CFG
-from repro.ir.instr import CondBranch, Const, Halt, Jump
+from repro.ir.instr import CondBranch, Const, Jump
 
 
 @dataclass

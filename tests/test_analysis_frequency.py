@@ -3,7 +3,6 @@
 from tests.helpers import diamond, do_while_invariant, straight_line
 
 from repro.analysis.frequency import (
-    Profile,
     block_frequencies,
     check_conservation,
     expected_evaluations,

@@ -1,7 +1,7 @@
 """Unit tests for the global analyses: availability, anticipability,
 their partial (some-path) variants, and variable liveness."""
 
-from tests.helpers import AB, diamond, do_while_invariant, names, straight_line
+from tests.helpers import AB, diamond, do_while_invariant, straight_line
 
 from repro.analysis.anticipability import compute_anticipability
 from repro.analysis.availability import compute_availability

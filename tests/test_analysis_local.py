@@ -9,7 +9,6 @@ from tests.helpers import AB, straight_line
 
 from repro.analysis.local import compute_local_properties
 from repro.analysis.universe import ExprUniverse
-from repro.ir.builder import CFGBuilder
 
 
 def props_of(*instrs: str):

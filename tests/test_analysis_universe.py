@@ -6,7 +6,7 @@ from tests.helpers import AB, CD, diamond
 
 from repro.analysis.universe import ExprUniverse
 from repro.dataflow.bitvec import BitVector
-from repro.ir.expr import BinExpr, Const, UnaryExpr, Var
+from repro.ir.expr import BinExpr, UnaryExpr, Var
 
 
 class TestUniverse:

@@ -109,7 +109,7 @@ class TestSerial:
         report = run_batch(items, BatchConfig(jobs=1))
         payload = report.to_dict()
         assert payload["format"] == "repro-batch-report"
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         assert payload["items_total"] == 3
         assert payload["tally"] == {"ok": 3}
         assert 0.0 <= payload["cache"]["hit_rate"] <= 1.0
@@ -209,6 +209,41 @@ class TestParallel:
         assert report.error_count == 2
         # Input order survives out-of-order completion.
         assert [i.name for i in report.items] == [i.name for i in items]
+
+    def test_lost_worker_is_attributed_to_the_single_running_item(self):
+        # A worker killed outright (SIGKILL — what a segfault or the
+        # OOM killer looks like) must cost exactly the item that was
+        # running on it; every other item transparently lands on the
+        # respawned worker instead of inheriting the error (the old
+        # ProcessPoolExecutor driver error'd every in-flight item).
+        items = [
+            _call_item("ok-one", "_ok_program"),
+            WorkItem("killer", "call", "repro.batch.testing:kill_self"),
+            _call_item("ok-two", "_ok_program"),
+            _call_item("ok-three", "_ok_program"),
+            _call_item("ok-four", "_ok_program"),
+        ]
+        report = run_batch(items, BatchConfig(jobs=2))
+        by_name = {item.name: item for item in report.items}
+        assert by_name["killer"].status == "error"
+        assert "worker lost" in by_name["killer"].message
+        for name in ("ok-one", "ok-two", "ok-three", "ok-four"):
+            assert by_name[name].status == "ok", by_name[name].message
+        assert report.tally == {"ok": 4, "error": 1}
+        assert report.supervisor["batch.worker.respawn"] >= 1
+
+    def test_lost_worker_error_is_retried_on_a_fresh_worker(self):
+        # Worker loss is a failure like any other: with a retry budget
+        # the item re-runs on the respawned worker (and, when the
+        # payload is deterministic death, fails again with attempts
+        # exhausted).
+        items = [WorkItem("killer", "call", "repro.batch.testing:kill_self"),
+                 _call_item("fine", "_ok_program")]
+        report = run_batch(items, BatchConfig(jobs=2, retries=1))
+        killer, fine = report.items
+        assert killer.status == "error"
+        assert killer.attempts == 2
+        assert fine.status == "ok"
 
     def test_pool_spreads_work(self):
         items = items_from_dir(str(CORPUS_DIR))

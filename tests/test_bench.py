@@ -4,7 +4,7 @@ table harness)."""
 import pytest
 
 from repro.bench.figures import FIGURES, figure_description, lifetime_ladder
-from repro.bench.generators import GeneratorConfig, random_cfg, random_program
+from repro.bench.generators import GeneratorConfig, random_cfg
 from repro.bench.harness import Table
 from repro.bench.metrics import (
     dynamic_evaluations,

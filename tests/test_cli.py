@@ -259,6 +259,55 @@ class TestBatch:
         code, _ = invoke("batch", str(tmp_path / "nope"))
         assert code == 2
 
+    def test_stream_emits_ndjson_then_report(self, corpus):
+        code, text = invoke("batch", str(corpus), "--jobs", "2",
+                            "--stream", "--emit", "json")
+        assert code == 0
+        lines = [json.loads(line) for line in text.splitlines() if line]
+        report = lines[-1]
+        assert report["format"] == "repro-batch-report"
+        item_lines = lines[:-1]
+        assert len(item_lines) == report["items_total"] == 2
+        assert sorted(line["index"] for line in item_lines) == [0, 1]
+        assert all(line["status"] == "ok" for line in item_lines)
+
+    def test_stream_report_matches_plain_run(self, corpus):
+        code, plain = invoke("batch", str(corpus), "--emit", "json")
+        assert code == 0
+        code, streamed = invoke("batch", str(corpus), "--stream",
+                                "--emit", "json")
+        assert code == 0
+        plain_report = json.loads(plain)
+        stream_report = json.loads(streamed.splitlines()[-1])
+
+        def stable(report):
+            return [
+                (i["name"], i["status"], i.get("fingerprint"),
+                 i.get("static_before"), i.get("static_after"))
+                for i in report["items"]
+            ]
+
+        assert stable(stream_report) == stable(plain_report)
+        assert stream_report["tally"] == plain_report["tally"]
+
+    def test_max_failures_skips_remainder(self, corpus):
+        (corpus / "aaa-broken.mini").write_text("x = ;")  # sorts first
+        code, text = invoke("batch", str(corpus), "--max-failures", "1",
+                            "--emit", "json")
+        assert code == 1
+        data = json.loads(text)
+        assert data["version"] == 2
+        assert data["tally"]["error"] == 1
+        assert data["tally"]["skipped"] == 2
+
+    def test_recycle_after_flag_respawns_workers(self, corpus):
+        (corpus / "third.mini").write_text("w = e + f; q = e + f;")
+        code, text = invoke("batch", str(corpus), "--jobs", "2",
+                            "--recycle-after", "1", "--emit", "json")
+        assert code == 0
+        data = json.loads(text)
+        assert data["supervisor"]["batch.worker.respawn"] >= 1
+
     def test_pipeline_mode(self, corpus):
         code, text = invoke("batch", str(corpus), "--pipeline")
         assert code == 0

@@ -14,7 +14,6 @@ from repro.bench.figures import isolated_example
 from repro.core.krs import analyze_krs, krs_placements
 from repro.core.nodegraph import expand_to_nodes
 from repro.ir.edgesplit import split_critical_edges
-from repro.ir.expr import BinExpr, Var
 
 
 def node_graph(cfg):

@@ -9,7 +9,6 @@ from tests.helpers import AB, diamond, do_while_invariant, straight_line
 
 from repro.bench.figures import isolated_example, running_example
 from repro.core.lcm import analyze_lcm, bcm_placements, lcm_placements
-from repro.ir.builder import CFGBuilder
 from repro.ir.expr import BinExpr, Var
 
 

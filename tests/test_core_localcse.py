@@ -4,7 +4,7 @@ from tests.helpers import straight_line
 
 from repro.core.localcse import local_cse, local_cse_block
 from repro.core.optimality import check_equivalence
-from repro.ir.builder import CFGBuilder, parse_assign
+from repro.ir.builder import parse_assign
 
 
 def cse_lines(*instrs: str):

@@ -13,7 +13,6 @@ from repro.core.optimality import (
     replay,
 )
 from repro.core.pipeline import optimize
-from repro.ir.builder import CFGBuilder
 
 
 class TestEnumerateTraces:

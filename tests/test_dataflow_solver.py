@@ -9,7 +9,6 @@ import pytest
 from tests.helpers import diamond, do_while_invariant, straight_line
 
 from repro.analysis.local import compute_local_properties
-from repro.analysis.universe import ExprUniverse
 from repro.dataflow.bitvec import BitVector
 from repro.dataflow.problem import (
     Confluence,

@@ -6,7 +6,6 @@ import sys
 from contextlib import redirect_stdout
 from pathlib import Path
 
-import pytest
 
 EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 

@@ -4,10 +4,7 @@ from tests.helpers import diamond, straight_line
 
 from repro.core.optimality import check_equivalence, compare_per_path
 from repro.core.pipeline import optimize
-from repro.extensions.codesize import (
-    size_governed_placements,
-    size_governed_transform,
-)
+from repro.extensions.codesize import size_governed_transform
 from repro.ir.builder import CFGBuilder
 
 

@@ -145,7 +145,7 @@ class TestSinking:
 
     def test_unstructured_graphs_preserved(self):
         from repro.bench.shapegen import ShapeConfig, random_shape_cfg
-        from repro.core.optimality import enumerate_traces, replay
+        from repro.core.optimality import enumerate_traces
         from repro.interp.machine import run
 
         for seed in range(10):

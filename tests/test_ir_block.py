@@ -4,8 +4,8 @@ import pytest
 
 from repro.ir.block import BasicBlock
 from repro.ir.builder import parse_assign
-from repro.ir.expr import BinExpr, Var
-from repro.ir.instr import Assign, CondBranch, Jump
+from repro.ir.expr import Var
+from repro.ir.instr import CondBranch, Jump
 
 
 def block_with(*instrs: str) -> BasicBlock:

@@ -5,7 +5,7 @@ import pytest
 from repro.ir.builder import CFGBuilder, cfg_from_edges, parse_assign
 from repro.ir.cfg import CFGError
 from repro.ir.expr import BinExpr, Const, Var
-from repro.ir.instr import CondBranch, Halt, Jump
+from repro.ir.instr import CondBranch
 from repro.ir.validate import validate_cfg
 
 

@@ -6,8 +6,7 @@ from tests.helpers import diamond, straight_line
 
 from repro.ir.block import BasicBlock
 from repro.ir.cfg import CFG, CFGError
-from repro.ir.instr import CondBranch, Halt, Jump
-from repro.ir.expr import Var
+from repro.ir.instr import Halt, Jump
 
 
 class TestBlockManagement:

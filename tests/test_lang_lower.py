@@ -1,6 +1,5 @@
 """Unit tests for AST -> CFG lowering, checked by executing the result."""
 
-import pytest
 
 from repro.interp.machine import run
 from repro.ir.instr import CondBranch

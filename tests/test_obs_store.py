@@ -7,7 +7,6 @@ documented in docs/CACHING.md.
 
 import json
 
-import pytest
 
 from tests.helpers import diamond, do_while_invariant
 

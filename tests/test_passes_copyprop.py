@@ -4,7 +4,7 @@ from tests.helpers import straight_line
 
 from repro.core.optimality import check_equivalence
 from repro.ir.builder import CFGBuilder
-from repro.ir.expr import BinExpr, Var
+from repro.ir.expr import Var
 from repro.ir.instr import CondBranch
 from repro.passes.copyprop import copy_propagate
 

@@ -6,7 +6,7 @@ from repro.core.optimality import check_equivalence
 from repro.ir.builder import CFGBuilder
 from repro.ir.cfg import CFG
 from repro.ir.block import BasicBlock
-from repro.ir.instr import CondBranch, Const, Halt, Jump
+from repro.ir.instr import CondBranch, Halt, Jump
 from repro.ir.expr import Var
 from repro.ir.validate import validate_cfg
 from repro.passes.simplify import simplify_cfg

@@ -10,8 +10,6 @@ import random
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.analysis.anticipability import compute_anticipability
-from repro.analysis.availability import compute_availability
 from repro.analysis.local import compute_local_properties
 from repro.bench.generators import GeneratorConfig, random_cfg
 from repro.core.lcm import analyze_lcm

@@ -6,7 +6,6 @@ critical edges, irreducible loops — using the decision-oracle path
 checkers (concrete execution may not terminate on such graphs).
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
