@@ -22,6 +22,11 @@ Quickstart::
     print(result.describe())   # where t = a + b was inserted / replaced
     print(result.cfg)          # the optimised program
 
+Starting from *source text* instead of a built graph, use the
+:mod:`repro.api` facade — :func:`optimize_source` /
+:func:`analyze_source` return typed, JSON-ready outcomes (what the
+CLI, the batch workers and the ``repro serve`` daemon call).
+
 The package layout follows DESIGN.md: :mod:`repro.ir` (program
 representation), :mod:`repro.lang` (text front-end),
 :mod:`repro.dataflow` (bit-vector engine), :mod:`repro.analysis`
@@ -74,11 +79,20 @@ from repro.obs import AnalysisManager, Tracer, tracing
 from repro.core.optimality import check_equivalence, compare_per_path
 from repro.core.verify import verify_transformation
 from repro.interp import run as run_program
+from repro.api import (
+    AnalyzeOutcome,
+    OptimizeOutcome,
+    SourceError,
+    analyze_source,
+    load_cfg,
+    optimize_source,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AnalysisManager",
+    "AnalyzeOutcome",
     "Assign",
     "BasicBlock",
     "BinExpr",
@@ -87,6 +101,8 @@ __all__ = [
     "CondBranch",
     "Const",
     "ExprUniverse",
+    "OptimizeOutcome",
+    "SourceError",
     "Halt",
     "Jump",
     "LCMAnalysis",
@@ -98,6 +114,7 @@ __all__ = [
     "Var",
     "analyze_krs",
     "analyze_lcm",
+    "analyze_source",
     "apply_placements",
     "available_strategies",
     "bcm_placements",
@@ -108,8 +125,10 @@ __all__ = [
     "compute_liveness",
     "compute_local_properties",
     "lcm_placements",
+    "load_cfg",
     "measure_lifetimes",
     "optimize",
+    "optimize_source",
     "parse_expr",
     "pretty_cfg",
     "register_pass",

@@ -51,6 +51,7 @@ from repro.batch.report import (
     BatchReport,
     ItemResult,
 )
+from repro.batch.supervisor import Supervisor, WorkerPool
 
 __all__ = [
     "BatchConfig",
@@ -61,7 +62,9 @@ __all__ = [
     "STATUS_OK",
     "STATUS_SKIPPED",
     "STATUS_TIMEOUT",
+    "Supervisor",
     "WorkItem",
+    "WorkerPool",
     "collect_report",
     "items_from_cfgs",
     "items_from_dir",

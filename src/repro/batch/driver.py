@@ -77,7 +77,6 @@ from repro.batch.report import (
 from repro.batch.supervisor import COUNTER_SKIPPED, Supervisor
 from repro.ir.cfg import CFG
 from repro.obs import trace
-from repro.obs.fingerprint import cfg_fingerprint
 from repro.obs.manager import AnalysisManager
 from repro.obs.store import SolutionStore
 from repro.obs.trace import Tracer, tracing
@@ -185,6 +184,10 @@ class BatchConfig:
             Safe to share across concurrent batches and invocations.
         keep_ir: carry the optimised program (serialised JSON) in each
             ok item record — bulky, but what differential checks need.
+        analyze: run the LCM analysis stack instead of transforming;
+            ok records carry the :meth:`repro.api.AnalyzeOutcome.to_dict`
+            payload in their ``analysis`` field (what the ``repro
+            serve`` daemon's ``analyze`` op dispatches).
     """
 
     pass_: str = "lcm"
@@ -199,6 +202,7 @@ class BatchConfig:
     cache: bool = True
     store_path: Optional[str] = None
     keep_ir: bool = False
+    analyze: bool = False
 
 
 # ---------------------------------------------------------------------------
@@ -233,19 +237,10 @@ def _raise_timeout(signum, frame):
 def _load_item(item: WorkItem) -> CFG:
     """Materialise the item's CFG (inside the worker, so failures are
     per-item records)."""
-    from repro.ir.serialize import cfg_from_json
-    from repro.lang import compile_program
+    from repro import api
 
-    if item.kind == "path":
-        with open(item.payload) as handle:
-            text = handle.read()
-        if item.payload.endswith(".json"):
-            return cfg_from_json(text)
-        return compile_program(text)
-    if item.kind == "source":
-        return compile_program(item.payload)
-    if item.kind == "json":
-        return cfg_from_json(item.payload)
+    if item.kind in (api.KIND_PATH, api.KIND_SOURCE, api.KIND_JSON):
+        return api.load_cfg(item.payload, item.kind)
     if item.kind == "call":
         import importlib
 
@@ -255,13 +250,19 @@ def _load_item(item: WorkItem) -> CFG:
     raise ValueError(f"unknown work-item kind {item.kind!r}")
 
 
-def _optimize_item(cfg: CFG, config: BatchConfig, manager: AnalysisManager):
-    from repro.core.pipeline import optimize
-    from repro.passes import standard_pipeline
+def _execute_item(cfg: CFG, config: BatchConfig, manager: AnalysisManager):
+    """One unit of work through the :mod:`repro.api` facade."""
+    from repro import api
 
-    if config.pipeline:
-        return standard_pipeline(cfg, manager=manager)
-    return optimize(cfg, config.pass_, manager=manager)
+    if config.analyze:
+        return api.analyze_cfg(cfg, manager=manager)
+    return api.optimize_cfg(
+        cfg,
+        config.pass_,
+        pipeline=config.pipeline,
+        manager=manager,
+        keep_ir=config.keep_ir,
+    )
 
 
 def _run_item(index: int, item: WorkItem, config: BatchConfig) -> ItemResult:
@@ -281,7 +282,7 @@ def _run_item(index: int, item: WorkItem, config: BatchConfig) -> ItemResult:
     previous_handler = None
     start = time.perf_counter()
     status, message, trace_back = STATUS_OK, "", ""
-    result = None
+    outcome = None
     cfg = None
     try:
         if use_alarm:
@@ -289,7 +290,7 @@ def _run_item(index: int, item: WorkItem, config: BatchConfig) -> ItemResult:
             signal.setitimer(signal.ITIMER_REAL, config.timeout)
         with tracing(tracer):
             cfg = _load_item(item)
-            result = _optimize_item(cfg, config, manager)
+            outcome = _execute_item(cfg, config, manager)
     except _ItemTimeout:
         status = STATUS_TIMEOUT
         message = f"exceeded {config.timeout}s budget"
@@ -322,13 +323,15 @@ def _run_item(index: int, item: WorkItem, config: BatchConfig) -> ItemResult:
         pid=os.getpid(),
     )
     if status == STATUS_OK:
-        record.fingerprint = cfg_fingerprint(result.cfg)
-        record.static_before = cfg.static_computation_count()
-        record.static_after = result.cfg.static_computation_count()
-        if config.keep_ir:
-            from repro.ir.serialize import cfg_to_json
-
-            record.ir = cfg_to_json(result.cfg)
+        record.fingerprint = outcome.fingerprint
+        if config.analyze:
+            record.static_before = cfg.static_computation_count()
+            record.static_after = record.static_before
+            record.analysis = outcome.to_dict()
+        else:
+            record.static_before = outcome.static_before
+            record.static_after = outcome.static_after
+            record.ir = outcome.ir
     return record
 
 

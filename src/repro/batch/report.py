@@ -59,6 +59,8 @@ class ItemResult:
             bit-identical IR.
         ir: the optimised program as serialised JSON, when the batch
             was configured with ``keep_ir`` (``None`` otherwise).
+        analysis: the :meth:`repro.api.AnalyzeOutcome.to_dict` payload
+            for analyze-mode work (``None`` for optimize runs).
         static_before / static_after: operator-expression counts of the
             input and optimised graphs.
         cache: the worker manager's per-tier delta for this item:
@@ -78,6 +80,7 @@ class ItemResult:
     duration_ms: float = 0.0
     fingerprint: Optional[str] = None
     ir: Optional[str] = None
+    analysis: Optional[Dict[str, Any]] = None
     static_before: Optional[int] = None
     static_after: Optional[int] = None
     cache: Dict[str, int] = field(default_factory=dict)
@@ -105,6 +108,8 @@ class ItemResult:
             payload["fingerprint"] = self.fingerprint
         if self.ir is not None:
             payload["ir"] = self.ir
+        if self.analysis is not None:
+            payload["analysis"] = dict(self.analysis)
         if self.static_before is not None:
             payload["static_before"] = self.static_before
             payload["static_after"] = self.static_after

@@ -47,11 +47,22 @@ one pickled :class:`~repro.batch.report.ItemResult` per ``run``.
 Workers are daemonic, so even an abandoned supervisor cannot leak
 processes past interpreter exit; orderly shutdown happens in a
 ``finally`` and is exercised by tests and the CI kill-resilience smoke.
+
+Two front-ends drive the same worker machinery:
+
+* :class:`Supervisor` — batch mode: a fixed item list, LPT scheduling,
+  completion-order streaming, early-exit policies;
+* :class:`WorkerPool` — request mode: ad-hoc items dispatched one at a
+  time onto warm workers (what the ``repro serve`` daemon
+  multiplexes), with the identical two-tier deadline and
+  kill/respawn/recycle behaviour per request.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import queue as queue_module
+import threading
 import time
 from collections import deque
 from multiprocessing.connection import wait as _connection_wait
@@ -77,6 +88,35 @@ COUNTER_RESPAWN = "batch.worker.respawn"
 COUNTER_KILLED = "batch.item.killed"
 COUNTER_RECYCLED = "batch.worker.recycled"
 COUNTER_SKIPPED = "batch.item.skipped"
+
+
+def _timeout_result(
+    index: int, name: str, config: "BatchConfig", pid: Optional[int]
+) -> ItemResult:
+    """The record manufactured for a hard-deadline kill (parent side)."""
+    return ItemResult(
+        index=index,
+        name=name,
+        status=STATUS_TIMEOUT,
+        message=(
+            f"killed: exceeded {config.timeout}s budget "
+            f"(+{config.grace}s grace, uninterruptible worker)"
+        ),
+        pid=pid,
+    )
+
+
+def _lost_result(index: int, name: str, worker: "_Worker") -> ItemResult:
+    """The record manufactured when a worker dies mid-item."""
+    worker.proc.join(_STOP_JOIN_S)
+    code = worker.proc.exitcode
+    return ItemResult(
+        index=index,
+        name=name,
+        status=STATUS_ERROR,
+        message=f"worker lost: exited with code {code} mid-item",
+        pid=worker.proc.pid,
+    )
 
 
 def _mp_context():
@@ -155,12 +195,18 @@ class _Worker:
         self.deadline = None
         self.tasks_done += 1
 
+    def _close_conn(self) -> None:
+        try:
+            self.conn.close()
+        except OSError:  # already closed (repeated stop/kill is legal)
+            pass
+
     def kill(self) -> None:
         """SIGKILL the process — the only interruption that always works."""
         if self.proc.is_alive():
             self.proc.kill()
         self.proc.join()
-        self.conn.close()
+        self._close_conn()
 
     def stop(self) -> None:
         """Graceful shutdown; falls back to :meth:`kill` on a timeout."""
@@ -172,7 +218,7 @@ class _Worker:
         if self.proc.is_alive():  # pragma: no cover - stuck despite stop
             self.proc.kill()
             self.proc.join()
-        self.conn.close()
+        self._close_conn()
 
 
 class Supervisor:
@@ -215,28 +261,12 @@ class Supervisor:
     # -- records the parent manufactures --------------------------------
 
     def _timeout_record(self, index: int, worker: _Worker) -> ItemResult:
-        config = self.config
-        return ItemResult(
-            index=index,
-            name=self.items[index].name,
-            status=STATUS_TIMEOUT,
-            message=(
-                f"killed: exceeded {config.timeout}s budget "
-                f"(+{config.grace}s grace, uninterruptible worker)"
-            ),
-            pid=worker.proc.pid,
+        return _timeout_result(
+            index, self.items[index].name, self.config, worker.proc.pid
         )
 
     def _lost_record(self, index: int, worker: _Worker) -> ItemResult:
-        worker.proc.join(_STOP_JOIN_S)
-        code = worker.proc.exitcode
-        return ItemResult(
-            index=index,
-            name=self.items[index].name,
-            status=STATUS_ERROR,
-            message=f"worker lost: exited with code {code} mid-item",
-            pid=worker.proc.pid,
-        )
+        return _lost_result(index, self.items[index].name, worker)
 
     def _skipped_record(self, index: int, reason: str) -> ItemResult:
         self._count(COUNTER_SKIPPED)
@@ -388,3 +418,190 @@ class Supervisor:
                     worker.conn.close()
                 except OSError:  # pragma: no cover
                     pass
+
+
+class WorkerPool:
+    """Request-level dispatch: ad-hoc items onto warm, owned workers.
+
+    Where :class:`Supervisor` drives one fixed batch to completion,
+    the pool serves *requests*: :meth:`run` blocks until an idle worker
+    is free, dispatches exactly one item, enforces the same two-tier
+    deadline (in-worker SIGALRM soft timeout from the per-request
+    config, parent-side SIGKILL at ``timeout + grace``) and hands back
+    the :class:`~repro.batch.report.ItemResult` — a clean ``timeout``
+    or ``worker lost`` record when the worker had to die, with a fresh
+    process respawned into the pool either way.  This is what the
+    ``repro serve`` daemon multiplexes its connections onto.
+
+    Thread-safe: many threads may :meth:`run` concurrently (the daemon
+    dedicates one dispatcher thread per in-flight request); each worker
+    serves one item at a time.  ``stats`` accumulates the same
+    supervision counters the batch supervisor emits
+    (``batch.worker.respawn`` / ``batch.item.killed`` /
+    ``batch.worker.recycled``), and ``config.max_tasks_per_worker``
+    recycles long-lived workers exactly as in batch mode.
+    """
+
+    def __init__(
+        self,
+        config: "BatchConfig",
+        size: int,
+        stats: Optional[Dict[str, int]] = None,
+    ) -> None:
+        self.config = config
+        self.size = max(1, size)
+        self.stats = stats if stats is not None else {}
+        self.ctx = _mp_context()
+        self._idle: "queue_module.Queue[_Worker]" = queue_module.Queue()
+        self._live: List[_Worker] = []
+        self._lock = threading.Lock()
+        self._closed = False
+        for _ in range(self.size):
+            self._idle.put(self._spawn())
+
+    # -- bookkeeping ----------------------------------------------------
+
+    def _count(self, name: str, n: int = 1) -> None:
+        with self._lock:
+            self.stats[name] = self.stats.get(name, 0) + n
+        trace.count(name, n)
+
+    def _spawn(self) -> _Worker:
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("worker pool is closed")
+            worker = _Worker(self.ctx, self.config)
+            self._live.append(worker)
+        return worker
+
+    def _retire(self, worker: _Worker) -> None:
+        with self._lock:
+            if worker in self._live:
+                self._live.remove(worker)
+
+    @property
+    def idle(self) -> int:
+        """Workers currently waiting for a request (approximate)."""
+        return self._idle.qsize()
+
+    # -- dispatch -------------------------------------------------------
+
+    def run(
+        self,
+        item: "WorkItem",
+        *,
+        config: Optional["BatchConfig"] = None,
+        index: int = 0,
+    ) -> ItemResult:
+        """Run one item on the next idle worker; blocks until done.
+
+        *config* overrides the pool's base config for this request
+        (the daemon substitutes the per-request timeout).  Every
+        outcome is a record — worker crashes and deadline kills
+        included; the pool never raises for an item's sake.
+        """
+        config = config if config is not None else self.config
+        worker = self._idle.get()
+        if worker is None:
+            # Shutdown sentinel: re-post it so every other blocked
+            # dispatcher wakes up too, then refuse the request.
+            self._idle.put(None)
+            raise RuntimeError("worker pool is closed")
+        if self._closed:
+            self._idle.put(worker)
+            self._drain_idle()
+            raise RuntimeError("worker pool is closed")
+        record, survived = self._dispatch(worker, index, item, config)
+        replacement: Optional[_Worker] = worker
+        if survived and self._recyclable(worker):
+            worker.stop()
+            self._retire(worker)
+            self._count(COUNTER_RECYCLED)
+            replacement = None
+        elif not survived:
+            self._retire(worker)
+            replacement = None
+        if replacement is None:
+            try:
+                replacement = self._spawn()
+                self._count(COUNTER_RESPAWN)
+            except RuntimeError:  # closed mid-request: pool is draining
+                replacement = None
+        if replacement is not None:
+            self._idle.put(replacement)
+            if self._closed:
+                # close() may have missed a worker in transit; it is
+                # idle by construction here, so a stop cannot block.
+                self._drain_idle()
+        return record
+
+    def _dispatch(
+        self,
+        worker: _Worker,
+        index: int,
+        item: "WorkItem",
+        config: "BatchConfig",
+    ):
+        budget = (
+            config.timeout + config.grace
+            if config.timeout is not None
+            else None
+        )
+        try:
+            worker.assign(index, item, config)
+            if worker.conn.poll(budget):
+                record = worker.conn.recv()
+                worker.clear()
+                return record, True
+        except (BrokenPipeError, EOFError, OSError):
+            # The pipe died mid-item (crash, OOM kill, pool shutdown):
+            # one item was running here, the loss is its alone.
+            record = _lost_result(index, item.name, worker)
+            worker.kill()
+            return record, False
+        # Deadline: the soft in-worker SIGALRM never fired, so the
+        # worker is stuck somewhere uninterruptible.  SIGKILL it.
+        worker.kill()
+        self._count(COUNTER_KILLED)
+        return _timeout_result(index, item.name, config, worker.proc.pid), False
+
+    def _recyclable(self, worker: _Worker) -> bool:
+        return (
+            self.config.max_tasks_per_worker is not None
+            and worker.tasks_done >= self.config.max_tasks_per_worker
+        )
+
+    # -- shutdown -------------------------------------------------------
+
+    def _drain_idle(self) -> None:
+        while True:
+            try:
+                worker = self._idle.get_nowait()
+            except queue_module.Empty:
+                break
+            if worker is None:
+                continue
+            self._retire(worker)
+            worker.stop()
+        if self._closed:
+            # Leave a sentinel so dispatchers blocked on the idle
+            # queue wake up and observe the shutdown.
+            self._idle.put(None)
+
+    def close(self) -> None:
+        """Stop every worker: graceful when idle, SIGKILL when busy.
+
+        Dispatcher threads blocked on a busy worker observe the killed
+        pipe and return a ``worker lost`` record; no process outlives
+        the pool.  Idempotent.
+        """
+        with self._lock:
+            self._closed = True
+            workers = list(self._live)
+            self._live = []
+        for worker in workers:
+            if worker.busy:
+                worker.kill()
+            else:
+                worker.stop()
+        self._drain_idle()

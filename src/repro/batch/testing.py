@@ -54,6 +54,15 @@ def busy_loop_c():
     return sum(itertools.repeat(1))
 
 
+def sleep_forever():
+    """Occupy a worker without burning CPU.  ``time.sleep`` is
+    interrupted by signals, so the soft SIGALRM timeout ends it — the
+    polite way to keep a worker busy in admission-control tests."""
+    import time
+
+    time.sleep(3600)
+
+
 def kill_self():
     """Die the way a segfault or the OOM killer looks from outside:
     SIGKILL to our own process, mid-item, with no cleanup."""

@@ -13,13 +13,18 @@ Usage (also via ``python -m repro``)::
     repro report prog.mini                   # strategy comparison table
     repro batch tests/corpus --jobs 4        # whole-corpus parallel driver
     repro batch DIR --stream --max-failures 3   # NDJSON stream, early exit
+    repro serve --jobs 4 --timeout 10        # long-lived request daemon
     repro --trace out.json opt prog.mini     # + JSON trace of all analyses
     repro --no-cache audit prog.mini --full  # disable solution memoization
     repro --cache-dir .repro-cache opt p.mini   # persistent on-disk cache
     repro cache stats --cache-dir .repro-cache  # inspect / gc / clear it
+    repro cache gc --cache-dir D --max-bytes N  # LRU-evict to a size budget
 
 Input files hold mini-language source (see :mod:`repro.lang`); files
-ending in ``.json`` are read as serialised CFGs instead.
+ending in ``.json`` are read as serialised CFGs instead.  Program
+loading and the optimize/analyze operations themselves go through the
+:mod:`repro.api` facade — the same entry points the batch workers and
+the serve daemon use.
 """
 
 from __future__ import annotations
@@ -29,21 +34,19 @@ import json
 import sys
 from typing import Dict, List, Optional, Sequence
 
+from repro import api
 from repro.bench.harness import Table
 from repro.bench.metrics import measure_strategy
-from repro.core.lcm import analyze_lcm
-from repro.core.pipeline import available_strategies, optimize
+from repro.core.pipeline import available_strategies
 from repro.interp.machine import run
 from repro.ir.cfg import CFG
 from repro.ir.dot import cfg_to_dot
 from repro.ir.expr import parse_expr
 from repro.ir.pretty import pretty_cfg
-from repro.ir.serialize import cfg_from_json, cfg_to_json
-from repro.lang import compile_program
+from repro.ir.serialize import cfg_to_json
 from repro.obs.manager import AnalysisManager
 from repro.obs.store import SolutionStore
 from repro.obs.trace import Tracer, activate, deactivate
-from repro.passes import standard_pipeline
 
 
 class CliError(Exception):
@@ -53,13 +56,9 @@ class CliError(Exception):
 def load_program(path: str) -> CFG:
     """Read a program: mini-language source, or a ``.json`` CFG dump."""
     try:
-        with open(path) as handle:
-            text = handle.read()
-    except OSError as exc:
-        raise CliError(f"cannot read {path}: {exc}") from exc
-    if path.endswith(".json"):
-        return cfg_from_json(text)
-    return compile_program(text)
+        return api.load_cfg(path, kind=api.KIND_PATH)
+    except api.SourceError as exc:
+        raise CliError(str(exc)) from exc
 
 
 def _emit(cfg: CFG, fmt: str, out) -> None:
@@ -96,17 +95,17 @@ def cmd_compile(args, out) -> int:
 
 def cmd_opt(args, out) -> int:
     cfg = load_program(args.file)
+    outcome = api.optimize_cfg(
+        cfg, args.strategy, pipeline=args.pipeline, manager=args.manager
+    )
+    transformed = outcome.cfg
     if args.pipeline:
-        result = standard_pipeline(cfg, manager=args.manager)
-        print(f"; {result.describe()}", file=out)
-        transformed = result.cfg
+        print(f"; {outcome.description}", file=out)
         compare_decisions = False  # the pipeline may fold branches
     else:
-        result = optimize(cfg, args.strategy, manager=args.manager)
         if args.emit == "text":
-            for line in result.describe().splitlines():
+            for line in outcome.description.splitlines():
                 print(f"; {line}", file=out)
-        transformed = result.cfg
         compare_decisions = True  # strategies never touch branches
     _emit(transformed, args.emit, out)
     if args.verify:
@@ -129,7 +128,7 @@ def cmd_opt(args, out) -> int:
 def cmd_run(args, out) -> int:
     cfg = load_program(args.file)
     if args.optimized:
-        cfg = optimize(cfg, args.strategy, manager=args.manager).cfg
+        cfg = api.optimize_cfg(cfg, args.strategy, manager=args.manager).cfg
     env = _parse_bindings(args.input or [])
     result = run(cfg, env, max_steps=args.max_steps)
     if not result.reached_exit:
@@ -156,27 +155,22 @@ def cmd_audit(args, out) -> int:
             file=out,
         )
         return 0
-    analysis = analyze_lcm(cfg, manager=args.manager)
-    universe = analysis.universe
+    outcome = api.analyze_cfg(cfg, manager=args.manager)
     if args.expr:
-        expr = parse_expr(args.expr)
-        if expr not in universe:
-            known = ", ".join(str(e) for e in universe)
+        wanted = str(parse_expr(args.expr))
+        if wanted not in outcome.placements:
+            known = ", ".join(outcome.expressions)
             raise CliError(
                 f"{args.expr!r} does not occur in the program; "
                 f"candidates: {known or '(none)'}"
             )
-        exprs = [expr]
+        exprs = [wanted]
     else:
-        exprs = list(universe)
+        exprs = list(outcome.expressions)
     for expr in exprs:
-        idx = universe.index_of(expr)
-        inserts = sorted(
-            f"{m}->{n}" for (m, n), vec in analysis.insert.items() if idx in vec
-        )
-        deletes = sorted(
-            label for label, vec in analysis.delete.items() if idx in vec
-        )
+        decision = outcome.placements[expr]
+        inserts = decision["insert_edges"]
+        deletes = decision["delete_blocks"]
         print(f"{expr}:", file=out)
         print(f"  INSERT on edges : {', '.join(inserts) or '(none)'}", file=out)
         print(f"  DELETE in blocks: {', '.join(deletes) or '(none)'}", file=out)
@@ -214,12 +208,17 @@ def cmd_batch(args, out) -> int:
     if args.stream:
         # NDJSON: one compact item record per line, in completion
         # order, flushed as it happens — then the collected report
-        # (identical to the non-streaming run, modulo timings).
+        # (identical to the non-streaming run, modulo timings).  The
+        # record shapes come from the shared protocol codec, so the
+        # stream and the serve daemon cannot drift apart.
+        from repro.service import protocol
+
         stats: Dict[str, int] = {}
         results = []
         start = time_module.perf_counter()
         for record in iter_batch(items, config, stats):
-            print(json.dumps(record.to_dict()), file=out, flush=True)
+            print(json.dumps(protocol.item_record(record)), file=out,
+                  flush=True)
             results.append(record)
         wall = time_module.perf_counter() - start
         report = collect_report(results, config, wall, stats)
@@ -228,7 +227,10 @@ def cmd_batch(args, out) -> int:
     if args.stream and args.emit == "json":
         # Keep stdout line-oriented: the report is the final NDJSON
         # line, recognisable by its "format" key.
-        print(json.dumps(report.to_dict()), file=out, flush=True)
+        from repro.service import protocol
+
+        print(json.dumps(protocol.report_record(report)), file=out,
+              flush=True)
     elif args.emit == "json":
         print(report.to_json(), file=out)
     else:
@@ -268,14 +270,28 @@ def cmd_cache(args, out) -> int:
                 f"reclaim with `repro cache gc`)",
                 file=out,
             )
+            print(
+                f"evictions    : {stats['evicted_entries']} entries "
+                f"({stats['evicted_bytes']} bytes, cumulative, by "
+                f"`gc --max-bytes` LRU sweeps)",
+                file=out,
+            )
         return 0
     if args.action == "gc":
-        removed = store.gc()
+        removed = store.gc(max_bytes=args.max_bytes)
         print(
             f"gc: removed {removed['removed_entries']} stale entries, "
             f"reclaimed {removed['reclaimed_bytes']} bytes",
             file=out,
         )
+        if args.max_bytes is not None:
+            print(
+                f"gc: evicted {removed['evicted_entries']} "
+                f"least-recently-used entries "
+                f"({removed['evicted_bytes']} bytes) to fit the "
+                f"{args.max_bytes}-byte budget",
+                file=out,
+            )
         return 0
     if args.action == "clear":
         removed = store.clear()
@@ -286,6 +302,37 @@ def cmd_cache(args, out) -> int:
         )
         return 0
     raise CliError(f"unknown cache action {args.action!r}")
+
+
+def cmd_serve(args, out) -> int:
+    from repro.service import ReproServer, ServeConfig
+    from repro.service.protocol import encode, listening_record
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        timeout=args.timeout,
+        queue_limit=args.queue_limit,
+        cache_size=args.response_cache,
+        store_path=args.cache_dir,
+        cache=not args.no_cache,
+        max_tasks_per_worker=args.recycle_after,
+        allow_call=args.allow_call,
+    )
+    server = ReproServer(config)
+
+    def announce(host: str, port: int) -> None:
+        # The readiness line: scripts wait for it, then parse the port.
+        out.write(encode(listening_record(host, port)).decode("utf-8"))
+        out.flush()
+
+    server.on_listening = announce
+    try:
+        server.run()
+    except KeyboardInterrupt:
+        pass
+    return 0
 
 
 def cmd_report(args, out) -> int:
@@ -413,8 +460,48 @@ def build_parser() -> argparse.ArgumentParser:
     p_cache.add_argument("--cache-dir", metavar="DIR",
                          default=argparse.SUPPRESS,
                          help="the store directory (also accepted globally)")
+    p_cache.add_argument("--max-bytes", type=int, default=None, metavar="N",
+                         help="with gc: after the stale sweep, evict "
+                         "least-recently-used current entries until the "
+                         "store is at most N bytes")
     p_cache.add_argument("--emit", choices=("text", "json"), default="text")
     p_cache.set_defaults(handler=cmd_cache)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="long-lived optimization daemon: NDJSON requests over TCP, "
+        "multiplexed onto a warm worker pool (see docs/SERVE.md)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (loopback by default)")
+    p_serve.add_argument("--port", type=int, default=0,
+                         help="bind port; 0 picks a free one (announced "
+                         "in the readiness line)")
+    p_serve.add_argument("--jobs", type=int, default=2,
+                         help="pool worker processes")
+    p_serve.add_argument("--timeout", type=float, default=None, metavar="S",
+                         help="default per-request wall-clock budget; a "
+                         "request's own 'timeout' field overrides it")
+    p_serve.add_argument("--queue-limit", type=int, default=8, metavar="N",
+                         help="work requests allowed to wait beyond the "
+                         "JOBS already running; more are rejected")
+    p_serve.add_argument("--response-cache", type=int, default=256,
+                         metavar="N",
+                         help="response-cache entries held in memory "
+                         "(LRU; 0 disables response caching)")
+    p_serve.add_argument("--recycle-after", type=int, default=None,
+                         metavar="N",
+                         help="retire and respawn each worker after it "
+                         "served N requests")
+    p_serve.add_argument("--allow-call", action="store_true",
+                         help="honour kind='call' requests (arbitrary "
+                         "module:function loaders; tests only)")
+    p_serve.add_argument("--cache-dir", metavar="DIR",
+                         default=argparse.SUPPRESS,
+                         help="shared on-disk store: the workers' "
+                         "solution cache and the response cache's "
+                         "persistent tier")
+    p_serve.set_defaults(handler=cmd_serve)
 
     p_report = sub.add_parser("report", help="strategy comparison table")
     p_report.add_argument("file")

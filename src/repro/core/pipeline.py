@@ -27,14 +27,13 @@ whose ``cfg`` is a *new* graph; the input is never mutated.
 Behaviour is configured with :class:`OptimizeConfig`; repeated runs over
 unchanged graphs are made cheap by passing an
 :class:`~repro.obs.manager.AnalysisManager`, which memoizes every
-dataflow solution by graph content.  The legacy keyword spelling
-``optimize(cfg, strategy=..., run_local_cse=..., validate=...)`` still
-works through a shim that emits :class:`DeprecationWarning`.
+dataflow solution by graph content.  Front-ends should not call this
+module directly: :mod:`repro.api` is the facade that wraps it (and
+source loading) in typed outcomes.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
@@ -219,8 +218,6 @@ def get_pass(name: str) -> PREStrategy:
 
 # -- the entry point --------------------------------------------------------
 
-_LEGACY_KEYWORDS = ("strategy", "run_local_cse", "validate")
-
 
 def optimize(
     cfg: CFG,
@@ -228,7 +225,6 @@ def optimize(
     *,
     config: Optional[OptimizeConfig] = None,
     manager=None,
-    **legacy,
 ) -> TransformResult:
     """Optimise *cfg* with the registered pass named *pass_*.
 
@@ -239,31 +235,14 @@ def optimize(
             apply when None).
         manager: an :class:`~repro.obs.manager.AnalysisManager` to
             memoize dataflow solutions across calls.
-        **legacy: the pre-registry keywords ``strategy``,
-            ``run_local_cse`` and ``validate`` are still accepted with a
-            :class:`DeprecationWarning`.
 
     Returns the transformation result; ``result.cfg`` is the optimised
     program.
+
+    The pre-registry keyword spelling (``strategy=...``,
+    ``run_local_cse=...``, ``validate=...``) was removed after a
+    deprecation cycle; those keywords now raise ``TypeError``.
     """
-    if legacy:
-        unknown = set(legacy) - set(_LEGACY_KEYWORDS)
-        if unknown:
-            names = ", ".join(sorted(unknown))
-            raise TypeError(f"optimize() got unexpected keyword arguments: {names}")
-        warnings.warn(
-            "optimize(cfg, strategy=..., run_local_cse=..., validate=...) is "
-            "deprecated; use optimize(cfg, pass_, config=OptimizeConfig(...))",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        if "strategy" in legacy:
-            pass_ = legacy["strategy"]
-        if config is None:
-            config = OptimizeConfig(
-                run_local_cse=legacy.get("run_local_cse", True),
-                validate=legacy.get("validate", True),
-            )
     if config is None:
         config = OptimizeConfig()
 

@@ -28,16 +28,18 @@ from repro.obs.trace import (
     is_active,
     merge_counters,
     merge_summaries,
+    snapshot,
     span,
     tracing,
 )
 from repro.obs.fingerprint import cfg_fingerprint
 from repro.obs.manager import AnalysisManager, CacheStats, notify_cfg_mutated
-from repro.obs.store import SolutionStore, default_code_version
+from repro.obs.store import JSONRecord, SolutionStore, default_code_version
 
 __all__ = [
     "AnalysisManager",
     "CacheStats",
+    "JSONRecord",
     "SolutionStore",
     "SpanEvent",
     "Tracer",
@@ -52,6 +54,7 @@ __all__ = [
     "merge_counters",
     "merge_summaries",
     "notify_cfg_mutated",
+    "snapshot",
     "span",
     "tracing",
 ]

@@ -23,9 +23,10 @@ Design points:
   plain integers keyed by block label; the block set is pinned by the
   fingerprint, so decoding against any content-equal graph reproduces
   the facts exactly.  Codecs exist for :class:`~repro.dataflow.solver.Solution`,
-  :class:`~repro.core.lcm.LCMAnalysis` bundles and
-  :class:`~repro.analysis.liveness.LivenessResult`; values of other
-  types simply stay memory-only.
+  :class:`~repro.core.lcm.LCMAnalysis` bundles,
+  :class:`~repro.analysis.liveness.LivenessResult` and opaque
+  :class:`JSONRecord` payloads (the ``repro serve`` response cache);
+  values of other types simply stay memory-only.
 * **Crash/concurrency safety.**  Writes go to a temporary file in the
   entry's directory followed by an atomic ``os.replace``, under a
   store-level advisory lock (``fcntl.flock`` where available), so
@@ -38,11 +39,19 @@ Design points:
   format version; upgrading the package strands old entries (never
   misreads them), and ``SolutionStore.gc()`` / ``repro cache gc``
   reclaims them.
+* **Size budgeting.**  ``gc(max_bytes=...)`` (the CLI's ``repro cache
+  gc --max-bytes``) additionally evicts *current* entries,
+  least-recently-used first, until the store fits the budget.  The
+  store maintains its own recency (an explicit touch on every hit, so
+  ``relatime``/``noatime`` mounts cannot starve it) and keeps
+  cumulative eviction totals in a small meta file that
+  :meth:`SolutionStore.stats` reports.
 
 Disk traffic is observable: lookups and writes bump the
 ``cache.disk.hit`` / ``cache.disk.miss`` / ``cache.disk.write`` (and,
-for unusable entries, ``cache.disk.corrupt``) counters on the installed
-tracer, mirroring the in-memory tier's ``cache.hit`` / ``cache.miss``.
+for unusable entries, ``cache.disk.corrupt``; for budget evictions,
+``cache.disk.evict``) counters on the installed tracer, mirroring the
+in-memory tier's ``cache.hit`` / ``cache.miss``.
 See ``docs/CACHING.md`` for the full two-tier story.
 """
 
@@ -54,6 +63,7 @@ import os
 import re
 import tempfile
 from contextlib import contextmanager
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
@@ -243,6 +253,30 @@ class StoreDecodeError(ValueError):
     """An entry exists but cannot be turned back into a value."""
 
 
+@dataclass(frozen=True)
+class JSONRecord:
+    """An opaque plain-JSON payload persisted verbatim.
+
+    The escape hatch for callers whose values are already wire-shaped
+    dictionaries — the ``repro serve`` daemon stores its response
+    cache through this kind, keyed by a request digest instead of a
+    CFG fingerprint.  The payload must be JSON-serialisable; decoding
+    needs no CFG.
+    """
+
+    payload: Dict[str, Any]
+
+
+def _encode_json_record(value: "JSONRecord") -> Dict[str, Any]:
+    return dict(value.payload)
+
+
+def _decode_json_record(payload: Dict[str, Any], cfg) -> "JSONRecord":
+    if not isinstance(payload, dict):
+        raise StoreDecodeError("json-record payload must be an object")
+    return JSONRecord(payload)
+
+
 def _kind_of(value) -> Optional[str]:
     """The codec kind for *value*, or None when it is memory-only."""
     from repro.analysis.liveness import LivenessResult
@@ -255,6 +289,8 @@ def _kind_of(value) -> Optional[str]:
         return "lcm-analysis"
     if isinstance(value, LivenessResult):
         return "liveness"
+    if isinstance(value, JSONRecord):
+        return "json-record"
     return None
 
 
@@ -262,12 +298,14 @@ _ENCODERS = {
     "solution": _encode_solution,
     "lcm-analysis": _encode_lcm_analysis,
     "liveness": _encode_liveness,
+    "json-record": _encode_json_record,
 }
 
 _DECODERS = {
     "solution": _decode_solution,
     "lcm-analysis": _decode_lcm_analysis,
     "liveness": _decode_liveness,
+    "json-record": _decode_json_record,
 }
 
 
@@ -365,6 +403,13 @@ class SolutionStore:
             trace.count("cache.disk.corrupt")
             trace.count("cache.disk.miss")
             return None
+        try:
+            # Recency for the LRU budget sweep: filesystem atime is
+            # unreliable (relatime/noatime), so the store touches
+            # entries itself on every hit.
+            os.utime(path)
+        except OSError:  # pragma: no cover - read-only store
+            pass
         trace.count("cache.disk.hit")
         return value
 
@@ -429,7 +474,8 @@ class SolutionStore:
                 yield path, current
 
     def stats(self) -> Dict[str, Any]:
-        """Entry counts and sizes, split current vs. stale code versions."""
+        """Entry counts and sizes, split current vs. stale code versions,
+        plus the cumulative LRU-eviction totals of this store root."""
         entries = stale_entries = 0
         size = stale_size = 0
         for path, current in self._iter_entries():
@@ -443,6 +489,7 @@ class SolutionStore:
             else:
                 stale_entries += 1
                 stale_size += nbytes
+        meta = self._read_meta()
         return {
             "path": str(self.root),
             "code_version": self.code_version,
@@ -450,7 +497,43 @@ class SolutionStore:
             "bytes": size,
             "stale_entries": stale_entries,
             "stale_bytes": stale_size,
+            "evicted_entries": meta["evicted_entries"],
+            "evicted_bytes": meta["evicted_bytes"],
         }
+
+    # -- eviction bookkeeping -------------------------------------------
+
+    @property
+    def _meta_path(self) -> Path:
+        return self.root / ".meta.json"
+
+    def _read_meta(self) -> Dict[str, int]:
+        """Cumulative eviction totals (zeros for a fresh/corrupt meta)."""
+        try:
+            with open(self._meta_path) as handle:
+                document = json.load(handle)
+            return {
+                "evicted_entries": int(document["evicted_entries"]),
+                "evicted_bytes": int(document["evicted_bytes"]),
+            }
+        except (OSError, ValueError, KeyError, TypeError):
+            return {"evicted_entries": 0, "evicted_bytes": 0}
+
+    def _bump_meta(self, evicted_entries: int, evicted_bytes: int) -> None:
+        """Fold an eviction sweep into the totals (caller holds the lock)."""
+        meta = self._read_meta()
+        meta["evicted_entries"] += evicted_entries
+        meta["evicted_bytes"] += evicted_bytes
+        try:
+            body = json.dumps(meta, separators=(",", ":")).encode("utf-8")
+            fd, tmp = tempfile.mkstemp(
+                prefix=".tmp-", suffix=".json", dir=str(self.root)
+            )
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(body)
+            os.replace(tmp, self._meta_path)
+        except OSError:  # pragma: no cover - read-only store
+            pass
 
     def _remove(self, stale_only: bool) -> Dict[str, int]:
         removed = reclaimed = 0
@@ -477,9 +560,58 @@ class SolutionStore:
                             pass
         return {"removed_entries": removed, "reclaimed_bytes": reclaimed}
 
-    def gc(self) -> Dict[str, int]:
-        """Delete entries stranded under other code versions."""
-        return self._remove(stale_only=True)
+    def _evict_lru(self, max_bytes: int) -> Dict[str, int]:
+        """Evict least-recently-used current entries past *max_bytes*.
+
+        Recency is the entry file's mtime, which :meth:`load` bumps on
+        every hit — so the order is true LRU regardless of how the
+        filesystem handles atime.  Runs under the store lock; a file
+        that vanishes mid-sweep (concurrent gc) is simply skipped.
+        """
+        evicted = reclaimed = 0
+        with self._locked():
+            entries: List[Tuple[float, int, Path]] = []
+            total = 0
+            for path, current in self._iter_entries():
+                if not current:
+                    continue
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue
+                entries.append((stat.st_mtime, stat.st_size, path))
+                total += stat.st_size
+            entries.sort(key=lambda entry: (entry[0], str(entry[2])))
+            for _, nbytes, path in entries:
+                if total <= max_bytes:
+                    break
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
+                total -= nbytes
+                evicted += 1
+                reclaimed += nbytes
+            if evicted:
+                self._bump_meta(evicted, reclaimed)
+        if evicted:
+            trace.count("cache.disk.evict", evicted)
+        return {"evicted_entries": evicted, "evicted_bytes": reclaimed}
+
+    def gc(self, max_bytes: Optional[int] = None) -> Dict[str, int]:
+        """Reclaim space: stale code versions always, then (with
+        *max_bytes*) evict current entries LRU-first to fit the budget.
+
+        Returns ``removed_entries`` / ``reclaimed_bytes`` for the stale
+        sweep plus ``evicted_entries`` / ``evicted_bytes`` for the
+        budget sweep (zeros when no budget was given).
+        """
+        outcome = self._remove(stale_only=True)
+        if max_bytes is not None:
+            outcome.update(self._evict_lru(max_bytes))
+        else:
+            outcome.update({"evicted_entries": 0, "evicted_bytes": 0})
+        return outcome
 
     def clear(self) -> Dict[str, int]:
         """Delete every entry, current version included."""

@@ -331,3 +331,18 @@ def gauge(name: str, value: float) -> None:
     """Record a gauge on the installed tracer (no-op when tracing is off)."""
     if _ACTIVE is not None:
         _ACTIVE.gauge(name, value)
+
+
+def snapshot(tracer: Optional[Tracer] = None) -> Dict[str, Any]:
+    """A point-in-time copy of a tracer's counters and gauges.
+
+    Long-lived processes (the ``repro serve`` daemon's stats endpoint)
+    read their counters *live*, while spans keep accumulating; this
+    returns plain copies that are safe to serialise.  With no *tracer*
+    argument the installed tracer is snapshotted; when tracing is off
+    the snapshot is empty, never an error.
+    """
+    target = tracer if tracer is not None else _ACTIVE
+    if target is None:
+        return {"counters": {}, "gauges": {}}
+    return {"counters": dict(target.counters), "gauges": dict(target.gauges)}

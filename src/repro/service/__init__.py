@@ -1,0 +1,41 @@
+"""The optimization service: one daemon, one wire schema, one client.
+
+``repro serve`` composes the building blocks the batch stack already
+provides — the supervised worker pool with hard deadlines
+(:mod:`repro.batch.supervisor`), the two-tier
+:class:`~repro.obs.store.SolutionStore` cache and the
+:mod:`repro.obs.trace` counters — into a long-lived request/response
+daemon:
+
+* :mod:`repro.service.protocol` — the versioned NDJSON record codec
+  shared by ``repro batch --stream`` and ``repro serve`` (requests,
+  item results, reports, errors, rejections, stats);
+* :mod:`repro.service.server` — the asyncio daemon: admission control,
+  per-request deadlines, cache-aware routing, live stats;
+* :mod:`repro.service.client` — a small synchronous client
+  (:class:`~repro.service.client.ServeClient`) for tests, smokes and
+  scripts.
+
+See ``docs/SERVE.md`` for the protocol and operational story.
+"""
+
+from repro.service.client import ServeClient
+from repro.service.protocol import (
+    PROTOCOL,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    Request,
+    parse_request,
+)
+from repro.service.server import ReproServer, ServeConfig
+
+__all__ = [
+    "PROTOCOL",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ReproServer",
+    "Request",
+    "ServeClient",
+    "ServeConfig",
+    "parse_request",
+]

@@ -1,0 +1,140 @@
+"""A small synchronous client for the ``repro serve`` daemon.
+
+Tests, the CI smoke and embedding callers all need the same four
+lines — connect, send one NDJSON request, read the correlated
+response, close — so :class:`ServeClient` packages them.  It is
+deliberately one-request-at-a-time: pipelining belongs to async
+clients speaking :mod:`repro.service.protocol` directly (the wire
+format is the whole contract; this class adds nothing to it).
+
+::
+
+    from repro.service import ServeClient
+
+    with ServeClient(host, port) as client:
+        record = client.optimize("a = b + c; d = b + c;")
+        assert record["status"] == "ok"
+        stats = client.stats()
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import replace
+from typing import Any, Dict, Optional
+
+from repro.service import protocol
+from repro.service.protocol import ProtocolError, Request
+
+
+class ServeClient:
+    """One blocking connection to a running daemon.
+
+    ``timeout`` is the *socket* timeout in seconds (None blocks
+    forever) — requests whose two-tier server-side deadline may fire
+    late should leave headroom above their ``timeout`` field.
+    """
+
+    def __init__(
+        self, host: str, port: int, timeout: Optional[float] = None
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout)
+        self._file = self._sock.makefile("rb")
+        self._next_id = 0
+
+    # -- the request primitives -----------------------------------------
+
+    def call(self, request: Request) -> Dict[str, Any]:
+        """Send one request and return its correlated response record.
+
+        Requests without an ``id`` get one assigned, so every response
+        can be matched; records for other ids (none, for a client used
+        as intended) are skipped.
+        """
+        if request.id is None:
+            self._next_id += 1
+            request = replace(request, id=f"c{self._next_id}")
+        self._sock.sendall(protocol.encode(request.to_dict()))
+        while True:
+            line = self._file.readline()
+            if not line:
+                raise ProtocolError("connection closed by server")
+            record = protocol.decode(line)
+            if record.get("id") == request.id:
+                return record
+
+    # -- convenience wrappers -------------------------------------------
+
+    def optimize(
+        self,
+        source: str,
+        *,
+        kind: str = "source",
+        pass_: str = "lcm",
+        pipeline: bool = False,
+        timeout: Optional[float] = None,
+        keep_ir: bool = False,
+        name: str = "",
+    ) -> Dict[str, Any]:
+        """Optimise one program; returns the response record."""
+        return self.call(
+            Request(
+                op=protocol.OP_OPTIMIZE,
+                source=source,
+                kind=kind,
+                pass_=pass_,
+                pipeline=pipeline,
+                timeout=timeout,
+                keep_ir=keep_ir,
+                name=name,
+            )
+        )
+
+    def analyze(
+        self,
+        source: str,
+        *,
+        kind: str = "source",
+        timeout: Optional[float] = None,
+        name: str = "",
+    ) -> Dict[str, Any]:
+        """Run the LCM analysis stack on one program."""
+        return self.call(
+            Request(
+                op=protocol.OP_ANALYZE,
+                source=source,
+                kind=kind,
+                timeout=timeout,
+                name=name,
+            )
+        )
+
+    def stats(self) -> Dict[str, Any]:
+        """The daemon's live stats snapshot (the ``stats`` payload)."""
+        return self.call(Request(op=protocol.OP_STATS))["stats"]
+
+    def ping(self) -> Dict[str, Any]:
+        """Round-trip a ``ping``; returns the ``pong`` record."""
+        return self.call(Request(op=protocol.OP_PING))
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Ask the daemon to stop; returns the ``bye`` record."""
+        return self.call(Request(op=protocol.OP_SHUTDOWN))
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - already torn down
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

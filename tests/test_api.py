@@ -1,0 +1,119 @@
+"""Tests for the repro.api facade: loading, outcomes, error mapping."""
+
+import json
+
+import pytest
+
+from repro import api
+from repro.lang import compile_program
+from repro.obs.fingerprint import cfg_fingerprint
+from repro.obs.manager import AnalysisManager
+
+SOURCE = """
+x = a + b;
+if (p) { y = a + b; } else { y = 0; }
+z = a + b;
+"""
+
+
+class TestLoadCfg:
+    def test_source_kind(self):
+        cfg = api.load_cfg(SOURCE)
+        assert cfg.static_computation_count() > 0
+
+    def test_json_kind_roundtrips(self):
+        from repro.ir.serialize import cfg_to_json
+
+        cfg = compile_program(SOURCE)
+        again = api.load_cfg(cfg_to_json(cfg), kind=api.KIND_JSON)
+        assert cfg_fingerprint(again) == cfg_fingerprint(cfg)
+
+    def test_path_kind_dispatches_on_suffix(self, tmp_path):
+        from repro.ir.serialize import cfg_to_json
+
+        mini = tmp_path / "p.mini"
+        mini.write_text(SOURCE)
+        dump = tmp_path / "p.json"
+        dump.write_text(cfg_to_json(compile_program(SOURCE)))
+        a = api.load_cfg(str(mini), kind=api.KIND_PATH)
+        b = api.load_cfg(str(dump), kind=api.KIND_PATH)
+        assert cfg_fingerprint(a) == cfg_fingerprint(b)
+
+    def test_missing_file_is_source_error(self, tmp_path):
+        with pytest.raises(api.SourceError, match="cannot read"):
+            api.load_cfg(str(tmp_path / "nope.mini"), kind=api.KIND_PATH)
+
+    def test_parse_error_is_source_error(self):
+        with pytest.raises(api.SourceError):
+            api.load_cfg("x = = ;")
+
+    def test_bad_json_is_source_error(self):
+        with pytest.raises(api.SourceError):
+            api.load_cfg("{not json", kind=api.KIND_JSON)
+
+    def test_unknown_kind_is_source_error(self):
+        with pytest.raises(api.SourceError, match="unknown payload kind"):
+            api.load_cfg(SOURCE, kind="telepathy")
+
+
+class TestOptimize:
+    def test_outcome_fields(self):
+        outcome = api.optimize_source(SOURCE)
+        assert outcome.pass_ == "lcm"
+        assert not outcome.pipeline
+        assert outcome.static_before > outcome.static_after
+        assert outcome.fingerprint != outcome.source_fingerprint
+        assert "a + b" in outcome.description
+        # The live transform result is attached for in-process callers.
+        assert outcome.cfg is outcome.transform.cfg
+
+    def test_to_dict_is_json_ready(self):
+        payload = api.optimize_source(SOURCE).to_dict()
+        json.dumps(payload)  # nothing non-serialisable
+        assert payload["pass"] == "lcm"
+        assert "ir" not in payload  # only with keep_ir
+
+    def test_keep_ir_carries_the_program(self):
+        from repro.ir.serialize import cfg_from_json
+
+        outcome = api.optimize_source(SOURCE, keep_ir=True)
+        assert cfg_fingerprint(cfg_from_json(outcome.ir)) == (
+            outcome.fingerprint
+        )
+
+    def test_pipeline_mode(self):
+        outcome = api.optimize_source(SOURCE, pipeline=True)
+        assert outcome.pipeline
+        assert outcome.static_after <= outcome.static_before
+
+    def test_manager_threads_through(self):
+        manager = AnalysisManager()
+        cfg = api.load_cfg(SOURCE)
+        api.optimize_cfg(cfg, manager=manager)
+        before = manager.stats.hits
+        api.optimize_cfg(cfg, manager=manager)
+        assert manager.stats.hits > before
+
+
+class TestAnalyze:
+    def test_placements_shape(self):
+        outcome = api.analyze_source(SOURCE)
+        assert "a + b" in outcome.expressions
+        decision = outcome.placements["a + b"]
+        # Fully redundant occurrences become deletions here.
+        assert decision["delete_blocks"]
+        for edge in decision["insert_edges"]:
+            assert "->" in edge
+
+    def test_to_dict_matches_wire_shape(self):
+        payload = api.analyze_source(SOURCE).to_dict()
+        json.dumps(payload)
+        assert set(payload) == {"fingerprint", "expressions", "placements"}
+        assert set(payload["placements"]["a + b"]) == {
+            "insert_edges",
+            "delete_blocks",
+        }
+
+    def test_agrees_with_optimize_fingerprint_of_input(self):
+        cfg = api.load_cfg(SOURCE)
+        assert api.analyze_cfg(cfg).fingerprint == cfg_fingerprint(cfg)

@@ -415,3 +415,90 @@ class TestHelpers:
     def test_load_program_missing_file(self):
         with pytest.raises(CliError, match="cannot read"):
             load_program("/no/such/file.mini")
+
+
+class TestCacheBudget:
+    def seed(self, tmp_path, prog):
+        cache = str(tmp_path / "cache")
+        code, _ = invoke("--cache-dir", cache, "opt", prog)
+        assert code == 0
+        return cache
+
+    def test_gc_max_bytes_evicts_to_budget(self, prog, tmp_path):
+        cache = self.seed(tmp_path, prog)
+        code, text = invoke(
+            "cache", "gc", "--cache-dir", cache, "--max-bytes", "0"
+        )
+        assert code == 0
+        assert "evicted" in text and "0-byte budget" in text
+        code, text = invoke(
+            "cache", "stats", "--cache-dir", cache, "--emit", "json"
+        )
+        data = json.loads(text)
+        assert data["entries"] == 0
+        assert data["evicted_entries"] > 0
+
+    def test_stats_text_reports_evictions(self, prog, tmp_path):
+        cache = self.seed(tmp_path, prog)
+        code, text = invoke("cache", "stats", "--cache-dir", cache)
+        assert code == 0
+        assert "evictions" in text
+
+    def test_plain_gc_never_evicts(self, prog, tmp_path):
+        cache = self.seed(tmp_path, prog)
+        code, text = invoke("cache", "gc", "--cache-dir", cache)
+        assert code == 0
+        assert "evicted" not in text
+        code, text = invoke(
+            "cache", "stats", "--cache-dir", cache, "--emit", "json"
+        )
+        assert json.loads(text)["entries"] > 0
+
+
+class TestServeCommand:
+    def test_parser_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 0
+        assert args.jobs == 2
+        assert args.queue_limit == 8
+        assert args.response_cache == 256
+        assert args.recycle_after is None
+        assert not args.allow_call
+
+    def test_serve_end_to_end_over_the_cli(self):
+        import threading
+        import time
+
+        from repro.service import ServeClient
+        from repro.service.protocol import decode
+
+        out = io.StringIO()
+        codes = []
+        thread = threading.Thread(
+            target=lambda: codes.append(
+                main(["serve", "--jobs", "1"], out=out)
+            )
+        )
+        thread.start()
+        try:
+            deadline = time.monotonic() + 10.0
+            while "\n" not in out.getvalue():
+                assert time.monotonic() < deadline, "no readiness line"
+                time.sleep(0.02)
+            ready = decode(
+                out.getvalue().splitlines()[0].encode("utf-8")
+            )
+            assert ready["type"] == "listening"
+            with ServeClient(ready["host"], ready["port"], 30) as client:
+                cold = client.optimize("x = a + b; y = a + b;")
+                warm = client.optimize("x = a + b; y = a + b;")
+                assert cold["status"] == warm["status"] == "ok"
+                assert warm["cached"] is True
+                client.shutdown()
+        finally:
+            thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        assert codes == [0]

@@ -6,6 +6,7 @@ documented in docs/CACHING.md.
 """
 
 import json
+import os
 
 
 from tests.helpers import diamond, do_while_invariant
@@ -18,7 +19,11 @@ from repro.dataflow.problem import DataflowProblem, GenKillTransfer
 from repro.dataflow.solver import solve
 from repro.obs.fingerprint import cfg_fingerprint
 from repro.obs.manager import AnalysisManager
-from repro.obs.store import SolutionStore, default_code_version
+from repro.obs.store import (
+    JSONRecord,
+    SolutionStore,
+    default_code_version,
+)
 from repro.obs.trace import tracing
 
 
@@ -247,5 +252,82 @@ class TestStoreShape:
             "bytes",
             "stale_entries",
             "stale_bytes",
+            "evicted_entries",
+            "evicted_bytes",
         }
         assert stats["entries"] == 0
+
+
+class TestSizeBudget:
+    """The LRU sweep behind ``repro cache gc --max-bytes``."""
+
+    def _fill(self, tmp_path, store, n=4):
+        """Save *n* entries with deterministic, increasing mtimes."""
+        paths = {}
+        seen = set()
+        for i in range(n):
+            record = JSONRecord({"i": i, "pad": "x" * 64})
+            assert store.save(f"k{i}", "serve-response", record)
+            (path,) = set(entry_files(tmp_path)) - seen
+            seen.add(path)
+            os.utime(path, (1_000_000 + i, 1_000_000 + i))
+            paths[f"k{i}"] = path
+        return paths
+
+    def test_json_record_roundtrip(self, tmp_path):
+        store = SolutionStore(tmp_path)
+        assert store.save("k", "serve-response", JSONRecord({"a": [1]}))
+        loaded = SolutionStore(tmp_path).load("k", "serve-response")
+        assert isinstance(loaded, JSONRecord)
+        assert loaded.payload == {"a": [1]}
+
+    def test_evicts_oldest_first_down_to_budget(self, tmp_path):
+        store = SolutionStore(tmp_path)
+        paths = self._fill(tmp_path, store)
+        total = sum(p.stat().st_size for p in paths.values())
+        report = store.gc(max_bytes=total - 1)
+        # One eviction suffices, and the *oldest* entry went first.
+        assert report["evicted_entries"] == 1
+        assert report["evicted_bytes"] > 0
+        assert not paths["k0"].exists()
+        assert paths["k3"].exists()
+        assert store.stats()["bytes"] <= total - 1
+
+    def test_load_touch_protects_recent_entries(self, tmp_path):
+        store = SolutionStore(tmp_path)
+        paths = self._fill(tmp_path, store, n=3)
+        # Reading k0 refreshes its mtime: it is now the *newest*.
+        assert store.load("k0", "serve-response") is not None
+        budget = paths["k0"].stat().st_size
+        store.gc(max_bytes=budget)
+        assert paths["k0"].exists()
+        assert not paths["k1"].exists()
+        assert not paths["k2"].exists()
+
+    def test_meta_accumulates_across_sweeps(self, tmp_path):
+        store = SolutionStore(tmp_path)
+        paths = self._fill(tmp_path, store)
+        sizes = sorted(p.stat().st_size for p in paths.values())
+        store.gc(max_bytes=sum(sizes[:2]))  # drop two
+        store.gc(max_bytes=0)  # drop the rest
+        stats = store.stats()
+        assert stats["evicted_entries"] == 4
+        assert stats["evicted_bytes"] > 0
+        assert stats["entries"] == 0
+        # Totals persist on disk: a fresh handle still sees them.
+        assert SolutionStore(tmp_path).stats()["evicted_entries"] == 4
+
+    def test_gc_without_budget_never_evicts(self, tmp_path):
+        store = SolutionStore(tmp_path)
+        self._fill(tmp_path, store)
+        report = store.gc()
+        assert report["evicted_entries"] == 0
+        assert report["evicted_bytes"] == 0
+        assert len(entry_files(tmp_path)) == 4
+
+    def test_eviction_has_a_counter(self, tmp_path):
+        store = SolutionStore(tmp_path)
+        self._fill(tmp_path, store)
+        with tracing() as tracer:
+            store.gc(max_bytes=0)
+        assert tracer.counters["cache.disk.evict"] == 4

@@ -82,17 +82,15 @@ class TestOptimizeSignature:
         )
         assert result.placements == []
 
-    def test_legacy_strategy_kwarg_warns_and_maps(self):
-        with pytest.warns(DeprecationWarning, match="deprecated"):
-            result = optimize(diamond(), strategy="lcm")
-        assert any(not p.is_identity for p in result.placements)
+    def test_legacy_strategy_kwarg_removed(self):
+        # The PR-1 deprecation shim is gone: the pre-registry keywords
+        # are plain unexpected arguments now.
+        with pytest.raises(TypeError, match="strategy"):
+            optimize(diamond(), strategy="lcm")
 
-    def test_legacy_flags_warn_and_map(self):
-        with pytest.warns(DeprecationWarning):
-            result = optimize(
-                diamond(), "none", run_local_cse=False, validate=False
-            )
-        assert result.placements == []
+    def test_legacy_flags_removed(self):
+        with pytest.raises(TypeError):
+            optimize(diamond(), "none", run_local_cse=False, validate=False)
 
     def test_unknown_keyword_still_a_type_error(self):
         with pytest.raises(TypeError, match="frobnicate"):

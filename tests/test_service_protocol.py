@@ -1,0 +1,112 @@
+"""Tests for the shared NDJSON codec (repro.service.protocol)."""
+
+import json
+
+import pytest
+
+from repro.batch.report import ItemResult
+from repro.service import protocol
+from repro.service.protocol import ProtocolError, Request, parse_request
+
+
+class TestParseRequest:
+    def test_roundtrip_work_request(self):
+        request = Request(
+            op="optimize",
+            id="r1",
+            source="x = a + b;",
+            pass_="bcm",
+            pipeline=True,
+            timeout=2.5,
+            keep_ir=True,
+            name="prog",
+        )
+        again = parse_request(request.to_dict())
+        assert again == request
+
+    def test_accepts_raw_line(self):
+        line = json.dumps({"op": "ping", "id": 7})
+        request = parse_request(line)
+        assert request.op == "ping"
+        assert request.id == "7"  # integer ids are coerced to strings
+
+    def test_defaults(self):
+        request = parse_request({"op": "optimize", "source": "x = 1;"})
+        assert request.kind == "source"
+        assert request.pass_ == "lcm"
+        assert request.pipeline is False
+        assert request.timeout is None
+
+    @pytest.mark.parametrize(
+        "document, match",
+        [
+            ("{oops", "bad JSON"),
+            ('["not", "object"]', "JSON object"),
+            ({"op": "frobnicate"}, "unknown op"),
+            ({"op": "optimize"}, "non-empty string 'source'"),
+            ({"op": "optimize", "source": ""}, "non-empty string 'source'"),
+            ({"op": "optimize", "source": "x;", "kind": "psychic"},
+             "unknown kind"),
+            ({"op": "optimize", "source": "x;", "timeout": -1},
+             "positive number"),
+            ({"op": "optimize", "source": "x;", "timeout": True},
+             "positive number"),
+            ({"op": "optimize", "source": "x;", "pipeline": "yes"},
+             "boolean"),
+            ({"v": 99, "op": "ping"}, "unsupported protocol version"),
+            ({"op": "ping", "id": ["x"]}, "id must be"),
+        ],
+    )
+    def test_malformed_requests(self, document, match):
+        with pytest.raises(ProtocolError, match=match):
+            parse_request(document)
+
+    def test_control_ops_ignore_payload_fields(self):
+        request = parse_request({"op": "stats", "id": "s"})
+        assert request.source == ""
+
+
+class TestRecords:
+    def test_item_record_is_the_bare_batch_shape(self):
+        # The batch --stream parity contract: one shape, two transports.
+        item = ItemResult(index=3, name="p", status="ok", fingerprint="f")
+        assert protocol.item_record(item) == item.to_dict()
+
+    def test_result_record_wraps_item_fields(self):
+        item = ItemResult(index=0, name="p", status="ok", fingerprint="f")
+        record = protocol.result_record("r1", item)
+        assert record["v"] == protocol.PROTOCOL_VERSION
+        assert record["type"] == "result"
+        assert record["id"] == "r1"
+        assert record["cached"] is False
+        assert record["fingerprint"] == "f"
+
+    def test_cached_result_record_marks_cached(self):
+        record = protocol.cached_result_record("r2", {"status": "ok"})
+        assert record["cached"] is True
+        assert record["status"] == "ok"
+
+    def test_rejected_record_fields(self):
+        record = protocol.rejected_record(
+            "r3", "queue full", queue_depth=2, queue_limit=2
+        )
+        assert record["type"] == "rejected"
+        assert record["queue_depth"] == 2
+        assert record["queue_limit"] == 2
+
+    def test_listening_record_has_no_id(self):
+        record = protocol.listening_record("127.0.0.1", 9000)
+        assert "id" not in record
+        assert record["port"] == 9000
+
+    def test_encode_decode_roundtrip(self):
+        record = protocol.pong_record("p1")
+        line = protocol.encode(record)
+        assert line.endswith(b"\n")
+        assert protocol.decode(line) == record
+
+    def test_decode_rejects_junk(self):
+        with pytest.raises(ProtocolError):
+            protocol.decode(b"not json\n")
+        with pytest.raises(ProtocolError):
+            protocol.decode(b"[1, 2]\n")
