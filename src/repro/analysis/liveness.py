@@ -68,8 +68,15 @@ def compute_liveness(cfg: CFG, live_at_exit=(), plan=None) -> LivenessResult:
     The transfer is the standard gen/kill shape (``USE`` generates,
     ``DEF`` kills), so the solve lowers to the dense backend; pass a
     precompiled dense *plan* for *cfg* to share it across analyses.
+
+    Names in *live_at_exit* that the program never mentions are kept in
+    the universe (live on every path from their first absence of a
+    definition — i.e. everywhere, since nothing assigns them), not
+    silently dropped: a caller declaring a variable observable deserves
+    a truthful answer to ``is_live_out(label, name)`` even when the
+    program text never touches the name.
     """
-    variables = sorted(cfg.variables())
+    variables = sorted(set(cfg.variables()) | set(live_at_exit))
     index = {name: i for i, name in enumerate(variables)}
     width = len(variables)
 
@@ -91,9 +98,7 @@ def compute_liveness(cfg: CFG, live_at_exit=(), plan=None) -> LivenessResult:
     problem = DataflowProblem.backward_union(
         "liveness", width, GenKillTransfer(gen=use, keep=notdef)
     )
-    boundary = BitVector.of(
-        width, (index[v] for v in live_at_exit if v in index)
-    )
+    boundary = BitVector.of(width, (index[v] for v in live_at_exit))
     if boundary:
         from dataclasses import replace
 
@@ -101,4 +106,45 @@ def compute_liveness(cfg: CFG, live_at_exit=(), plan=None) -> LivenessResult:
     solution = solve(cfg, problem, plan=plan)
     return LivenessResult(
         variables, index, solution.inof, solution.outof, solution.stats
+    )
+
+
+def liveness_key(live_at_exit=()) -> str:
+    """The :class:`~repro.obs.manager.AnalysisManager` computation key.
+
+    ``"liveness"`` for the default (empty) exit set — compatible with
+    store entries written by earlier versions — and a digest-tagged
+    variant otherwise, so results for different observable sets never
+    collide under one fingerprint.
+    """
+    names = tuple(sorted(set(live_at_exit)))
+    if not names:
+        return "liveness"
+    import hashlib
+
+    tag = hashlib.sha1("\x00".join(names).encode("utf-8")).hexdigest()[:12]
+    return f"liveness:x{tag}"
+
+
+def liveness_of(cfg: CFG, live_at_exit=(), manager=None) -> LivenessResult:
+    """Liveness for *cfg*, memoized through *manager* when one is given.
+
+    The shared front door for every full-fixpoint liveness lookup in
+    the library: with a manager, the solve is keyed by content
+    fingerprint + :func:`liveness_key` (memory → disk → solve) and
+    shares the manager's dense plan with every other analysis of the
+    same graph; without one, it is a plain :func:`compute_liveness`.
+    Callers that query repeatedly between *edits* should use
+    ``manager.liveness(cfg, live_at_exit)`` — the incremental engine —
+    instead of re-fetching full results.
+    """
+    exit_names = tuple(sorted(set(live_at_exit)))
+    if manager is None:
+        return compute_liveness(cfg, live_at_exit=exit_names)
+    return manager.cached(
+        cfg,
+        liveness_key(exit_names),
+        lambda: compute_liveness(
+            cfg, live_at_exit=exit_names, plan=manager.dense_plan(cfg)
+        ),
     )

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Set, Tuple
 
-from repro.analysis.liveness import compute_liveness
+from repro.analysis.liveness import liveness_of
 from repro.ir.cfg import CFG
 
 #: A program point: (block label, boundary index).  Boundary ``i`` is
@@ -28,10 +28,17 @@ from repro.ir.cfg import CFG
 Point = Tuple[str, int]
 
 
-def lifetime_points(cfg: CFG, variables: Iterable[str]) -> Dict[str, Set[Point]]:
-    """The set of points at which each of *variables* is live in *cfg*."""
+def lifetime_points(
+    cfg: CFG, variables: Iterable[str], manager=None
+) -> Dict[str, Set[Point]]:
+    """The set of points at which each of *variables* is live in *cfg*.
+
+    Pass an :class:`~repro.obs.manager.AnalysisManager` to memoize the
+    underlying liveness solve (one graph is typically measured several
+    times by the lifetime experiments).
+    """
     wanted = set(variables)
-    liveness = compute_liveness(cfg)
+    liveness = liveness_of(cfg, manager=manager)
     points: Dict[str, Set[Point]] = {name: set() for name in wanted}
 
     for block in cfg:
@@ -78,9 +85,11 @@ class LifetimeReport:
         )
 
 
-def measure_lifetimes(cfg: CFG, temps: Iterable[str]) -> LifetimeReport:
+def measure_lifetimes(
+    cfg: CFG, temps: Iterable[str], manager=None
+) -> LifetimeReport:
     """Measure the live ranges of *temps* in *cfg*."""
-    points = lifetime_points(cfg, temps)
+    points = lifetime_points(cfg, temps, manager=manager)
     pressure: Dict[Point, int] = {}
     for pts in points.values():
         for point in pts:
@@ -92,7 +101,7 @@ def measure_lifetimes(cfg: CFG, temps: Iterable[str]) -> LifetimeReport:
     )
 
 
-def program_pressure(cfg: CFG) -> Tuple[int, float]:
+def program_pressure(cfg: CFG, manager=None) -> Tuple[int, float]:
     """Whole-program register pressure: (peak, average) live variables.
 
     Counts *all* variables, not just PRE temporaries, over every
@@ -101,7 +110,7 @@ def program_pressure(cfg: CFG) -> Tuple[int, float]:
     about the temporaries; this metric shows the net effect.
     """
     variables = sorted(cfg.variables())
-    points = lifetime_points(cfg, variables)
+    points = lifetime_points(cfg, variables, manager=manager)
     pressure: Dict[Point, int] = {}
     total_points = sum(len(block.instrs) + 1 for block in cfg)
     for pts in points.values():
@@ -117,6 +126,7 @@ def blockwise_dominates(
     looser: CFG,
     temps: Iterable[str],
     common_blocks: Iterable[str],
+    manager=None,
 ) -> List[str]:
     """Check the lifetime theorem's subset relation on shared blocks.
 
@@ -127,8 +137,8 @@ def blockwise_dominates(
     """
     temp_list = list(temps)
     common = [b for b in common_blocks if b in tighter and b in looser]
-    tight_points = lifetime_points(tighter, temp_list)
-    loose_points = lifetime_points(looser, temp_list)
+    tight_points = lifetime_points(tighter, temp_list, manager=manager)
+    loose_points = lifetime_points(looser, temp_list, manager=manager)
     violations: List[str] = []
     for name in temp_list:
         tight_entries = {

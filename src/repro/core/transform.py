@@ -29,26 +29,52 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.analysis.liveness import LivenessResult, compute_liveness
+from repro.analysis.liveness import LivenessResult
 from repro.core.placement import Placement, PlacementError, upward_exposed_index
+from repro.dataflow.incremental import IncrementalLiveness
 from repro.ir.cfg import CFG, Edge
 from repro.ir.expr import Var
 from repro.ir.instr import Assign
-from repro.obs.manager import AnalysisManager, notify_cfg_mutated
+from repro.obs.manager import (
+    AnalysisManager,
+    notify_cfg_edited,
+    notify_cfg_mutated,
+)
 
 
-def _liveness(cfg: CFG, manager: Optional[AnalysisManager]) -> LivenessResult:
-    """Liveness of *cfg*, memoized through *manager* when given.
+def _liveness_engine(
+    cfg: CFG, manager: Optional[AnalysisManager], live_at_exit=()
+) -> IncrementalLiveness:
+    """The incremental liveness engine for *cfg*.
 
-    The working graph is mutated in place between lookups, so the
-    cached fingerprint is refreshed (invalidated) first; the lookup is
-    then keyed on true current content, and a second transformation run
-    producing the same intermediate programs hits the cache.
+    With a manager, the engine is the manager-held one — its global
+    solve is memoized by content fingerprint (a second transformation
+    run producing the same intermediate programs hits the cache) and it
+    is kept current through the notification hooks.  Without one, a
+    private engine is returned; callers must pair every mutation with
+    :func:`_mark_edited` / :func:`_mark_mutated` so both kinds stay in
+    sync.
     """
     if manager is None:
-        return compute_liveness(cfg)
-    manager.invalidate(cfg)
-    return manager.cached(cfg, "liveness", lambda: compute_liveness(cfg))
+        return IncrementalLiveness(cfg, live_at_exit=live_at_exit)
+    return manager.liveness(cfg, live_at_exit=live_at_exit)
+
+
+def _mark_edited(
+    cfg: CFG,
+    engine: IncrementalLiveness,
+    labels,
+    manager: Optional[AnalysisManager],
+) -> None:
+    """Signal instruction-level edits to *labels* after mutating *cfg*.
+
+    The module hook reaches every live manager (including the one
+    holding *engine*, when there is one); a private engine gets the
+    marks directly.
+    """
+    notify_cfg_edited(cfg, labels)
+    if manager is None:
+        engine.blocks_edited(labels)
 
 
 @dataclass
@@ -197,21 +223,29 @@ def apply_placements(
         for placement in sorted(by_edge[edge], key=lambda p: p.temp):
             split.append(Assign(placement.temp, placement.expr))
 
-    # Step 4: collapse isolated copies and drop dead insertions.
-    if collapse_isolated_copies and result.copies_added:
-        _collapse_dead_copies(work, result, manager)
-    if drop_dead_insertions:
-        _drop_dead_insertions(work, result, manager)
+    # Step 4: collapse isolated copies and drop dead insertions.  One
+    # incremental engine serves both cleanups: a single full liveness
+    # solve up front, then O(affected-region) patches after each edit
+    # instead of the global re-solves this loop used to do.
+    if (collapse_isolated_copies and result.copies_added) or drop_dead_insertions:
+        engine = _liveness_engine(work, manager)
+        if collapse_isolated_copies and result.copies_added:
+            _collapse_dead_copies(work, result, engine, manager)
+        if drop_dead_insertions:
+            _drop_dead_insertions(work, result, engine, manager)
 
     notify_cfg_mutated(work)
     return result
 
 
 def _collapse_dead_copies(
-    cfg: CFG, result: TransformResult, manager: Optional[AnalysisManager] = None
+    cfg: CFG,
+    result: TransformResult,
+    engine: IncrementalLiveness,
+    manager: Optional[AnalysisManager] = None,
 ) -> None:
     """Rewrite ``t = e; x = t`` back to ``x = e`` where *t* dies at once."""
-    liveness = _liveness(cfg, manager)
+    engine.solve()
     for block in cfg:
         changed = False
         i = 0
@@ -222,37 +256,40 @@ def _collapse_dead_copies(
                 and second.expr == Var(first.target)
                 and second.target != first.target
                 and (block.label, first.target) in result.copies_added
-                and not _is_live_after(
-                    cfg, liveness, block.label, i + 1, first.target
-                )
+                and not engine.is_live_after(block.label, i + 1, first.target)
             ):
                 block.instrs[i : i + 2] = [Assign(second.target, first.expr)]
                 result.copies_collapsed.append((block.label, first.target))
                 changed = True
                 # A collapse can only shorten later liveness, never extend
-                # it, so continuing with the stale solution is sound: it
-                # may miss a newly dead copy in *earlier* blocks, which the
-                # fixpoint loop in the caller would catch; in practice the
-                # pairs are independent.  Re-solve to stay exact.
+                # it, so continuing with this block's stale exit fact is
+                # sound: it may miss a newly dead copy in *earlier* blocks,
+                # which the fixpoint loop in the caller would catch; in
+                # practice the pairs are independent.  Patch the facts at
+                # the block boundary to stay exact.
             else:
                 i += 1
         if changed:
-            liveness = _liveness(cfg, manager)
+            _mark_edited(cfg, engine, [block.label], manager)
 
 
 def _drop_dead_insertions(
-    cfg: CFG, result: TransformResult, manager: Optional[AnalysisManager] = None
+    cfg: CFG,
+    result: TransformResult,
+    engine: IncrementalLiveness,
+    manager: Optional[AnalysisManager] = None,
 ) -> None:
     """Remove inserted/copy definitions of temps that are never used."""
+    engine.solve()
     changed = True
     while changed:
         changed = False
-        liveness = _liveness(cfg, manager)
+        edited: List[str] = []
         for block in cfg:
             keep: List[Assign] = []
             for i, instr in enumerate(block.instrs):
-                if instr.target in result.temps and not _is_live_after(
-                    cfg, liveness, block.label, i, instr.target
+                if instr.target in result.temps and not engine.is_live_after(
+                    block.label, i, instr.target
                 ):
                     result.insertions_dropped.append((block.label, instr.target))
                     changed = True
@@ -260,26 +297,40 @@ def _drop_dead_insertions(
                     keep.append(instr)
             if len(keep) != len(block.instrs):
                 block.instrs[:] = keep
+                edited.append(block.label)
+        if edited:
+            # Facts stay frozen within the round (every block decides
+            # against the same fixpoint — the old re-solve-per-round
+            # semantics); the patch lands at the round boundary.
+            _mark_edited(cfg, engine, edited, manager)
 
 
-def eliminate_dead_code(cfg: CFG, candidates: Iterable[str]) -> int:
+def eliminate_dead_code(
+    cfg: CFG,
+    candidates: Iterable[str],
+    manager: Optional[AnalysisManager] = None,
+) -> int:
     """Iteratively remove dead assignments to the *candidates* variables.
 
     Returns the number of instructions removed.  Only assignments whose
     target is in *candidates* are touched (all right-hand sides in this
-    IR are pure, so removal is always sound for dead targets).
+    IR are pure, so removal is always sound for dead targets).  Solves
+    liveness once (memoized through *manager* when given) and patches
+    the fixpoint incrementally between rounds.
     """
     candidate_set = set(candidates)
+    engine = _liveness_engine(cfg, manager)
+    engine.solve()
     removed = 0
     changed = True
     while changed:
         changed = False
-        liveness = compute_liveness(cfg)
+        edited: List[str] = []
         for block in cfg:
             keep: List[Assign] = []
             for i, instr in enumerate(block.instrs):
-                if instr.target in candidate_set and not _is_live_after(
-                    cfg, liveness, block.label, i, instr.target
+                if instr.target in candidate_set and not engine.is_live_after(
+                    block.label, i, instr.target
                 ):
                     removed += 1
                     changed = True
@@ -287,6 +338,7 @@ def eliminate_dead_code(cfg: CFG, candidates: Iterable[str]) -> int:
                     keep.append(instr)
             if len(keep) != len(block.instrs):
                 block.instrs[:] = keep
-    if removed:
-        notify_cfg_mutated(cfg)
+                edited.append(block.label)
+        if edited:
+            _mark_edited(cfg, engine, edited, manager)
     return removed

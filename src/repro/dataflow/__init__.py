@@ -14,6 +14,9 @@ the machinery to measure that claim:
   solvers for unidirectional problems;
 * :mod:`repro.dataflow.dense` — the allocation-free int-array backend
   the default ``"auto"`` strategy compiles problems to;
+* :mod:`repro.dataflow.incremental` — per-CFG incremental +
+  demand-driven liveness (solve once, patch after local edits, answer
+  point queries from backward slices);
 * :mod:`repro.dataflow.bidirectional` — a fixpoint solver for coupled
   equation systems (used by the Morel–Renvoise baseline);
 * :mod:`repro.dataflow.stats` — counters shared by all of the above.
@@ -21,6 +24,7 @@ the machinery to measure that claim:
 
 from repro.dataflow.bitvec import BitVector, OpCounter, counting, counting_active
 from repro.dataflow.dense import DenseGraph, compile_plan, solve_dense
+from repro.dataflow.incremental import IncrementalLiveness, IncrementalStats
 from repro.dataflow.order import postorder, reverse_postorder, backward_order
 from repro.dataflow.problem import (
     Confluence,
@@ -41,6 +45,8 @@ __all__ = [
     "Direction",
     "EquationSystem",
     "GenKillTransfer",
+    "IncrementalLiveness",
+    "IncrementalStats",
     "OpCounter",
     "Solution",
     "SolverStats",

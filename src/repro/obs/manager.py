@@ -58,10 +58,31 @@ def notify_cfg_mutated(cfg: CFG) -> None:
     """Invalidate *cfg*'s cached fingerprint in every live manager.
 
     The hook mutating code must call after changing a graph in place.
-    Cheap when no managers exist or none has seen the graph.
+    Cheap when no managers exist or none has seen the graph.  This is
+    the *coarse* hook — any incremental liveness engines held for *cfg*
+    drop all their facts; code making instruction-level edits to
+    existing blocks should call :func:`notify_cfg_edited` instead so
+    engines can patch rather than rebuild.
     """
     for manager in list(_LIVE_MANAGERS):
         manager.invalidate(cfg)
+
+
+def notify_cfg_edited(cfg: CFG, labels) -> None:
+    """Signal instruction-level edits to existing blocks of *cfg*.
+
+    The edit-granular sibling of :func:`notify_cfg_mutated`: *labels*
+    names the blocks whose instruction lists changed in place (inserts,
+    deletes, replacements — not structural changes like added blocks or
+    rewritten terminators, which need the coarse hook).  Every live
+    manager drops its stale fingerprint for *cfg* exactly as for a
+    coarse mutation, but its incremental liveness engines
+    (:class:`repro.dataflow.incremental.IncrementalLiveness`) keep their
+    fixpoints and mark just those blocks dirty, so the next query pays
+    for a region update instead of a global re-solve.
+    """
+    for manager in list(_LIVE_MANAGERS):
+        manager.notify_edited(cfg, labels)
 
 
 @dataclass
@@ -125,6 +146,7 @@ class AnalysisManager:
         self._store: Dict[Tuple[str, str], Any] = {}
         self._plans: Dict[str, Any] = {}
         self._fingerprints: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+        self._engines: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
         _LIVE_MANAGERS.add(self)
 
     # -- keys -----------------------------------------------------------
@@ -231,19 +253,72 @@ class AnalysisManager:
 
         return self.cached(cfg, key, compute)
 
+    # -- incremental engines --------------------------------------------
+
+    def liveness(self, cfg: CFG, live_at_exit=()):
+        """The incremental liveness engine for (*cfg*, *live_at_exit*).
+
+        One :class:`repro.dataflow.incremental.IncrementalLiveness` per
+        (CFG object, observable set) — held weakly, so engines die with
+        their graph.  The engine's global solves route back through
+        :meth:`cached` (same fingerprint + key tiers as a direct
+        :func:`~repro.analysis.liveness.liveness_of`), and it is kept
+        current by the notification hooks: :meth:`notify_edited` marks
+        blocks dirty for an O(affected-region) patch,
+        :meth:`invalidate` (the coarse path) drops its facts entirely.
+        """
+        from repro.dataflow.incremental import IncrementalLiveness
+
+        exit_names = tuple(sorted(set(live_at_exit)))
+        engines = self._engines.get(cfg)
+        if engines is None:
+            engines = {}
+            self._engines[cfg] = engines
+        engine = engines.get(exit_names)
+        if engine is None:
+            engine = IncrementalLiveness(cfg, live_at_exit=exit_names, manager=self)
+            engines[exit_names] = engine
+        return engine
+
     # -- invalidation ---------------------------------------------------
 
-    def invalidate(self, cfg: CFG) -> None:
-        """Forget *cfg*'s cached fingerprint (it was mutated in place)."""
+    def _drop_fingerprint(self, cfg: CFG) -> None:
         if self._fingerprints.pop(cfg, None) is not None:
             self.stats.invalidations += 1
             trace.count("cache.invalidate")
 
+    def invalidate(self, cfg: CFG) -> None:
+        """Forget *cfg*'s cached fingerprint (it was mutated in place).
+
+        The coarse path: any incremental engines held for *cfg* also
+        drop their facts and plans, since an unspecified mutation may
+        have changed the graph's structure.
+        """
+        self._drop_fingerprint(cfg)
+        engines = self._engines.get(cfg)
+        if engines:
+            for engine in engines.values():
+                engine.structure_changed()
+
+    def notify_edited(self, cfg: CFG, labels) -> None:
+        """Record instruction-level edits to *cfg*'s *labels* blocks.
+
+        The fingerprint is dropped exactly as for :meth:`invalidate`
+        (the content changed), but incremental engines keep their
+        fixpoints and mark just the edited blocks dirty.
+        """
+        self._drop_fingerprint(cfg)
+        engines = self._engines.get(cfg)
+        if engines:
+            for engine in engines.values():
+                engine.blocks_edited(labels)
+
     def clear(self) -> None:
-        """Drop every memoized result, plan and fingerprint."""
+        """Drop every memoized result, plan, fingerprint and engine."""
         self._store.clear()
         self._plans.clear()
         self._fingerprints = weakref.WeakKeyDictionary()
+        self._engines = weakref.WeakKeyDictionary()
 
     def __len__(self) -> int:
         return len(self._store)

@@ -65,12 +65,20 @@ def _run_pass(result: PassResult, name: str, fn, cfg: CFG) -> int:
     return count
 
 
-def _cleanup_to_fixpoint(cfg: CFG, result: PassResult, max_rounds: int = 20) -> None:
+def _cleanup_to_fixpoint(
+    cfg: CFG,
+    result: PassResult,
+    max_rounds: int = 20,
+    manager: Optional[AnalysisManager] = None,
+) -> None:
+    def _dce(c: CFG) -> int:
+        return dead_code_elimination(c, manager=manager)
+
     for _ in range(max_rounds):
         round_total = 0
         round_total += _run_pass(result, "copyprop", copy_propagate, cfg)
         round_total += _run_pass(result, "constfold", fold_constants, cfg)
-        round_total += _run_pass(result, "dce", dead_code_elimination, cfg)
+        round_total += _run_pass(result, "dce", _dce, cfg)
         with span("pass.simplify") as sp:
             stats = simplify_cfg(cfg)
             sp.set(rewrites=stats.total)
@@ -129,7 +137,7 @@ def run_pipeline(
                 ),
             )
 
-        _cleanup_to_fixpoint(work, result)
+        _cleanup_to_fixpoint(work, result, manager=manager)
         sp.set(total_rewrites=result.total_rewrites)
     if validate:
         validate_cfg(work)

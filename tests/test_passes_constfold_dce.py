@@ -154,3 +154,20 @@ class TestDeadCodeElimination:
             snapshot = cfg.copy()
             dead_code_elimination(cfg)
             assert check_equivalence(snapshot, cfg, runs=10).equivalent, seed
+
+    def test_observable_name_never_mentioned_is_kept_in_universe(self):
+        # A name declared observable but absent from the program used to
+        # be silently dropped from the liveness universe; it must stay
+        # (live everywhere: nothing ever assigns it) and DCE must accept
+        # such observable sets without surprises.
+        from repro.analysis.liveness import compute_liveness
+
+        cfg = straight_line(["x = a + b", "y = c * 2"])
+        live = compute_liveness(cfg, live_at_exit=["y", "phantom"])
+        assert "phantom" in live.variables
+        assert live.is_live_in("s0", "phantom")
+        assert live.is_live_out("s0", "phantom")
+
+        removed = dead_code_elimination(cfg, observable=["y", "phantom"])
+        assert removed == 1  # x is dead; phantom changes nothing else
+        assert [str(i) for i in cfg.block("s0").instrs] == ["y = c * 2"]
