@@ -44,6 +44,7 @@ from repro.analysis.anticipability import compute_anticipability
 from repro.analysis.availability import compute_availability
 from repro.analysis.local import LocalProperties, compute_local_properties
 from repro.analysis.universe import ExprUniverse
+from repro.core.lcm import _use_fused
 from repro.core.placement import Placement
 from repro.dataflow.bitvec import BitVector
 from repro.dataflow.dense import compile_plan
@@ -51,6 +52,7 @@ from repro.dataflow.problem import Confluence, DataflowProblem, Direction
 from repro.dataflow.solver import solve
 from repro.dataflow.stats import SolverStats
 from repro.ir.cfg import CFG
+from repro.obs import trace
 from repro.obs.trace import span
 
 
@@ -227,24 +229,63 @@ def analyze_krs(
     cfg: CFG,
     universe: Optional[ExprUniverse] = None,
     manager=None,
+    strategy: str = "auto",
 ) -> KRSAnalysis:
     """Run the node-level analysis stack on a statement-granular *cfg*.
 
     With an :class:`~repro.obs.manager.AnalysisManager`, the whole
     bundle is memoized by graph content (default universe only), like
-    :func:`repro.core.lcm.analyze_lcm`.
+    :func:`repro.core.lcm.analyze_lcm` — and *strategy* has the same
+    semantics as there (:data:`repro.core.lcm.LCM_STRATEGIES`):
+    ``"auto"`` runs the fused single-module cascade
+    (:func:`repro.dataflow.fused.run_fused_krs`) unless an operation
+    counter is installed, and every strategy produces bit-identical
+    bundles.
     """
     _check_node_granularity(cfg)
     if manager is not None and universe is None:
         return manager.cached(
-            cfg, "krs.analysis", lambda: _analyze_krs(cfg, None, manager)
+            cfg, "krs.analysis", lambda: _analyze_krs(cfg, None, manager, strategy)
         )
-    return _analyze_krs(cfg, universe, manager)
+    return _analyze_krs(cfg, universe, manager, strategy)
+
+
+def _analyze_krs_fused(
+    cfg: CFG, universe: Optional[ExprUniverse], manager
+) -> KRSAnalysis:
+    """The fused execution plan for the node-level formulation."""
+    from repro.dataflow.fused import compile_lcm_plan, run_fused_krs
+
+    with span("krs.analyze", blocks=len(cfg)):
+        local = compute_local_properties(cfg, universe)
+        if manager is not None and universe is None:
+            plan = manager.lcm_plan(cfg, local)
+        else:
+            plan = compile_lcm_plan(cfg, local)
+        trace.count("fused.run")
+        with span(
+            "krs.fused", blocks=len(cfg), width=local.universe.width
+        ) as fused_span:
+            analysis = run_fused_krs(cfg, plan, local)
+            fused_span.set(
+                sweeps=analysis.stats.sweeps,
+                node_visits=analysis.stats.node_visits,
+            )
+        if manager is not None:
+            manager.stats.backends["fused"] = (
+                manager.stats.backends.get("fused", 0) + 1
+            )
+    return analysis
 
 
 def _analyze_krs(
-    cfg: CFG, universe: Optional[ExprUniverse], manager
+    cfg: CFG,
+    universe: Optional[ExprUniverse],
+    manager,
+    strategy: str = "staged",
 ) -> KRSAnalysis:
+    if _use_fused(strategy):
+        return _analyze_krs_fused(cfg, universe, manager)
     with span("krs.analyze", blocks=len(cfg)):
         local = compute_local_properties(cfg, universe)
         comp = local.antloc

@@ -43,12 +43,39 @@ from repro.analysis.availability import compute_availability
 from repro.analysis.local import LocalProperties, compute_local_properties
 from repro.analysis.universe import ExprUniverse
 from repro.core.placement import Placement
-from repro.dataflow.bitvec import BitVector
+from repro.dataflow.bitvec import BitVector, counting_active
 from repro.dataflow.dense import compile_plan
 from repro.dataflow.order import reverse_postorder
 from repro.dataflow.stats import SolverStats
 from repro.ir.cfg import CFG, Edge
+from repro.obs import trace
 from repro.obs.trace import span
+
+#: The analysis strategies accepted by :func:`analyze_lcm` (and, with
+#: identical semantics, :func:`repro.core.krs.analyze_krs`): ``"auto"``
+#: runs the fused plan (:mod:`repro.dataflow.fused`) unless an operation
+#: counter is installed, ``"fused"``/``"staged"`` force a path —
+#: although even an explicit ``"fused"`` steps aside inside a
+#: :func:`~repro.dataflow.bitvec.counting` context, mirroring the dense
+#: solver backend, so measured op tallies never change.
+LCM_STRATEGIES = ("auto", "fused", "staged")
+
+
+def _use_fused(strategy: str) -> bool:
+    if strategy not in LCM_STRATEGIES:
+        names = ", ".join(LCM_STRATEGIES)
+        raise ValueError(
+            f"unknown analysis strategy {strategy!r}; choose one of: {names}"
+        )
+    if strategy == "staged":
+        return False
+    if counting_active():
+        # The fused cascade computes pointwise predicate algebra on raw
+        # ints the operation counter cannot see; counted runs take the
+        # staged reference path so C1 tallies stay bit-identical.
+        trace.count("fused.fallback")
+        return False
+    return True
 
 
 @dataclass
@@ -135,6 +162,7 @@ def analyze_lcm(
     cfg: CFG,
     universe: Optional[ExprUniverse] = None,
     manager=None,
+    strategy: str = "auto",
 ) -> LCMAnalysis:
     """Run the complete edge-based LCM analysis pipeline on *cfg*.
 
@@ -143,23 +171,54 @@ def analyze_lcm(
     memoized by graph content, so re-analysing an unchanged graph does
     no solver work.  (The bundle memo only applies for the default
     universe; an explicit *universe* bypasses it.)
+
+    *strategy* selects the execution plan, not the result: ``"auto"``
+    (the default) runs the fused single-module cascade
+    (:func:`repro.dataflow.fused.run_fused_lcm`) unless an operation
+    counter is installed; ``"staged"`` forces the four-solve reference
+    pipeline; ``"fused"`` forces the fused plan (still stepping aside
+    under :func:`~repro.dataflow.bitvec.counting`).  All strategies
+    produce bit-identical bundles — facts *and* sweep statistics —
+    which is why they share one memo key.
     """
     if manager is not None and universe is None:
         return manager.cached(
-            cfg, "lcm.analysis", lambda: _analyze_lcm(cfg, None, manager)
+            cfg, "lcm.analysis", lambda: _analyze_lcm(cfg, None, manager, strategy)
         )
-    return _analyze_lcm(cfg, universe, manager)
+    return _analyze_lcm(cfg, universe, manager, strategy)
 
 
 def _analyze_lcm(
-    cfg: CFG, universe: Optional[ExprUniverse], manager
+    cfg: CFG,
+    universe: Optional[ExprUniverse],
+    manager,
+    strategy: str = "staged",
 ) -> LCMAnalysis:
+    if _use_fused(strategy):
+        return _analyze_lcm_fused(cfg, universe, manager)
     with span("lcm.analyze", blocks=len(cfg)):
         with span("lcm.local"):
             local = compute_local_properties(cfg, universe)
+        return run_staged_lcm(cfg, local, manager=manager)
+
+
+def run_staged_lcm(cfg: CFG, local: LocalProperties, manager=None, plan=None):
+    """The staged (four-solve) quartet given precomputed *local* props.
+
+    The reference execution plan the fused module is pinned against:
+    two dense solves through :func:`~repro.dataflow.solver.solve`, then
+    EARLIEST pointwise and the LATER fixpoint on ``BitVector`` maps.
+    Exposed separately from :func:`analyze_lcm` so the benchmark can
+    time the quartet itself — both arms warm, a precompiled dense
+    *plan* here against a precompiled
+    :class:`~repro.dataflow.fused.LCMPlan` in
+    :func:`~repro.dataflow.fused.run_fused_lcm`.
+    """
+    with span("lcm.staged", blocks=len(cfg)):
         # One dense solve plan serves both analyses (and, with a
         # manager, every later solve on a graph with this content).
-        plan = None if manager is not None else compile_plan(cfg)
+        if manager is None and plan is None:
+            plan = compile_plan(cfg)
         ant = compute_anticipability(cfg, local, manager=manager, plan=plan)
         av = compute_availability(cfg, local, manager=manager, plan=plan)
         stats = ant.stats.merged(av.stats)
@@ -201,6 +260,44 @@ def _analyze_lcm(
         delete=delete,
         stats=stats,
     )
+
+
+def _analyze_lcm_fused(
+    cfg: CFG, universe: Optional[ExprUniverse], manager
+) -> LCMAnalysis:
+    """The fused execution plan: one module, one set of int arrays.
+
+    Local properties are computed exactly as in the staged path; the
+    four global systems then run back-to-back inside
+    :func:`repro.dataflow.fused.run_fused_lcm` on one compiled
+    :class:`~repro.dataflow.fused.LCMPlan` — memoized by content
+    fingerprint through :meth:`AnalysisManager.lcm_plan
+    <repro.obs.manager.AnalysisManager.lcm_plan>` when a manager is
+    attached and the universe is the graph's own default.
+    """
+    from repro.dataflow.fused import compile_lcm_plan, run_fused_lcm
+
+    with span("lcm.analyze", blocks=len(cfg)):
+        with span("lcm.local"):
+            local = compute_local_properties(cfg, universe)
+        if manager is not None and universe is None:
+            plan = manager.lcm_plan(cfg, local)
+        else:
+            plan = compile_lcm_plan(cfg, local)
+        trace.count("fused.run")
+        with span(
+            "lcm.fused", blocks=len(cfg), width=local.universe.width
+        ) as fused_span:
+            analysis = run_fused_lcm(cfg, plan, local)
+            fused_span.set(
+                sweeps=analysis.stats.sweeps,
+                node_visits=analysis.stats.node_visits,
+            )
+        if manager is not None:
+            manager.stats.backends["fused"] = (
+                manager.stats.backends.get("fused", 0) + 1
+            )
+    return analysis
 
 
 def _placements_from(

@@ -14,6 +14,9 @@ the machinery to measure that claim:
   solvers for unidirectional problems;
 * :mod:`repro.dataflow.dense` — the allocation-free int-array backend
   the default ``"auto"`` strategy compiles problems to;
+* :mod:`repro.dataflow.fused` — the fused LCM plan: the whole
+  earliest/later/insert/replace quartet (edge-based and node-level) as
+  one back-to-back int-array cascade over a single compiled plan;
 * :mod:`repro.dataflow.incremental` — per-CFG incremental +
   demand-driven liveness (solve once, patch after local edits, answer
   point queries from backward slices);
@@ -24,6 +27,12 @@ the machinery to measure that claim:
 
 from repro.dataflow.bitvec import BitVector, OpCounter, counting, counting_active
 from repro.dataflow.dense import DenseGraph, compile_plan, solve_dense
+from repro.dataflow.fused import (
+    LCMPlan,
+    compile_lcm_plan,
+    run_fused_krs,
+    run_fused_lcm,
+)
 from repro.dataflow.incremental import IncrementalLiveness, IncrementalStats
 from repro.dataflow.order import postorder, reverse_postorder, backward_order
 from repro.dataflow.problem import (
@@ -47,15 +56,19 @@ __all__ = [
     "GenKillTransfer",
     "IncrementalLiveness",
     "IncrementalStats",
+    "LCMPlan",
     "OpCounter",
     "Solution",
     "SolverStats",
     "backward_order",
+    "compile_lcm_plan",
     "compile_plan",
     "counting",
     "counting_active",
     "postorder",
     "reverse_postorder",
+    "run_fused_krs",
+    "run_fused_lcm",
     "solve",
     "solve_dense",
     "solve_system",

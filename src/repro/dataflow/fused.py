@@ -1,0 +1,415 @@
+"""The fused dense LCM plan: one graph, one int-array sweep for the quartet.
+
+The paper defines Lazy Code Motion as a fixed cascade — down-safety and
+up-safety feed earliestness, earliestness feeds the delay system, and
+the delay fixpoint yields the insert/replace frontier.  The staged
+pipeline (:mod:`repro.core.lcm` / :mod:`repro.core.krs`) runs that
+cascade as four independent ``solve()`` calls, each materialising a
+:class:`~repro.dataflow.solver.Solution` of ``BitVector`` dictionaries
+that the next stage immediately re-reads.  On the hot path that
+round-tripping *is* the cost: the dense backend (PR 4) already made each
+individual solve allocation-free, so what remains is the glue between
+them.
+
+This module fuses the whole cascade into one compiled plan:
+
+* an :class:`LCMPlan` is compiled once per (CFG content fingerprint,
+  expression universe) — it bundles the shared
+  :class:`~repro.dataflow.dense.DenseGraph` with the LCM local
+  predicates (ANTLOC/COMP/TRANSP) lowered once to parallel int rows,
+  plus the edge list as id pairs (:meth:`AnalysisManager.lcm_plan
+  <repro.obs.manager.AnalysisManager.lcm_plan>` memoizes plans by
+  content fingerprint, next to the dense-graph tier);
+* :func:`run_fused_lcm` and :func:`run_fused_krs` execute the full
+  edge-based / node-level cascade on raw ints: the gen/kill systems run
+  in one pair of preallocated fact arrays reused back-to-back by every
+  system in the cascade, and each successor system consumes its
+  predecessor's raw arrays directly — EARLIEST is computed from the
+  anticipability/availability ints, the LATER/DELAY systems from the
+  EARLIEST ints, INSERT/REPLACE from the LATER ints — with ``BitVector``
+  dictionaries materialised exactly once, at the very end;
+* the sweep loops mirror the staged solvers node for node, so the
+  resulting :class:`~repro.core.lcm.LCMAnalysis` /
+  :class:`~repro.core.krs.KRSAnalysis` bundles are **bit-identical** to
+  the staged pipeline's, and the ``sweeps``/``node_visits`` statistics
+  match the staged dense path exactly (hypothesis-pinned in
+  ``tests/test_dataflow_fused.py``; the fused stats carry
+  ``backend="fused"`` as their only distinguishing mark).
+
+Like the dense backend, the fused path never runs inside a
+:func:`~repro.dataflow.bitvec.counting` context: the pointwise predicate
+algebra would be invisible to the operation counter, so
+:func:`repro.core.lcm.analyze_lcm` and :func:`repro.core.krs.analyze_krs`
+route counted runs to the staged reference pipeline (benchmark C1's
+op tallies are pinned unchanged by ``tests/test_dataflow_fused.py``).
+
+See ``docs/PIPELINE.md`` for the paper-predicate ↔ code map and the
+staged-vs-fused execution order, and ``docs/PERFORMANCE.md`` for the
+measured speedup (``BENCH_solver.json``, ``fused`` block).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.dataflow.bitvec import BitVector
+from repro.dataflow.dense import DenseGraph, compile_plan
+from repro.dataflow.stats import SolverStats
+from repro.ir.cfg import CFG, Edge
+
+#: Divergence guard, matching :func:`repro.dataflow.dense.solve_dense`.
+MAX_SWEEPS = 10_000
+
+
+class LCMPlan:
+    """A compiled, immutable fused-solve plan for one (CFG, universe).
+
+    Everything the cascade needs beyond the :class:`DenseGraph`: the
+    local predicate rows lowered to raw ints (indexed by block id, in
+    ``graph.labels`` order) and the edge list as id pairs in
+    ``cfg.edges()`` order.  A plan is valid for any graph with the same
+    content analysed over the same universe — for the default universe
+    (derived from graph content) that makes it a pure function of the
+    fingerprint, which is how the analysis manager caches it.
+    """
+
+    __slots__ = (
+        "graph", "width", "full", "antloc", "comp", "transp",
+        "edge_ids", "edge_labels",
+    )
+
+    def __init__(
+        self,
+        graph: DenseGraph,
+        width: int,
+        antloc: Tuple[int, ...],
+        comp: Tuple[int, ...],
+        transp: Tuple[int, ...],
+        edge_ids: Tuple[Tuple[int, int], ...],
+        edge_labels: Tuple[Edge, ...],
+    ) -> None:
+        self.graph = graph
+        self.width = width
+        self.full = (1 << width) - 1
+        self.antloc = antloc
+        self.comp = comp
+        self.transp = transp
+        self.edge_ids = edge_ids
+        self.edge_labels = edge_labels
+
+    def __repr__(self) -> str:
+        return (
+            f"LCMPlan({len(self.graph.labels)} blocks, "
+            f"{len(self.edge_ids)} edges, width {self.width})"
+        )
+
+
+def compile_lcm_plan(cfg: CFG, local, graph: Optional[DenseGraph] = None) -> LCMPlan:
+    """Compile the fused plan for *cfg* over *local*'s universe.
+
+    *local* is a :class:`~repro.analysis.local.LocalProperties`; its
+    ANTLOC/COMP/TRANSP vectors are lowered to int rows once, here, so no
+    per-run lowering remains.  Pass a precompiled dense *graph* to share
+    the id mapping with other analyses (the analysis manager does).
+    """
+    if graph is None:
+        graph = compile_plan(cfg)
+    labels = graph.labels
+    index = graph.index
+    antloc = tuple(local.antloc[label].bits for label in labels)
+    comp = tuple(local.comp[label].bits for label in labels)
+    transp = tuple(local.transp[label].bits for label in labels)
+    edge_labels = tuple(cfg.edges())
+    edge_ids = tuple((index[m], index[n]) for m, n in edge_labels)
+    return LCMPlan(
+        graph, local.universe.width, antloc, comp, transp, edge_ids, edge_labels
+    )
+
+
+def _sweep_genkill(
+    order: Tuple[int, ...],
+    nbrs: Tuple[Tuple[int, ...], ...],
+    boundary_id: int,
+    boundary_bits: int,
+    gen: Tuple[int, ...],
+    keep: Tuple[int, ...],
+    init_bits: int,
+    neutral: int,
+    met: List[int],
+    out: List[int],
+    name: str,
+) -> Tuple[int, int]:
+    """One all-paths gen/kill fixpoint over the shared fact arrays.
+
+    Exactly the inner loop of :func:`repro.dataflow.dense.solve_dense`
+    (same initialisation, same change detection, same visit order), so
+    the fixpoint *and* the sweep statistics match the staged dense path
+    bit for bit.  ``met``/``out`` are the plan-wide scratch arrays —
+    reset here and left holding the fixpoint for the caller to consume
+    in place.
+    """
+    n = len(met)
+    met[:] = [init_bits] * n
+    out[:] = [init_bits] * n
+    sweeps = 0
+    node_visits = 0
+    changed = True
+    while changed:
+        if sweeps >= MAX_SWEEPS:
+            raise RuntimeError(
+                f"dataflow problem {name!r} did not converge in "
+                f"{MAX_SWEEPS} sweeps"
+            )
+        changed = False
+        sweeps += 1
+        for i in order:
+            node_visits += 1
+            if i == boundary_id:
+                fact = boundary_bits
+            else:
+                nb = nbrs[i]
+                count = len(nb)
+                if count:
+                    fact = out[nb[0]]
+                    k = 1
+                    while k < count:
+                        fact &= out[nb[k]]
+                        k += 1
+                else:
+                    fact = neutral
+            new_out = gen[i] | (fact & keep[i])
+            if fact != met[i] or new_out != out[i]:
+                met[i] = fact
+                out[i] = new_out
+                changed = True
+    return sweeps, node_visits
+
+
+def _vecmap(
+    labels: Tuple[str, ...], width: int, bits: List[int]
+) -> Dict[str, BitVector]:
+    """Materialise one per-block int array as a BitVector dictionary."""
+    return {labels[i]: BitVector(width, bits[i]) for i in range(len(labels))}
+
+
+# ---------------------------------------------------------------------------
+# Edge-based cascade (repro.core.lcm).
+# ---------------------------------------------------------------------------
+
+
+def run_fused_lcm(cfg: CFG, plan: LCMPlan, local):
+    """The complete edge-based LCM cascade on raw ints.
+
+    Returns an :class:`~repro.core.lcm.LCMAnalysis` bit-identical to
+    :func:`repro.core.lcm.analyze_lcm`'s staged pipeline (facts and
+    sweep statistics alike; ``stats.backend`` is ``"fused"``).
+    """
+    from repro.core.lcm import LCMAnalysis
+
+    g = plan.graph
+    labels = g.labels
+    n = len(labels)
+    width = plan.width
+    full = plan.full
+    antloc, comp, transp = plan.antloc, plan.comp, plan.transp
+
+    # The one pair of fact arrays every system in the cascade reuses.
+    met: List[int] = [0] * n
+    out: List[int] = [0] * n
+
+    # 1. Anticipability (down-safety): backward all-paths,
+    #    gen = ANTLOC, keep = TRANSP.  Backward: met side is OUT.
+    ant_sweeps, ant_visits = _sweep_genkill(
+        g.backward_order, g.succs, g.exit, 0, antloc, transp, full, full,
+        met, out, "anticipability",
+    )
+    antin = out[:]
+    antout = met[:]
+
+    # 2. Availability (up-safety): forward all-paths,
+    #    gen = COMP, keep = TRANSP.  Forward: met side is IN.
+    av_sweeps, av_visits = _sweep_genkill(
+        g.forward_order, g.preds, g.entry, 0, comp, transp, full, full,
+        met, out, "availability",
+    )
+    avin = met[:]
+    avout = out[:]
+
+    # 3. EARLIEST per edge, pointwise from the raw anticipability and
+    #    availability arrays (no Solution round-trip).
+    entry = g.entry
+    earliest_bits: List[int] = []
+    for mi, ni in plan.edge_ids:
+        base = antin[ni] & ~avout[mi]
+        if mi != entry:
+            base &= (full ^ transp[mi]) | (full ^ antout[mi])
+        earliest_bits.append(base)
+
+    # 4. The LATER system: greatest fixpoint over edges, mirroring
+    #    repro.core.lcm._solve_later sweep for sweep.  Per-node
+    #    predecessor edge rows are prebuilt so the inner loop touches
+    #    only ints.
+    not_antloc = [full ^ antloc[i] for i in range(n)]
+    edge_of: Dict[Tuple[int, int], int] = {
+        pair: earliest_bits[k] for k, pair in enumerate(plan.edge_ids)
+    }
+    pred_rows: List[Tuple[Tuple[int, int], ...]] = [
+        tuple((m, edge_of[(m, i)]) for m in g.preds[i]) for i in range(n)
+    ]
+    laterin: List[int] = [full] * n
+    laterin[entry] = 0
+    later_sweeps = 0
+    later_visits = 0
+    changed = True
+    while changed:
+        if later_sweeps >= MAX_SWEEPS:
+            raise RuntimeError(
+                f"dataflow problem 'later' did not converge in {MAX_SWEEPS} sweeps"
+            )
+        changed = False
+        later_sweeps += 1
+        for i in g.forward_order:
+            if i == entry:
+                continue
+            later_visits += 1
+            acc = -1  # all-ones sentinel: meet identity over the row
+            for m, e_bits in pred_rows[i]:
+                acc &= e_bits | (laterin[m] & not_antloc[m])
+            new = acc & full if pred_rows[i] else 0
+            if new != laterin[i]:
+                laterin[i] = new
+                changed = True
+
+    # 5. LATER / INSERT per edge and DELETE per block, pointwise.
+    earliest: Dict[Edge, BitVector] = {}
+    later: Dict[Edge, BitVector] = {}
+    insert: Dict[Edge, BitVector] = {}
+    for k, (m_label, n_label) in enumerate(plan.edge_labels):
+        mi, ni = plan.edge_ids[k]
+        later_bits = earliest_bits[k] | (laterin[mi] & ~antloc[mi])
+        earliest[(m_label, n_label)] = BitVector(width, earliest_bits[k])
+        later[(m_label, n_label)] = BitVector(width, later_bits)
+        insert[(m_label, n_label)] = BitVector(width, later_bits & ~laterin[ni])
+    delete_bits = [
+        0 if i == entry else antloc[i] & ~laterin[i] for i in range(n)
+    ]
+
+    stats = SolverStats(
+        sweeps=ant_sweeps + av_sweeps + later_sweeps,
+        node_visits=ant_visits + av_visits + later_visits,
+        backend="fused",
+    )
+    return LCMAnalysis(
+        cfg=cfg,
+        local=local,
+        antin=_vecmap(labels, width, antin),
+        antout=_vecmap(labels, width, antout),
+        avin=_vecmap(labels, width, avin),
+        avout=_vecmap(labels, width, avout),
+        earliest=earliest,
+        laterin=_vecmap(labels, width, laterin),
+        later=later,
+        insert=insert,
+        delete=_vecmap(labels, width, delete_bits),
+        stats=stats,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Node-level cascade (repro.core.krs).
+# ---------------------------------------------------------------------------
+
+
+def run_fused_krs(cfg: CFG, plan: LCMPlan, local):
+    """The complete node-level KRS cascade on raw ints.
+
+    Returns a :class:`~repro.core.krs.KRSAnalysis` bit-identical to
+    :func:`repro.core.krs.analyze_krs`'s staged pipeline.  The COMP
+    predicate of the node-level formulation is ``local.antloc`` (one
+    statement per node), exactly as the staged code uses it; the
+    availability solve still uses ``local.comp`` so the self-kill case
+    (``a = a + b``) matches.
+    """
+    from repro.core.krs import KRSAnalysis
+
+    g = plan.graph
+    labels = g.labels
+    n = len(labels)
+    width = plan.width
+    full = plan.full
+    antloc, comp_rows, transp = plan.antloc, plan.comp, plan.transp
+    comp = antloc  # the node-level occurrence predicate
+    not_comp = tuple(full ^ comp[i] for i in range(n))
+
+    met: List[int] = [0] * n
+    out: List[int] = [0] * n
+
+    # 1+2. Down-safety / up-safety: the same two solves as the
+    #      edge-based cascade, consumed at node entry.
+    ant_sweeps, ant_visits = _sweep_genkill(
+        g.backward_order, g.succs, g.exit, 0, antloc, transp, full, full,
+        met, out, "anticipability",
+    )
+    dsafe = out[:]
+
+    av_sweeps, av_visits = _sweep_genkill(
+        g.forward_order, g.preds, g.entry, 0, comp_rows, transp, full, full,
+        met, out, "availability",
+    )
+    usafe = met[:]
+
+    # 3. EARLIEST(n) = DSAFE(n) ∧ ¬∏_{m∈pred}(TRANSP(m) ∧ (DSAFE(m) ∨ USAFE(m))).
+    earliest: List[int] = [0] * n
+    for i in range(n):
+        preds = g.preds[i]
+        if preds:
+            safe_above = full
+            for m in preds:
+                safe_above &= transp[m] & (dsafe[m] | usafe[m])
+        else:
+            safe_above = 0
+        earliest[i] = dsafe[i] & ~safe_above
+
+    # 4. DELAY: forward all-paths with gen = EARLIEST − COMP,
+    #    keep = ¬COMP (the DelayTransfer lowering), then
+    #    DELAY(n) = EARLIEST(n) ∨ IN(n) pointwise.
+    delay_gen = tuple(earliest[i] & not_comp[i] for i in range(n))
+    delay_sweeps, delay_visits = _sweep_genkill(
+        g.forward_order, g.preds, g.entry, 0, delay_gen, not_comp, full, full,
+        met, out, "delayability",
+    )
+    delay = [earliest[i] | met[i] for i in range(n)]
+
+    # 5. LATEST(n) = DELAY(n) ∧ (COMP(n) ∨ ¬∏_{s∈succ} DELAY(s)).
+    latest: List[int] = [0] * n
+    for i in range(n):
+        all_delayable_below = full
+        for s in g.succs[i]:
+            all_delayable_below &= delay[s]
+        latest[i] = delay[i] & (comp[i] | (full ^ all_delayable_below))
+
+    # 6. ISOLATED: backward all-paths with gen = LATEST, keep = ¬COMP,
+    #    boundary full at the exit (vacuous conjunction).  Backward:
+    #    the met side is the OUT facts the staged pipeline returns.
+    iso_sweeps, iso_visits = _sweep_genkill(
+        g.backward_order, g.succs, g.exit, full, tuple(latest), not_comp,
+        full, full, met, out, "isolation",
+    )
+    isolated = met[:]
+
+    stats = SolverStats(
+        sweeps=ant_sweeps + av_sweeps + delay_sweeps + iso_sweeps,
+        node_visits=ant_visits + av_visits + delay_visits + iso_visits,
+        backend="fused",
+    )
+    return KRSAnalysis(
+        cfg=cfg,
+        local=local,
+        dsafe=_vecmap(labels, width, dsafe),
+        usafe=_vecmap(labels, width, usafe),
+        earliest=_vecmap(labels, width, earliest),
+        delay=_vecmap(labels, width, delay),
+        latest=_vecmap(labels, width, latest),
+        isolated=_vecmap(labels, width, isolated),
+        stats=stats,
+    )

@@ -100,11 +100,14 @@ class CacheStats:
     * ``disk_writes`` — solutions persisted after a full miss.
 
     The dense solver backend adds two memory-only tallies —
-    ``plan_hits``/``plan_misses`` for the per-fingerprint
-    :class:`~repro.dataflow.dense.DenseGraph` plan cache (kept out of
-    the hit/miss columns above so cache-rate assertions stay about
-    *solutions*) — and ``backends``, a per-backend count of the solves
-    this manager actually ran (``{"dense": ..., "reference": ...}``).
+    ``plan_hits``/``plan_misses`` for the per-fingerprint plan caches
+    (:class:`~repro.dataflow.dense.DenseGraph` solve plans and the
+    fused :class:`~repro.dataflow.fused.LCMPlan` tier share the
+    columns; kept out of the hit/miss tallies above so cache-rate
+    assertions stay about *solutions*) — and ``backends``, a
+    per-backend count of the solves this manager actually ran
+    (``{"dense": ..., "reference": ...}``, plus ``"fused"`` counting
+    whole-cascade runs of :mod:`repro.dataflow.fused`).
     """
 
     hits: int = 0
@@ -225,6 +228,41 @@ class AnalysisManager:
             self._plans[fingerprint] = plan
         else:
             self.stats.plan_hits += 1
+        return plan
+
+    def lcm_plan(self, cfg: CFG, local):
+        """The fused LCM plan for *cfg*, memoized by content fingerprint.
+
+        Plans (:class:`~repro.dataflow.fused.LCMPlan`) bundle the dense
+        graph with the LCM local predicate rows lowered to raw ints, so
+        the whole earliest/later/insert/replace cascade
+        (:mod:`repro.dataflow.fused`) runs with zero per-call lowering.
+        The underlying :class:`~repro.dataflow.dense.DenseGraph` comes
+        from :meth:`dense_plan`, so fused and staged solves on one graph
+        share a single id mapping.  Only sound when *local* was derived
+        from *cfg*'s own default universe (the same caveat as the
+        solution memo); callers with an explicit universe compile their
+        own plan.  The cache is memory-only, keyed next to the dense
+        plans, sharing the ``plan_hits``/``plan_misses`` stats and
+        bumping the ``fused.plan.hit``/``fused.plan.miss`` counters.
+        """
+        from repro.dataflow.fused import compile_lcm_plan
+
+        if not self.enabled:
+            self.stats.plan_misses += 1
+            trace.count("fused.plan.miss")
+            return compile_lcm_plan(cfg, local)
+        key = f"fused:{self.fingerprint(cfg)}"
+        try:
+            plan = self._plans[key]
+        except KeyError:
+            self.stats.plan_misses += 1
+            trace.count("fused.plan.miss")
+            plan = compile_lcm_plan(cfg, local, graph=self.dense_plan(cfg))
+            self._plans[key] = plan
+        else:
+            self.stats.plan_hits += 1
+            trace.count("fused.plan.hit")
         return plan
 
     def solve(self, cfg: CFG, problem, strategy: str = "auto"):

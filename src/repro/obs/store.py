@@ -23,7 +23,8 @@ Design points:
   plain integers keyed by block label; the block set is pinned by the
   fingerprint, so decoding against any content-equal graph reproduces
   the facts exactly.  Codecs exist for :class:`~repro.dataflow.solver.Solution`,
-  :class:`~repro.core.lcm.LCMAnalysis` bundles,
+  :class:`~repro.core.lcm.LCMAnalysis` and
+  :class:`~repro.core.krs.KRSAnalysis` bundles,
   :class:`~repro.analysis.liveness.LivenessResult` and opaque
   :class:`JSONRecord` payloads (the ``repro serve`` response cache);
   values of other types simply stay memory-only.
@@ -226,6 +227,56 @@ def _decode_lcm_analysis(payload: Dict[str, Any], cfg):
     )
 
 
+def _encode_krs_analysis(value) -> Dict[str, Any]:
+    from repro.ir.serialize import expr_to_dict
+
+    return {
+        "universe": [expr_to_dict(expr) for expr in value.universe],
+        "antloc": _encode_vecmap(value.local.antloc),
+        "comp": _encode_vecmap(value.local.comp),
+        "transp": _encode_vecmap(value.local.transp),
+        "dsafe": _encode_vecmap(value.dsafe),
+        "usafe": _encode_vecmap(value.usafe),
+        "earliest": _encode_vecmap(value.earliest),
+        "delay": _encode_vecmap(value.delay),
+        "latest": _encode_vecmap(value.latest),
+        "isolated": _encode_vecmap(value.isolated),
+        "stats": _encode_stats(value.stats),
+    }
+
+
+def _decode_krs_analysis(payload: Dict[str, Any], cfg):
+    if cfg is None:
+        raise StoreDecodeError("krs-analysis entries decode against a CFG")
+    from repro.analysis.local import LocalProperties
+    from repro.analysis.universe import ExprUniverse
+    from repro.core.krs import KRSAnalysis
+    from repro.ir.serialize import expr_from_dict
+
+    universe = ExprUniverse(
+        expr_from_dict(e, f"universe[{i}]")
+        for i, e in enumerate(payload["universe"])
+    )
+    width = universe.width
+    local = LocalProperties(
+        universe=universe,
+        antloc=_decode_vecmap(payload["antloc"], width),
+        comp=_decode_vecmap(payload["comp"], width),
+        transp=_decode_vecmap(payload["transp"], width),
+    )
+    return KRSAnalysis(
+        cfg=cfg,
+        local=local,
+        dsafe=_decode_vecmap(payload["dsafe"], width),
+        usafe=_decode_vecmap(payload["usafe"], width),
+        earliest=_decode_vecmap(payload["earliest"], width),
+        delay=_decode_vecmap(payload["delay"], width),
+        latest=_decode_vecmap(payload["latest"], width),
+        isolated=_decode_vecmap(payload["isolated"], width),
+        stats=_decode_stats(payload["stats"]),
+    )
+
+
 def _encode_liveness(value) -> Dict[str, Any]:
     return {
         "variables": list(value.variables),
@@ -280,6 +331,7 @@ def _decode_json_record(payload: Dict[str, Any], cfg) -> "JSONRecord":
 def _kind_of(value) -> Optional[str]:
     """The codec kind for *value*, or None when it is memory-only."""
     from repro.analysis.liveness import LivenessResult
+    from repro.core.krs import KRSAnalysis
     from repro.core.lcm import LCMAnalysis
     from repro.dataflow.solver import Solution
 
@@ -287,6 +339,8 @@ def _kind_of(value) -> Optional[str]:
         return "solution"
     if isinstance(value, LCMAnalysis):
         return "lcm-analysis"
+    if isinstance(value, KRSAnalysis):
+        return "krs-analysis"
     if isinstance(value, LivenessResult):
         return "liveness"
     if isinstance(value, JSONRecord):
@@ -297,6 +351,7 @@ def _kind_of(value) -> Optional[str]:
 _ENCODERS = {
     "solution": _encode_solution,
     "lcm-analysis": _encode_lcm_analysis,
+    "krs-analysis": _encode_krs_analysis,
     "liveness": _encode_liveness,
     "json-record": _encode_json_record,
 }
@@ -304,6 +359,7 @@ _ENCODERS = {
 _DECODERS = {
     "solution": _decode_solution,
     "lcm-analysis": _decode_lcm_analysis,
+    "krs-analysis": _decode_krs_analysis,
     "liveness": _decode_liveness,
     "json-record": _decode_json_record,
 }

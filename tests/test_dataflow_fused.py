@@ -1,0 +1,293 @@
+"""The fused LCM plan is bit-identical to the staged pipeline.
+
+The tentpole property of :mod:`repro.dataflow.fused`: one compiled
+:class:`~repro.dataflow.fused.LCMPlan` runs the whole
+earliest/later/insert/replace cascade back-to-back on raw int arrays,
+and the resulting :class:`~repro.core.lcm.LCMAnalysis` /
+:class:`~repro.core.krs.KRSAnalysis` bundles coincide with the staged
+four-solve pipeline *exactly* — every vector map, every edge map, and
+the ``sweeps``/``node_visits`` statistics.  A hypothesis sweep pins the
+property over random reducible and irreducible graphs; targeted tests
+pin the universe edge cases, the routing rules (a ``counting()``
+context always gets the staged reference path, so benchmark C1's op
+tallies are untouched), the manager's fused-plan tier and the
+``krs-analysis`` store codec.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from tests.helpers import diamond, do_while_invariant, straight_line
+
+from repro.bench.generators import GeneratorConfig, random_cfg
+from repro.bench.shapegen import ShapeConfig, random_shape_cfg
+from repro.core.krs import KRSAnalysis, analyze_krs
+from repro.core.lcm import LCM_STRATEGIES, LCMAnalysis, analyze_lcm
+from repro.core.nodegraph import expand_to_nodes
+from repro.dataflow.bitvec import counting
+from repro.dataflow.fused import LCMPlan, compile_lcm_plan, run_fused_lcm
+from repro.analysis.local import compute_local_properties
+from repro.ir.builder import CFGBuilder
+from repro.ir.edgesplit import split_join_edges
+from repro.obs.manager import AnalysisManager
+from repro.obs.store import SolutionStore
+from repro.obs.trace import tracing
+
+SMALL = GeneratorConfig(statements=8, max_depth=2)
+SHAPES = ShapeConfig(blocks=8, back_edge_probability=0.5)
+
+quick = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+LCM_FIELDS = (
+    "antin", "antout", "avin", "avout",
+    "earliest", "laterin", "later", "insert", "delete",
+)
+KRS_FIELDS = ("dsafe", "usafe", "earliest", "delay", "latest", "isolated")
+
+
+def _assert_lcm_identical(cfg):
+    staged = analyze_lcm(cfg, strategy="staged")
+    fused = analyze_lcm(cfg, strategy="fused")
+    assert isinstance(fused, LCMAnalysis)
+    for field in LCM_FIELDS:
+        assert getattr(staged, field) == getattr(fused, field), field
+    assert staged.local.antloc == fused.local.antloc
+    assert staged.local.transp == fused.local.transp
+    assert list(staged.universe) == list(fused.universe)
+    # The fused cascade mirrors the staged dense sweeps node for node,
+    # so the work statistics coincide too; only the backend tag differs.
+    assert staged.stats.sweeps == fused.stats.sweeps
+    assert staged.stats.node_visits == fused.stats.node_visits
+    assert fused.stats.backend == "fused"
+    return fused
+
+
+def _node_granular(cfg):
+    expanded = expand_to_nodes(cfg).cfg
+    split_join_edges(expanded)
+    return expanded
+
+
+def _assert_krs_identical(cfg):
+    expanded = _node_granular(cfg)
+    staged = analyze_krs(expanded, strategy="staged")
+    fused = analyze_krs(expanded, strategy="fused")
+    assert isinstance(fused, KRSAnalysis)
+    for field in KRS_FIELDS:
+        assert getattr(staged, field) == getattr(fused, field), field
+    assert staged.stats.sweeps == fused.stats.sweeps
+    assert staged.stats.node_visits == fused.stats.node_visits
+    assert fused.stats.backend == "fused"
+    return fused
+
+
+# ---------------------------------------------------------------------------
+# The equivalence property
+# ---------------------------------------------------------------------------
+
+class TestFusedEqualsStaged:
+    @quick
+    @given(seeds)
+    def test_lcm_on_random_reducible_cfgs(self, seed):
+        _assert_lcm_identical(random_cfg(seed, SMALL))
+
+    @quick
+    @given(seeds)
+    def test_lcm_on_random_irreducible_cfgs(self, seed):
+        _assert_lcm_identical(random_shape_cfg(seed, SHAPES))
+
+    @quick
+    @given(seeds)
+    def test_krs_on_random_reducible_cfgs(self, seed):
+        _assert_krs_identical(random_cfg(seed, SMALL))
+
+    @quick
+    @given(seeds)
+    def test_krs_on_random_irreducible_cfgs(self, seed):
+        _assert_krs_identical(random_shape_cfg(seed, SHAPES))
+
+    def test_on_handwritten_graphs(self):
+        for cfg in (diamond(), do_while_invariant()):
+            _assert_lcm_identical(cfg)
+            _assert_krs_identical(cfg)
+
+    def test_auto_is_fused_outside_counting(self):
+        assert analyze_lcm(diamond()).stats.backend == "fused"
+        assert (
+            analyze_krs(_node_granular(diamond())).stats.backend == "fused"
+        )
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="auto"):
+            analyze_lcm(diamond(), strategy="bogus")
+        assert "staged" in LCM_STRATEGIES
+
+
+# ---------------------------------------------------------------------------
+# Universe edge cases
+# ---------------------------------------------------------------------------
+
+class TestUniverseEdgeCases:
+    def test_empty_expression_universe(self):
+        cfg = straight_line(["x = 1"], ["y = 2"])
+        fused = _assert_lcm_identical(cfg)
+        assert fused.universe.width == 0
+        assert all(not vec for vec in fused.insert.values())
+        _assert_krs_identical(cfg)
+
+    def test_single_block_cfg(self):
+        cfg = straight_line(["x = a + b", "y = a + b"])
+        fused = _assert_lcm_identical(cfg)
+        assert len(cfg) == len(fused.cfg)
+        _assert_krs_identical(cfg)
+
+    def test_expressions_killed_everywhere(self):
+        # Every block recomputes a+b into its own operand, so the
+        # expression is locally computed but nowhere transparent:
+        # nothing is ever insertable above a kill.
+        b = CFGBuilder()
+        b.block("top", "a = a + b").jump("mid")
+        b.block("mid", "a = a + b").jump("bot")
+        b.block("bot", "a = a + b").to_exit()
+        cfg = b.build()
+        fused = _assert_lcm_identical(cfg)
+        assert any(vec for vec in fused.local.antloc.values())
+        assert all(not vec for vec in fused.insert.values())
+        _assert_krs_identical(cfg)
+
+    def test_explicit_universe_bypasses_plan_tier(self):
+        cfg = diamond()
+        default = analyze_lcm(cfg)
+        explicit = analyze_lcm(cfg, universe=default.universe)
+        for field in LCM_FIELDS:
+            assert getattr(default, field) == getattr(explicit, field), field
+
+
+# ---------------------------------------------------------------------------
+# Routing: counting contexts always get the staged reference path
+# ---------------------------------------------------------------------------
+
+class TestCountingRegression:
+    def _lcm_ops(self, cfg, strategy):
+        with counting() as ops:
+            analysis = analyze_lcm(cfg, strategy=strategy)
+            assert analysis.stats.backend != "fused"
+        return dict(ops.counts)
+
+    @pytest.mark.parametrize("strategy", ["auto", "fused"])
+    def test_counting_forces_staged_path(self, strategy):
+        cfg = do_while_invariant()
+        baseline = self._lcm_ops(cfg, "staged")
+        assert baseline and sum(baseline.values()) > 0
+        assert self._lcm_ops(cfg, strategy) == baseline
+
+    def test_counting_run_emits_fallback_not_run_counter(self):
+        cfg = diamond()
+        with tracing() as tracer:
+            with counting():
+                analyze_lcm(cfg)
+        assert "fused.run" not in tracer.counters
+        assert tracer.counters.get("fused.fallback", 0) == 1
+
+    def test_krs_counting_forces_staged_path(self):
+        expanded = _node_granular(do_while_invariant())
+        with counting() as ops:
+            analysis = analyze_krs(expanded)
+            assert analysis.stats.backend != "fused"
+        baseline = dict(ops.counts)
+        with counting() as ops:
+            analyze_krs(expanded, strategy="staged")
+        assert baseline == dict(ops.counts)
+        assert sum(baseline.values()) > 0
+
+
+# ---------------------------------------------------------------------------
+# Manager integration: the fused plan tier and the bundle memo
+# ---------------------------------------------------------------------------
+
+class TestManagerFusedTier:
+    def test_bundle_memoized_and_backend_tallied(self):
+        manager = AnalysisManager()
+        cfg = diamond()
+        with tracing() as tracer:
+            first = analyze_lcm(cfg, manager=manager)
+            second = analyze_lcm(cfg, manager=manager)
+        assert first is second  # memory-tier hit returns the object
+        assert first.stats.backend == "fused"
+        assert manager.stats.backends == {"fused": 1}
+        assert tracer.counters.get("fused.run", 0) == 1
+        assert tracer.counters.get("cache.hit", 0) >= 1
+
+    def test_plan_shared_across_content_equal_graphs(self):
+        manager = AnalysisManager()
+        a, b = diamond(), diamond()
+        plan_a = manager.lcm_plan(a, compute_local_properties(a))
+        plan_b = manager.lcm_plan(b, compute_local_properties(b))
+        assert isinstance(plan_a, LCMPlan)
+        assert plan_a is plan_b
+        # The fused plan composes the manager's dense graph, so staged
+        # and fused share one id mapping per fingerprint.
+        assert plan_a.graph is manager.dense_plan(a)
+
+    def test_plan_counters(self):
+        manager = AnalysisManager()
+        cfg = diamond()
+        local = compute_local_properties(cfg)
+        with tracing() as tracer:
+            manager.lcm_plan(cfg, local)
+            manager.lcm_plan(cfg, local)
+        assert tracer.counters.get("fused.plan.miss", 0) == 1
+        assert tracer.counters.get("fused.plan.hit", 0) == 1
+
+    def test_disabled_manager_recompiles(self):
+        manager = AnalysisManager(enabled=False)
+        cfg = diamond()
+        local = compute_local_properties(cfg)
+        assert manager.lcm_plan(cfg, local) is not manager.lcm_plan(cfg, local)
+
+    def test_manager_result_identical_to_direct(self):
+        manager = AnalysisManager()
+        cfg = do_while_invariant()
+        managed = analyze_lcm(cfg, manager=manager)
+        direct = analyze_lcm(cfg.copy(), strategy="staged")
+        for field in LCM_FIELDS:
+            assert getattr(managed, field) == getattr(direct, field), field
+
+
+# ---------------------------------------------------------------------------
+# Persistence: the krs-analysis codec round-trips through the store
+# ---------------------------------------------------------------------------
+
+class TestKRSStoreCodec:
+    def test_krs_bundle_roundtrips_through_disk(self, tmp_path):
+        expanded = _node_granular(diamond())
+        store = SolutionStore(tmp_path)
+        manager = AnalysisManager(store=store)
+        first = analyze_krs(expanded, manager=manager)
+        assert manager.stats.disk_writes == 1
+
+        warm = AnalysisManager(store=SolutionStore(tmp_path))
+        second = analyze_krs(_node_granular(diamond()), manager=warm)
+        assert warm.stats.disk_hits == 1
+        assert warm.stats.misses == 0
+        for field in KRS_FIELDS:
+            assert getattr(first, field) == getattr(second, field), field
+        assert first.local.antloc == second.local.antloc
+        assert list(first.universe) == list(second.universe)
+        assert first.stats.sweeps == second.stats.sweeps
+
+    def test_direct_plan_compile_matches_manager_plan(self):
+        cfg = diamond()
+        local = compute_local_properties(cfg)
+        plan = compile_lcm_plan(cfg, local)
+        analysis = run_fused_lcm(cfg, plan, local)
+        via_manager = analyze_lcm(cfg, manager=AnalysisManager())
+        for field in LCM_FIELDS:
+            assert getattr(analysis, field) == getattr(via_manager, field), field

@@ -18,6 +18,7 @@ DOTTED = re.compile(r"`(repro(?:\.[a-z_]+)+)(?:\.([a-zA-Z_][a-zA-Z0-9_]*))?`")
 PATHISH = re.compile(
     r"`((?:src|tests|benchmarks|examples|docs)/[A-Za-z0-9_/.]+\.(?:py|md|mini))`"
 )
+MARKDOWN_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 
 
 def doc_ids():
@@ -60,6 +61,26 @@ class TestDocsConsistency:
             if not (ROOT / ref).exists()
         ]
         assert not missing, f"{path.name}: missing files {missing}"
+
+    def test_relative_links_resolve(self, doc_text):
+        """Every relative markdown link points at a real file.
+
+        External links (http/https/mailto) and pure in-page anchors are
+        skipped; a ``file.md#section`` link is checked against the file
+        part.  This is what keeps the docs index and the cross-links
+        between docs honest as files move.
+        """
+        path, text = doc_text
+        broken = []
+        for target in MARKDOWN_LINK.findall(text):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            if not (path.parent / relative).exists():
+                broken.append(target)
+        assert not broken, f"{path.name}: broken relative links {broken}"
 
     def test_benchmark_modules_mentioned_exist(self, doc_text):
         path, text = doc_text
