@@ -19,14 +19,20 @@ same corpus, asserting the warm run does **zero solver work** (no
 memory-tier misses, therefore no solves) with bit-identical IR.
 """
 
+import json
 import os
 import tempfile
+import time
 from pathlib import Path
 
+from repro.api import load_cfg, optimize_cfg
 from repro.batch import BatchConfig, items_from_dir, run_batch, WorkItem
 from repro.bench.generators import GeneratorConfig, random_program
 from repro.bench.harness import Table, record_report, write_json_report
 from repro.lang.unparse import unparse
+from repro.obs.manager import AnalysisManager
+from repro.obs.trace import tracing
+from repro.passes.pipeline import run_pipeline
 
 CORPUS_DIR = Path(__file__).resolve().parent.parent / "tests" / "corpus"
 GENERATED = 51  # with the 9 corpus programs: a 60-program batch
@@ -37,6 +43,39 @@ REPORT_FILENAME = "BENCH_BATCH.json"
 # once per optimize and patches it between edits; before it, this
 # corpus re-solved ~14x per item (826 solves / 60 items).
 MAX_LIVENESS_SOLVES_PER_ITEM = 2.0
+
+# Incremental fingerprints: one full hash for the input, every later
+# fingerprint of the evolving graph is a per-block patch.
+MAX_FULL_FINGERPRINTS_PER_ITEM = 2.0
+
+# Serial walls over this exact 60-item corpus measured at commit
+# 4c3a37c (before incremental fingerprints, dirty-region scheduling and
+# the transform-side rewrites): the before side of the speedup rows.
+SEED_OPTIMIZE_WALL_S = 0.638
+SEED_PIPELINE_WALL_S = 1.016
+
+
+def _merge_batch_report(updates):
+    """Read-modify-write ``BENCH_BATCH.json`` so the throughput and
+    rewrite benchmarks can each update their own keys without
+    clobbering the other's numbers (the tests run in either order, or
+    alone)."""
+    data = {}
+    try:
+        with open(REPORT_FILENAME) as handle:
+            previous = json.load(handle)
+        if (
+            isinstance(previous, dict)
+            and previous.get("format") == "repro-batch-report"
+        ):
+            data = previous
+    except (OSError, ValueError):
+        pass
+    data.update(updates)
+    try:
+        return write_json_report(REPORT_FILENAME, data)
+    except OSError:
+        return data  # read-only invocation dir: the artifact is best-effort
 
 
 def liveness_solves(report) -> int:
@@ -107,10 +146,7 @@ def test_batch_throughput(benchmark):
         "incr_updates": counters.get("dataflow.incr.update", 0),
         "demand_solves": counters.get("dataflow.query.demand", 0),
     }
-    try:
-        write_json_report(REPORT_FILENAME, payload)
-    except OSError:
-        pass  # read-only invocation dir: the artifact is best-effort
+    _merge_batch_report(payload)
 
 
 def store_sweep(store_dir):
@@ -155,3 +191,131 @@ def test_batch_warm_store(benchmark):
                 stats["disk_writes"],
             )
         record_report("batch warm store", table)
+
+
+def rewrite_sweep():
+    """The rewrite-side benchmark: dirty scheduling + incremental
+    fingerprints vs. the legacy whole-CFG arm, over the same corpus.
+
+    The two arms must produce bit-identical IR (equal output
+    fingerprints item by item); the dirty arm must fingerprint the
+    whole graph at most :data:`MAX_FULL_FINGERPRINTS_PER_ITEM` times
+    per item — one full hash for the input, incremental patches for
+    everything after.
+    """
+    items = build_items()
+    cfgs = [load_cfg(item.payload, item.kind) for item in items]
+
+    arms = {}
+    for name, scheduling, incremental in (
+        ("full", "full", False),
+        ("dirty", "dirty", True),
+    ):
+        manager = AnalysisManager(incremental_fingerprints=incremental)
+        with tracing() as tracer:
+            start = time.perf_counter()
+            outputs = []
+            for cfg in cfgs:
+                manager.fingerprint(cfg)
+                result = run_pipeline(
+                    cfg, "lcm", manager=manager, scheduling=scheduling
+                )
+                outputs.append(manager.fingerprint(result.cfg))
+            wall = time.perf_counter() - start
+        arms[name] = {
+            "wall": wall,
+            "outputs": outputs,
+            "counters": dict(tracer.counters),
+        }
+
+    assert arms["dirty"]["outputs"] == arms["full"]["outputs"], (
+        "dirty-region scheduling changed the IR"
+    )
+    full_hashes = arms["dirty"]["counters"].get("fingerprint.full", 0)
+    per_item = full_hashes / len(cfgs)
+    assert per_item <= MAX_FULL_FINGERPRINTS_PER_ITEM, (
+        f"{full_hashes} whole-graph hashes over {len(cfgs)} items "
+        f"({per_item:.1f}/item) — fingerprints should patch, not rehash"
+    )
+
+    # The single-pass optimize path (what the serve daemon drives).
+    manager = AnalysisManager()
+    with tracing() as tracer:
+        start = time.perf_counter()
+        for cfg in cfgs:
+            optimize_cfg(cfg, "lcm", manager=manager)
+        optimize_wall = time.perf_counter() - start
+    optimize_counters = dict(tracer.counters)
+    optimize_full = optimize_counters.get("fingerprint.full", 0)
+    assert optimize_full / len(cfgs) <= MAX_FULL_FINGERPRINTS_PER_ITEM
+
+    return cfgs, arms, optimize_wall, optimize_counters
+
+
+def test_batch_rewrite(benchmark):
+    cfgs, arms, optimize_wall, optimize_counters = benchmark.pedantic(
+        rewrite_sweep, rounds=1, iterations=1
+    )
+    n = len(cfgs)
+    dirty = arms["dirty"]
+    table = Table(
+        ["path", "wall s", "seed s", "speedup", "fp full", "fp incr"],
+        title=f"rewrite side over {n} programs (serial)",
+    )
+    table.add_row(
+        "optimize (lcm)",
+        optimize_wall,
+        SEED_OPTIMIZE_WALL_S,
+        SEED_OPTIMIZE_WALL_S / optimize_wall if optimize_wall else 0.0,
+        optimize_counters.get("fingerprint.full", 0),
+        optimize_counters.get("fingerprint.incr", 0),
+    )
+    for name in ("full", "dirty"):
+        arm = arms[name]
+        table.add_row(
+            f"pipeline ({name})",
+            arm["wall"],
+            SEED_PIPELINE_WALL_S,
+            SEED_PIPELINE_WALL_S / arm["wall"] if arm["wall"] else 0.0,
+            arm["counters"].get("fingerprint.full", 0),
+            arm["counters"].get("fingerprint.incr", 0),
+        )
+    record_report("batch rewrite", table)
+
+    _merge_batch_report(
+        {
+            "rewrite": {
+                "items": n,
+                "optimize_wall_s": optimize_wall,
+                "pipeline_wall_s": {
+                    name: arms[name]["wall"] for name in ("full", "dirty")
+                },
+                "seed_baseline_s": {
+                    "optimize": SEED_OPTIMIZE_WALL_S,
+                    "pipeline": SEED_PIPELINE_WALL_S,
+                },
+                "speedup_vs_seed": {
+                    "optimize": SEED_OPTIMIZE_WALL_S / optimize_wall
+                    if optimize_wall
+                    else 0.0,
+                    "pipeline": SEED_PIPELINE_WALL_S / dirty["wall"]
+                    if dirty["wall"]
+                    else 0.0,
+                },
+                "fingerprints": {
+                    "optimize": {
+                        "full": optimize_counters.get("fingerprint.full", 0),
+                        "incr": optimize_counters.get("fingerprint.incr", 0),
+                    },
+                    "pipeline_dirty": {
+                        "full": dirty["counters"].get("fingerprint.full", 0),
+                        "incr": dirty["counters"].get("fingerprint.incr", 0),
+                        "full_per_item": dirty["counters"].get(
+                            "fingerprint.full", 0
+                        )
+                        / n,
+                    },
+                },
+            }
+        }
+    )

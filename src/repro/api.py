@@ -38,6 +38,18 @@ from repro.core.pipeline import OptimizeConfig, optimize
 from repro.ir.cfg import CFG
 from repro.obs.fingerprint import cfg_fingerprint
 
+def _fingerprint(cfg: CFG, manager=None) -> str:
+    """Content fingerprint of *cfg*, through *manager* when given.
+
+    The manager keeps per-block digest state, so fingerprinting a graph
+    it has watched evolve re-hashes only the edited blocks instead of
+    serialising the whole CFG again.
+    """
+    if manager is not None:
+        return manager.fingerprint(cfg)
+    return cfg_fingerprint(cfg)
+
+
 #: Payload kinds :func:`load_cfg` accepts.
 KIND_SOURCE = "source"
 KIND_JSON = "json"
@@ -174,7 +186,7 @@ def optimize_cfg(
     """
     from repro.passes import standard_pipeline
 
-    source_fingerprint = cfg_fingerprint(cfg)
+    source_fingerprint = _fingerprint(cfg, manager)
     if pipeline:
         result = standard_pipeline(cfg, manager=manager)
     else:
@@ -188,7 +200,7 @@ def optimize_cfg(
         pass_=pass_,
         pipeline=pipeline,
         source_fingerprint=source_fingerprint,
-        fingerprint=cfg_fingerprint(result.cfg),
+        fingerprint=_fingerprint(result.cfg, manager),
         static_before=cfg.static_computation_count(),
         static_after=result.cfg.static_computation_count(),
         description=result.describe(),
@@ -238,7 +250,7 @@ def analyze_cfg(cfg: CFG, *, manager=None) -> AnalyzeOutcome:
             ),
         }
     return AnalyzeOutcome(
-        fingerprint=cfg_fingerprint(cfg),
+        fingerprint=_fingerprint(cfg, manager),
         expressions=[str(expr) for expr in universe],
         placements=placements,
         analysis=analysis,

@@ -33,12 +33,12 @@ from repro.analysis.liveness import LivenessResult
 from repro.core.placement import Placement, PlacementError, upward_exposed_index
 from repro.dataflow.incremental import IncrementalLiveness
 from repro.ir.cfg import CFG, Edge
-from repro.ir.expr import Var
+from repro.ir.expr import Expr, Var
 from repro.ir.instr import Assign
 from repro.obs.manager import (
     AnalysisManager,
+    notify_cfg_derived,
     notify_cfg_edited,
-    notify_cfg_mutated,
 )
 
 
@@ -148,12 +148,13 @@ def apply_placements(
         raise PlacementError("placements must use pairwise distinct temps")
     # Uniquify temp names against the program (re-optimising an already
     # transformed program would otherwise reuse last round's temps).
-    taken = set(cfg.variables()) | set(temps)
+    existing = set(cfg.variables())
+    taken = existing | set(temps)
     renamed: List[Placement] = []
     for placement in placements:
         placement.validate_against(cfg)
         temp = placement.temp
-        if temp in cfg.variables():
+        if temp in existing:
             suffix = 2
             while f"{temp}~{suffix}" in taken:
                 suffix += 1
@@ -178,6 +179,10 @@ def apply_placements(
         temps={p.temp for p in placements},
     )
 
+    # Labels whose content steps 1-3 change, relative to the input; the
+    # copy's fingerprint state is derived from the input's through them.
+    step_edits: Set[str] = set()
+
     # Step 1: replace deleted occurrences.
     for placement in placements:
         for label in sorted(placement.delete_blocks):
@@ -185,21 +190,40 @@ def apply_placements(
             block = work.block(label)
             old = block.instrs[index]
             block.instrs[index] = Assign(old.target, Var(placement.temp))
+            step_edits.add(label)
 
     # Step 3 (before insertions so indices refer to original occurrences):
-    # tentative copies at every remaining occurrence.
+    # tentative copies at every remaining occurrence.  The rewrite keeps
+    # every occurrence of the planned expression in place (``x = e``
+    # becomes ``t = e; x = t``) and never plants one in a new block, so
+    # a single occurrence scan up front serves every placement —
+    # including later placements over the same expression.
     if add_copies:
+        planned = {p.expr for p in placements}
+        occ_labels: Dict[Expr, List[str]] = {}
+        for block in work:
+            seen_here: Set[Expr] = set()
+            for instr in block.instrs:
+                expr = instr.expr
+                if expr in planned and expr not in seen_here:
+                    seen_here.add(expr)
+                    occ_labels.setdefault(expr, []).append(block.label)
         for placement in placements:
-            for block in work:
+            for label in occ_labels.get(placement.expr, ()):
+                block = work.block(label)
                 rewritten: List[Assign] = []
+                changed = False
                 for instr in block.instrs:
                     if instr.expr == placement.expr and instr.target != placement.temp:
                         rewritten.append(Assign(placement.temp, placement.expr))
                         rewritten.append(Assign(instr.target, Var(placement.temp)))
                         result.copies_added.append((block.label, placement.temp))
+                        changed = True
                     else:
                         rewritten.append(instr)
-                block.instrs[:] = rewritten
+                if changed:
+                    block.instrs[:] = rewritten
+                    step_edits.add(label)
 
     # Step 2a: entry insertions (prepended, so they precede every use)
     # and exit insertions (appended, after every occurrence).
@@ -208,33 +232,52 @@ def apply_placements(
             work.block(label).instrs.insert(
                 0, Assign(placement.temp, placement.expr)
             )
+            step_edits.add(label)
         for label in sorted(placement.insert_exits):
             work.block(label).append(Assign(placement.temp, placement.expr))
+            step_edits.add(label)
 
     # Step 2b: edge insertions; one split block per edge, shared by all
-    # expressions inserting there.
+    # expressions inserting there.  The split retargets the source's
+    # terminator, so both the new block and the source are edits.
     by_edge: Dict[Edge, List[Placement]] = {}
     for placement in placements:
         for edge in placement.insert_edges:
             by_edge.setdefault(edge, []).append(placement)
+    split_labels: Set[str] = set()
     for edge in sorted(by_edge):
         src, dst = edge
         split = work.split_edge(src, dst, f"ins_{src}_{dst}")
         for placement in sorted(by_edge[edge], key=lambda p: p.temp):
             split.append(Assign(placement.temp, placement.expr))
+        split_labels.add(split.label)
+        step_edits.add(split.label)
+        step_edits.add(src)
+
+    # Seed the copy's fingerprint state from the input's: only the
+    # blocks in step_edits hash differently, so the first fingerprint
+    # of the result is an incremental patch, not a whole-CFG hash.
+    notify_cfg_derived(work, cfg, sorted(step_edits))
 
     # Step 4: collapse isolated copies and drop dead insertions.  One
     # incremental engine serves both cleanups: a single full liveness
     # solve up front, then O(affected-region) patches after each edit
-    # instead of the global re-solves this loop used to do.
+    # instead of the global re-solves this loop used to do.  Temps are
+    # only ever defined at copy sites and insertion sites, so both
+    # sweeps visit just those blocks.
     if (collapse_isolated_copies and result.copies_added) or drop_dead_insertions:
         engine = _liveness_engine(work, manager)
         if collapse_isolated_copies and result.copies_added:
             _collapse_dead_copies(work, result, engine, manager)
         if drop_dead_insertions:
-            _drop_dead_insertions(work, result, engine, manager)
+            def_sites = split_labels | {
+                label for label, _ in result.copies_added
+            }
+            for placement in placements:
+                def_sites |= placement.insert_entries
+                def_sites |= placement.insert_exits
+            _drop_dead_insertions(work, result, engine, manager, def_sites)
 
-    notify_cfg_mutated(work)
     return result
 
 
@@ -246,7 +289,10 @@ def _collapse_dead_copies(
 ) -> None:
     """Rewrite ``t = e; x = t`` back to ``x = e`` where *t* dies at once."""
     engine.solve()
+    copy_sites = {label for label, _ in result.copies_added}
     for block in cfg:
+        if block.label not in copy_sites:
+            continue
         changed = False
         i = 0
         while i + 1 < len(block.instrs):
@@ -278,14 +324,23 @@ def _drop_dead_insertions(
     result: TransformResult,
     engine: IncrementalLiveness,
     manager: Optional[AnalysisManager] = None,
+    candidates: Optional[Set[str]] = None,
 ) -> None:
-    """Remove inserted/copy definitions of temps that are never used."""
+    """Remove inserted/copy definitions of temps that are never used.
+
+    *candidates*, when given, is the set of labels that can contain a
+    temp definition (insertion sites, split blocks, copy sites); other
+    blocks define no temps and are skipped.  Removals never create temp
+    definitions elsewhere, so the set stays valid across rounds.
+    """
     engine.solve()
     changed = True
     while changed:
         changed = False
         edited: List[str] = []
         for block in cfg:
+            if candidates is not None and block.label not in candidates:
+                continue
             keep: List[Assign] = []
             for i, instr in enumerate(block.instrs):
                 if instr.target in result.temps and not engine.is_live_after(

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from repro.ir.cfg import CFG, Edge
+from repro.obs.trace import span
 
 
 def critical_edges(cfg: CFG) -> List[Edge]:
@@ -35,9 +36,11 @@ def split_critical_edges(cfg: CFG, label_stem: str = "split") -> Dict[Edge, str]
     synthetic block now sitting on it.
     """
     mapping: Dict[Edge, str] = {}
-    for src, dst in critical_edges(cfg):
-        block = cfg.split_edge(src, dst, f"{label_stem}_{src}_{dst}")
-        mapping[(src, dst)] = block.label
+    with span("edgesplit", kind="critical") as sp:
+        for src, dst in critical_edges(cfg):
+            block = cfg.split_edge(src, dst, f"{label_stem}_{src}_{dst}")
+            mapping[(src, dst)] = block.label
+        sp.set(splits=len(mapping))
     return mapping
 
 
@@ -62,7 +65,9 @@ def split_join_edges(cfg: CFG, label_stem: str = "split") -> Dict[Edge, str]:
     value).  This subsumes critical-edge splitting.
     """
     mapping: Dict[Edge, str] = {}
-    for src, dst in join_edges(cfg):
-        block = cfg.split_edge(src, dst, f"{label_stem}_{src}_{dst}")
-        mapping[(src, dst)] = block.label
+    with span("edgesplit", kind="join") as sp:
+        for src, dst in join_edges(cfg):
+            block = cfg.split_edge(src, dst, f"{label_stem}_{src}_{dst}")
+            mapping[(src, dst)] = block.label
+        sp.set(splits=len(mapping))
     return mapping

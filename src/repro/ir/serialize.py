@@ -118,26 +118,34 @@ def _terminator_from_dict(data: Any, where: str) -> Terminator:
     raise SerializeError(f"{where}: unknown terminator kind {kind!r}")
 
 
+# -- blocks -----------------------------------------------------------------
+
+def block_to_dict(block: BasicBlock) -> Dict[str, Any]:
+    """Serialise one basic block (label, instructions, terminator).
+
+    The per-block payload of :func:`cfg_to_dict`, exposed separately so
+    content digests (:mod:`repro.obs.fingerprint`) can hash blocks
+    individually without re-serialising the whole graph.
+    """
+    if block.terminator is None:
+        raise SerializeError(
+            f"block {block.label!r} is unterminated; validate first"
+        )
+    return {
+        "label": block.label,
+        "instrs": [
+            {"target": i.target, "expr": expr_to_dict(i.expr)}
+            for i in block.instrs
+        ],
+        "terminator": _terminator_to_dict(block.terminator),
+    }
+
+
 # -- whole graphs -----------------------------------------------------------
 
 def cfg_to_dict(cfg: CFG) -> Dict[str, Any]:
     """Serialise *cfg* to plain JSON-compatible data."""
-    blocks: List[Dict[str, Any]] = []
-    for block in cfg:
-        if block.terminator is None:
-            raise SerializeError(
-                f"block {block.label!r} is unterminated; validate first"
-            )
-        blocks.append(
-            {
-                "label": block.label,
-                "instrs": [
-                    {"target": i.target, "expr": expr_to_dict(i.expr)}
-                    for i in block.instrs
-                ],
-                "terminator": _terminator_to_dict(block.terminator),
-            }
-        )
+    blocks: List[Dict[str, Any]] = [block_to_dict(block) for block in cfg]
     weights = [
         {"src": src, "dst": dst, "weight": cfg.weight((src, dst))}
         for src, dst in cfg.edges()

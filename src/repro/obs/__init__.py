@@ -36,6 +36,7 @@ from repro.obs.fingerprint import cfg_fingerprint
 from repro.obs.manager import (
     AnalysisManager,
     CacheStats,
+    notify_cfg_derived,
     notify_cfg_edited,
     notify_cfg_mutated,
 )
@@ -58,6 +59,7 @@ __all__ = [
     "is_active",
     "merge_counters",
     "merge_summaries",
+    "notify_cfg_derived",
     "notify_cfg_edited",
     "notify_cfg_mutated",
     "snapshot",

@@ -14,14 +14,22 @@ bit-identical facts, zero solver work.
 
 Because the fingerprint is content-based, caching is sound even across
 distinct CFG objects with equal content.  The only subtlety is in-place
-mutation: fingerprints are themselves cached per CFG *object* (hashing
-a big graph on every lookup would defeat the purpose), so code that
-mutates a graph in place must call :func:`notify_cfg_mutated` — the
-transformation engine (:mod:`repro.core.transform`) and the pass
-pipeline (:mod:`repro.passes.pipeline`) do.  Cached solutions are never
-dropped by invalidation: they stay valid for any graph that hashes to
-their fingerprint; invalidation only forces the fingerprint itself to
-be recomputed.
+mutation: fingerprints are themselves cached per CFG *object* — as
+incrementally maintained :class:`~repro.obs.fingerprint.FingerprintState`
+holders of per-block digests — so code that mutates a graph in place
+must call :func:`notify_cfg_edited` (instruction-level edits, naming
+the touched blocks) or :func:`notify_cfg_mutated` (structural changes)
+— the transformation engine (:mod:`repro.core.transform`) and the pass
+pipeline (:mod:`repro.passes.pipeline`) do.  An edit marks just those
+blocks dirty, so the next fingerprint lookup re-hashes the edited
+region instead of re-serialising the graph; only an unattributed
+structural mutation forces a from-scratch hash.  Code that *copies* a
+graph and edits a known set of blocks can call
+:func:`notify_cfg_derived` to seed the copy's state from its base, so
+even the copy's first lookup is incremental.  Cached solutions are
+never dropped by invalidation: they stay valid for any graph that
+hashes to their fingerprint; invalidation only forces the fingerprint
+itself to be refreshed.
 
 A manager can additionally be given a
 :class:`~repro.obs.store.SolutionStore`, which turns the cache into two
@@ -47,42 +55,68 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Tuple
 
 from repro.obs import trace
-from repro.obs.fingerprint import cfg_fingerprint
+from repro.obs.fingerprint import FingerprintState
 from repro.ir.cfg import CFG
 
 #: Every live manager, so module-level mutation hooks can reach them all.
 _LIVE_MANAGERS: "weakref.WeakSet" = weakref.WeakSet()
 
 
-def notify_cfg_mutated(cfg: CFG) -> None:
-    """Invalidate *cfg*'s cached fingerprint in every live manager.
+def notify_cfg_mutated(cfg: CFG, labels=None) -> None:
+    """Invalidate cached facts about *cfg* in every live manager.
 
-    The hook mutating code must call after changing a graph in place.
-    Cheap when no managers exist or none has seen the graph.  This is
-    the *coarse* hook — any incremental liveness engines held for *cfg*
-    drop all their facts; code making instruction-level edits to
-    existing blocks should call :func:`notify_cfg_edited` instead so
-    engines can patch rather than rebuild.
+    The hook mutating code must call after changing a graph's
+    *structure* in place (blocks added/removed, edges retargeted).
+    Cheap when no managers exist or none has seen the graph.  Any
+    incremental liveness engines held for *cfg* drop all their facts.
+
+    With *labels* (the surviving blocks whose content changed), the
+    cached fingerprint state is patched instead of dropped: those
+    blocks are marked dirty, and the incremental refresh reconciles
+    added/removed blocks on its own.  Without *labels* the fingerprint
+    is dropped and recomputed from scratch.  Code making
+    instruction-level edits to existing blocks should call
+    :func:`notify_cfg_edited` instead so liveness engines can patch
+    rather than rebuild.
     """
     for manager in list(_LIVE_MANAGERS):
-        manager.invalidate(cfg)
+        manager.invalidate(cfg, labels)
 
 
 def notify_cfg_edited(cfg: CFG, labels) -> None:
     """Signal instruction-level edits to existing blocks of *cfg*.
 
     The edit-granular sibling of :func:`notify_cfg_mutated`: *labels*
-    names the blocks whose instruction lists changed in place (inserts,
-    deletes, replacements — not structural changes like added blocks or
-    rewritten terminators, which need the coarse hook).  Every live
-    manager drops its stale fingerprint for *cfg* exactly as for a
-    coarse mutation, but its incremental liveness engines
-    (:class:`repro.dataflow.incremental.IncrementalLiveness`) keep their
-    fixpoints and mark just those blocks dirty, so the next query pays
-    for a region update instead of a global re-solve.
+    names the blocks whose content changed in place without altering
+    the graph's structure — instruction inserts/deletes/replacements,
+    or a branch-condition rewrite that preserves the successor targets.
+    (Anything that adds/removes blocks or changes edges needs the
+    coarse hook.)  Every live manager marks just those blocks dirty in
+    its cached fingerprint state (an O(region) re-hash at the next
+    lookup), and its incremental liveness engines
+    (:class:`repro.dataflow.incremental.IncrementalLiveness`) keep
+    their fixpoints and patch the affected region instead of
+    re-solving globally.
     """
     for manager in list(_LIVE_MANAGERS):
         manager.notify_edited(cfg, labels)
+
+
+def notify_cfg_derived(new_cfg: CFG, base_cfg: CFG, labels) -> None:
+    """Seed fingerprint state for a copy of *base_cfg* edited at *labels*.
+
+    For code that copies a graph and then mutates the copy (the
+    transformation engine, local CSE): every live manager that already
+    holds fingerprint state for *base_cfg* derives state for *new_cfg*
+    from it, with *labels* — every block whose content differs from the
+    base, including freshly added ones — pending.  The copy's first
+    fingerprint lookup is then an incremental refresh rather than a
+    whole-graph hash.  Purely an optimisation: managers that never saw
+    the base simply skip, and *new_cfg* is hashed from scratch on
+    first use.
+    """
+    for manager in list(_LIVE_MANAGERS):
+        manager.derive_fingerprint(new_cfg, base_cfg, labels)
 
 
 @dataclass
@@ -140,11 +174,21 @@ class AnalysisManager:
         store: an optional :class:`~repro.obs.store.SolutionStore`
             consulted between the memory tier and a fresh solve, and
             written through on misses (the CLI's ``--cache-dir``).
+        incremental_fingerprints: with False, every notification drops
+            the cached fingerprint outright and the next lookup hashes
+            the whole graph — the pre-incremental behaviour, kept as a
+            benchmark baseline.
     """
 
-    def __init__(self, enabled: bool = True, store=None) -> None:
+    def __init__(
+        self,
+        enabled: bool = True,
+        store=None,
+        incremental_fingerprints: bool = True,
+    ) -> None:
         self.enabled = enabled
         self.store = store
+        self.incremental_fingerprints = incremental_fingerprints
         self.stats = CacheStats()
         self._store: Dict[Tuple[str, str], Any] = {}
         self._plans: Dict[str, Any] = {}
@@ -155,13 +199,36 @@ class AnalysisManager:
     # -- keys -----------------------------------------------------------
 
     def fingerprint(self, cfg: CFG) -> str:
-        """The content fingerprint of *cfg*, cached per object."""
-        try:
-            return self._fingerprints[cfg]
-        except KeyError:
-            fp = cfg_fingerprint(cfg)
-            self._fingerprints[cfg] = fp
-            return fp
+        """The content fingerprint of *cfg*, cached per object.
+
+        The per-object cache holds a
+        :class:`~repro.obs.fingerprint.FingerprintState`; blocks marked
+        dirty by :meth:`notify_edited` / :meth:`invalidate` are
+        re-hashed lazily here, so a lookup after an instruction-level
+        edit pays O(edited region), not O(graph).
+        """
+        state = self._fingerprints.get(cfg)
+        if state is None:
+            state = FingerprintState.of(cfg)
+            self._fingerprints[cfg] = state
+            return state.value
+        return state.current(cfg)
+
+    def derive_fingerprint(self, new_cfg: CFG, base_cfg: CFG, labels) -> None:
+        """Seed *new_cfg*'s fingerprint state from *base_cfg*'s digests.
+
+        *labels* must cover every block of *new_cfg* whose content
+        differs from *base_cfg* (including freshly added blocks); they
+        are marked pending, so the first lookup on *new_cfg* refreshes
+        incrementally.  A no-op when the base was never fingerprinted
+        here, or when incremental fingerprints are disabled.
+        """
+        if not self.enabled or not self.incremental_fingerprints:
+            return
+        base = self._fingerprints.get(base_cfg)
+        if base is None:
+            return
+        self._fingerprints[new_cfg] = base.derive(labels)
 
     # -- lookups --------------------------------------------------------
 
@@ -325,14 +392,34 @@ class AnalysisManager:
             self.stats.invalidations += 1
             trace.count("cache.invalidate")
 
-    def invalidate(self, cfg: CFG) -> None:
-        """Forget *cfg*'s cached fingerprint (it was mutated in place).
+    def _mark_dirty(self, cfg: CFG, labels) -> None:
+        """Mark *labels* pending in *cfg*'s fingerprint state.
 
-        The coarse path: any incremental engines held for *cfg* also
-        drop their facts and plans, since an unspecified mutation may
-        have changed the graph's structure.
+        An invalidation is tallied the first time a clean, computed
+        fingerprint goes stale — the same once-per-computed-value
+        accounting the drop path uses.
         """
-        self._drop_fingerprint(cfg)
+        state = self._fingerprints.get(cfg)
+        if state is None:
+            return
+        if state.value is not None and not state.dirty:
+            self.stats.invalidations += 1
+            trace.count("cache.invalidate")
+        state.mark_edited(labels)
+
+    def invalidate(self, cfg: CFG, labels=None) -> None:
+        """Note a structural mutation of *cfg* (the coarse path).
+
+        Any incremental engines held for *cfg* drop their facts, since
+        the graph's structure may have changed.  The fingerprint state
+        is patched when *labels* (the surviving blocks whose content
+        changed) are given — the incremental refresh reconciles
+        added/removed blocks itself — and dropped otherwise.
+        """
+        if labels is None or not self.incremental_fingerprints:
+            self._drop_fingerprint(cfg)
+        else:
+            self._mark_dirty(cfg, labels)
         engines = self._engines.get(cfg)
         if engines:
             for engine in engines.values():
@@ -341,11 +428,14 @@ class AnalysisManager:
     def notify_edited(self, cfg: CFG, labels) -> None:
         """Record instruction-level edits to *cfg*'s *labels* blocks.
 
-        The fingerprint is dropped exactly as for :meth:`invalidate`
-        (the content changed), but incremental engines keep their
-        fixpoints and mark just the edited blocks dirty.
+        The edited blocks are marked dirty in the fingerprint state
+        (re-hashed at the next lookup), and incremental engines keep
+        their fixpoints, marking just those blocks for patching.
         """
-        self._drop_fingerprint(cfg)
+        if self.incremental_fingerprints:
+            self._mark_dirty(cfg, labels)
+        else:
+            self._drop_fingerprint(cfg)
         engines = self._engines.get(cfg)
         if engines:
             for engine in engines.values():

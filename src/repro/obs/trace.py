@@ -316,8 +316,32 @@ class _SpanContext:
         return False
 
 
-def span(name: str, **attrs: Any) -> _SpanContext:
-    """Open a span on the installed tracer (a no-op when tracing is off)."""
+class _NullSpanContext:
+    """Reusable no-op context manager for :func:`span`, tracing off."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return _NULL_SPAN
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+def span(name: str, **attrs: Any):
+    """Open a span on the installed tracer (a true no-op when tracing is off).
+
+    With no tracer installed this returns a shared null context —
+    nothing is allocated per call beyond the keyword dict, so
+    per-pass/per-block instrumentation stays free in untraced runs.  A
+    tracer installed *between* the call and ``__enter__`` is
+    deliberately ignored; spans never straddle activation.
+    """
+    if _ACTIVE is None:
+        return _NULL_SPAN_CONTEXT
     return _SpanContext(name, attrs)
 
 

@@ -16,7 +16,8 @@ single-purpose.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+import heapq
+from typing import Dict, Iterable, List, Optional
 
 from repro.dataflow.order import reverse_postorder
 from repro.interp.machine import eval_expr
@@ -82,7 +83,65 @@ def _block_out(env: Dict[str, object], block) -> Dict[str, object]:
     return out
 
 
-def fold_constants(cfg: CFG) -> int:
+def _solve_entry_envs(cfg: CFG) -> Dict[str, Dict[str, object]]:
+    """The block-entry constant environments, by worklist iteration.
+
+    Chaotic iteration of a monotone system from a fixed start converges
+    to the unique least fixpoint regardless of visit order, so this
+    priority-worklist solver (reverse postorder, with per-block output
+    environments cached and recomputed only when the entry environment
+    changes) computes exactly the environments the naive
+    sweep-until-stable loop did — without re-executing every block's
+    transfer function on every sweep.
+    """
+    order = reverse_postorder(cfg)
+    position = {label: i for i, label in enumerate(order)}
+    entry_env: Dict[str, Dict[str, object]] = {
+        label: {} for label in cfg.labels
+    }
+    entry_env[cfg.entry] = {name: TOP for name in cfg.variables()}
+    out_env: Dict[str, Dict[str, object]] = {}
+
+    pending = [(position[label], label) for label in order]
+    heapq.heapify(pending)
+    queued = set(order)
+    while pending:
+        _, label = heapq.heappop(pending)
+        queued.discard(label)
+        out = _block_out(entry_env[label], cfg.block(label))
+        if out == out_env.get(label):
+            continue
+        out_env[label] = out
+        for succ in cfg.succs(label):
+            if succ == cfg.entry:
+                continue  # the entry environment is fixed (all ⊤)
+            merged: Optional[Dict[str, object]] = None
+            for pred in cfg.preds(succ):
+                pout = out_env.get(pred)
+                if pout is None:
+                    pout = _block_out(entry_env[pred], cfg.block(pred))
+                    out_env[pred] = pout
+                if merged is None:
+                    merged = dict(pout)
+                else:
+                    keys = set(merged) | set(pout)
+                    merged = {
+                        k: _meet(merged.get(k), pout.get(k)) for k in keys
+                    }
+            env = merged or {}
+            if env != entry_env[succ]:
+                entry_env[succ] = env
+                if succ not in queued and succ in position:
+                    heapq.heappush(pending, (position[succ], succ))
+                    queued.add(succ)
+    return entry_env
+
+
+def fold_constants(
+    cfg: CFG,
+    blocks: Optional[Iterable[str]] = None,
+    edited: Optional[List[str]] = None,
+) -> int:
     """Fold/propagate constants through *cfg* in place; returns rewrites.
 
     Every variable may carry an arbitrary *input* value when the
@@ -90,49 +149,39 @@ def fold_constants(cfg: CFG) -> int:
     environment maps all variables to ⊤; a variable is only treated as
     constant at a point when every path to that point assigns it that
     constant.
-    """
-    order = reverse_postorder(cfg)
 
-    # Fixpoint over block-entry environments.
-    entry_env: Dict[str, Dict[str, object]] = {
-        label: {} for label in cfg.labels
-    }
-    entry_env[cfg.entry] = {name: TOP for name in cfg.variables()}
-    changed = True
-    while changed:
-        changed = False
-        for label in order:
-            if label == cfg.entry:
-                env = entry_env[cfg.entry]
-            else:
-                env: Dict[str, object] = {}
-                merged: Optional[Dict[str, object]] = None
-                for pred in cfg.preds(label):
-                    out = _block_out(entry_env[pred], cfg.block(pred))
-                    if merged is None:
-                        merged = dict(out)
-                    else:
-                        keys = set(merged) | set(out)
-                        merged = {
-                            k: _meet(merged.get(k), out.get(k)) for k in keys
-                        }
-                env = merged or {}
-            if env != entry_env[label]:
-                entry_env[label] = env
-                changed = True
+    Args:
+        cfg: the program (mutated).
+        blocks: restrict the *rewrite sweep* to these labels.  The
+            dataflow fixpoint is always solved globally, so scoping is
+            exact whenever *blocks* covers every block whose content or
+            entry environment changed since the last run (the dirty
+            region the pass pipeline tracks).
+        edited: when given, the labels of blocks this call actually
+            changed are appended — the caller's input for invalidation
+            and dirty-region scheduling.
+    """
+    entry_env = _solve_entry_envs(cfg)
 
     # Rewrite with the solved environments.
+    scope = None if blocks is None else set(blocks)
     rewrites = 0
     for block in cfg:
+        if scope is not None and block.label not in scope:
+            continue
         env = dict(entry_env[block.label])
+        block_rewrites = 0
         new_instrs = []
         for instr in block.instrs:
             expr = _try_fold(_substitute_consts(instr.expr, env))
             if expr != instr.expr:
-                rewrites += 1
-            new_instrs.append(Assign(instr.target, expr))
+                block_rewrites += 1
+                new_instrs.append(Assign(instr.target, expr))
+            else:
+                new_instrs.append(instr)
             env[instr.target] = expr.value if isinstance(expr, Const) else TOP
-        block.instrs[:] = new_instrs
+        if block_rewrites:
+            block.instrs[:] = new_instrs
         term = block.terminator
         if isinstance(term, CondBranch) and isinstance(term.cond, Var):
             value = env.get(term.cond.name)
@@ -140,6 +189,10 @@ def fold_constants(cfg: CFG) -> int:
                 block.terminator = CondBranch(
                     Const(value), term.then_target, term.else_target
                 )
-                rewrites += 1
+                block_rewrites += 1
                 cfg.notify_terminator_changed()
+        if block_rewrites:
+            rewrites += block_rewrites
+            if edited is not None:
+                edited.append(block.label)
     return rewrites

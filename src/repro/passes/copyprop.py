@@ -16,7 +16,7 @@ chains collapse fully in practice.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.dataflow.bitvec import BitVector
 from repro.dataflow.problem import DataflowProblem
@@ -58,8 +58,25 @@ def _substitute(expr: Expr, mapping: Dict[str, str]) -> Expr:
     return expr
 
 
-def copy_propagate(cfg: CFG) -> int:
-    """Propagate copies through *cfg* in place; returns rewrites made."""
+def copy_propagate(
+    cfg: CFG,
+    blocks: Optional[Iterable[str]] = None,
+    edited: Optional[List[str]] = None,
+    manager=None,
+) -> int:
+    """Propagate copies through *cfg* in place; returns rewrites made.
+
+    Args:
+        cfg: the program (mutated).
+        blocks: restrict the *rewrite sweep* to these labels.  The
+            reaching-copies fixpoint is always solved globally, so the
+            scope is exact whenever it covers every block whose content
+            or entry facts changed since the last run.
+        edited: when given, labels of blocks actually changed are
+            appended, for the caller's invalidation bookkeeping.
+        manager: optional :class:`~repro.obs.manager.AnalysisManager`;
+            the solve routes through its memo tiers and dense plan.
+    """
     pairs = _collect_pairs(cfg)
     if not pairs:
         return 0
@@ -96,27 +113,37 @@ def copy_propagate(cfg: CFG) -> int:
         return gen[label] | (fact & keep[label])
 
     problem = DataflowProblem.forward_intersect("reaching-copies", width, transfer)
-    solution = solve(cfg, problem)
+    if manager is not None:
+        solution = manager.solve(cfg, problem)
+    else:
+        solution = solve(cfg, problem)
 
+    scope = None if blocks is None else set(blocks)
     rewrites = 0
     for block in cfg:
+        if scope is not None and block.label not in scope:
+            continue
         active: Dict[str, str] = {
             dst: src
             for dst, src in (pairs[i] for i in solution.inof[block.label])
         }
+        block_rewrites = 0
         new_instrs: List[Assign] = []
         for instr in block.instrs:
             new_expr = _substitute(instr.expr, active)
             if new_expr != instr.expr:
-                rewrites += 1
-            new_instrs.append(Assign(instr.target, new_expr))
+                block_rewrites += 1
+                new_instrs.append(Assign(instr.target, new_expr))
+            else:
+                new_instrs.append(instr)
             target = instr.target
             active = {
                 d: s for d, s in active.items() if d != target and s != target
             }
             if isinstance(new_expr, Var) and new_expr.name != target:
                 active[target] = new_expr.name
-        block.instrs[:] = new_instrs
+        if block_rewrites:
+            block.instrs[:] = new_instrs
         term = block.terminator
         if isinstance(term, CondBranch) and isinstance(term.cond, Var):
             if term.cond.name in active:
@@ -125,6 +152,10 @@ def copy_propagate(cfg: CFG) -> int:
                     term.then_target,
                     term.else_target,
                 )
-                rewrites += 1
+                block_rewrites += 1
                 cfg.notify_terminator_changed()
+        if block_rewrites:
+            rewrites += block_rewrites
+            if edited is not None:
+                edited.append(block.label)
     return rewrites

@@ -1,0 +1,262 @@
+"""Incremental fingerprints and dirty-region scheduling, pinned.
+
+Three contracts from docs/OBSERVABILITY.md and docs/PERFORMANCE.md:
+
+* the two-layer digest (:func:`block_fingerprint` +
+  :func:`combine_fingerprints`) equals the from-scratch
+  :func:`cfg_fingerprint` and is insensitive to the digest dict's
+  iteration order but sensitive to everything that is content — block
+  order, entry/exit, edges (via terminators), edge weights;
+* a :class:`FingerprintState` kept current through edit scripts (and
+  :meth:`~FingerprintState.derive` across graph copies) always agrees
+  with hashing from scratch, while paying ``fingerprint.incr``
+  refreshes instead of ``fingerprint.full`` re-hashes;
+* ``run_pipeline(scheduling="dirty")`` produces bit-identical IR and
+  rewrite tallies to the whole-CFG reference arm, on handwritten,
+  random reducible and random irreducible graphs alike.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from tests.helpers import diamond, do_while_invariant
+
+from repro.api import optimize_cfg
+from repro.bench.generators import GeneratorConfig, random_cfg
+from repro.bench.shapegen import ShapeConfig, random_shape_cfg
+from repro.ir.builder import CFGBuilder
+from repro.ir.expr import BinExpr, Var
+from repro.ir.instr import Assign
+from repro.ir.pretty import pretty_cfg
+from repro.obs.fingerprint import (
+    FingerprintState,
+    block_fingerprint,
+    cfg_fingerprint,
+    combine_fingerprints,
+)
+from repro.obs.manager import (
+    AnalysisManager,
+    notify_cfg_edited,
+    notify_cfg_mutated,
+)
+from repro.obs.trace import span, tracing
+from repro.passes.pipeline import run_pipeline
+
+SMALL = GeneratorConfig(statements=8, max_depth=2)
+SHAPES = ShapeConfig(blocks=8, back_edge_probability=0.5)
+
+quick = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+def _digests(cfg):
+    return {block.label: block_fingerprint(block) for block in cfg}
+
+
+class TestCombine:
+    def test_two_layer_digest_equals_from_scratch(self):
+        cfg = diamond()
+        assert combine_fingerprints(cfg, _digests(cfg)) == cfg_fingerprint(cfg)
+
+    def test_digest_dict_iteration_order_is_not_content(self):
+        cfg = diamond()
+        digests = _digests(cfg)
+        reversed_insertion = dict(reversed(list(digests.items())))
+        assert list(reversed_insertion) != list(digests)
+        assert combine_fingerprints(cfg, reversed_insertion) == (
+            combine_fingerprints(cfg, digests)
+        )
+
+    def test_extra_digests_for_removed_blocks_are_ignored(self):
+        cfg = diamond()
+        digests = _digests(cfg)
+        digests["ghost"] = "0" * 64
+        assert combine_fingerprints(cfg, digests) == cfg_fingerprint(cfg)
+
+    def test_block_order_is_content(self):
+        def build(arms):
+            b = CFGBuilder()
+            b.block("cond", "p = a < b").branch("p", "left", "right")
+            for label, instrs in arms:
+                b.block(label, *instrs).jump("join")
+            b.block("join", "y = a + b").to_exit()
+            return b.build()
+
+        first = build([("left", ["x = a + b"]), ("right", [])])
+        second = build([("right", []), ("left", ["x = a + b"])])
+        assert {bl.label for bl in first} == {bl.label for bl in second}
+        assert cfg_fingerprint(first) != cfg_fingerprint(second)
+
+    def test_edges_are_content_via_terminators(self):
+        from repro.ir.instr import CondBranch
+
+        base = diamond()
+        flipped = diamond()
+        flipped.block("cond").terminator = CondBranch(
+            Var("p"), "right", "left"
+        )
+        flipped.notify_terminator_changed()
+        assert cfg_fingerprint(flipped) != cfg_fingerprint(base)
+
+    def test_edge_weights_are_content(self):
+        cfg = diamond()
+        before = cfg_fingerprint(cfg)
+        cfg.set_weight(("cond", "left"), 9)
+        assert cfg_fingerprint(cfg) != before
+
+
+class TestFingerprintState:
+    def test_edit_refresh_matches_scratch(self):
+        cfg = diamond()
+        state = FingerprintState.of(cfg)
+        assert state.value == cfg_fingerprint(cfg)
+        cfg.block("join").append(Assign("q", BinExpr("+", Var("a"), Var("b"))))
+        state.mark_edited(["join"])
+        assert state.current(cfg) == cfg_fingerprint(cfg)
+
+    def test_refresh_handles_added_and_removed_blocks(self):
+        from repro.ir.instr import Jump
+
+        cfg = diamond()
+        state = FingerprintState.of(cfg)
+        split = cfg.split_edge("right", "join", "landing")
+        split.append(Assign("t", BinExpr("+", Var("a"), Var("b"))))
+        state.mark_edited(["right", split.label])
+        assert state.current(cfg) == cfg_fingerprint(cfg)
+        # Undo the split: remove the landing block, jump straight again.
+        cfg.remove_block(split.label)
+        cfg.block("right").terminator = Jump("join")
+        cfg.notify_terminator_changed()
+        state.mark_edited(["right", split.label])
+        assert state.current(cfg) == cfg_fingerprint(cfg)
+
+    def test_derive_seeds_a_copy(self):
+        cfg = diamond()
+        state = FingerprintState.of(cfg)
+        copy = cfg.copy()
+        copy.block("left").append(
+            Assign("z", BinExpr("+", Var("c"), Var("d")))
+        )
+        derived = state.derive(["left"])
+        assert derived.value is None
+        assert derived.current(copy) == cfg_fingerprint(copy)
+        # The base state is untouched by the copy's refresh.
+        assert state.current(cfg) == cfg_fingerprint(cfg)
+
+    @quick
+    @given(seeds, st.lists(st.integers(0, 10_000), min_size=1, max_size=6))
+    def test_edit_scripts_agree_with_scratch(self, seed, script):
+        cfg = random_cfg(seed, SMALL)
+        state = FingerprintState.of(cfg)
+        for step, pick in enumerate(script):
+            labels = list(cfg.labels)
+            label = labels[pick % len(labels)]
+            block = cfg.block(label)
+            if block.instrs and pick % 3 == 0:
+                del block.instrs[0]
+            else:
+                block.append(
+                    Assign(f"ed{step}", BinExpr("+", Var("a"), Var("b")))
+                )
+            state.mark_edited([label])
+            assert state.current(cfg) == cfg_fingerprint(cfg)
+
+
+class TestManagerCounters:
+    def test_one_full_hash_then_incremental(self):
+        manager = AnalysisManager()
+        cfg = diamond()
+        with tracing() as tracer:
+            first = manager.fingerprint(cfg)
+            assert manager.fingerprint(cfg) == first
+            cfg.block("join").append(
+                Assign("q", BinExpr("+", Var("a"), Var("b")))
+            )
+            notify_cfg_edited(cfg, ["join"])
+            second = manager.fingerprint(cfg)
+        assert second == cfg_fingerprint(cfg) != first
+        assert tracer.counters.get("fingerprint.full", 0) == 1
+        assert tracer.counters.get("fingerprint.incr", 0) == 1
+
+    def test_structural_notify_with_labels_stays_incremental(self):
+        manager = AnalysisManager()
+        cfg = diamond()
+        with tracing() as tracer:
+            manager.fingerprint(cfg)
+            split = cfg.split_edge("left", "join", "landing")
+            notify_cfg_mutated(cfg, labels=["left", split.label])
+            patched = manager.fingerprint(cfg)
+        assert patched == cfg_fingerprint(cfg)
+        assert tracer.counters.get("fingerprint.full", 0) == 1
+        assert tracer.counters.get("fingerprint.incr", 0) == 1
+
+    def test_legacy_knob_drops_instead_of_patching(self):
+        manager = AnalysisManager(incremental_fingerprints=False)
+        cfg = diamond()
+        with tracing() as tracer:
+            manager.fingerprint(cfg)
+            cfg.block("join").append(
+                Assign("q", BinExpr("+", Var("a"), Var("b")))
+            )
+            notify_cfg_edited(cfg, ["join"])
+            refreshed = manager.fingerprint(cfg)
+        assert refreshed == cfg_fingerprint(cfg)
+        assert tracer.counters.get("fingerprint.full", 0) == 2
+        assert tracer.counters.get("fingerprint.incr", 0) == 0
+
+    def test_optimize_full_hash_budget(self):
+        # The end-to-end chain (api -> lcse derive -> transform derive
+        # -> cleanup edits): at most one whole-graph hash per item.
+        manager = AnalysisManager()
+        cfg = do_while_invariant()
+        with tracing() as tracer:
+            outcome = optimize_cfg(cfg, "lcm", manager=manager)
+        assert outcome.fingerprint == cfg_fingerprint(outcome.cfg)
+        assert tracer.counters.get("fingerprint.full", 0) <= 2
+
+
+class TestSpanNoOp:
+    def test_span_is_shared_null_context_when_tracing_off(self):
+        first = span("anything", k=1)
+        second = span("other")
+        assert first is second
+        with first as handle:
+            handle.set(extra=2)  # accepted and discarded
+
+
+def _assert_schedulings_agree(cfg):
+    full = run_pipeline(cfg, "lcm", scheduling="full")
+    dirty = run_pipeline(cfg, "lcm", scheduling="dirty")
+    assert pretty_cfg(dirty.cfg) == pretty_cfg(full.cfg)
+    assert cfg_fingerprint(dirty.cfg) == cfg_fingerprint(full.cfg)
+    assert dirty.rewrites == full.rewrites
+
+
+class TestDirtySchedulingEqualsFull:
+    def test_on_handwritten_graphs(self):
+        _assert_schedulings_agree(diamond())
+        _assert_schedulings_agree(do_while_invariant())
+
+    @quick
+    @given(seeds)
+    def test_on_random_reducible_cfgs(self, seed):
+        _assert_schedulings_agree(random_cfg(seed, SMALL))
+
+    @quick
+    @given(seeds)
+    def test_on_random_irreducible_cfgs(self, seed):
+        _assert_schedulings_agree(random_shape_cfg(seed, SHAPES))
+
+    @quick
+    @given(seeds)
+    def test_manager_fingerprint_matches_scratch_after_pipeline(self, seed):
+        cfg = random_cfg(seed, SMALL)
+        manager = AnalysisManager()
+        manager.fingerprint(cfg)
+        result = run_pipeline(cfg, "lcm", manager=manager)
+        assert manager.fingerprint(result.cfg) == cfg_fingerprint(result.cfg)
