@@ -54,7 +54,11 @@ def _fingerprint(cfg: CFG, manager=None) -> str:
 KIND_SOURCE = "source"
 KIND_JSON = "json"
 KIND_PATH = "path"
-KINDS = (KIND_SOURCE, KIND_JSON, KIND_PATH)
+#: A ``(seed, GeneratorConfig)`` spec minted by :mod:`repro.corpus` —
+#: the program is generated on demand, so a corpus item is reproducible
+#: from its payload alone.
+KIND_GENERATED = "generated"
+KINDS = (KIND_SOURCE, KIND_JSON, KIND_PATH, KIND_GENERATED)
 
 
 class SourceError(ValueError):
@@ -65,10 +69,12 @@ def load_cfg(payload: str, kind: str = KIND_SOURCE) -> CFG:
     """Materialise a program from *payload*.
 
     Kinds: ``source`` (mini-language text), ``json`` (a serialised CFG
-    document) and ``path`` (a filesystem path; ``.json`` files are read
-    as serialised CFGs, everything else as source).  Every failure —
-    unreadable file, parse error, malformed JSON — raises
-    :exc:`SourceError` with a one-line message.
+    document), ``path`` (a filesystem path; ``.json`` files are read
+    as serialised CFGs, everything else as source) and ``generated``
+    (a ``(seed, config)`` spec minted from the corpus generator — see
+    :mod:`repro.corpus.generate`).  Every failure — unreadable file,
+    parse error, malformed JSON — raises :exc:`SourceError` with a
+    one-line message.
     """
     from repro.ir.serialize import cfg_from_json
     from repro.lang import compile_program
@@ -81,11 +87,15 @@ def load_cfg(payload: str, kind: str = KIND_SOURCE) -> CFG:
             raise SourceError(f"cannot read {payload}: {exc}") from exc
         kind = KIND_JSON if payload.endswith(".json") else KIND_SOURCE
         payload = text
-    if kind not in (KIND_SOURCE, KIND_JSON):
+    if kind not in (KIND_SOURCE, KIND_JSON, KIND_GENERATED):
         raise SourceError(f"unknown payload kind {kind!r}")
     try:
         if kind == KIND_JSON:
             return cfg_from_json(payload)
+        if kind == KIND_GENERATED:
+            from repro.corpus.generate import load_generated
+
+            return load_generated(payload)
         return compile_program(payload)
     except SourceError:
         raise

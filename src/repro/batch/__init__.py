@@ -28,9 +28,17 @@ Streaming, with early exit::
     for record in iter_batch(items, config):
         print(record.index, record.name, record.status)
 
+Scale-out: ``repro batch DIR --shard i/n`` runs a deterministic
+name-hash partition of the corpus (:func:`shard_items`) and ``repro
+batch merge`` recombines the per-shard reports byte-identically
+(:func:`merge_report_dicts`); ``--differential`` turns the batch into
+a differential fuzzer (:mod:`repro.batch.differential`) that flags
+miscompiles as ``divergent`` records.
+
 CLI: ``repro batch DIR --jobs N --timeout S --stream --max-failures N
 --recycle-after N --emit json|table``.  See ``docs/BATCH.md`` for the
-supervisor architecture, the streaming protocol and the report schema.
+supervisor architecture, the streaming protocol and the report schema,
+and ``docs/CORPUS.md`` for corpus sources and generation.
 """
 
 from repro.batch.driver import (
@@ -42,14 +50,22 @@ from repro.batch.driver import (
     items_from_dir,
     iter_batch,
     run_batch,
+    shard_items,
+    shard_of,
+    stable_hash,
 )
 from repro.batch.report import (
+    REPORT_FORMAT,
+    REPORT_VERSION,
+    STATUS_DIVERGENT,
     STATUS_ERROR,
     STATUS_OK,
     STATUS_SKIPPED,
     STATUS_TIMEOUT,
     BatchReport,
     ItemResult,
+    merge_report_dicts,
+    stable_report_json,
 )
 from repro.batch.supervisor import Supervisor, WorkerPool
 
@@ -58,6 +74,9 @@ __all__ = [
     "BatchReport",
     "CORPUS_SUFFIXES",
     "ItemResult",
+    "REPORT_FORMAT",
+    "REPORT_VERSION",
+    "STATUS_DIVERGENT",
     "STATUS_ERROR",
     "STATUS_OK",
     "STATUS_SKIPPED",
@@ -69,5 +88,10 @@ __all__ = [
     "items_from_cfgs",
     "items_from_dir",
     "iter_batch",
+    "merge_report_dicts",
     "run_batch",
+    "shard_items",
+    "shard_of",
+    "stable_hash",
+    "stable_report_json",
 ]

@@ -1,0 +1,88 @@
+"""Differential testing of transforms inside the batch driver.
+
+The batch pipeline already proves that a pass *ran* on every corpus
+program; this module proves it ran *correctly*.  In differential mode
+the worker executes each program on a deck of seeded random input
+environments (:mod:`repro.interp.random_inputs`) twice — once on the
+original graph, once on the optimised one — and compares what the
+source program can observe:
+
+* the final value of every variable the *original* program mentions
+  (temporaries a transform introduces are its own business);
+* whether execution reached the exit under the step budget;
+* for single-pass runs, the exact branch-decision sequence — code
+  motion never touches branches, so a decision flip is a miscompile.
+  Pipeline runs fold branches away legitimately, so there the decision
+  comparison is skipped (mirroring
+  :func:`repro.core.optimality.check_equivalence`).
+
+A mismatch on any run makes the item **divergent**: the batch record
+keeps ``status="divergent"`` plus a structured ``differential`` block
+carrying the run index, the offending input environment and a one-line
+detail — and, for ``generated`` corpus items, the minting ``seed`` and
+generator config, so one failing fuzz run reproduces from the report
+alone (``repro corpus generate --seed-range S:S+1 …``).
+
+Input decks are seeded from the batch ``diff_seed`` mixed with a
+stable hash of the item *name* — never its batch position — so shard
+and unsharded runs exercise identical environments and their reports
+stay byte-comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.interp.machine import run
+from repro.interp.random_inputs import random_envs
+from repro.ir.cfg import CFG
+
+
+def diff_cfgs(
+    original: CFG,
+    transformed: CFG,
+    runs: int = 8,
+    seed: int = 0,
+    max_steps: int = 2_000_000,
+    compare_decisions: bool = True,
+) -> Dict[str, Any]:
+    """Execute both graphs on *runs* seeded inputs; report divergences.
+
+    Returns the JSON-ready ``differential`` block of an item record::
+
+        {"runs": 8, "compared": 8, "divergences": [
+            {"run": 3, "env": {...}, "detail": "variable 'x': 7 != 0"}
+        ]}
+
+    ``compared`` counts the runs where the original reached the exit
+    (a run the *original* itself cannot finish under the step budget
+    proves nothing and is skipped).  An empty ``divergences`` list
+    means the transform is observationally correct on this deck.
+    """
+    source_vars = sorted(original.variables())
+    divergences: List[Dict[str, Any]] = []
+    compared = 0
+    for i, env in enumerate(random_envs(original, runs, seed)):
+        before = run(original, env, max_steps=max_steps)
+        if not before.reached_exit:
+            continue
+        compared += 1
+        after = run(transformed, env, max_steps=max_steps)
+        detail = None
+        if not after.reached_exit:
+            detail = "transformed program diverged (no exit)"
+        elif (
+            compare_decisions
+            and before.decisions_taken != after.decisions_taken
+        ):
+            detail = "branch decisions differ"
+        else:
+            for name in source_vars:
+                got = after.env.get(name, 0)
+                want = before.env.get(name, 0)
+                if got != want:
+                    detail = f"variable {name!r}: {want} != {got}"
+                    break
+        if detail is not None:
+            divergences.append({"run": i, "env": dict(env), "detail": detail})
+    return {"runs": runs, "compared": compared, "divergences": divergences}

@@ -2,9 +2,9 @@
 
 One ``optimize`` call processes one graph; real PRE deployments run
 over whole translation-unit corpora.  :func:`iter_batch` takes a list
-of :class:`WorkItem` (built from a directory of ``.mini``/``.json``
-files with :func:`items_from_dir`, or from in-memory graphs with
-:func:`items_from_cfgs`) and streams one
+of :class:`WorkItem` (built from any corpus source — directories,
+archives, manifests, seeded generation — via :mod:`repro.corpus`, or
+from in-memory graphs with :func:`items_from_cfgs`) and streams one
 :class:`~repro.batch.report.ItemResult` per item as it completes;
 :func:`run_batch` is a thin collector on top that folds the stream
 into the input-ordered, deterministic
@@ -49,6 +49,15 @@ processes owned over ``multiprocessing`` pipes — which provides:
   the classic LPT heuristic.  Scheduling only reorders *execution*;
   the collected report stays input-ordered.
 
+Batches scale out two ways: :func:`shard_items` deterministically
+partitions a corpus by a stable hash of item *names* (``repro batch
+--shard i/n``; per-shard reports recombine byte-identically with
+:func:`repro.batch.report.merge_report_dicts`), and
+``BatchConfig.differential`` turns a batch into a differential fuzzer
+that executes each program before and after optimization on seeded
+random inputs (:mod:`repro.batch.differential`), flagging miscompiles
+as ``status="divergent"`` records.
+
 ``jobs=1`` runs serially in-process through the *same* item code path
 (no worker processes), which is both the baseline for throughput
 comparisons and the debug mode — breakpoints and pdb work.  Serial
@@ -58,15 +67,16 @@ C-call hang; hard isolation needs ``jobs >= 2``.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import signal
 import time
 import traceback as traceback_module
 from dataclasses import dataclass
-from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence
 
 from repro.batch.report import (
+    STATUS_DIVERGENT,
     STATUS_ERROR,
     STATUS_OK,
     STATUS_SKIPPED,
@@ -103,6 +113,10 @@ class WorkItem:
         the worker; the function must return a :class:`CFG`.  This is
         the extension point for custom loaders (and what the
         fault-injection payloads in :mod:`repro.batch.testing` use).
+    ``generated``
+        *payload* is a ``(seed, GeneratorConfig)`` spec
+        (:func:`repro.corpus.generate.spec_payload`); the worker mints
+        the program on demand, so whole corpora travel as seeds.
 
     *cost* is a relative work prediction (any nonnegative scale) used
     by the supervisor's LPT scheduling; 0 means unknown, and equal
@@ -118,26 +132,57 @@ class WorkItem:
 def items_from_dir(
     directory: str,
     suffixes: Sequence[str] = CORPUS_SUFFIXES,
+    recursive: bool = False,
 ) -> List[WorkItem]:
     """Scan *directory* for corpus files, sorted by name (deterministic).
 
+    Suffix matching is case-insensitive, *recursive* walks the whole
+    tree, and item names are derived from the path relative to the
+    root (so equal stems in different subdirectories stay distinct).
     Raises ``ValueError`` when the directory does not exist or holds no
     matching files — an empty batch is almost always a wrong path.
+    (Thin alias of :func:`repro.corpus.sources.scan_directory`, kept
+    for callers that predate the corpus subsystem.)
     """
-    root = Path(directory)
-    if not root.is_dir():
-        raise ValueError(f"not a directory: {directory}")
-    paths = sorted(
-        path for path in root.iterdir()
-        if path.is_file() and path.suffix in suffixes
-    )
-    if not paths:
-        wanted = "/".join(suffixes)
-        raise ValueError(f"no {wanted} files in {directory}")
-    return [
-        WorkItem(path.stem, "path", str(path), cost=float(path.stat().st_size))
-        for path in paths
-    ]
+    from repro.corpus.sources import scan_directory
+
+    return scan_directory(directory, suffixes=suffixes, recursive=recursive)
+
+
+def stable_hash(name: str) -> int:
+    """A platform/process-independent 64-bit hash of an item name.
+
+    Used for shard assignment and per-item differential input seeding;
+    must never change, or shards from different builds stop agreeing.
+    """
+    digest = hashlib.sha256(name.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def shard_of(name: str, total: int) -> int:
+    """The 0-based shard (of *total*) owning item *name*."""
+    return stable_hash(name) % total
+
+
+def shard_items(
+    items: Sequence[WorkItem], index: int, total: int
+) -> List[WorkItem]:
+    """The subsequence of *items* belonging to shard *index* of *total*.
+
+    Assignment hashes the item **name** (:func:`shard_of`), not the
+    list position, so membership survives corpus insertions and
+    deletions and is identical however the caller ordered the list.
+    Relative order within the shard is preserved.  *index* is 0-based
+    here; the CLI's ``--shard i/n`` is 1-based and subtracts one.
+    """
+    if total < 1:
+        raise ValueError(f"shard count must be >= 1, got {total}")
+    if not 0 <= index < total:
+        raise ValueError(
+            f"shard index {index} out of range for {total} shard"
+            f"{'s' if total != 1 else ''}"
+        )
+    return [item for item in items if shard_of(item.name, total) == index]
 
 
 def items_from_cfgs(
@@ -188,6 +233,20 @@ class BatchConfig:
             ok records carry the :meth:`repro.api.AnalyzeOutcome.to_dict`
             payload in their ``analysis`` field (what the ``repro
             serve`` daemon's ``analyze`` op dispatches).
+        differential: after optimizing, execute the original and the
+            transformed program on ``diff_runs`` seeded random inputs
+            and compare observable behaviour
+            (:mod:`repro.batch.differential`); a mismatch turns the
+            record into ``status="divergent"`` with a structured
+            ``differential`` block.  Incompatible with ``analyze``
+            (there is no transformed program to compare).
+        diff_runs: input environments per item in differential mode.
+        diff_seed: base seed for differential inputs; each item mixes
+            in a stable hash of its *name*, so shard and unsharded
+            runs draw identical decks.
+        diff_max_steps: interpreter step budget per differential run
+            (generated loops can iterate; runs where the *original*
+            exhausts the budget are skipped, not failed).
     """
 
     pass_: str = "lcm"
@@ -203,6 +262,17 @@ class BatchConfig:
     store_path: Optional[str] = None
     keep_ir: bool = False
     analyze: bool = False
+    differential: bool = False
+    diff_runs: int = 8
+    diff_seed: int = 0
+    diff_max_steps: int = 2_000_000
+
+    def __post_init__(self) -> None:
+        if self.differential and self.analyze:
+            raise ValueError(
+                "differential mode compares optimized execution; it "
+                "cannot be combined with analyze=True"
+            )
 
 
 # ---------------------------------------------------------------------------
@@ -239,7 +309,7 @@ def _load_item(item: WorkItem) -> CFG:
     per-item records)."""
     from repro import api
 
-    if item.kind in (api.KIND_PATH, api.KIND_SOURCE, api.KIND_JSON):
+    if item.kind in api.KINDS:
         return api.load_cfg(item.payload, item.kind)
     if item.kind == "call":
         import importlib
@@ -265,6 +335,43 @@ def _execute_item(cfg: CFG, config: BatchConfig, manager: AnalysisManager):
     )
 
 
+def _diff_item(item, cfg, outcome, config: BatchConfig):
+    """The differential block for one optimised item.
+
+    The input deck is seeded from ``diff_seed`` mixed with the stable
+    hash of the item *name* — never its batch position — so shard runs
+    and the unsharded run execute identical environments and their
+    records stay byte-comparable.  For ``generated`` items the minting
+    seed and generator config ride along, making a divergence
+    reproducible from the report alone.  Pipeline runs skip the
+    branch-decision comparison (branch folding legitimately removes
+    decisions); single-pass code motion must preserve them exactly.
+    """
+    from repro.batch.differential import diff_cfgs
+
+    deck_seed = (config.diff_seed + stable_hash(item.name)) % 2**63
+    block = diff_cfgs(
+        cfg,
+        outcome.cfg,
+        runs=config.diff_runs,
+        seed=deck_seed,
+        max_steps=config.diff_max_steps,
+        compare_decisions=not config.pipeline,
+    )
+    block["input_seed"] = deck_seed
+    if item.kind == "generated":
+        try:
+            from repro.corpus.generate import parse_spec
+
+            seed, generator = parse_spec(item.payload)
+        except ValueError:  # pragma: no cover - payload already loaded
+            pass
+        else:
+            block["seed"] = seed
+            block["generator"] = generator.to_dict()
+    return block
+
+
 def _run_item(index: int, item: WorkItem, config: BatchConfig) -> ItemResult:
     """Execute one work item; never raises — every outcome is a record."""
     global _WORKER_MANAGER
@@ -284,6 +391,7 @@ def _run_item(index: int, item: WorkItem, config: BatchConfig) -> ItemResult:
     status, message, trace_back = STATUS_OK, "", ""
     outcome = None
     cfg = None
+    differential = None
     try:
         if use_alarm:
             previous_handler = signal.signal(signal.SIGALRM, _raise_timeout)
@@ -291,6 +399,8 @@ def _run_item(index: int, item: WorkItem, config: BatchConfig) -> ItemResult:
         with tracing(tracer):
             cfg = _load_item(item)
             outcome = _execute_item(cfg, config, manager)
+            if config.differential and not config.analyze:
+                differential = _diff_item(item, cfg, outcome, config)
     except _ItemTimeout:
         status = STATUS_TIMEOUT
         message = f"exceeded {config.timeout}s budget"
@@ -303,6 +413,14 @@ def _run_item(index: int, item: WorkItem, config: BatchConfig) -> ItemResult:
             signal.setitimer(signal.ITIMER_REAL, 0)
             signal.signal(signal.SIGALRM, previous_handler)
     duration_ms = (time.perf_counter() - start) * 1000.0
+    if status == STATUS_OK and differential and differential["divergences"]:
+        status = STATUS_DIVERGENT
+        first = differential["divergences"][0]
+        count = len(differential["divergences"])
+        message = (
+            f"{count} of {differential['runs']} differential run"
+            f"{'s' if count != 1 else ''} diverged: {first['detail']}"
+        )
 
     record = ItemResult(
         index=index,
@@ -322,7 +440,7 @@ def _run_item(index: int, item: WorkItem, config: BatchConfig) -> ItemResult:
         summary=tracer.summary(),
         pid=os.getpid(),
     )
-    if status == STATUS_OK:
+    if status in (STATUS_OK, STATUS_DIVERGENT):
         record.fingerprint = outcome.fingerprint
         if config.analyze:
             record.static_before = cfg.static_computation_count()
@@ -332,6 +450,7 @@ def _run_item(index: int, item: WorkItem, config: BatchConfig) -> ItemResult:
             record.static_before = outcome.static_before
             record.static_after = outcome.static_after
             record.ir = outcome.ir
+        record.differential = differential
     return record
 
 

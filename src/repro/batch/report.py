@@ -10,23 +10,28 @@ whole corpus run has the same observability surface as a single
 ``optimize`` call: wall time, per-item timings, cache hit rates and an
 error tally.
 
-The JSON schema is versioned (``repro-batch-report`` version 2) and
+The JSON schema is versioned (``repro-batch-report`` version 3) and
 documented in ``docs/BATCH.md``.  Version 2 added the ``skipped``
 item status (early-exit policies cancelling the tail of a batch) and
 the optional top-level ``supervisor`` block of worker-supervision
 counters; version-1 consumers that only switch on the original three
-statuses should treat ``skipped`` as a failure.
+statuses should treat ``skipped`` as a failure.  Version 3 added the
+``divergent`` item status (differential mode found a semantic
+mismatch — also a failure to older consumers), the per-item
+``differential`` block, and the optional top-level ``shard`` block of
+sharded runs; :func:`merge_report_dicts` recombines per-shard reports
+into the unsharded report.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.obs.trace import merge_counters, merge_summaries
 
-#: The four terminal states of one work item.
+#: The five terminal states of one work item.
 STATUS_OK = "ok"
 STATUS_ERROR = "error"
 STATUS_TIMEOUT = "timeout"
@@ -34,6 +39,14 @@ STATUS_TIMEOUT = "timeout"
 #: — ``stop_after_failures`` / ``deadline_s`` — cancelled the batch
 #: before the item could complete.
 STATUS_SKIPPED = "skipped"
+#: Differential mode executed the item before and after optimization
+#: and the observable behaviour did not match — the transformation
+#: miscompiled this program.  The record's ``differential`` block
+#: carries the divergences and (for generated items) the minting seed.
+STATUS_DIVERGENT = "divergent"
+
+REPORT_FORMAT = "repro-batch-report"
+REPORT_VERSION = 3
 
 
 @dataclass
@@ -42,10 +55,14 @@ class ItemResult:
 
     Attributes:
         index: the item's position in the submitted batch (results are
-            always reported in this order).
-        name: the item's display name (file stem, or a caller-given
-            label for in-memory programs).
-        status: ``"ok"``, ``"error"``, ``"timeout"`` or ``"skipped"``.
+            always reported in this order).  Sharded runs remap it to
+            the item's position in the *whole* corpus, so merged
+            reports line up with the unsharded run.
+        name: the item's display name (relative path without suffix
+            for corpus files, or a caller-given label for in-memory
+            programs).
+        status: ``"ok"``, ``"error"``, ``"timeout"``, ``"skipped"``
+            or ``"divergent"``.
         message: one-line failure description (empty when ok).
         traceback: the full formatted traceback for errors (empty
             otherwise) — timeouts carry no traceback, the work was
@@ -61,6 +78,11 @@ class ItemResult:
             was configured with ``keep_ir`` (``None`` otherwise).
         analysis: the :meth:`repro.api.AnalyzeOutcome.to_dict` payload
             for analyze-mode work (``None`` for optimize runs).
+        differential: the differential-mode check outcome (``None``
+            outside differential mode): random-input runs compared,
+            divergences found, and — for generated items — the
+            minting ``seed``/``generator`` spec that reproduces the
+            program (see :mod:`repro.batch.differential`).
         static_before / static_after: operator-expression counts of the
             input and optimised graphs.
         cache: the worker manager's per-tier delta for this item:
@@ -81,6 +103,7 @@ class ItemResult:
     fingerprint: Optional[str] = None
     ir: Optional[str] = None
     analysis: Optional[Dict[str, Any]] = None
+    differential: Optional[Dict[str, Any]] = None
     static_before: Optional[int] = None
     static_after: Optional[int] = None
     cache: Dict[str, int] = field(default_factory=dict)
@@ -110,6 +133,8 @@ class ItemResult:
             payload["ir"] = self.ir
         if self.analysis is not None:
             payload["analysis"] = dict(self.analysis)
+        if self.differential is not None:
+            payload["differential"] = dict(self.differential)
         if self.static_before is not None:
             payload["static_before"] = self.static_before
             payload["static_after"] = self.static_after
@@ -140,6 +165,10 @@ class BatchReport:
     #: ``batch.item.skipped``), when any fired.  None for serial runs
     #: and uneventful pooled runs.
     supervisor: Optional[Dict[str, int]] = None
+    #: ``{"index": i, "total": n, "universe": N}`` when this report
+    #: covers shard ``i/n`` of an N-item corpus (item indexes are the
+    #: corpus positions, not 0..k); None for unsharded runs.
+    shard: Optional[Dict[str, int]] = None
 
     @property
     def ok(self) -> bool:
@@ -189,8 +218,8 @@ class BatchReport:
 
     def to_dict(self) -> Dict[str, Any]:
         payload = {
-            "format": "repro-batch-report",
-            "version": 2,
+            "format": REPORT_FORMAT,
+            "version": REPORT_VERSION,
             "pass": self.pass_,
             "pipeline": self.pipeline,
             "jobs": self.jobs,
@@ -206,6 +235,8 @@ class BatchReport:
             payload["store"] = dict(self.store)
         if self.supervisor is not None:
             payload["supervisor"] = dict(self.supervisor)
+        if self.shard is not None:
+            payload["shard"] = dict(self.shard)
         return payload
 
     def to_json(self, indent: Optional[int] = 2) -> str:
@@ -251,3 +282,144 @@ class BatchReport:
             if respawns:
                 footer += f"  worker respawns {respawns}"
         return f"{table.render()}\n{footer}"
+
+
+# ---------------------------------------------------------------------------
+# Shard-report recombination.  Operates on *report dicts* (the JSON the
+# CLI emits), because that is what `repro batch merge R1.json R2.json`
+# has in hand; the merged dict reproduces BatchReport.to_dict() key
+# order exactly, so it is byte-identical to the unsharded run's report
+# once timing fields are set aside (see stable_report_json).
+# ---------------------------------------------------------------------------
+
+
+def _cache_stats_of(items: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """The report-level ``cache`` block recomputed from item records —
+    the dict-level twin of :meth:`BatchReport.cache_stats`."""
+    totals = {k: 0 for k in
+              ("hits", "misses", "disk_hits", "disk_misses", "disk_writes")}
+    for item in items:
+        cache = item.get("cache", {})
+        for key in totals:
+            totals[key] += cache.get(key, 0)
+    lookups = totals["hits"] + totals["disk_hits"] + totals["misses"]
+    totals["hit_rate"] = (
+        round((totals["hits"] + totals["disk_hits"]) / lookups, 4)
+        if lookups else 0.0
+    )
+    return totals
+
+
+def merge_report_dicts(reports: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Recombine per-shard report dicts into the unsharded report.
+
+    Every input must be a ``repro-batch-report`` of the same version,
+    pass, pipeline flag and job count (shards of one logical run).
+    Item records concatenate and sort by their corpus ``index`` (the
+    sharded CLI remaps indexes before reporting); indexes must be
+    unique across shards.  Tallies, the ``cache`` block and the
+    top-level ``counters`` are recomputed from the merged items, and
+    shard ``summary``/``supervisor`` blocks are folded with the same
+    aggregation the driver applies per item — so the merged report
+    matches a run that never sharded, modulo wall-clock fields (which
+    sum) and, with a shared store, the point-in-time ``store`` snapshot
+    (the largest is kept).
+    """
+    if not reports:
+        raise ValueError("nothing to merge: no reports given")
+    head = reports[0]
+    for i, report in enumerate(reports):
+        if report.get("format") != REPORT_FORMAT:
+            raise ValueError(f"report {i}: not a {REPORT_FORMAT} document")
+        if report.get("version") != REPORT_VERSION:
+            raise ValueError(
+                f"report {i}: schema version {report.get('version')!r}; "
+                f"this build merges version {REPORT_VERSION}"
+            )
+        for key in ("pass", "pipeline", "jobs"):
+            if report.get(key) != head.get(key):
+                raise ValueError(
+                    f"report {i}: {key}={report.get(key)!r} does not match "
+                    f"report 0 ({head.get(key)!r}); shards must come from "
+                    f"one configuration"
+                )
+    items: List[Dict[str, Any]] = []
+    for report in reports:
+        items.extend(report.get("items", []))
+    items.sort(key=lambda item: item["index"])
+    indexes = [item["index"] for item in items]
+    if len(set(indexes)) != len(indexes):
+        duplicated = sorted({i for i in indexes if indexes.count(i) > 1})
+        raise ValueError(
+            f"overlapping shards: item index(es) {duplicated[:5]} appear "
+            f"more than once"
+        )
+    universes = {
+        report["shard"]["universe"]
+        for report in reports
+        if isinstance(report.get("shard"), dict)
+        and "universe" in report["shard"]
+    }
+    if len(universes) > 1:
+        raise ValueError(
+            f"shards disagree on corpus size: {sorted(universes)}"
+        )
+    if universes and len(items) != universes.pop():
+        raise ValueError(
+            f"incomplete merge: {len(items)} items of a "
+            f"{[r['shard']['universe'] for r in reports if r.get('shard')][0]}"
+            f"-item corpus; are all shards present?"
+        )
+    tally: Dict[str, int] = {}
+    for item in items:
+        tally[item["status"]] = tally.get(item["status"], 0) + 1
+    merged: Dict[str, Any] = {
+        "format": REPORT_FORMAT,
+        "version": REPORT_VERSION,
+        "pass": head.get("pass"),
+        "pipeline": head.get("pipeline"),
+        "jobs": head.get("jobs"),
+        "wall_time_s": round(
+            sum(report.get("wall_time_s", 0.0) for report in reports), 6
+        ),
+        "items_total": len(items),
+        "tally": tally,
+        "cache": _cache_stats_of(items),
+        "counters": merge_counters(
+            item.get("counters", {}) for item in items
+        ),
+        "summary": merge_summaries(
+            report.get("summary", {}) for report in reports
+        ),
+        "items": items,
+    }
+    stores = [report["store"] for report in reports if report.get("store")]
+    if stores:
+        merged["store"] = dict(
+            max(stores, key=lambda stats: stats.get("entries", 0))
+        )
+    supervisors = [
+        report["supervisor"] for report in reports if report.get("supervisor")
+    ]
+    if supervisors:
+        merged["supervisor"] = merge_counters(supervisors)
+    return merged
+
+
+def stable_report_json(data: Dict[str, Any]) -> str:
+    """A canonical projection of a report dict for equality checks.
+
+    Drops the fields that legitimately differ between runs of the same
+    corpus — wall clock, per-item durations, per-span total
+    milliseconds — and serialises with sorted keys.  Two runs (or a
+    shard merge and its unsharded twin) that optimised identically
+    compare equal here; used by the parity tests and the CI shard
+    smoke.
+    """
+    data = json.loads(json.dumps(data))  # deep copy
+    data.pop("wall_time_s", None)
+    for item in data.get("items", []):
+        item.pop("duration_ms", None)
+    for entry in data.get("summary", {}).values():
+        entry.pop("total_ms", None)
+    return json.dumps(data, sort_keys=True)

@@ -67,3 +67,49 @@ def kill_self():
     """Die the way a segfault or the OOM killer looks from outside:
     SIGKILL to our own process, mid-item, with no cleanup."""
     os.kill(os.getpid(), signal.SIGKILL)
+
+
+# ---------------------------------------------------------------------------
+# Deliberate miscompilation, for the differential fuzzer.
+# ---------------------------------------------------------------------------
+
+
+def _register_miscompile() -> None:
+    """Register the ``miscompile-dce`` pass (idempotent).
+
+    A deliberately *wrong* transformation: it drops the last
+    instruction of the last non-empty block — for generator programs
+    that is the final ``result = a OP b`` store, a silent wrong-code
+    bug no structural check notices (the graph stays valid, the pass
+    "succeeds").  Exactly the fault class differential mode exists to
+    catch; the fuzz smoke in CI runs a corpus through it and must see
+    every item come back ``divergent`` with its minting seed attached.
+
+    Registered on import of this module — deliberately NOT from the
+    CLI, so ``repro batch --strategy`` never offers it; tests and CI
+    reach it through the Python API (batch workers inherit the
+    registration, since the supervisor forks).
+    """
+    from repro.core.pipeline import register_pass
+    from repro.core.transform import TransformResult
+
+    @register_pass(
+        "miscompile-dce",
+        "BROKEN on purpose: drops a live store",
+        hidden=True,
+    )
+    def _miscompile(cfg, ctx) -> TransformResult:
+        work = cfg.copy()
+        for block in reversed(work.blocks):
+            if block.instrs:
+                block.instrs.pop()
+                break
+        return TransformResult(
+            original=cfg, cfg=work, placements=[], temps=set()
+        )
+
+
+try:
+    _register_miscompile()
+except ValueError:  # pragma: no cover - module imported twice
+    pass

@@ -12,8 +12,8 @@ at-least-once (``do-while``) kind.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import List, Tuple
+from dataclasses import dataclass, fields
+from typing import Any, Dict, List, Tuple
 
 from repro.ir.cfg import CFG
 from repro.ir.expr import Atom, BinExpr, Const, Expr, UnaryExpr, Var
@@ -27,6 +27,12 @@ class GeneratorConfig:
 
     The defaults generate mid-sized programs (a few dozen blocks) with
     plenty of recurring expressions.
+
+    A config round-trips through plain JSON (:meth:`to_dict` /
+    :meth:`from_dict`), which is how corpus manifests record the exact
+    generator settings next to each seed — ``(seed, GeneratorConfig)``
+    fully determines the program, so a manifest alone reproduces a
+    corpus bit-identically (see ``docs/CORPUS.md``).
     """
 
     statements: int = 12
@@ -39,6 +45,34 @@ class GeneratorConfig:
     loop_probability: float = 0.18
     branch_probability: float = 0.30
     max_loop_iterations: int = 4
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready projection; tuples become lists."""
+        out: Dict[str, Any] = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            out[spec.name] = list(value) if isinstance(value, tuple) else value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "GeneratorConfig":
+        """Rebuild a config from :meth:`to_dict` output.
+
+        Missing fields take their defaults; unknown fields raise, so a
+        manifest minted by a newer generator fails loudly instead of
+        silently generating different programs.
+        """
+        known = {spec.name for spec in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown generator config field(s): {', '.join(unknown)}"
+            )
+        kwargs = {
+            name: tuple(value) if isinstance(value, list) else value
+            for name, value in data.items()
+        }
+        return cls(**kwargs)
 
 
 def _random_atom(rng: random.Random, config: GeneratorConfig) -> Atom:

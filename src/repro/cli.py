@@ -13,6 +13,10 @@ Usage (also via ``python -m repro``)::
     repro report prog.mini                   # strategy comparison table
     repro batch tests/corpus --jobs 4        # whole-corpus parallel driver
     repro batch DIR --stream --max-failures 3   # NDJSON stream, early exit
+    repro batch DIR --shard 2/3 --emit json  # deterministic corpus shard
+    repro batch merge r1.json r2.json r3.json   # recombine shard reports
+    repro batch corpus.ndjson --differential    # fuzz: compare before/after
+    repro corpus generate --seed-range 0:200 --profile loopy --out DIR
     repro serve --jobs 4 --timeout 10        # long-lived request daemon
     repro --trace out.json opt prog.mini     # + JSON trace of all analyses
     repro --no-cache audit prog.mini --full  # disable solution memoization
@@ -177,34 +181,106 @@ def cmd_audit(args, out) -> int:
     return 0
 
 
+def _parse_shard(spec: str):
+    """``--shard i/n`` (1-based) -> 0-based ``(index, total)``."""
+    head, sep, tail = spec.partition("/")
+    try:
+        if not sep:
+            raise ValueError("missing '/'")
+        index, total = int(head), int(tail)
+    except ValueError as exc:
+        raise CliError(
+            f"bad shard spec {spec!r}; expected i/n, e.g. 2/3"
+        ) from exc
+    if total < 1 or not 1 <= index <= total:
+        raise CliError(
+            f"bad shard spec {spec!r}: index must be in 1..n"
+        )
+    return index - 1, total
+
+
+def _cmd_batch_merge(args, out) -> int:
+    """``repro batch merge R1.json R2.json ...``: recombine shard reports."""
+    from repro.batch import merge_report_dicts
+
+    if not args.reports:
+        raise CliError("merge needs at least one report file")
+    reports = []
+    for path in args.reports:
+        try:
+            with open(path) as handle:
+                reports.append(json.load(handle))
+        except (OSError, ValueError) as exc:
+            raise CliError(f"cannot read report {path}: {exc}") from exc
+    try:
+        merged = merge_report_dicts(reports)
+    except ValueError as exc:
+        raise CliError(str(exc)) from exc
+    print(json.dumps(merged, indent=2), file=out)
+    bad = {k: v for k, v in merged["tally"].items() if k != "ok"}
+    if bad:
+        total = sum(bad.values())
+        print(
+            f"error: {total}/{merged['items_total']} items failed: "
+            + ", ".join(f"{v} {k}" for k, v in sorted(bad.items())),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_batch(args, out) -> int:
     import time as time_module
 
     from repro.batch import (
         BatchConfig,
         collect_report,
-        items_from_dir,
         iter_batch,
         run_batch,
+        shard_items,
     )
+    from repro.corpus import load_corpus
 
+    if args.dir == "merge":
+        return _cmd_batch_merge(args, out)
+    if args.reports:
+        raise CliError(
+            "unexpected extra arguments: "
+            + " ".join(args.reports)
+            + " (report files are only accepted after 'merge')"
+        )
     try:
-        items = items_from_dir(args.dir)
+        items = load_corpus(
+            args.dir, recursive=args.recursive, allow_call=args.allow_call
+        )
     except ValueError as exc:
         raise CliError(str(exc)) from exc
-    config = BatchConfig(
-        pass_=args.strategy,
-        pipeline=args.pipeline,
-        jobs=args.jobs,
-        timeout=args.timeout,
-        retries=args.retries,
-        max_tasks_per_worker=args.recycle_after,
-        stop_after_failures=args.max_failures,
-        deadline_s=args.deadline,
-        cache=not args.no_cache,
-        store_path=args.cache_dir,
-        keep_ir=args.keep_ir,
-    )
+    shard = None
+    positions = {item.name: i for i, item in enumerate(items)}
+    universe = len(items)
+    if args.shard:
+        index, total = _parse_shard(args.shard)
+        shard = {"index": index + 1, "total": total, "universe": universe}
+        items = shard_items(items, index, total)
+    try:
+        config = BatchConfig(
+            pass_=args.strategy,
+            pipeline=args.pipeline,
+            jobs=args.jobs,
+            timeout=args.timeout,
+            retries=args.retries,
+            max_tasks_per_worker=args.recycle_after,
+            stop_after_failures=args.max_failures,
+            deadline_s=args.deadline,
+            cache=not args.no_cache,
+            store_path=args.cache_dir,
+            keep_ir=args.keep_ir,
+            differential=args.differential,
+            diff_runs=args.diff_runs,
+            diff_seed=args.diff_seed,
+        )
+    except ValueError as exc:
+        raise CliError(str(exc)) from exc
     if args.stream:
         # NDJSON: one compact item record per line, in completion
         # order, flushed as it happens — then the collected report
@@ -217,6 +293,9 @@ def cmd_batch(args, out) -> int:
         results = []
         start = time_module.perf_counter()
         for record in iter_batch(items, config, stats):
+            # Shard runs remap record indexes to positions in the full
+            # corpus, so shard reports merge back seamlessly.
+            record.index = positions[record.name]
             print(json.dumps(protocol.item_record(record)), file=out,
                   flush=True)
             results.append(record)
@@ -224,6 +303,9 @@ def cmd_batch(args, out) -> int:
         report = collect_report(results, config, wall, stats)
     else:
         report = run_batch(items, config)
+        for record in report.items:
+            record.index = positions[record.name]
+    report.shard = shard
     if args.stream and args.emit == "json":
         # Keep stdout line-oriented: the report is the final NDJSON
         # line, recognisable by its "format" key.
@@ -243,6 +325,64 @@ def cmd_batch(args, out) -> int:
             file=sys.stderr,
         )
         return 1
+    return 0
+
+
+def cmd_corpus(args, out) -> int:
+    from repro.corpus import (
+        generated_items,
+        parse_seed_range,
+        profile_config,
+        read_manifest,
+        regenerate_corpus,
+        write_corpus,
+        write_manifest,
+    )
+
+    if args.action != "generate":
+        raise CliError(f"unknown corpus action {args.action!r}")
+    try:
+        if args.from_manifest:
+            if not args.out:
+                raise ValueError(
+                    "--from-manifest regenerates files; pass --out DIR"
+                )
+            written = regenerate_corpus(args.from_manifest, args.out)
+            items = read_manifest(args.from_manifest)
+        else:
+            if not args.seed_range:
+                raise ValueError(
+                    "corpus generate needs --seed-range A:B "
+                    "(or --from-manifest FILE)"
+                )
+            seeds = parse_seed_range(args.seed_range)
+            config = profile_config(
+                args.profile,
+                statements=args.size,
+                max_depth=args.max_depth,
+            )
+            items = generated_items(seeds, config, prefix=args.prefix)
+            written = None
+            if args.out:
+                written = write_corpus(items, args.out)
+            if args.manifest:
+                write_manifest(items, args.manifest)
+            if not args.out and not args.manifest:
+                raise ValueError(
+                    "nowhere to write: pass --out DIR and/or "
+                    "--manifest FILE"
+                )
+    except ValueError as exc:
+        raise CliError(str(exc)) from exc
+    if written is not None:
+        print(
+            f"wrote {written['files']} programs + manifest to "
+            f"{written['dir']}",
+            file=out,
+        )
+    if not args.from_manifest and args.manifest:
+        print(f"wrote {len(items)}-item manifest to {args.manifest}",
+              file=out)
     return 0
 
 
@@ -412,11 +552,42 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_batch = sub.add_parser(
         "batch",
-        help="optimise every program in a directory across a worker pool",
+        help="optimise a whole corpus across a worker pool "
+        "(or 'merge' per-shard reports)",
     )
-    p_batch.add_argument("dir", help="directory of .mini/.json programs")
+    p_batch.add_argument(
+        "dir",
+        help="corpus to run: a directory of .mini/.json programs, a "
+        ".zip/.tar archive, or a manifest file — or the word 'merge' "
+        "to recombine per-shard report files",
+    )
+    p_batch.add_argument(
+        "reports", nargs="*", metavar="REPORT",
+        help="with 'merge': the per-shard JSON report files "
+        "(merge always emits the recombined JSON report)",
+    )
     p_batch.add_argument("--jobs", type=int, default=1,
                          help="worker processes (1: serial in-process)")
+    p_batch.add_argument("--recursive", action="store_true",
+                         help="scan corpus directories recursively "
+                         "(item names carry the relative path)")
+    p_batch.add_argument("--shard", metavar="I/N", default=None,
+                         help="run only shard I of N (1-based); items "
+                         "partition by a stable hash of their names, and "
+                         "per-shard reports recombine with 'repro batch "
+                         "merge'")
+    p_batch.add_argument("--differential", action="store_true",
+                         help="differential fuzzing: execute each program "
+                         "before and after optimization on seeded random "
+                         "inputs; mismatches become 'divergent' records")
+    p_batch.add_argument("--diff-runs", type=int, default=8, metavar="N",
+                         help="input environments per item in "
+                         "differential mode")
+    p_batch.add_argument("--diff-seed", type=int, default=0, metavar="S",
+                         help="base seed for differential input decks")
+    p_batch.add_argument("--allow-call", action="store_true",
+                         help="honour kind='call' manifest items "
+                         "(arbitrary module:function loaders; tests only)")
     p_batch.add_argument("--timeout", type=float, default=None, metavar="S",
                          help="per-item wall-clock budget in seconds")
     p_batch.add_argument("--retries", type=int, default=0,
@@ -449,6 +620,40 @@ def build_parser() -> argparse.ArgumentParser:
                          default=argparse.SUPPRESS,
                          help="shared on-disk solution store for all workers")
     p_batch.set_defaults(handler=cmd_batch)
+
+    p_corpus = sub.add_parser(
+        "corpus",
+        help="mint reproducible program corpora from seed ranges "
+        "(see docs/CORPUS.md)",
+    )
+    p_corpus.add_argument("action", choices=("generate",),
+                          help="generate: mint programs from "
+                          "--seed-range + profile knobs")
+    p_corpus.add_argument("--seed-range", metavar="A:B", default=None,
+                          help="half-open seed range, e.g. 0:200 "
+                          "(one program per seed)")
+    p_corpus.add_argument("--profile", choices=("mixed", "loopy", "branchy"),
+                          default="mixed",
+                          help="generator bias: loop-heavy, branch-heavy, "
+                          "or the mixed default")
+    p_corpus.add_argument("--size", type=int, default=12, metavar="N",
+                          help="statements per program")
+    p_corpus.add_argument("--max-depth", type=int, default=3, metavar="N",
+                          help="maximum control-flow nesting depth")
+    p_corpus.add_argument("--prefix", default="gen-",
+                          help="item/file name prefix (default 'gen-')")
+    p_corpus.add_argument("--out", metavar="DIR", default=None,
+                          help="materialise NAME.mini files plus "
+                          "manifest.ndjson under DIR")
+    p_corpus.add_argument("--manifest", metavar="FILE", default=None,
+                          help="write the manifest alone (.ndjson for the "
+                          "line-oriented encoding) — workers mint programs "
+                          "on demand")
+    p_corpus.add_argument("--from-manifest", metavar="FILE", default=None,
+                          help="regenerate a materialised corpus "
+                          "bit-identically from an existing manifest "
+                          "(requires --out)")
+    p_corpus.set_defaults(handler=cmd_corpus)
 
     p_cache = sub.add_parser(
         "cache",

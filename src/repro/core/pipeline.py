@@ -77,17 +77,28 @@ PassFn = Callable[[CFG, OptimizeContext], TransformResult]
 
 @dataclass(frozen=True)
 class PREStrategy:
-    """A named, registered PRE pass usable with :func:`optimize`."""
+    """A named, registered PRE pass usable with :func:`optimize`.
+
+    ``hidden`` passes resolve by exact name (:func:`get_pass`,
+    :func:`optimize`) but are excluded from
+    :func:`available_strategies` — the shape test fixtures use for
+    deliberately broken passes (e.g. ``miscompile-dce`` in
+    :mod:`repro.batch.testing`) that must never be offered by the CLI
+    or swept by whole-registry property tests.
+    """
 
     name: str
     description: str
     run: PassFn
+    hidden: bool = False
 
 
 _REGISTRY: Dict[str, PREStrategy] = {}
 
 
-def register_pass(name: str, description: str = "") -> Callable[[PassFn], PassFn]:
+def register_pass(
+    name: str, description: str = "", hidden: bool = False
+) -> Callable[[PassFn], PassFn]:
     """Class-of-one decorator: register *fn* as the pass named *name*.
 
     ::
@@ -106,7 +117,7 @@ def register_pass(name: str, description: str = "") -> Callable[[PassFn], PassFn
         if name in _REGISTRY:
             raise ValueError(f"pass {name!r} is already registered")
         summary = description or (fn.__doc__ or "").strip().splitlines()[0]
-        _REGISTRY[name] = PREStrategy(name, summary, fn)
+        _REGISTRY[name] = PREStrategy(name, summary, fn, hidden=hidden)
         return fn
 
     return decorate
@@ -203,9 +214,11 @@ def _identity_pass(cfg: CFG, ctx: OptimizeContext) -> TransformResult:
 # -- lookup -----------------------------------------------------------------
 
 def available_strategies() -> List[PREStrategy]:
-    """All registered passes usable with :func:`optimize`, name-sorted."""
+    """All registered non-hidden passes, name-sorted."""
     table = _ensure_registered()
-    return [table[name] for name in sorted(table)]
+    return [
+        table[name] for name in sorted(table) if not table[name].hidden
+    ]
 
 
 def get_pass(name: str) -> PREStrategy:

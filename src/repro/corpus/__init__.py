@@ -1,0 +1,72 @@
+"""Corpus scale-out: seeded generation, manifests, and loaders.
+
+The workload axis of the project.  Three cooperating modules:
+
+* :mod:`repro.corpus.generate` — mint reproducible corpora from seed
+  ranges and generator profiles; every item reproduces from its
+  ``(seed, GeneratorConfig)`` spec alone.
+* :mod:`repro.corpus.manifest` — the versioned per-item record format
+  (JSON or NDJSON) that describes a corpus portably.
+* :mod:`repro.corpus.sources` — :func:`load_corpus`, the single loader
+  behind ``repro batch``: directories (optionally recursive), zip/tar
+  archives, and manifests.
+
+CLI: ``repro corpus generate --seed-range A:B --profile loopy --out
+DIR`` and ``repro batch DIR|ARCHIVE|MANIFEST``.  See ``docs/CORPUS.md``.
+"""
+
+from repro.corpus.generate import (
+    KIND_GENERATED,
+    PROFILES,
+    generate_source,
+    generated_items,
+    item_name,
+    item_seed,
+    load_generated,
+    parse_seed_range,
+    parse_spec,
+    profile_config,
+    regenerate_corpus,
+    spec_payload,
+    write_corpus,
+)
+from repro.corpus.manifest import (
+    MANIFEST_FORMAT,
+    MANIFEST_VERSION,
+    items_to_manifest,
+    manifest_to_items,
+    read_manifest,
+    write_manifest,
+)
+from repro.corpus.sources import (
+    ARCHIVE_SUFFIXES,
+    items_from_archive,
+    load_corpus,
+    scan_directory,
+)
+
+__all__ = [
+    "ARCHIVE_SUFFIXES",
+    "KIND_GENERATED",
+    "MANIFEST_FORMAT",
+    "MANIFEST_VERSION",
+    "PROFILES",
+    "generate_source",
+    "generated_items",
+    "item_name",
+    "item_seed",
+    "items_from_archive",
+    "items_to_manifest",
+    "load_corpus",
+    "load_generated",
+    "manifest_to_items",
+    "parse_seed_range",
+    "parse_spec",
+    "profile_config",
+    "read_manifest",
+    "regenerate_corpus",
+    "scan_directory",
+    "spec_payload",
+    "write_corpus",
+    "write_manifest",
+]

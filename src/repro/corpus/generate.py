@@ -1,0 +1,223 @@
+"""Seeded corpus minting: whole corpora a command away.
+
+:mod:`repro.bench.generators` produces one reproducible random program
+per ``(seed, GeneratorConfig)``; this module scales that into corpora.
+A *generated* work item carries exactly that pair as its payload — a
+compact canonical-JSON spec — so a 100k-program corpus is a seed range
+plus one config, not 100k files, and any item (including a fuzzer
+divergence) reproduces locally from its spec alone.
+
+Three deployment shapes, all equivalent:
+
+* **manifest-only** (:func:`generated_items` +
+  :func:`repro.corpus.manifest.write_manifest`): the corpus exists
+  only as ``(seed, config)`` records; workers mint each program on
+  demand.  This is what the CI differential-fuzz smoke uses.
+* **materialised** (:func:`write_corpus`): each program is unparsed to
+  a ``NAME.mini`` file next to a ``manifest.ndjson`` recording how it
+  was minted; the directory batch-loads like any other corpus.
+* **regenerated** (:func:`regenerate_corpus`): re-materialise the
+  files from a manifest — bit-identical to the original minting,
+  pinned by ``tests/test_corpus_generate.py``.
+
+Profiles bias the generator toward the control-flow phenomena a
+placement policy needs stressed: ``loopy`` (deep, frequent loops —
+hot-loop hoisting), ``branchy`` (wide joins and cold branches —
+speculation cost) and ``mixed`` (the generator defaults).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.batch.driver import WorkItem
+from repro.bench.generators import GeneratorConfig, random_program
+from repro.ir.cfg import CFG
+from repro.lang.lower import lower_program
+from repro.lang.unparse import unparse
+
+#: Work-item kind for programs minted from ``(seed, config)`` specs.
+KIND_GENERATED = "generated"
+
+#: The three generator biases `repro corpus generate --profile` offers.
+PROFILES = ("mixed", "loopy", "branchy")
+
+
+def profile_config(
+    profile: str = "mixed",
+    statements: int = 12,
+    max_depth: int = 3,
+) -> GeneratorConfig:
+    """The :class:`GeneratorConfig` for one named profile.
+
+    *statements* scales program size, *max_depth* the nesting bound —
+    the two knobs `repro corpus generate --size/--max-depth` exposes.
+    """
+    base = GeneratorConfig(statements=statements, max_depth=max_depth)
+    if profile == "mixed":
+        return base
+    if profile == "loopy":
+        return replace(
+            base,
+            loop_probability=0.45,
+            branch_probability=0.15,
+            max_loop_iterations=6,
+        )
+    if profile == "branchy":
+        return replace(
+            base,
+            loop_probability=0.05,
+            branch_probability=0.55,
+        )
+    raise ValueError(
+        f"unknown profile {profile!r}; expected one of: {', '.join(PROFILES)}"
+    )
+
+
+def spec_payload(seed: int, config: GeneratorConfig) -> str:
+    """The canonical payload of one generated item.
+
+    Compact, key-sorted JSON: byte-stable for equal specs, so item
+    payloads (and therefore manifests) are deterministic.
+    """
+    return json.dumps(
+        {"seed": seed, "config": config.to_dict()},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def parse_spec(payload: str) -> Tuple[int, GeneratorConfig]:
+    """Decode a generated-item payload back into ``(seed, config)``."""
+    try:
+        spec = json.loads(payload)
+    except ValueError as exc:
+        raise ValueError(f"malformed generated-item payload: {exc}") from exc
+    if not isinstance(spec, dict) or "seed" not in spec:
+        raise ValueError("generated-item payload needs a 'seed' field")
+    seed = spec["seed"]
+    if not isinstance(seed, int) or isinstance(seed, bool):
+        raise ValueError(
+            f"generated-item seed must be an integer, got {seed!r}"
+        )
+    config_data = spec.get("config", {})
+    if not isinstance(config_data, dict):
+        raise ValueError("generated-item 'config' must be an object")
+    return seed, GeneratorConfig.from_dict(config_data)
+
+
+def generate_source(seed: int, config: GeneratorConfig) -> str:
+    """The mini-language source text of one generated program.
+
+    This is *the* canonical byte form: corpus files are written with
+    exactly this content, and determinism tests pin its hash.
+    """
+    return unparse(random_program(seed, config))
+
+
+def load_generated(payload: str) -> CFG:
+    """Materialise the CFG of a generated work item (worker side)."""
+    seed, config = parse_spec(payload)
+    return lower_program(random_program(seed, config))
+
+
+def item_seed(payload: str) -> Optional[int]:
+    """The minting seed of a generated payload, or None if unreadable.
+
+    Failure-tolerant on purpose: divergence reporting attaches the
+    seed opportunistically and must never mask the real record.
+    """
+    try:
+        return parse_spec(payload)[0]
+    except ValueError:
+        return None
+
+
+def item_name(seed: int, prefix: str = "gen-") -> str:
+    """The canonical item/file name for one seed (zero-padded, sortable)."""
+    return f"{prefix}{seed:08d}"
+
+
+def generated_items(
+    seeds: Iterable[int],
+    config: Optional[GeneratorConfig] = None,
+    prefix: str = "gen-",
+) -> List[WorkItem]:
+    """One generated work item per seed, batch-ready.
+
+    The predicted cost is the statement budget — uniform within a
+    corpus minted from one config, which keeps LPT scheduling a no-op
+    (input order) rather than noise.
+    """
+    config = config if config is not None else GeneratorConfig()
+    return [
+        WorkItem(
+            item_name(seed, prefix),
+            KIND_GENERATED,
+            spec_payload(seed, config),
+            cost=float(config.statements),
+        )
+        for seed in seeds
+    ]
+
+
+def parse_seed_range(text: str) -> range:
+    """Parse the CLI's ``A:B`` half-open seed range (``B`` exclusive)."""
+    head, sep, tail = text.partition(":")
+    try:
+        if not sep:
+            raise ValueError
+        lo, hi = int(head), int(tail)
+    except ValueError:
+        raise ValueError(
+            f"bad seed range {text!r}; expected A:B (half-open, e.g. 0:200)"
+        ) from None
+    if hi <= lo:
+        raise ValueError(f"empty seed range {text!r}")
+    return range(lo, hi)
+
+
+def write_corpus(
+    items: Sequence[WorkItem],
+    out_dir: str,
+) -> Dict[str, Any]:
+    """Materialise generated *items* as ``.mini`` files plus a manifest.
+
+    Every item must be ``generated``-kind.  Files land as
+    ``NAME.mini`` under *out_dir* (created if missing); the minting
+    specs are recorded in ``out_dir/manifest.ndjson`` so the corpus can
+    be regenerated bit-identically (corpus scans skip ``manifest.*``
+    files).  Returns a small summary dict.
+    """
+    from repro.corpus.manifest import write_manifest
+
+    root = Path(out_dir)
+    root.mkdir(parents=True, exist_ok=True)
+    written = 0
+    for item in items:
+        if item.kind != KIND_GENERATED:
+            raise ValueError(
+                f"write_corpus needs generated items; {item.name!r} is "
+                f"kind {item.kind!r}"
+            )
+        seed, config = parse_spec(item.payload)
+        path = root / f"{item.name}.mini"
+        path.write_text(generate_source(seed, config))
+        written += 1
+    manifest_path = root / "manifest.ndjson"
+    write_manifest(items, str(manifest_path))
+    return {
+        "files": written,
+        "dir": str(root),
+        "manifest": str(manifest_path),
+    }
+
+
+def regenerate_corpus(manifest_path: str, out_dir: str) -> Dict[str, Any]:
+    """Re-materialise a corpus from its manifest, bit-identically."""
+    from repro.corpus.manifest import read_manifest
+
+    return write_corpus(read_manifest(manifest_path), out_dir)

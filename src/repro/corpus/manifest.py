@@ -1,0 +1,215 @@
+"""The versioned corpus-manifest format.
+
+A manifest is the portable description of a corpus: one record per
+work item carrying ``name``/``kind``/``payload``/``cost``/``options``,
+under a versioned header.  Two encodings of the same schema:
+
+* **JSON** (``*.json``): one document —
+  ``{"format": "repro-corpus-manifest", "version": 1, "items": [...]}``
+* **NDJSON** (``*.ndjson`` or anything else): the header object on the
+  first line, then one item object per line — appendable and
+  streamable, the shape huge minted corpora use.
+
+Item records:
+
+``{"name": "gen-00000007", "kind": "generated",
+   "options": {"seed": 7, "config": {...}}, "cost": 12.0}``
+
+For ``generated`` items the human-auditable ``options`` object *is*
+the payload (it is re-encoded canonically on load, so a hand-edited
+manifest still yields deterministic items).  Other kinds (``path``,
+``source``, ``json``, ``call``) carry their payload verbatim in
+``payload``; ``options`` is reserved for forward-compatible per-item
+settings and round-trips untouched.
+
+``repro batch MANIFEST`` loads manifests through
+:func:`repro.corpus.sources.load_corpus`; ``repro corpus generate
+--manifest`` writes them.  Schema documented in ``docs/CORPUS.md``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Sequence
+
+from repro.batch.driver import WorkItem
+from repro.corpus.generate import (
+    KIND_GENERATED,
+    GeneratorConfig,
+    parse_spec,
+    spec_payload,
+)
+
+MANIFEST_FORMAT = "repro-corpus-manifest"
+MANIFEST_VERSION = 1
+
+#: Work-item kinds a manifest may carry.  ``call`` resolves arbitrary
+#: ``module:function`` references in the worker, so loaders reject it
+#: unless explicitly allowed (mirrors the serve daemon's --allow-call).
+MANIFEST_KINDS = ("path", "source", "json", "call", KIND_GENERATED)
+
+
+def _header() -> Dict[str, Any]:
+    return {"format": MANIFEST_FORMAT, "version": MANIFEST_VERSION}
+
+
+def item_to_record(item: WorkItem) -> Dict[str, Any]:
+    """The manifest record of one work item."""
+    record: Dict[str, Any] = {"name": item.name, "kind": item.kind}
+    if item.kind == KIND_GENERATED:
+        seed, config = parse_spec(item.payload)
+        record["options"] = {"seed": seed, "config": config.to_dict()}
+    else:
+        record["payload"] = item.payload
+    if item.cost:
+        record["cost"] = item.cost
+    return record
+
+
+def record_to_item(record: Dict[str, Any], where: str) -> WorkItem:
+    """Validate one manifest record and build its work item."""
+    if not isinstance(record, dict):
+        raise ValueError(f"{where}: item record must be an object")
+    name = record.get("name")
+    kind = record.get("kind")
+    if not isinstance(name, str) or not name:
+        raise ValueError(f"{where}: item needs a non-empty 'name'")
+    if kind not in MANIFEST_KINDS:
+        raise ValueError(
+            f"{where}: unknown kind {kind!r} for {name!r}; expected one "
+            f"of: {', '.join(MANIFEST_KINDS)}"
+        )
+    cost = record.get("cost", 0.0)
+    if not isinstance(cost, (int, float)) or isinstance(cost, bool):
+        raise ValueError(f"{where}: bad cost {cost!r} for {name!r}")
+    if kind == KIND_GENERATED:
+        options = record.get("options")
+        if options is None and "payload" in record:
+            # Also accept the raw payload spelling: re-encode through
+            # parse_spec so the item payload is canonical either way.
+            seed, config = parse_spec(record["payload"])
+        elif isinstance(options, dict) and "seed" in options:
+            seed = options["seed"]
+            if not isinstance(seed, int) or isinstance(seed, bool):
+                raise ValueError(
+                    f"{where}: generated item {name!r} seed must be an "
+                    f"integer"
+                )
+            config_data = options.get("config", {})
+            if not isinstance(config_data, dict):
+                raise ValueError(
+                    f"{where}: generated item {name!r} 'config' must be "
+                    f"an object"
+                )
+            config = GeneratorConfig.from_dict(config_data)
+        else:
+            raise ValueError(
+                f"{where}: generated item {name!r} needs options "
+                f"{{'seed': ..., 'config': {{...}}}}"
+            )
+        payload = spec_payload(seed, config)
+    else:
+        payload = record.get("payload")
+        if not isinstance(payload, str):
+            raise ValueError(
+                f"{where}: {kind} item {name!r} needs a string 'payload'"
+            )
+    return WorkItem(name, kind, payload, cost=float(cost))
+
+
+def items_to_manifest(items: Iterable[WorkItem]) -> Dict[str, Any]:
+    """The one-document (JSON) manifest of *items*."""
+    doc = _header()
+    doc["items"] = [item_to_record(item) for item in items]
+    return doc
+
+
+def manifest_to_items(
+    doc: Dict[str, Any], where: str = "manifest", allow_call: bool = False
+) -> List[WorkItem]:
+    """Validate a parsed manifest document and build its work items."""
+    if not isinstance(doc, dict) or doc.get("format") != MANIFEST_FORMAT:
+        raise ValueError(
+            f"{where}: not a corpus manifest (missing "
+            f"format={MANIFEST_FORMAT!r})"
+        )
+    version = doc.get("version")
+    if version != MANIFEST_VERSION:
+        raise ValueError(
+            f"{where}: unsupported manifest version {version!r} "
+            f"(this build reads version {MANIFEST_VERSION})"
+        )
+    records = doc.get("items")
+    if not isinstance(records, list) or not records:
+        raise ValueError(f"{where}: manifest has no items")
+    items = [
+        record_to_item(record, f"{where} item {i}")
+        for i, record in enumerate(records)
+    ]
+    if not allow_call:
+        callers = [item.name for item in items if item.kind == "call"]
+        if callers:
+            shown = ", ".join(callers[:3]) + (
+                "…" if len(callers) > 3 else ""
+            )
+            raise ValueError(
+                f"{where}: 'call' items ({shown}) run arbitrary "
+                f"module:function loaders; pass allow_call=True "
+                f"(CLI: --allow-call) to accept them"
+            )
+    seen: Dict[str, int] = {}
+    for i, item in enumerate(items):
+        if item.name in seen:
+            raise ValueError(
+                f"{where}: duplicate item name {item.name!r} "
+                f"(items {seen[item.name]} and {i})"
+            )
+        seen[item.name] = i
+    return items
+
+
+def write_manifest(items: Sequence[WorkItem], path: str) -> None:
+    """Write *items* as a manifest file.
+
+    ``*.ndjson`` paths get the line-oriented encoding (header line,
+    then one record per line); everything else the single JSON
+    document.  Output is deterministic for equal item lists.
+    """
+    if path.endswith(".ndjson"):
+        lines = [json.dumps(_header(), sort_keys=True)]
+        lines.extend(
+            json.dumps(item_to_record(item), sort_keys=True)
+            for item in items
+        )
+        text = "\n".join(lines) + "\n"
+    else:
+        text = json.dumps(items_to_manifest(items), indent=2) + "\n"
+    with open(path, "w") as handle:
+        handle.write(text)
+
+
+def read_manifest(path: str, allow_call: bool = False) -> List[WorkItem]:
+    """Read a manifest file (either encoding, detected by content)."""
+    try:
+        with open(path) as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise ValueError(f"cannot read manifest {path}: {exc}") from exc
+    stripped = text.strip()
+    if not stripped:
+        raise ValueError(f"{path}: empty manifest")
+    try:
+        doc = json.loads(stripped)
+    except ValueError:
+        # Not one document: try NDJSON (header line + record lines).
+        lines = [line for line in stripped.splitlines() if line.strip()]
+        try:
+            head = json.loads(lines[0])
+            records = [json.loads(line) for line in lines[1:]]
+        except ValueError as exc:
+            raise ValueError(
+                f"{path}: malformed manifest JSON: {exc}"
+            ) from exc
+        doc = dict(head) if isinstance(head, dict) else {}
+        doc["items"] = records
+    return manifest_to_items(doc, where=path, allow_call=allow_call)

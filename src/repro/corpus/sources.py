@@ -1,0 +1,198 @@
+"""Corpus sources: one loader behind ``repro batch``, many shapes.
+
+:func:`load_corpus` is the single entry point the batch CLI uses to
+turn a path into work items.  It dispatches on what the path is:
+
+* a **directory** — scanned for ``.mini``/``.json`` programs
+  (:func:`scan_directory`): case-insensitive suffix match, optionally
+  recursive, item names derived from the path *relative to the root*
+  (so ``a/prog.mini`` and ``b/prog.mini`` stay distinct once corpora
+  nest), ``manifest.*`` files skipped (they describe the corpus, they
+  are not members of it);
+* a **zip/tar archive** (:func:`items_from_archive`) — members are
+  matched like directory entries and inlined as ``source``/``json``
+  payloads, so a million-file corpus ships as one artifact;
+* a **manifest** (:func:`repro.corpus.manifest.read_manifest`) — the
+  versioned per-item record format, including ``generated`` items that
+  workers mint from ``(seed, config)`` on demand.
+
+Every source sorts items by name, so batches are deterministic however
+the filesystem or archive orders entries.
+"""
+
+from __future__ import annotations
+
+import tarfile
+import zipfile
+from pathlib import Path, PurePosixPath
+from typing import List, Sequence
+
+from repro.batch.driver import CORPUS_SUFFIXES, WorkItem
+
+#: Archive suffixes :func:`load_corpus` recognises.
+ARCHIVE_SUFFIXES = (
+    ".zip", ".tar", ".tar.gz", ".tgz", ".tar.bz2", ".tar.xz",
+)
+
+
+def is_archive_path(name: str) -> bool:
+    """Whether *name* looks like a corpus archive."""
+    lowered = name.lower()
+    return any(lowered.endswith(suffix) for suffix in ARCHIVE_SUFFIXES)
+
+
+def _member_name(relative: str) -> str:
+    """Item name from a root-relative member path: strip the suffix,
+    keep the directories (posix separators)."""
+    return str(PurePosixPath(relative).with_suffix(""))
+
+
+def _wanted_suffix(name: str, suffixes: Sequence[str]) -> bool:
+    lowered = name.lower()
+    return any(lowered.endswith(suffix.lower()) for suffix in suffixes)
+
+
+def _is_manifest_file(name: str) -> bool:
+    return PurePosixPath(name).name.lower().startswith("manifest.")
+
+
+def scan_directory(
+    directory: str,
+    suffixes: Sequence[str] = CORPUS_SUFFIXES,
+    recursive: bool = False,
+) -> List[WorkItem]:
+    """Scan *directory* for corpus files, sorted by item name.
+
+    Suffix matching is case-insensitive (``PROG.MINI`` loads), and with
+    *recursive* the whole tree is walked — item names then carry the
+    relative path (``sub/prog``), which keeps equal stems in different
+    subdirectories distinct.  ``manifest.*`` files are skipped.  Raises
+    ``ValueError`` when the directory does not exist or holds no
+    matching files — an empty batch is almost always a wrong path.
+    """
+    root = Path(directory)
+    if not root.is_dir():
+        raise ValueError(f"not a directory: {directory}")
+    candidates = root.rglob("*") if recursive else root.iterdir()
+    found = []
+    for path in candidates:
+        if not path.is_file():
+            continue
+        if _is_manifest_file(path.name):
+            continue
+        if not _wanted_suffix(path.name, suffixes):
+            continue
+        name = _member_name(path.relative_to(root).as_posix())
+        found.append((name, path))
+    if not found:
+        wanted = "/".join(suffixes)
+        where = f"{directory} (recursively)" if recursive else directory
+        raise ValueError(f"no {wanted} files in {where}")
+    found.sort(key=lambda entry: entry[0])
+    return [
+        WorkItem(name, "path", str(path), cost=float(path.stat().st_size))
+        for name, path in found
+    ]
+
+
+def _payload_kind(name: str) -> str:
+    return "json" if name.lower().endswith(".json") else "source"
+
+
+def items_from_archive(
+    archive: str,
+    suffixes: Sequence[str] = CORPUS_SUFFIXES,
+) -> List[WorkItem]:
+    """Load a zip or tar archive as a corpus.
+
+    Member paths are matched like directory scans (case-insensitive
+    suffix, ``manifest.*`` skipped) and their *contents* become the
+    item payloads — ``source`` for programs, ``json`` for serialised
+    CFGs — so workers need no access to the archive itself.  Cost is
+    the uncompressed size.
+    """
+    path = Path(archive)
+    if not path.is_file():
+        raise ValueError(f"no such archive: {archive}")
+    found = []
+    if archive.lower().endswith(".zip"):
+        with zipfile.ZipFile(path) as handle:
+            for info in handle.infolist():
+                if info.is_dir():
+                    continue
+                member = info.filename.lstrip("./")
+                if _is_manifest_file(member) or not _wanted_suffix(
+                    member, suffixes
+                ):
+                    continue
+                payload = handle.read(info).decode("utf-8")
+                found.append(
+                    WorkItem(
+                        _member_name(member),
+                        _payload_kind(member),
+                        payload,
+                        cost=float(info.file_size),
+                    )
+                )
+    else:
+        try:
+            handle = tarfile.open(path)
+        except tarfile.TarError as exc:
+            raise ValueError(f"cannot read archive {archive}: {exc}") from exc
+        with handle:
+            for info in handle.getmembers():
+                if not info.isfile():
+                    continue
+                member = info.name.lstrip("./")
+                if _is_manifest_file(member) or not _wanted_suffix(
+                    member, suffixes
+                ):
+                    continue
+                extracted = handle.extractfile(info)
+                if extracted is None:  # pragma: no cover - defensive
+                    continue
+                payload = extracted.read().decode("utf-8")
+                found.append(
+                    WorkItem(
+                        _member_name(member),
+                        _payload_kind(member),
+                        payload,
+                        cost=float(info.size),
+                    )
+                )
+    if not found:
+        wanted = "/".join(suffixes)
+        raise ValueError(f"no {wanted} members in {archive}")
+    found.sort(key=lambda item: item.name)
+    names = [item.name for item in found]
+    duplicates = sorted({n for n in names if names.count(n) > 1})
+    if duplicates:
+        raise ValueError(
+            f"{archive}: duplicate item names after suffix strip: "
+            f"{', '.join(duplicates[:5])}"
+        )
+    return found
+
+
+def load_corpus(
+    path: str,
+    suffixes: Sequence[str] = CORPUS_SUFFIXES,
+    recursive: bool = False,
+    allow_call: bool = False,
+) -> List[WorkItem]:
+    """Turn *path* — directory, archive, or manifest — into work items.
+
+    The single loader behind ``repro batch``.  *recursive* applies to
+    directory scans; *allow_call* gates ``call``-kind manifest items
+    (arbitrary loaders) exactly like the serve daemon's ``--allow-call``.
+    """
+    from repro.corpus.manifest import read_manifest
+
+    target = Path(path)
+    if target.is_dir():
+        return scan_directory(path, suffixes=suffixes, recursive=recursive)
+    if not target.is_file():
+        raise ValueError(f"no such corpus: {path}")
+    if is_archive_path(target.name):
+        return items_from_archive(path, suffixes=suffixes)
+    return read_manifest(path, allow_call=allow_call)

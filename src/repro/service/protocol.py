@@ -9,7 +9,7 @@ route through the same codec so they cannot drift:
 * :func:`item_record` / :func:`report_record` — the *bare* shapes of
   one :class:`~repro.batch.report.ItemResult` and one
   :class:`~repro.batch.report.BatchReport`.  These are exactly the
-  batch schema-v2 lines (``repro-batch-report`` version 2, see
+  batch schema-v3 lines (``repro-batch-report`` version 3, see
   ``docs/BATCH.md``); the stream CLI emits them unchanged.
 * The serve *envelopes* — :func:`result_record`, :func:`error_record`,
   :func:`rejected_record`, :func:`stats_record`, :func:`pong_record`,
@@ -60,11 +60,12 @@ TYPE_PONG = "pong"
 TYPE_LISTENING = "listening"
 TYPE_BYE = "bye"
 
-#: Payload kinds a work request may carry.  ``source`` and ``json``
-#: match :func:`repro.api.load_cfg`; ``call`` resolves a
-#: ``module:function`` reference inside the worker and is only honoured
-#: by servers started with ``allow_call`` (fault injection and tests).
-REQUEST_KINDS = ("source", "json", "call")
+#: Payload kinds a work request may carry.  ``source``, ``json`` and
+#: ``generated`` (a corpus ``(seed, config)`` spec) match
+#: :func:`repro.api.load_cfg`; ``call`` resolves a ``module:function``
+#: reference inside the worker and is only honoured by servers started
+#: with ``allow_call`` (fault injection and tests).
+REQUEST_KINDS = ("source", "json", "call", "generated")
 
 
 class ProtocolError(ValueError):
@@ -204,7 +205,7 @@ def item_record(item: ItemResult) -> Dict[str, Any]:
 
 
 def report_record(report: BatchReport) -> Dict[str, Any]:
-    """The bare wire shape of a collected batch report (schema v2)."""
+    """The bare wire shape of a collected batch report (schema v3)."""
     return report.to_dict()
 
 

@@ -109,7 +109,7 @@ class TestSerial:
         report = run_batch(items, BatchConfig(jobs=1))
         payload = report.to_dict()
         assert payload["format"] == "repro-batch-report"
-        assert payload["version"] == 2
+        assert payload["version"] == 3
         assert payload["items_total"] == 3
         assert payload["tally"] == {"ok": 3}
         assert 0.0 <= payload["cache"]["hit_rate"] <= 1.0

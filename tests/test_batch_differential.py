@@ -1,0 +1,164 @@
+"""Tests for differential batch mode and the interpreter oracle."""
+
+import pytest
+
+import repro.batch.testing  # noqa: F401  registers miscompile-dce
+from repro.batch import (
+    STATUS_DIVERGENT,
+    BatchConfig,
+    WorkItem,
+    run_batch,
+)
+from repro.batch.differential import diff_cfgs
+from repro.corpus import generated_items, profile_config
+from repro.lang import compile_program
+
+SOURCE = "x = a + b; if (p) { y = a + b; } else { y = 0; } z = a + b;"
+
+
+class TestDiffCfgs:
+    def test_identical_programs_agree(self):
+        cfg = compile_program(SOURCE)
+        block = diff_cfgs(cfg, compile_program(SOURCE), runs=6, seed=1)
+        assert block["runs"] == 6
+        assert block["compared"] == 6
+        assert block["divergences"] == []
+
+    def test_lcm_output_agrees(self):
+        from repro import api
+
+        cfg = compile_program(SOURCE)
+        optimised = api.optimize_cfg(cfg, "lcm").cfg
+        block = diff_cfgs(cfg, optimised, runs=10, seed=0)
+        assert block["divergences"] == []
+
+    def test_dropped_store_detected(self):
+        cfg = compile_program(SOURCE)
+        broken = cfg.copy()
+        # Drop the final `z = a + b` store: observable on every input.
+        for block in reversed(broken.blocks):
+            if block.instrs:
+                block.instrs.pop()
+                break
+        result = diff_cfgs(cfg, broken, runs=5, seed=0)
+        assert result["divergences"], "dropped store went unnoticed"
+        first = result["divergences"][0]
+        assert first["detail"].startswith("variable ")
+        assert isinstance(first["env"], dict)
+        assert isinstance(first["run"], int)
+
+    def test_decision_flip_detected_unless_pipeline(self):
+        cfg = compile_program("if (p) { x = 1; } else { x = 1; } y = x;")
+        flipped = compile_program(
+            "if (p == 0) { x = 1; } else { x = 1; } y = x;"
+        )
+        strict = diff_cfgs(cfg, flipped, runs=8, seed=3)
+        assert any(
+            d["detail"] == "branch decisions differ"
+            for d in strict["divergences"]
+        )
+        # Pipeline mode tolerates decision changes (branch folding) as
+        # long as the observable store agrees.
+        lax = diff_cfgs(
+            cfg, flipped, runs=8, seed=3, compare_decisions=False
+        )
+        assert lax["divergences"] == []
+
+
+class TestDifferentialBatch:
+    def test_clean_pass_fuzzes_green(self):
+        items = generated_items(range(30), profile_config("mixed"))
+        report = run_batch(
+            items, BatchConfig(differential=True, diff_runs=4)
+        )
+        assert report.ok, report.tally
+        for record in report.items:
+            assert record.differential is not None
+            assert record.differential["divergences"] == []
+            assert record.differential["runs"] == 4
+
+    def test_miscompiled_pass_caught_with_seed(self):
+        items = generated_items(range(30), profile_config("mixed"))
+        report = run_batch(
+            items,
+            BatchConfig(
+                pass_="miscompile-dce", differential=True, diff_runs=6
+            ),
+        )
+        divergent = [
+            r for r in report.items if r.status == STATUS_DIVERGENT
+        ]
+        assert divergent, report.tally
+        assert not report.ok
+        assert report.tally[STATUS_DIVERGENT] == len(divergent)
+        for record in divergent:
+            diff = record.differential
+            assert diff["divergences"]
+            # The reproduction contract: the minting seed and the full
+            # generator config ride in the failure record.
+            assert isinstance(diff["seed"], int)
+            assert diff["generator"]["statements"] == 12
+            assert "diverged" in record.message
+            # Divergent records still carry the optimize outcome.
+            assert record.fingerprint
+
+    def test_miscompile_caught_across_workers(self):
+        # Forked workers inherit the registered pass from the parent.
+        items = generated_items(range(12), profile_config("mixed"))
+        serial = run_batch(
+            items,
+            BatchConfig(
+                pass_="miscompile-dce", differential=True, diff_runs=6
+            ),
+        )
+        parallel = run_batch(
+            items,
+            BatchConfig(
+                pass_="miscompile-dce",
+                differential=True,
+                diff_runs=6,
+                jobs=3,
+            ),
+        )
+        assert serial.tally == parallel.tally
+        assert [r.status for r in serial.items] == [
+            r.status for r in parallel.items
+        ]
+
+    def test_input_decks_position_independent(self):
+        # The same item must draw the same inputs whatever subset it
+        # runs in — the property shard/unsharded parity rests on.
+        items = generated_items(range(8), profile_config("mixed"))
+        config = BatchConfig(pass_="miscompile-dce", differential=True,
+                             diff_runs=6)
+        full = run_batch(items, config)
+        tail = run_batch(items[4:], config)
+        by_name = {r.name: r for r in full.items}
+        for record in tail.items:
+            twin = by_name[record.name]
+            assert record.status == twin.status
+            assert record.differential == twin.differential
+
+    def test_non_generated_items_fuzz_too(self):
+        items = [WorkItem("hand", "source", SOURCE)]
+        report = run_batch(
+            items, BatchConfig(differential=True, diff_runs=4)
+        )
+        assert report.ok
+        diff = report.items[0].differential
+        assert diff["divergences"] == []
+        assert "seed" not in diff  # no minting seed to attach
+
+    def test_differential_excludes_analyze(self):
+        with pytest.raises(ValueError, match="analyze"):
+            BatchConfig(differential=True, analyze=True)
+
+    def test_report_schema_carries_block(self):
+        items = generated_items(range(3), profile_config("mixed"))
+        report = run_batch(
+            items, BatchConfig(differential=True, diff_runs=2)
+        )
+        payload = report.to_dict()
+        assert payload["version"] == 3
+        for item in payload["items"]:
+            assert item["differential"]["compared"] <= 2

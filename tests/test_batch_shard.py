@@ -1,0 +1,165 @@
+"""Tests for deterministic sharding and shard-report merging."""
+
+import json
+
+import pytest
+
+from repro.batch import (
+    BatchConfig,
+    WorkItem,
+    merge_report_dicts,
+    run_batch,
+    shard_items,
+    shard_of,
+    stable_hash,
+    stable_report_json,
+)
+from repro.corpus import generated_items, profile_config
+
+
+def _corpus(count=12):
+    return generated_items(range(count), profile_config("mixed"))
+
+
+def _sharded_reports(items, total, **config):
+    """Per-shard report dicts with CLI-style index remap + shard block."""
+    positions = {item.name: i for i, item in enumerate(items)}
+    reports = []
+    for index in range(total):
+        shard = shard_items(items, index, total)
+        report = run_batch(shard, BatchConfig(**config))
+        for record in report.items:
+            record.index = positions[record.name]
+        report.shard = {
+            "index": index + 1,
+            "total": total,
+            "universe": len(items),
+        }
+        reports.append(report.to_dict())
+    return reports
+
+
+class TestPartition:
+    def test_stable_hash_is_content_addressed(self):
+        # Not Python's hash(): the value must be identical across
+        # processes, platforms and interpreter versions.
+        assert stable_hash("gen-00000000") == stable_hash("gen-00000000")
+        assert stable_hash("a") != stable_hash("b")
+        assert shard_of("gen-00000003", 3) == \
+            stable_hash("gen-00000003") % 3
+
+    def test_disjoint_and_complete(self):
+        items = _corpus(20)
+        shards = [shard_items(items, i, 3) for i in range(3)]
+        names = [item.name for shard in shards for item in shard]
+        assert sorted(names) == sorted(item.name for item in items)
+        assert len(names) == len(set(names))
+
+    def test_membership_ignores_list_order(self):
+        # Hash-of-name partitioning: shuffling the corpus cannot move
+        # an item to a different shard (list-position partitioning
+        # would break merges whenever two runs sorted differently).
+        items = _corpus(16)
+        flipped = list(reversed(items))
+        for index in range(4):
+            direct = {i.name for i in shard_items(items, index, 4)}
+            shuffled = {i.name for i in shard_items(flipped, index, 4)}
+            assert direct == shuffled
+
+    def test_membership_survives_insertions(self):
+        items = _corpus(10)
+        grown = items + generated_items(range(10, 12))
+        for index in range(3):
+            before = {i.name for i in shard_items(items, index, 3)}
+            after = {i.name for i in shard_items(grown, index, 3)}
+            assert before <= after
+
+    def test_single_shard_is_identity(self):
+        items = _corpus(5)
+        assert shard_items(items, 0, 1) == items
+
+    def test_bad_indices(self):
+        items = _corpus(4)
+        with pytest.raises(ValueError, match="shard count"):
+            shard_items(items, 0, 0)
+        with pytest.raises(ValueError, match="out of range"):
+            shard_items(items, 3, 3)
+        with pytest.raises(ValueError, match="out of range"):
+            shard_items(items, -1, 3)
+
+
+class TestMerge:
+    def test_merge_matches_unsharded_byte_for_byte(self):
+        items = _corpus(15)
+        full = run_batch(items, BatchConfig()).to_dict()
+        merged = merge_report_dicts(_sharded_reports(items, 3))
+        assert stable_report_json(merged) == stable_report_json(full)
+
+    def test_merge_drops_shard_block_and_sums_walltime(self):
+        items = _corpus(9)
+        reports = _sharded_reports(items, 3)
+        merged = merge_report_dicts(reports)
+        assert "shard" not in merged
+        assert merged["items_total"] == 9
+        assert merged["wall_time_s"] == round(
+            sum(r["wall_time_s"] for r in reports), 6
+        )
+
+    def test_merge_single_report_roundtrips(self):
+        items = _corpus(6)
+        full = run_batch(items, BatchConfig()).to_dict()
+        merged = merge_report_dicts([json.loads(json.dumps(full))])
+        assert stable_report_json(merged) == stable_report_json(full)
+
+    def test_merge_rejects_mixed_configs(self):
+        items = _corpus(6)
+        a = run_batch(items[:3], BatchConfig(pass_="lcm")).to_dict()
+        b = run_batch(items[3:], BatchConfig(pass_="bcm")).to_dict()
+        with pytest.raises(ValueError, match="pass="):
+            merge_report_dicts([a, b])
+
+    def test_merge_rejects_overlap(self):
+        items = _corpus(6)
+        report = _sharded_reports(items, 2)[0]
+        twin = json.loads(json.dumps(report))
+        with pytest.raises(ValueError, match="overlapping shards"):
+            merge_report_dicts([report, twin])
+
+    def test_merge_rejects_incomplete(self):
+        items = _corpus(9)
+        reports = _sharded_reports(items, 3)
+        with pytest.raises(ValueError, match="incomplete merge"):
+            merge_report_dicts(reports[:2])
+
+    def test_merge_rejects_wrong_schema(self):
+        with pytest.raises(ValueError, match="not a"):
+            merge_report_dicts([{"format": "something-else"}])
+        with pytest.raises(ValueError, match="nothing to merge"):
+            merge_report_dicts([])
+
+    def test_failures_survive_merge(self):
+        items = _corpus(5)
+        items.append(WorkItem("broken", "source", "x = ; nope"))
+        full = run_batch(items, BatchConfig()).to_dict()
+        merged = merge_report_dicts(_sharded_reports(items, 2))
+        assert merged["tally"] == full["tally"]
+        assert merged["tally"]["error"] == 1
+        assert stable_report_json(merged) == stable_report_json(full)
+
+
+class TestNormalisation:
+    def test_strips_only_timing(self):
+        items = _corpus(3)
+        report = run_batch(items, BatchConfig()).to_dict()
+        stable = json.loads(stable_report_json(report))
+        assert "wall_time_s" not in stable
+        assert all("duration_ms" not in i for i in stable["items"])
+        assert all(
+            "total_ms" not in entry
+            for entry in stable["summary"].values()
+        )
+        # Everything that identifies the run's *results* survives.
+        assert stable["tally"] == report["tally"]
+        assert [i["fingerprint"] for i in stable["items"]] == [
+            i["fingerprint"] for i in report["items"]
+        ]

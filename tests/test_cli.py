@@ -296,7 +296,7 @@ class TestBatch:
                             "--emit", "json")
         assert code == 1
         data = json.loads(text)
-        assert data["version"] == 2
+        assert data["version"] == 3
         assert data["tally"]["error"] == 1
         assert data["tally"]["skipped"] == 2
 
@@ -312,6 +312,130 @@ class TestBatch:
         code, text = invoke("batch", str(corpus), "--pipeline")
         assert code == 0
         assert "pipeline" in text
+
+
+class TestBatchShard:
+    @pytest.fixture
+    def corpus(self, tmp_path):
+        root = tmp_path / "corpus"
+        root.mkdir()
+        (root / "first.mini").write_text(SOURCE)
+        (root / "second.mini").write_text("u = c * d; v = c * d;")
+        (root / "third.mini").write_text("w = e + f; q = e + f;")
+        return root
+
+    def test_shard_then_merge_matches_unsharded(self, corpus, tmp_path):
+        from repro.batch import stable_report_json
+
+        code, full = invoke("batch", str(corpus), "--emit", "json")
+        assert code == 0
+        shard_files = []
+        for i in (1, 2, 3):
+            code, text = invoke("batch", str(corpus), "--shard",
+                                f"{i}/3", "--emit", "json")
+            assert code == 0
+            data = json.loads(text)
+            assert data["shard"] == {
+                "index": i, "total": 3, "universe": 3,
+            }
+            path = tmp_path / f"shard{i}.json"
+            path.write_text(text)
+            shard_files.append(str(path))
+        code, merged = invoke("batch", "merge", *shard_files)
+        assert code == 0
+        assert stable_report_json(json.loads(merged)) == \
+            stable_report_json(json.loads(full))
+
+    def test_bad_shard_spec_is_cli_error(self, corpus):
+        code, _ = invoke("batch", str(corpus), "--shard", "4/3")
+        assert code == 2
+        code, _ = invoke("batch", str(corpus), "--shard", "nope")
+        assert code == 2
+
+    def test_report_files_only_accepted_after_merge(self, corpus):
+        code, _ = invoke("batch", str(corpus), "stray.json")
+        assert code == 2
+
+    def test_merge_without_reports_is_cli_error(self):
+        code, _ = invoke("batch", "merge")
+        assert code == 2
+
+    def test_recursive_scan(self, corpus):
+        sub = corpus / "sub"
+        sub.mkdir()
+        (sub / "first.mini").write_text(SOURCE)
+        code, text = invoke("batch", str(corpus), "--recursive",
+                            "--emit", "json")
+        assert code == 0
+        names = [i["name"] for i in json.loads(text)["items"]]
+        assert "sub/first" in names
+
+    def test_differential_clean_run(self, corpus):
+        code, text = invoke("batch", str(corpus), "--differential",
+                            "--diff-runs", "3", "--emit", "json")
+        assert code == 0
+        data = json.loads(text)
+        assert data["tally"] == {"ok": 3}
+        for item in data["items"]:
+            assert item["differential"]["divergences"] == []
+
+
+class TestCorpusCli:
+    def test_generate_out_dir(self, tmp_path):
+        out = tmp_path / "corpus"
+        code, text = invoke("corpus", "generate", "--seed-range", "0:6",
+                            "--out", str(out))
+        assert code == 0
+        assert "wrote 6 programs" in text
+        assert len(list(out.glob("*.mini"))) == 6
+        assert (out / "manifest.ndjson").exists()
+
+    def test_generate_manifest_then_batch(self, tmp_path):
+        manifest = tmp_path / "fuzz.ndjson"
+        code, text = invoke("corpus", "generate", "--seed-range", "0:4",
+                            "--profile", "loopy",
+                            "--manifest", str(manifest))
+        assert code == 0
+        assert "4-item manifest" in text
+        code, text = invoke("batch", str(manifest), "--emit", "json")
+        assert code == 0
+        data = json.loads(text)
+        assert data["tally"] == {"ok": 4}
+        assert [i["name"] for i in data["items"]] == [
+            f"gen-0000000{i}" for i in range(4)
+        ]
+
+    def test_from_manifest_regenerates_bit_identically(self, tmp_path):
+        first = tmp_path / "first"
+        code, _ = invoke("corpus", "generate", "--seed-range", "0:3",
+                         "--out", str(first))
+        assert code == 0
+        second = tmp_path / "second"
+        code, _ = invoke("corpus", "generate", "--from-manifest",
+                         str(first / "manifest.ndjson"),
+                         "--out", str(second))
+        assert code == 0
+        for path in first.glob("*.mini"):
+            assert (second / path.name).read_bytes() == \
+                path.read_bytes()
+
+    def test_generate_needs_destination(self):
+        code, _ = invoke("corpus", "generate", "--seed-range", "0:3")
+        assert code == 2
+
+    def test_bad_seed_range_is_cli_error(self, tmp_path):
+        code, _ = invoke("corpus", "generate", "--seed-range", "nope",
+                         "--out", str(tmp_path / "c"))
+        assert code == 2
+
+    def test_from_manifest_requires_out(self, tmp_path):
+        manifest = tmp_path / "m.ndjson"
+        code, _ = invoke("corpus", "generate", "--seed-range", "0:2",
+                         "--manifest", str(manifest))
+        assert code == 0
+        code, _ = invoke("corpus", "generate", "--from-manifest",
+                         str(manifest))
+        assert code == 2
 
 
 class TestCacheDir:

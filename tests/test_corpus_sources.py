@@ -1,0 +1,238 @@
+"""Tests for corpus sources and manifests (:mod:`repro.corpus`)."""
+
+import json
+import tarfile
+import zipfile
+
+import pytest
+
+from repro.batch.driver import WorkItem, items_from_dir
+from repro.corpus import (
+    generated_items,
+    items_from_archive,
+    items_to_manifest,
+    load_corpus,
+    manifest_to_items,
+    read_manifest,
+    scan_directory,
+    write_manifest,
+)
+
+PROG_A = "x = a + b; y = a + b;"
+PROG_B = "u = c * d; v = c * d;"
+
+
+@pytest.fixture
+def corpus_dir(tmp_path):
+    root = tmp_path / "corpus"
+    root.mkdir()
+    (root / "alpha.mini").write_text(PROG_A)
+    (root / "beta.mini").write_text(PROG_B)
+    return root
+
+
+class TestScanDirectory:
+    def test_flat_scan_sorted(self, corpus_dir):
+        items = scan_directory(str(corpus_dir))
+        assert [i.name for i in items] == ["alpha", "beta"]
+        assert all(i.kind == "path" for i in items)
+
+    def test_case_insensitive_suffix(self, corpus_dir):
+        (corpus_dir / "LOUD.MINI").write_text(PROG_A)
+        items = scan_directory(str(corpus_dir))
+        assert "LOUD" in [i.name for i in items]
+
+    def test_flat_scan_ignores_subdirs(self, corpus_dir):
+        sub = corpus_dir / "sub"
+        sub.mkdir()
+        (sub / "gamma.mini").write_text(PROG_A)
+        items = scan_directory(str(corpus_dir))
+        assert [i.name for i in items] == ["alpha", "beta"]
+
+    def test_recursive_names_carry_relative_path(self, corpus_dir):
+        # Equal stems in different subdirectories must stay distinct.
+        sub = corpus_dir / "sub"
+        sub.mkdir()
+        (sub / "alpha.mini").write_text(PROG_B)
+        items = scan_directory(str(corpus_dir), recursive=True)
+        assert [i.name for i in items] == ["alpha", "beta", "sub/alpha"]
+
+    def test_manifest_files_skipped(self, corpus_dir):
+        (corpus_dir / "manifest.ndjson").write_text("{}")
+        (corpus_dir / "MANIFEST.json").write_text("{}")
+        items = scan_directory(str(corpus_dir))
+        assert [i.name for i in items] == ["alpha", "beta"]
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(ValueError, match="not a directory"):
+            scan_directory(str(tmp_path / "nope"))
+
+    def test_empty_directory(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(ValueError, match="no .*files"):
+            scan_directory(str(empty))
+
+    def test_items_from_dir_alias(self, corpus_dir):
+        sub = corpus_dir / "sub"
+        sub.mkdir()
+        (sub / "alpha.mini").write_text(PROG_B)
+        flat = items_from_dir(str(corpus_dir))
+        deep = items_from_dir(str(corpus_dir), recursive=True)
+        assert [i.name for i in flat] == ["alpha", "beta"]
+        assert [i.name for i in deep] == ["alpha", "beta", "sub/alpha"]
+
+
+class TestArchives:
+    def _check(self, items):
+        assert [i.name for i in items] == ["alpha", "sub/beta"]
+        assert all(i.kind == "source" for i in items)
+        assert items[0].payload == PROG_A
+        assert items[1].payload == PROG_B
+
+    def test_zip(self, tmp_path):
+        path = tmp_path / "corpus.zip"
+        with zipfile.ZipFile(path, "w") as handle:
+            handle.writestr("alpha.mini", PROG_A)
+            handle.writestr("sub/beta.mini", PROG_B)
+            handle.writestr("manifest.ndjson", "{}")
+            handle.writestr("README.txt", "not a program")
+        self._check(items_from_archive(str(path)))
+
+    def test_tar_gz(self, tmp_path, corpus_dir):
+        (corpus_dir / "sub").mkdir()
+        (corpus_dir / "sub" / "beta.mini").write_text(PROG_B)
+        (corpus_dir / "beta.mini").unlink()
+        path = tmp_path / "corpus.tar.gz"
+        with tarfile.open(path, "w:gz") as handle:
+            handle.add(corpus_dir / "alpha.mini", arcname="alpha.mini")
+            handle.add(
+                corpus_dir / "sub" / "beta.mini", arcname="sub/beta.mini"
+            )
+        self._check(items_from_archive(str(path)))
+
+    def test_duplicate_names_rejected(self, tmp_path):
+        path = tmp_path / "dup.zip"
+        with zipfile.ZipFile(path, "w") as handle:
+            handle.writestr("prog.mini", PROG_A)
+            handle.writestr("prog.MINI", PROG_B)
+        with pytest.raises(ValueError, match="duplicate item names"):
+            items_from_archive(str(path))
+
+    def test_empty_archive(self, tmp_path):
+        path = tmp_path / "empty.zip"
+        with zipfile.ZipFile(path, "w"):
+            pass
+        with pytest.raises(ValueError, match="no .*members"):
+            items_from_archive(str(path))
+
+    def test_missing_archive(self, tmp_path):
+        with pytest.raises(ValueError, match="no such archive"):
+            items_from_archive(str(tmp_path / "nope.zip"))
+
+
+class TestManifests:
+    def test_json_document_roundtrip(self, tmp_path):
+        items = [
+            WorkItem("a", "source", PROG_A, cost=2.0),
+            WorkItem("b", "json", "{}"),
+        ]
+        path = tmp_path / "manifest.json"
+        write_manifest(items, str(path))
+        doc = json.loads(path.read_text())
+        assert doc["format"] == "repro-corpus-manifest"
+        assert read_manifest(str(path)) == items
+
+    def test_ndjson_roundtrip(self, tmp_path):
+        items = generated_items(range(3))
+        path = tmp_path / "manifest.ndjson"
+        write_manifest(items, str(path))
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 4  # header + one record per item
+        assert read_manifest(str(path)) == items
+
+    def test_generated_records_are_human_auditable(self):
+        doc = items_to_manifest(generated_items([7]))
+        record = doc["items"][0]
+        assert record["kind"] == "generated"
+        assert record["options"]["seed"] == 7
+        assert "statements" in record["options"]["config"]
+        assert "payload" not in record
+
+    def test_call_items_gated(self):
+        doc = items_to_manifest(
+            [WorkItem("evil", "call", "os:getcwd")]
+        )
+        with pytest.raises(ValueError, match="allow_call"):
+            manifest_to_items(doc)
+        items = manifest_to_items(doc, allow_call=True)
+        assert items[0].kind == "call"
+
+    def test_duplicate_names_rejected(self):
+        doc = items_to_manifest(
+            [WorkItem("same", "source", PROG_A),
+             WorkItem("same", "source", PROG_B)]
+        )
+        with pytest.raises(ValueError, match="duplicate item name"):
+            manifest_to_items(doc)
+
+    def test_version_and_format_validated(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "nope", "items": []}))
+        with pytest.raises(ValueError, match="not a corpus manifest"):
+            read_manifest(str(path))
+        path.write_text(json.dumps(
+            {"format": "repro-corpus-manifest", "version": 99,
+             "items": [{"name": "a", "kind": "source", "payload": "x=1;"}]}
+        ))
+        with pytest.raises(ValueError, match="unsupported manifest version"):
+            read_manifest(str(path))
+
+    def test_bad_records_validated(self):
+        header = {"format": "repro-corpus-manifest", "version": 1}
+        with pytest.raises(ValueError, match="no items"):
+            manifest_to_items(dict(header, items=[]))
+        with pytest.raises(ValueError, match="unknown kind"):
+            manifest_to_items(
+                dict(header, items=[{"name": "a", "kind": "exe"}])
+            )
+        with pytest.raises(ValueError, match="string 'payload'"):
+            manifest_to_items(
+                dict(header, items=[{"name": "a", "kind": "source"}])
+            )
+        with pytest.raises(ValueError, match="needs options"):
+            manifest_to_items(
+                dict(header, items=[{"name": "a", "kind": "generated"}])
+            )
+
+    def test_malformed_file(self, tmp_path):
+        path = tmp_path / "garbage.ndjson"
+        path.write_text("{not json\nat all}")
+        with pytest.raises(ValueError, match="malformed manifest"):
+            read_manifest(str(path))
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty manifest"):
+            read_manifest(str(path))
+
+
+class TestLoadCorpus:
+    def test_dispatch_directory(self, corpus_dir):
+        assert [i.name for i in load_corpus(str(corpus_dir))] == [
+            "alpha", "beta",
+        ]
+
+    def test_dispatch_archive(self, tmp_path):
+        path = tmp_path / "c.zip"
+        with zipfile.ZipFile(path, "w") as handle:
+            handle.writestr("alpha.mini", PROG_A)
+        assert [i.name for i in load_corpus(str(path))] == ["alpha"]
+
+    def test_dispatch_manifest(self, tmp_path):
+        items = generated_items(range(2))
+        path = tmp_path / "m.ndjson"
+        write_manifest(items, str(path))
+        assert load_corpus(str(path)) == items
+
+    def test_missing_path(self, tmp_path):
+        with pytest.raises(ValueError, match="no such corpus"):
+            load_corpus(str(tmp_path / "nope"))

@@ -52,6 +52,32 @@ class TestRegistry:
 
             del pipeline._REGISTRY["identity-test"]
 
+    def test_hidden_pass_resolves_but_never_enumerates(self):
+        @register_pass("hidden-test", "fixture-only", hidden=True)
+        def _hidden(cfg, ctx):
+            return apply_placements(cfg, [])
+
+        try:
+            assert get_pass("hidden-test").hidden
+            assert optimize(diamond(), "hidden-test").placements == []
+            assert "hidden-test" not in {
+                s.name for s in available_strategies()
+            }
+        finally:
+            from repro.core import pipeline
+
+            del pipeline._REGISTRY["hidden-test"]
+
+    def test_miscompile_fixture_is_hidden(self):
+        # Registered on import, resolvable for differential fuzzing,
+        # but never offered by the CLI or whole-registry sweeps.
+        import repro.batch.testing  # noqa: F401
+
+        assert get_pass("miscompile-dce").hidden
+        assert "miscompile-dce" not in {
+            s.name for s in available_strategies()
+        }
+
     def test_docstring_used_as_default_description(self):
         @register_pass("doc-test")
         def _documented(cfg, ctx):
